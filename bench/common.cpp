@@ -1,0 +1,77 @@
+#include "bench/common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace giph::bench {
+
+Scale Scale::from_env() {
+  Scale s;
+  const char* env = std::getenv("GIPH_BENCH_SCALE");
+  if (env != nullptr && std::string(env) == "full") {
+    s.full = true;
+    s.train_episodes = 600;
+    s.train_graphs = 150;
+    s.train_networks = 10;
+    s.test_cases = 150;
+    s.eval_every = 10;
+    s.eval_cases = 20;
+  }
+  return s;
+}
+
+TrainOptions train_options(const Scale& scale) {
+  TrainOptions t;
+  t.episodes = scale.train_episodes;
+  t.lr = 0.003;
+  t.gamma = 0.1;
+  t.discount_state_weight = false;
+  return t;
+}
+
+std::vector<Case> make_cases(const Dataset& ds, int max_cases) {
+  std::vector<Case> cases;
+  const int total = static_cast<int>(ds.graphs.size() * ds.networks.size());
+  for (int i = 0; i < std::min(max_cases, total); ++i) {
+    const int gi = i % static_cast<int>(ds.graphs.size());
+    const int ni = (i / static_cast<int>(ds.graphs.size()) + i) %
+                   static_cast<int>(ds.networks.size());
+    cases.push_back(Case{&ds.graphs[gi], &ds.networks[ni]});
+  }
+  return cases;
+}
+
+InstanceSampler dataset_sampler(const Dataset& ds) {
+  return [&ds](std::mt19937_64& rng) {
+    std::uniform_int_distribution<std::size_t> gi(0, ds.graphs.size() - 1);
+    std::uniform_int_distribution<std::size_t> ni(0, ds.networks.size() - 1);
+    return ProblemInstance{&ds.graphs[gi(rng)], &ds.networks[ni(rng)]};
+  };
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void print_curves(const std::string& title, const std::vector<Curve>& curves) {
+  print_header(title);
+  std::printf("%-12s", "step/2|V|");
+  for (const Curve& c : curves) std::printf("%16s", c.name.c_str());
+  std::printf("\n");
+  const auto fractions = curve_fractions(static_cast<int>(curves[0].values.size()));
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    std::printf("%-12.2f", fractions[i]);
+    for (const Curve& c : curves) std::printf("%16.4f", c.values[i]);
+    std::printf("\n");
+  }
+  std::vector<eval::Series> series;
+  for (const Curve& c : curves) {
+    series.push_back(eval::Series{c.name, c.values, fractions});
+  }
+  eval::ChartOptions opts;
+  opts.x_label = "fraction of 2|V| search steps";
+  opts.y_label = "avg SLR";
+  std::fputs(eval::ascii_chart(series, opts).c_str(), stdout);
+}
+
+}  // namespace giph::bench

@@ -1,0 +1,114 @@
+// Reproduces Fig. 5: average SLR of the final placements as a function of
+// task-graph depth, for all search policies plus HEFT.
+//
+// Paper expectation: SLR grows with depth for every method (longer critical
+// paths); GiPH outperforms the other search-based methods in most buckets and
+// is comparable to HEFT.
+
+#include <cstdio>
+#include <map>
+
+#include "baselines/placeto.hpp"
+#include "baselines/random_policies.hpp"
+#include "bench/common.hpp"
+#include "core/giph_agent.hpp"
+
+using namespace giph;
+using namespace giph::bench;
+
+int main() {
+  const Scale scale = Scale::from_env();
+  const DefaultLatencyModel lat;
+  std::printf("Fig. 5 reproduction (scale: %s)\n", scale.full ? "full" : "quick");
+
+  // Graphs spanning a range of depths: like the paper's dataset, deeper
+  // graphs are also larger (depth grows with sqrt(M)/alpha), and
+  // communication is expensive enough that every extra level of depth puts
+  // more transfer time on the critical path.
+  std::vector<TaskGraphParams> gps;
+  for (int m : {8, 12, 16, 22, 28}) {
+    for (double alpha : {0.4, 0.8, 1.5}) {
+      TaskGraphParams gp;
+      gp.num_tasks = m;
+      gp.alpha = alpha;
+      gp.mean_bytes = 500.0;
+      gps.push_back(gp);
+    }
+  }
+  NetworkParams np;
+  np.num_devices = 8;
+  std::mt19937_64 rng(202);
+  const Dataset train = generate_dataset(gps, {np}, scale.train_graphs, 1, rng);
+  const Dataset test = generate_dataset(gps, {np}, scale.test_cases * 2, 1, rng);
+  const std::vector<Case> cases = make_cases(test, scale.test_cases * 2);
+
+  const TrainOptions topt = train_options(scale);
+  const InstanceSampler sampler = dataset_sampler(train);
+
+  GiPHOptions go;
+  go.seed = 17;
+  GiPHAgent giph(go);
+  train_reinforce(giph, lat, sampler, topt);
+
+  GiPHOptions to;
+  to.use_gpnet = false;
+  to.seed = 18;
+  GiPHAgent giph_task_eft(to);
+  train_reinforce(giph_task_eft, lat, sampler, topt);
+
+  PlacetoOptions po;
+  po.num_devices = np.num_devices;
+  po.seed = 19;
+  PlacetoPolicy placeto(po);
+  train_reinforce(placeto, lat, sampler, topt);
+
+  RandomTaskEftPolicy random_task_eft;
+  RandomSamplingPolicy random;
+
+  struct Row {
+    std::map<std::string, std::vector<double>> by_policy;
+  };
+  std::map<int, Row> buckets;  // depth -> SLRs
+
+  std::vector<std::pair<std::string, SearchPolicy*>> policies{
+      {"GiPH", &giph},
+      {"GiPH-task-eft", &giph_task_eft},
+      {"Random-task-eft", &random_task_eft},
+      {"Placeto", &placeto},
+      {"Random", &random},
+  };
+  for (auto& [name, policy] : policies) {
+    const std::vector<double> finals =
+        evaluate_policy_final(*policy, cases, lat, 0.0, 987);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      buckets[cases[i].graph->depth()].by_policy[name].push_back(finals[i]);
+    }
+  }
+  const std::vector<double> heft = heft_final(cases, lat);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    buckets[cases[i].graph->depth()].by_policy["HEFT"].push_back(heft[i]);
+  }
+
+  print_header("Fig.5 average final SLR (+- std) by task-graph depth");
+  std::printf("%-7s%6s", "depth", "n");
+  const std::vector<std::string> order{"GiPH",    "GiPH-task-eft", "Random-task-eft",
+                                       "Placeto", "Random",        "HEFT"};
+  for (const auto& name : order) std::printf("%18s", name.c_str());
+  std::printf("\n");
+  for (const auto& [depth, row] : buckets) {
+    const std::size_t count = row.by_policy.begin()->second.size();
+    if (count < 2) continue;  // skip nearly-empty buckets
+    std::printf("%-7d%6zu", depth, count);
+    for (const auto& name : order) {
+      const auto& xs = row.by_policy.at(name);
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "%.3f+-%.2f", mean(xs), stdev(xs));
+      std::printf("%18s", cell);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper expectation: SLR increases with depth for all methods; GiPH beats\n"
+      "the other search policies in most buckets and is comparable to HEFT.\n");
+  return 0;
+}

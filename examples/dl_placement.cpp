@@ -1,0 +1,83 @@
+// Deep-learning graph placement (Section 5.2): generate an ENAS-style
+// recurrent computation graph, coarsen it to operator groups, and place the
+// groups on a simulated 8-device cluster with GiPH, comparing against HEFT
+// and random placement.
+//
+// Usage: dl_placement [episodes] [group_target]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/giph_agent.hpp"
+#include "core/reinforce.hpp"
+#include "gen/dataset.hpp"
+#include "gen/enas_gen.hpp"
+#include "gen/grouping.hpp"
+#include "heft/heft.hpp"
+
+using namespace giph;
+
+int main(int argc, char** argv) {
+  const int episodes = argc > 1 ? std::atoi(argv[1]) : 120;
+  const int group_target = argc > 2 ? std::atoi(argv[2]) : 24;
+
+  std::mt19937_64 rng(7);
+  EnasParams ep;
+  const TaskGraph full = generate_enas_graph(ep, rng);
+  const GroupedGraph grouped = group_operators(full, group_target);
+  std::cout << "generated DL graph: " << full.num_tasks() << " operators, depth "
+            << full.depth() << "\n"
+            << "grouped to " << grouped.graph.num_tasks() << " groups, depth "
+            << grouped.graph.depth() << "\n";
+
+  NetworkParams np;
+  np.num_devices = 8;
+  DeviceNetwork cluster = generate_device_network(np, rng);
+
+  // A small training set of similar DL graphs (fresh cell designs).
+  Dataset train;
+  for (int i = 0; i < 10; ++i) {
+    train.graphs.push_back(group_operators(generate_enas_graph(ep, rng), group_target).graph);
+  }
+  train.networks.push_back(cluster);
+
+  const DefaultLatencyModel lat;
+  GiPHOptions options;
+  options.seed = 5;
+  GiPHAgent agent(options);
+  TrainOptions topt;
+  topt.episodes = episodes;
+  topt.lr = 0.003;
+  topt.gamma = 0.1;
+  topt.discount_state_weight = false;
+  std::cout << "training GiPH on " << train.graphs.size() << " DL graphs for "
+            << episodes << " episodes...\n";
+  train_reinforce(agent, lat,
+                  [&train](std::mt19937_64& r) {
+                    std::uniform_int_distribution<std::size_t> gi(0, train.graphs.size() - 1);
+                    return ProblemInstance{&train.graphs[gi(r)], &train.networks[0]};
+                  },
+                  topt);
+
+  // Place the held-out grouped graph.
+  const TaskGraph& g = grouped.graph;
+  const double denom = slr_denominator(g, cluster, lat);
+  std::mt19937_64 eval_rng(99);
+  const Placement init = random_placement(g, cluster, eval_rng);
+  PlacementSearchEnv env(g, cluster, lat, makespan_objective(lat), init, denom);
+  const SearchTrace trace = run_search(agent, env, 2 * g.num_tasks(), eval_rng);
+
+  const HeftResult heft = heft_schedule(g, cluster, lat);
+  std::cout << "\nresults (SLR = makespan / lower bound):\n"
+            << "  random initial placement: " << makespan(g, cluster, init, lat) / denom
+            << "\n  GiPH after " << 2 * g.num_tasks()
+            << " search steps: " << trace.best_so_far.back() << "\n  HEFT: "
+            << makespan(g, cluster, heft.placement, lat) / denom << "\n";
+
+  std::cout << "\nGiPH's placement (group -> device):\n";
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    std::cout << "  group " << v << " (work " << g.task(v).compute << ") -> "
+              << cluster.device(trace.best_placement.device_of(v)).name << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Quickstart: train a GiPH placement policy on small synthetic problems and
+// compare the placements it finds against random sampling and HEFT.
+//
+// Usage: quickstart [episodes]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/random_policies.hpp"
+#include "core/giph_agent.hpp"
+#include "core/reinforce.hpp"
+#include "gen/dataset.hpp"
+#include "heft/heft.hpp"
+
+using namespace giph;
+
+int main(int argc, char** argv) {
+  const int episodes = argc > 1 ? std::atoi(argv[1]) : 80;
+
+  // 1. Generate a dataset: random task graphs and device networks.
+  std::mt19937_64 rng(42);
+  TaskGraphParams gp;
+  gp.num_tasks = 12;
+  NetworkParams np;
+  np.num_devices = 6;
+  Dataset train = generate_dataset({gp}, {np}, /*graphs=*/20, /*networks=*/4, rng);
+  Dataset test = generate_dataset({gp}, {np}, /*graphs=*/10, /*networks=*/2, rng);
+
+  const DefaultLatencyModel lat;
+
+  // 2. Train GiPH with REINFORCE.
+  GiPHOptions options;
+  options.seed = 7;
+  GiPHAgent agent(options);
+
+  InstanceSampler sampler = [&train](std::mt19937_64& r) {
+    std::uniform_int_distribution<std::size_t> gi(0, train.graphs.size() - 1);
+    std::uniform_int_distribution<std::size_t> ni(0, train.networks.size() - 1);
+    return ProblemInstance{&train.graphs[gi(r)], &train.networks[ni(r)]};
+  };
+  TrainOptions topt;
+  topt.episodes = episodes;
+  // Tuned training settings (see DESIGN.md "Training configuration").
+  topt.lr = 0.003;
+  topt.gamma = 0.1;
+  topt.discount_state_weight = false;
+  std::cout << "training GiPH for " << episodes << " episodes...\n";
+  const TrainStats stats = train_reinforce(agent, lat, sampler, topt);
+  std::cout << "  first-10-episode mean best SLR: ";
+  double early = 0.0, late = 0.0;
+  const int k = std::min<std::size_t>(10, stats.episode_best.size());
+  for (int i = 0; i < k; ++i) {
+    early += stats.episode_best[i];
+    late += stats.episode_best[stats.episode_best.size() - 1 - i];
+  }
+  std::cout << early / k << "  last-10: " << late / k << "\n";
+
+  // 3. Evaluate on unseen problems against the baselines.
+  RandomSamplingPolicy random_policy;
+  double giph_slr = 0.0, rand_slr = 0.0, heft_slr = 0.0, init_slr = 0.0;
+  int cases = 0;
+  std::mt19937_64 eval_rng(123);
+  for (const TaskGraph& g : test.graphs) {
+    for (const DeviceNetwork& n : test.networks) {
+      const double denom = slr_denominator(g, n, lat);
+      const Placement init = random_placement(g, n, eval_rng);
+      const int steps = 2 * g.num_tasks();
+
+      PlacementSearchEnv env_giph(g, n, lat, makespan_objective(lat), init, denom);
+      giph_slr += run_search(agent, env_giph, steps, eval_rng).best_so_far.back();
+
+      PlacementSearchEnv env_rand(g, n, lat, makespan_objective(lat), init, denom);
+      rand_slr += run_search(random_policy, env_rand, steps, eval_rng).best_so_far.back();
+
+      heft_slr += makespan(g, n, heft_schedule(g, n, lat).placement, lat) / denom;
+      init_slr += env_giph.objective() >= 0 ? makespan(g, n, init, lat) / denom : 0.0;
+      ++cases;
+    }
+  }
+  std::cout << "test cases: " << cases << "\n"
+            << "  initial placement SLR: " << init_slr / cases << "\n"
+            << "  GiPH   best SLR      : " << giph_slr / cases << "\n"
+            << "  Random best SLR      : " << rand_slr / cases << "\n"
+            << "  HEFT   SLR           : " << heft_slr / cases << "\n";
+  return 0;
+}

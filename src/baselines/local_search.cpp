@@ -1,0 +1,131 @@
+#include "baselines/local_search.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace giph {
+
+ActionDecision HillClimbPolicy::decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                                       bool) {
+  const TaskGraph& g = env.graph();
+  const DeviceNetwork& n = env.network();
+  Placement trial = env.placement();
+
+  SearchAction best{};
+  double best_obj = makespan(g, n, env.placement(), env.latency());
+  bool found = false;
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    const int original = trial.device_of(v);
+    for (int d : env.feasible()[v]) {
+      if (d == original) continue;
+      trial.set(v, d);
+      // Evaluate with the expected (noise-free) latency model: the climber
+      // needs a deterministic landscape even if the env objective is noisy.
+      const double obj = makespan(g, n, trial, env.latency());
+      if (obj < best_obj) {
+        best_obj = obj;
+        best = SearchAction{v, d};
+        found = true;
+      }
+    }
+    trial.set(v, original);
+  }
+  if (found) return ActionDecision{best, nullptr, std::nullopt};
+
+  // Local optimum: take a random move to keep exploring.
+  std::uniform_int_distribution<int> pick_task(0, g.num_tasks() - 1);
+  const int v = pick_task(rng);
+  const auto& devs = env.feasible()[v];
+  std::uniform_int_distribution<std::size_t> pick_dev(0, devs.size() - 1);
+  return ActionDecision{SearchAction{v, devs[pick_dev(rng)]}, nullptr, std::nullopt};
+}
+
+void TabuSearchPolicy::begin_episode() {
+  tabu_until_.clear();
+  step_ = 0;
+  has_best_ = false;
+}
+
+ActionDecision TabuSearchPolicy::decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                                        bool) {
+  const TaskGraph& g = env.graph();
+  const DeviceNetwork& n = env.network();
+  if (static_cast<int>(tabu_until_.size()) != g.num_tasks()) {
+    tabu_until_.assign(g.num_tasks(), std::vector<int>(n.num_devices(), -1));
+  }
+  const double current = makespan(g, n, env.placement(), env.latency());
+  if (!has_best_ || current < best_seen_) {
+    best_seen_ = current;
+    has_best_ = true;
+  }
+
+  Placement trial = env.placement();
+  SearchAction best{};
+  double best_obj = std::numeric_limits<double>::infinity();
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    const int original = trial.device_of(v);
+    for (int d : env.feasible()[v]) {
+      if (d == original) continue;
+      trial.set(v, d);
+      const double obj = makespan(g, n, trial, env.latency());
+      const bool tabu = tabu_until_[v][d] > step_;
+      // Aspiration: a tabu move that beats the best makespan ever seen is
+      // always admissible.
+      if ((!tabu || obj < best_seen_) && obj < best_obj) {
+        best_obj = obj;
+        best = SearchAction{v, d};
+      }
+      trial.set(v, original);
+    }
+  }
+  ++step_;
+  if (best.task < 0) {
+    // Everything tabu (tiny instances): fall back to a random move.
+    std::uniform_int_distribution<int> pick_task(0, g.num_tasks() - 1);
+    const int v = pick_task(rng);
+    const auto& devs = env.feasible()[v];
+    std::uniform_int_distribution<std::size_t> pick_dev(0, devs.size() - 1);
+    return ActionDecision{SearchAction{v, devs[pick_dev(rng)]}, nullptr, std::nullopt};
+  }
+  // Forbid undoing this move (returning the task to its old device).
+  tabu_until_[best.task][env.placement().device_of(best.task)] =
+      step_ + options_.tenure;
+  return ActionDecision{best, nullptr, std::nullopt};
+}
+
+void SimulatedAnnealingPolicy::begin_episode() {
+  temperature_ = options_.initial_temperature;
+  has_pending_ = false;
+}
+
+ActionDecision SimulatedAnnealingPolicy::decide(PlacementSearchEnv& env,
+                                                std::mt19937_64& rng, bool) {
+  if (temperature_ <= 0.0) temperature_ = options_.initial_temperature;
+
+  if (has_pending_) {
+    has_pending_ = false;
+    if (env.objective() > accept_threshold_) {
+      // Reject: undo the previous move.
+      return ActionDecision{undo_, nullptr, std::nullopt};
+    }
+  }
+
+  const TaskGraph& g = env.graph();
+  std::uniform_int_distribution<int> pick_task(0, g.num_tasks() - 1);
+  const int v = pick_task(rng);
+  const auto& devs = env.feasible()[v];
+  std::uniform_int_distribution<std::size_t> pick_dev(0, devs.size() - 1);
+  const int d = devs[pick_dev(rng)];
+
+  // Metropolis criterion: accept any improvement, or a degradation of Delta
+  // with probability exp(-Delta / T) - expressed as an acceptance threshold
+  // on the post-move objective, checked on the next call.
+  std::uniform_real_distribution<double> unif(1e-12, 1.0);
+  accept_threshold_ = env.objective() - temperature_ * std::log(unif(rng));
+  undo_ = SearchAction{v, env.placement().device_of(v)};
+  has_pending_ = true;
+  temperature_ *= options_.cooling;
+  return ActionDecision{SearchAction{v, d}, nullptr, std::nullopt};
+}
+
+}  // namespace giph

@@ -1,0 +1,72 @@
+#pragma once
+
+#include "core/search_policy.hpp"
+
+namespace giph {
+
+/// Greedy hill climbing: each step evaluates every feasible single-task
+/// relocation and takes the one with the largest objective improvement;
+/// when no move improves, it takes a random move to escape the local optimum
+/// (best-so-far tracking in the environment keeps the optimum). A classical
+/// non-learned search baseline, much more expensive per step than GiPH
+/// (O(|V| |D|) simulations versus one GNN forward).
+class HillClimbPolicy final : public SearchPolicy {
+ public:
+  ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                        bool greedy) override;
+  std::string name() const override { return "HillClimb"; }
+};
+
+/// Simulated annealing over single-task relocations with a geometric
+/// temperature schedule. Rejected moves are undone on the next decide() call
+/// (the environment applies every emitted action, so rejection is expressed
+/// as a reverting move).
+struct AnnealingOptions {
+  double initial_temperature = 0.3;  ///< in objective (SLR) units
+  double cooling = 0.97;             ///< per-step multiplicative decay
+};
+
+class SimulatedAnnealingPolicy final : public SearchPolicy {
+ public:
+  explicit SimulatedAnnealingPolicy(const AnnealingOptions& options = {})
+      : options_(options) {}
+
+  ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                        bool greedy) override;
+  void begin_episode() override;
+  std::string name() const override { return "SimAnneal"; }
+
+ private:
+  AnnealingOptions options_;
+  double temperature_ = 0.0;
+  bool has_pending_ = false;
+  SearchAction undo_{};        ///< action restoring the pre-move placement
+  double accept_threshold_ = 0.0;  ///< objective above which the move is undone
+};
+
+/// Tabu search: steepest single-task move each step - accepting the best
+/// non-tabu neighbor even when it worsens the objective - with recently
+/// undone (task, device) assignments forbidden for `tenure` steps.
+/// Aspiration: a tabu move is allowed when it beats the best makespan seen.
+struct TabuOptions {
+  int tenure = 7;
+};
+
+class TabuSearchPolicy final : public SearchPolicy {
+ public:
+  explicit TabuSearchPolicy(const TabuOptions& options = {}) : options_(options) {}
+
+  ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                        bool greedy) override;
+  void begin_episode() override;
+  std::string name() const override { return "TabuSearch"; }
+
+ private:
+  TabuOptions options_;
+  std::vector<std::vector<int>> tabu_until_;  ///< [task][device] -> step id
+  int step_ = 0;
+  double best_seen_ = 0.0;
+  bool has_best_ = false;
+};
+
+}  // namespace giph

@@ -1,0 +1,114 @@
+#include "baselines/placeto.hpp"
+
+#include <cmath>
+
+namespace giph {
+
+using nn::Var;
+using nn::concat_cols;
+using nn::concat_rows;
+using nn::log_softmax_col;
+using nn::mean_rows;
+using nn::pick;
+using nn::row;
+
+PlacetoPolicy::PlacetoPolicy(const PlacetoOptions& options) : options_(options) {
+  std::mt19937_64 rng(options.seed);
+  GnnConfig cfg;
+  cfg.kind = GnnKind::kGiPHK;  // k-round synchronous two-way message passing
+  cfg.node_dim = 5;
+  cfg.edge_dim = 0;  // Placeto has no edge features
+  cfg.embed_dim = options.embed_dim;
+  cfg.k_steps = options.k_steps;
+  encoder_ = std::make_unique<GraphEncoder>(reg_, cfg, rng);
+  // Node summary: current node embedding || graph mean embedding.
+  const int summary = 2 * encoder_->out_dim();
+  head_ = std::make_unique<nn::MLP>(reg_, "placeto.head",
+                                    std::vector<int>{summary, 32, options.num_devices},
+                                    rng, nn::Activation::kRelu, nn::Activation::kNone);
+}
+
+void PlacetoPolicy::begin_episode() {
+  cursor_ = 0;
+  visited_.clear();
+}
+
+nn::Matrix PlacetoPolicy::node_features(const PlacementSearchEnv& env) const {
+  const TaskGraph& g = env.graph();
+  const int nv = g.num_tasks();
+  const int current = g.topological_order()[cursor_ % nv];
+  nn::Matrix f(nv, 5);
+  for (int v = 0; v < nv; ++v) {
+    double out_bytes = 0.0;
+    for (int e : g.out_edges(v)) out_bytes += g.edge(e).bytes;
+    f(v, 0) = g.task(v).compute / scales_.compute;
+    f(v, 1) = g.out_degree(v) > 0 ? out_bytes / (g.out_degree(v) * scales_.bytes) : 0.0;
+    f(v, 2) = static_cast<double>(env.placement().device_of(v)) /
+              std::max(1, options_.num_devices);
+    f(v, 3) = v == current ? 1.0 : 0.0;
+    f(v, 4) = (v < static_cast<int>(visited_.size()) && visited_[v]) ? 1.0 : 0.0;
+  }
+  return f;
+}
+
+ActionDecision PlacetoPolicy::decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                                     bool greedy) {
+  const TaskGraph& g = env.graph();
+  const int nv = g.num_tasks();
+  if (static_cast<int>(visited_.size()) != nv) visited_.assign(nv, false);
+  scales_ = compute_feature_scales(env.graph(), env.network(), env.latency());
+  const int node = g.topological_order()[cursor_ % nv];
+
+  // Devices Placeto can address: feasible devices with id below its fixed
+  // output dimension. Devices beyond that are invisible to the policy.
+  std::vector<int> candidates;
+  for (int d : env.feasible()[node]) {
+    if (d < options_.num_devices) candidates.push_back(d);
+  }
+  ++cursor_;
+  visited_[node] = true;
+
+  if (candidates.empty()) {
+    // The policy head cannot express any feasible device (the network grew
+    // past its training size): fall back to a random feasible device with no
+    // gradient.
+    const auto& devs = env.feasible()[node];
+    std::uniform_int_distribution<std::size_t> pick(0, devs.size() - 1);
+    return ActionDecision{SearchAction{node, devs[pick(rng)]}, nullptr, std::nullopt};
+  }
+
+  const GraphView view = graph_view_of(g);
+  const Var emb = encoder_->encode(view, node_features(env), nn::Matrix());
+  const Var summary = concat_cols({row(emb, node), mean_rows(emb)});
+  const Var logits = (*head_)(summary);  // 1 x num_devices
+
+  std::vector<Var> cand_scores;
+  cand_scores.reserve(candidates.size());
+  for (int d : candidates) cand_scores.push_back(pick(logits, 0, d));
+  const Var scores = concat_rows(cand_scores);
+  const Var logp = log_softmax_col(scores);
+
+  int idx = 0;
+  if (greedy) {
+    for (int i = 1; i < logp->value.rows(); ++i) {
+      if (logp->value(i, 0) > logp->value(idx, 0)) idx = i;
+    }
+  } else {
+    std::uniform_real_distribution<double> unif(0.0, 1.0);
+    double u = unif(rng);
+    idx = logp->value.rows() - 1;
+    for (int i = 0; i < logp->value.rows(); ++i) {
+      u -= std::exp(logp->value(i, 0));
+      if (u <= 0.0) {
+        idx = i;
+        break;
+      }
+    }
+  }
+  ActionDecision d;
+  d.action = SearchAction{node, candidates[idx]};
+  d.log_prob = pick(logp, idx, 0);
+  return d;
+}
+
+}  // namespace giph

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <memory>
+
+#include "core/features.hpp"
+#include "core/gnn.hpp"
+#include "core/search_policy.hpp"
+
+namespace giph {
+
+/// Placeto-style baseline (Addanki et al. 2019), as characterized in the
+/// paper: incremental placement via graph embedding + RL, but (1) it
+/// traverses the task graph in a fixed order visiting each node exactly once
+/// per episode, (2) its node features describe the task graph and the current
+/// placement only — no device-network features — and (3) its policy head
+/// outputs a fixed number of device logits, tying the model to the device
+/// count it was built for. These are precisely the properties that hurt its
+/// generalization to new device networks (Section 5.1).
+struct PlacetoOptions {
+  int num_devices = 8;  ///< fixed output dimension of the policy head
+  int embed_dim = 5;    ///< per-direction embedding dim (Table 4: dim 5)
+  int k_steps = 8;      ///< message-passing rounds (Table 5)
+  std::uint64_t seed = 1;
+};
+
+class PlacetoPolicy final : public SearchPolicy {
+ public:
+  explicit PlacetoPolicy(const PlacetoOptions& options);
+
+  ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                        bool greedy) override;
+  std::vector<nn::Var> parameters() override { return reg_.params(); }
+  void begin_episode() override;
+  /// Placeto visits each node once: its natural episode is |V| steps.
+  int episode_limit(const TaskGraph& g) const override { return g.num_tasks(); }
+  std::string name() const override { return "Placeto"; }
+
+  nn::ParamRegistry& registry() noexcept { return reg_; }
+
+ private:
+  nn::Matrix node_features(const PlacementSearchEnv& env) const;
+
+  PlacetoOptions options_;
+  nn::ParamRegistry reg_;
+  std::unique_ptr<GraphEncoder> encoder_;
+  std::unique_ptr<nn::MLP> head_;  ///< [2*embed*2, 32, num_devices]
+  int cursor_ = 0;                 ///< position in the topological traversal
+  std::vector<bool> visited_;      ///< "already placed in this episode" flag
+  FeatureScales scales_;           ///< per-decide normalization scales
+};
+
+}  // namespace giph

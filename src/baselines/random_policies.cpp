@@ -1,0 +1,32 @@
+#include "baselines/random_policies.hpp"
+
+#include "heft/heft.hpp"
+
+namespace giph {
+
+ActionDecision RandomSamplingPolicy::decide(PlacementSearchEnv& env,
+                                            std::mt19937_64& rng, bool) {
+  ActionDecision d;
+  d.full = random_placement(env.graph(), env.network(), rng);
+  return d;
+}
+
+ActionDecision RandomTaskEftPolicy::decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                                           bool) {
+  std::uniform_int_distribution<int> pick(0, env.graph().num_tasks() - 1);
+  const int task = pick(rng);
+  const int device = eft_select_device(env.graph(), env.network(), env.placement(),
+                                       env.latency(), env.schedule(), task);
+  return ActionDecision{SearchAction{task, device}, nullptr, std::nullopt};
+}
+
+ActionDecision RandomWalkPolicy::decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                                        bool) {
+  std::uniform_int_distribution<int> pick_task(0, env.graph().num_tasks() - 1);
+  const int task = pick_task(rng);
+  const auto& devs = env.feasible()[task];
+  std::uniform_int_distribution<std::size_t> pick_dev(0, devs.size() - 1);
+  return ActionDecision{SearchAction{task, devs[pick_dev(rng)]}, nullptr, std::nullopt};
+}
+
+}  // namespace giph

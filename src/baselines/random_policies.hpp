@@ -1,0 +1,36 @@
+#pragma once
+
+#include "core/search_policy.hpp"
+
+namespace giph {
+
+/// The paper's "Random placement sampling" baseline: every step draws a fresh
+/// uniformly-random feasible placement of the whole graph; best-so-far tracks
+/// the average placement quality attainable without intelligent search.
+class RandomSamplingPolicy final : public SearchPolicy {
+ public:
+  ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                        bool greedy) override;
+  std::string name() const override { return "Random"; }
+};
+
+/// "Random task selection + EFT device selection": a direct adaptation of
+/// HEFT as a search policy — a uniformly random task is relocated to its
+/// earliest-finish-time device given the current schedule.
+class RandomTaskEftPolicy final : public SearchPolicy {
+ public:
+  ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                        bool greedy) override;
+  std::string name() const override { return "Random-task-eft"; }
+};
+
+/// Uniformly random walk over feasible relocation actions (one task moved per
+/// step, no learning). Not a paper baseline but useful as a test control.
+class RandomWalkPolicy final : public SearchPolicy {
+ public:
+  ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                        bool greedy) override;
+  std::string name() const override { return "RandomWalk"; }
+};
+
+}  // namespace giph

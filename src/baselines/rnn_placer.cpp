@@ -1,0 +1,196 @@
+#include "baselines/rnn_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "nn/optimizer.hpp"
+
+namespace giph {
+
+using nn::Var;
+using nn::concat_cols;
+using nn::concat_rows;
+using nn::log_softmax_col;
+using nn::pick;
+using nn::row;
+
+namespace {
+
+nn::Matrix build_inputs(const TaskGraph& g, const std::vector<int>& order,
+                        int num_hw_kinds) {
+  const int nv = g.num_tasks();
+  int max_out = 0;
+  double mean_compute = 0.0, mean_bytes = 0.0;
+  int edge_count = 0;
+  for (int v = 0; v < nv; ++v) {
+    max_out = std::max(max_out, g.out_degree(v));
+    mean_compute += g.task(v).compute;
+  }
+  for (const DataLink& e : g.edges()) {
+    mean_bytes += e.bytes;
+    ++edge_count;
+  }
+  mean_compute = std::max(mean_compute / std::max(1, nv), 1e-12);
+  mean_bytes = edge_count > 0 ? std::max(mean_bytes / edge_count, 1e-12) : 1.0;
+
+  // [hw one-hot (kinds + 1) | compute | out bytes (max_out) | adjacency (nv)]
+  const int dim = num_hw_kinds + 1 + 1 + max_out + nv;
+  nn::Matrix m(nv, dim);
+  std::vector<int> pos(nv);  // task id -> position in order
+  for (int i = 0; i < nv; ++i) pos[order[i]] = i;
+  for (int i = 0; i < nv; ++i) {
+    const int v = order[i];
+    const HwMask req = g.task(v).requires_hw;
+    int kind = 0;  // 0 = unconstrained
+    for (int b = 0; b < num_hw_kinds; ++b) {
+      if (req & (HwMask{1} << b)) kind = b + 1;
+    }
+    m(i, kind) = 1.0;
+    m(i, num_hw_kinds + 1) = g.task(v).compute / mean_compute;
+    int slot = 0;
+    for (int e : g.out_edges(v)) {
+      m(i, num_hw_kinds + 2 + slot) = g.edge(e).bytes / mean_bytes;
+      m(i, num_hw_kinds + 2 + max_out + pos[g.edge(e).dst]) = 1.0;
+      ++slot;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+RnnPlacer::RnnPlacer(const TaskGraph& g, const DeviceNetwork& n, const LatencyModel& lat,
+                     const RnnPlacerOptions& options)
+    : g_(g),
+      n_(n),
+      lat_(lat),
+      options_(options),
+      denom_(slr_denominator(g, n, lat)),
+      order_(g.topological_order()),
+      feasible_(feasible_sets(g, n)),
+      rng_(options.seed) {
+  inputs_ = build_inputs(g, order_, options.num_hw_kinds);
+  const int in_dim = inputs_.cols();
+  const int h = options.hidden_dim;
+  std::mt19937_64 init_rng(options.seed + 1);
+  enc_fwd_ = std::make_unique<nn::LSTMCell>(reg_, "enc_fwd", in_dim, h, init_rng);
+  enc_bwd_ = std::make_unique<nn::LSTMCell>(reg_, "enc_bwd", in_dim, h, init_rng);
+  // Decoder consumes the encoder output of the operator being placed.
+  dec_ = std::make_unique<nn::LSTMCell>(reg_, "dec", 2 * h, 2 * h, init_rng);
+  attn_enc_ = std::make_unique<nn::Linear>(reg_, "attn_enc", 2 * h, h, init_rng);
+  attn_dec_ = std::make_unique<nn::Linear>(reg_, "attn_dec", 2 * h, h, init_rng);
+  attn_v_ = std::make_unique<nn::Linear>(reg_, "attn_v", h, 1, init_rng);
+  out_ = std::make_unique<nn::Linear>(reg_, "out", 4 * h, n.num_devices(), init_rng);
+}
+
+RnnPlacer::Rollout RnnPlacer::sample_placement(std::mt19937_64& rng) {
+  const int nv = g_.num_tasks();
+  const Var x = nn::constant(inputs_);
+
+  // Bidirectional encoder over the operator sequence.
+  std::vector<Var> enc(nv);
+  {
+    std::vector<Var> fwd(nv), bwd(nv);
+    nn::LSTMCell::State sf = enc_fwd_->initial_state();
+    for (int i = 0; i < nv; ++i) {
+      sf = (*enc_fwd_)(row(x, i), sf);
+      fwd[i] = sf.h;
+    }
+    nn::LSTMCell::State sb = enc_bwd_->initial_state();
+    for (int i = nv - 1; i >= 0; --i) {
+      sb = (*enc_bwd_)(row(x, i), sb);
+      bwd[i] = sb.h;
+    }
+    for (int i = 0; i < nv; ++i) enc[i] = concat_cols({fwd[i], bwd[i]});
+  }
+  const Var enc_mat = concat_rows(enc);              // nv x 2h
+  const Var enc_proj = (*attn_enc_)(enc_mat);        // nv x h
+
+  Rollout rollout;
+  rollout.placement = Placement(nv);
+  nn::LSTMCell::State sd = dec_->initial_state();
+  for (int i = 0; i < nv; ++i) {
+    sd = (*dec_)(enc[i], sd);
+    // Additive attention over the encoder outputs.
+    const Var dec_proj = (*attn_dec_)(sd.h);  // 1 x h
+    const Var scores = (*attn_v_)(nn::tanh_act(nn::add_rowvec(enc_proj, dec_proj)));
+    const Var alpha = nn::softmax_col(scores);                 // nv x 1
+    const Var context = nn::matmul(nn::transpose_of(alpha), enc_mat);  // 1 x 2h
+    const Var logits = (*out_)(concat_cols({sd.h, context}));  // 1 x n_dev
+
+    const int v = order_[i];
+    const std::vector<int>& devs = feasible_[v];
+    std::vector<Var> cand;
+    cand.reserve(devs.size());
+    for (int d : devs) cand.push_back(pick(logits, 0, d));
+    const Var logp = log_softmax_col(concat_rows(cand));
+
+    std::uniform_real_distribution<double> unif(0.0, 1.0);
+    double u = unif(rng);
+    int idx = static_cast<int>(devs.size()) - 1;
+    for (int k = 0; k < static_cast<int>(devs.size()); ++k) {
+      u -= std::exp(logp->value(k, 0));
+      if (u <= 0.0) {
+        idx = k;
+        break;
+      }
+    }
+    rollout.placement.set(v, devs[idx]);
+    rollout.log_probs.push_back(pick(logp, idx, 0));
+  }
+  rollout.objective = makespan(g_, n_, rollout.placement, lat_) / denom_;
+  return rollout;
+}
+
+double RnnPlacer::train() {
+  nn::Adam adam(reg_.params(), options_.lr);
+  best_obj_ = std::numeric_limits<double>::infinity();
+  int stale = 0;
+  double baseline = 0.0;
+  bool baseline_set = false;
+
+  for (int update = 0; update < options_.max_updates && stale < options_.patience;
+       ++update) {
+    std::vector<Rollout> rollouts;
+    rollouts.reserve(options_.samples_per_update);
+    double mean_obj = 0.0;
+    for (int s = 0; s < options_.samples_per_update; ++s) {
+      rollouts.push_back(sample_placement(rng_));
+      mean_obj += rollouts.back().objective;
+      if (rollouts.back().objective < best_obj_) {
+        best_obj_ = rollouts.back().objective;
+        best_ = rollouts.back().placement;
+        stale = -1;  // reset below
+      }
+    }
+    mean_obj /= options_.samples_per_update;
+    if (!baseline_set) {
+      baseline = mean_obj;
+      baseline_set = true;
+    } else {
+      baseline = 0.8 * baseline + 0.2 * mean_obj;
+    }
+
+    // Loss = sum over samples of (objective - baseline) * sum log pi.
+    std::vector<Var> scalars;
+    std::vector<double> weights;
+    for (const Rollout& r : rollouts) {
+      const double adv = r.objective - baseline;  // minimize objective
+      for (const Var& lp : r.log_probs) {
+        scalars.push_back(lp);
+        weights.push_back(adv / options_.samples_per_update);
+      }
+    }
+    const Var loss = nn::weighted_sum(scalars, weights);
+    nn::backward(loss);
+    nn::clip_grad_norm(reg_.params(), options_.grad_clip);
+    adam.step();
+
+    trace_.push_back(best_obj_);
+    ++stale;
+  }
+  return best_obj_;
+}
+
+}  // namespace giph

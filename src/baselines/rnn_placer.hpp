@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <random>
+
+#include "nn/layers.hpp"
+#include "sim/metrics.hpp"
+
+namespace giph {
+
+/// RNN-based placer following the hierarchical device placement model (HDP,
+/// Mirhoseini et al. 2018), as used in the paper's baselines: a
+/// sequence-to-sequence policy with a bidirectional-LSTM encoder over the
+/// operator sequence (topological order) and a unidirectional LSTM decoder
+/// with additive attention that emits a device per operator.
+///
+/// As in the paper, the placer does not aim to generalize: it is trained
+/// from scratch on each problem instance, drawing `samples_per_update`
+/// placements per policy-gradient update until the best latency stops
+/// improving.
+struct RnnPlacerOptions {
+  int hidden_dim = 16;          ///< LSTM hidden size (encoder per direction)
+  int samples_per_update = 4;   ///< Placer samples per update (HDP setting)
+  int max_updates = 50;
+  int patience = 8;             ///< stop after this many non-improving updates
+  double lr = 0.01;
+  double grad_clip = 10.0;
+  int num_hw_kinds = 4;         ///< size of the hw one-hot block
+  std::uint64_t seed = 1;
+};
+
+class RnnPlacer {
+ public:
+  /// Builds a placer specialized to one problem instance (G, N). The input
+  /// embedding of each operator concatenates: a one-hot of its hardware
+  /// requirement, its compute requirement, its outgoing data volumes (padded
+  /// to the maximum out-degree), and its adjacency row (Appendix B.7).
+  RnnPlacer(const TaskGraph& g, const DeviceNetwork& n, const LatencyModel& lat,
+            const RnnPlacerOptions& options);
+
+  /// Trains with REINFORCE until convergence; returns the best objective
+  /// (SLR) found. Deterministic given the constructor seed.
+  double train();
+
+  const Placement& best_placement() const noexcept { return best_; }
+  double best_objective() const noexcept { return best_obj_; }
+  /// Best SLR after each update (for convergence traces).
+  const std::vector<double>& update_trace() const noexcept { return trace_; }
+
+ private:
+  struct Rollout {
+    Placement placement;
+    std::vector<nn::Var> log_probs;
+    double objective = 0.0;
+  };
+  Rollout sample_placement(std::mt19937_64& rng);
+
+  const TaskGraph& g_;
+  const DeviceNetwork& n_;
+  const LatencyModel& lat_;
+  RnnPlacerOptions options_;
+  double denom_;  ///< SLR normalizer
+
+  nn::ParamRegistry reg_;
+  nn::Matrix inputs_;  ///< |V| x input_dim, row i = embedding of topo[i]
+  std::vector<int> order_;
+  std::vector<std::vector<int>> feasible_;
+
+  std::unique_ptr<nn::LSTMCell> enc_fwd_, enc_bwd_, dec_;
+  std::unique_ptr<nn::Linear> attn_enc_, attn_dec_, attn_v_, out_;
+
+  Placement best_;
+  double best_obj_ = 0.0;
+  std::vector<double> trace_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace giph

@@ -1,0 +1,122 @@
+#include "casestudy/device_profiles.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace giph::casestudy {
+namespace {
+
+// Table 1: mean +- std running time (ms) per (task, device type).
+constexpr Measurement kRuntimes[kNumFusionTasks][kNumDeviceTypes] = {
+    /* CAMERA     */ {{53.0, 22.0}, {36.0, 8.0}, {9.0, 4.0}},
+    /* LIDAR      */ {{14.0, 3.0}, {7.0, 3.0}, {3.0, 2.0}},
+    /* CAV FUSION */ {{35.0, 9.0}, {35.0, 4.0}, {11.0, 9.0}},
+    /* RSU FUSION */ {{250.0, 430.0}, {250.0, 370.0}, {28.0, 22.0}},
+};
+
+// Table 2: relocation overhead measurements.
+constexpr RelocationProfile kRelocation[kNumFusionTasks] = {
+    /* CAMERA     */ {11494.0, 72173.525, 4273.73, 794.66},
+    /* LIDAR      */ {560.0, 24.576, 60.98, 9.26},
+    /* CAV FUSION */ {11796.0, 38.110, 0.39, 0.11},
+    /* RSU FUSION */ {20907.0, 38.950, 2.83, 1.00},
+};
+
+}  // namespace
+
+Measurement measured_runtime(FusionTask task, DeviceType type) {
+  return kRuntimes[static_cast<int>(task)][static_cast<int>(type)];
+}
+
+RelocationProfile relocation_profile(FusionTask task) {
+  return kRelocation[static_cast<int>(task)];
+}
+
+double startup_ms(FusionTask task, DeviceType type) {
+  const RelocationProfile& p = kRelocation[static_cast<int>(task)];
+  switch (type) {
+    case DeviceType::kTypeA: return p.startup_ms_type_a;
+    case DeviceType::kTypeC: return p.startup_ms_type_c;
+    case DeviceType::kTypeB:
+      return std::sqrt(p.startup_ms_type_a * p.startup_ms_type_c);
+  }
+  throw std::invalid_argument("startup_ms: unknown device type");
+}
+
+double relocation_cost_ms(FusionTask task, DeviceType type, double bw_bytes_per_ms) {
+  if (bw_bytes_per_ms <= 0.0) {
+    throw std::invalid_argument("relocation_cost_ms: bandwidth must be positive");
+  }
+  const RelocationProfile& p = kRelocation[static_cast<int>(task)];
+  const double bytes = p.migration_bytes + p.static_init_kb * 1024.0;
+  return bytes / bw_bytes_per_ms + startup_ms(task, type);
+}
+
+LatencyFit fit_latency_model(int iterations) {
+  LatencyFit fit;
+  fit.time_per_unit = {1.0, 1.0, 1.0};
+  fit.startup = {0.0, 0.0, 0.0};
+  for (int i = 0; i < kNumFusionTasks; ++i) fit.task_compute[i] = 1.0;
+
+  for (int it = 0; it < iterations; ++it) {
+    // Given (T, S), each C_i has a closed-form least-squares solution.
+    for (int i = 0; i < kNumFusionTasks; ++i) {
+      double num = 0.0, den = 0.0;
+      for (int j = 0; j < kNumDeviceTypes; ++j) {
+        const double mu = kRuntimes[i][j].mean_ms;
+        num += fit.time_per_unit[j] * (mu - fit.startup[j]);
+        den += fit.time_per_unit[j] * fit.time_per_unit[j];
+      }
+      fit.task_compute[i] = std::max(1e-9, num / den);
+    }
+    // Given C, each column (T_j, S_j) is a 1-D linear regression of mu on C,
+    // constrained to non-negative values.
+    for (int j = 0; j < kNumDeviceTypes; ++j) {
+      double sc = 0.0, sm = 0.0, scc = 0.0, scm = 0.0;
+      for (int i = 0; i < kNumFusionTasks; ++i) {
+        const double c = fit.task_compute[i];
+        const double mu = kRuntimes[i][j].mean_ms;
+        sc += c;
+        sm += mu;
+        scc += c * c;
+        scm += c * mu;
+      }
+      const int n = kNumFusionTasks;
+      const double den = n * scc - sc * sc;
+      double t = den != 0.0 ? (n * scm - sc * sm) / den : 1.0;
+      t = std::max(t, 1e-9);
+      double s = (sm - t * sc) / n;
+      s = std::max(s, 0.0);
+      fit.time_per_unit[j] = t;
+      fit.startup[j] = s;
+    }
+    // Fix the scale: mean T = 1.
+    const double mean_t =
+        (fit.time_per_unit[0] + fit.time_per_unit[1] + fit.time_per_unit[2]) / 3.0;
+    for (double& t : fit.time_per_unit) t /= mean_t;
+    for (double& c : fit.task_compute) c *= mean_t;
+  }
+
+  double sq = 0.0;
+  for (int i = 0; i < kNumFusionTasks; ++i) {
+    for (int j = 0; j < kNumDeviceTypes; ++j) {
+      const double r = fit.predict_ms(static_cast<FusionTask>(i),
+                                      static_cast<DeviceType>(j)) -
+                       kRuntimes[i][j].mean_ms;
+      sq += r * r;
+    }
+  }
+  fit.rms_residual_ms = std::sqrt(sq / (kNumFusionTasks * kNumDeviceTypes));
+  return fit;
+}
+
+double device_power_w(DeviceType type) {
+  switch (type) {
+    case DeviceType::kTypeA: return 10.0;   // Jetson Nano class
+    case DeviceType::kTypeB: return 15.0;   // Jetson TX2 class
+    case DeviceType::kTypeC: return 180.0;  // desktop CPU + GTX 1080
+  }
+  throw std::invalid_argument("device_power_w: unknown device type");
+}
+
+}  // namespace giph::casestudy

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <array>
+
+namespace giph::casestudy {
+
+/// Device types measured in the paper's case study (Section 5.3).
+enum class DeviceType : int {
+  kTypeA = 0,  ///< NVIDIA Jetson Nano
+  kTypeB = 1,  ///< NVIDIA Jetson TX2
+  kTypeC = 2,  ///< Core i7 7700K + GTX 1080
+};
+
+/// Tasks of the cooperative sensor-fusion pipeline (Andert & Shrivastava 2022).
+enum class FusionTask : int {
+  kCamera = 0,     ///< camera object detection
+  kLidar = 1,      ///< LIDAR object detection
+  kCavFusion = 2,  ///< per-CAV data fusion
+  kRsuFusion = 3,  ///< per-RSU data fusion / trajectory planning
+};
+
+inline constexpr int kNumDeviceTypes = 3;
+inline constexpr int kNumFusionTasks = 4;
+
+/// One profiled running-time entry (milliseconds).
+struct Measurement {
+  double mean_ms = 0.0;
+  double std_ms = 0.0;
+};
+
+/// Measured running time of `task` on `type` (the paper's Table 1).
+Measurement measured_runtime(FusionTask task, DeviceType type);
+
+/// Per-task relocation overhead measurements (the paper's Table 2).
+struct RelocationProfile {
+  double migration_bytes = 0.0;   ///< dynamic state migrated on relocation
+  double static_init_kb = 0.0;    ///< static initialization data (KB)
+  double startup_ms_type_a = 0.0; ///< measured startup time on Type A
+  double startup_ms_type_c = 0.0; ///< measured startup time on Type C
+};
+
+RelocationProfile relocation_profile(FusionTask task);
+
+/// Startup time of `task` on `type`. Types A and C are measured; Type B is
+/// interpolated geometrically between them (its compute capability sits
+/// between the two Jetson-class extremes in Table 1).
+double startup_ms(FusionTask task, DeviceType type);
+
+/// Relocation cost of moving `task` to a device of `type` over a link with
+/// bandwidth `bw_bytes_per_ms`: migration + static-data transfer time plus
+/// the startup time on the destination (Section 5.3).
+double relocation_cost_ms(FusionTask task, DeviceType type, double bw_bytes_per_ms);
+
+/// Affine latency model mu_ij ~= C_i * T_j + S_j fit from Table 1 (Appendix
+/// B.4): task compute requirements C, per-type time-per-unit-compute T and
+/// startup S.
+struct LatencyFit {
+  std::array<double, kNumFusionTasks> task_compute{};   ///< C_i
+  std::array<double, kNumDeviceTypes> time_per_unit{};  ///< T_j
+  std::array<double, kNumDeviceTypes> startup{};        ///< S_j
+  double rms_residual_ms = 0.0;
+
+  double predict_ms(FusionTask task, DeviceType type) const {
+    return task_compute[static_cast<int>(task)] * time_per_unit[static_cast<int>(type)] +
+           startup[static_cast<int>(type)];
+  }
+};
+
+/// Fits the affine model with alternating least squares (the scale ambiguity
+/// is fixed by normalizing T over types to mean 1). Deterministic.
+LatencyFit fit_latency_model(int iterations = 200);
+
+/// Nominal compute power draw (watts) per device type, used by the
+/// energy-cost objective of Fig. 11 (right).
+double device_power_w(DeviceType type);
+
+/// Nominal radio transmit power (watts) for communication energy.
+inline constexpr double kTxPowerW = 2.0;
+
+}  // namespace giph::casestudy

@@ -1,0 +1,69 @@
+#include "casestudy/mobility.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace giph::casestudy {
+
+GridMobility::GridMobility(const MobilityParams& params)
+    : params_(params), rng_(params.seed) {
+  if (params.grid_rows < 1 || params.grid_cols < 1 || params.num_vehicles < 0) {
+    throw std::invalid_argument("GridMobility: bad parameters");
+  }
+  std::uniform_int_distribution<int> rr(0, params.grid_rows - 1);
+  std::uniform_int_distribution<int> cc(0, params.grid_cols - 1);
+  positions_.resize(params.num_vehicles);
+  targets_.resize(params.num_vehicles);
+  for (int v = 0; v < params.num_vehicles; ++v) {
+    positions_[v] = intersection(rr(rng_), cc(rng_));
+    pick_new_target(v);
+  }
+}
+
+Vec2 GridMobility::intersection(int r, int c) const {
+  if (r < 0 || r >= params_.grid_rows || c < 0 || c >= params_.grid_cols) {
+    throw std::out_of_range("GridMobility::intersection");
+  }
+  return Vec2{c * params_.block_m, r * params_.block_m};
+}
+
+Vec2 GridMobility::intersection(int index) const {
+  return intersection(index / params_.grid_cols, index % params_.grid_cols);
+}
+
+void GridMobility::pick_new_target(int vehicle) {
+  std::uniform_int_distribution<int> rr(0, params_.grid_rows - 1);
+  std::uniform_int_distribution<int> cc(0, params_.grid_cols - 1);
+  targets_[vehicle] = intersection(rr(rng_), cc(rng_));
+}
+
+void GridMobility::advance(double seconds) {
+  for (int v = 0; v < num_vehicles(); ++v) {
+    double budget = seconds * params_.speed_mps;  // distance to cover
+    while (budget > 0.0) {
+      Vec2& p = positions_[v];
+      const Vec2& t = targets_[v];
+      // Manhattan route: close the x gap first, then the y gap.
+      const double dx = t.x - p.x;
+      const double dy = t.y - p.y;
+      if (dx == 0.0 && dy == 0.0) {
+        pick_new_target(v);
+        // A vehicle may draw its own intersection as target; treat that as
+        // parking for the remainder of this step.
+        if (targets_[v].x == p.x && targets_[v].y == p.y) break;
+        continue;
+      }
+      if (dx != 0.0) {
+        const double step = std::min(budget, std::abs(dx));
+        p.x += step * (dx > 0 ? 1.0 : -1.0);
+        budget -= step;
+      } else {
+        const double step = std::min(budget, std::abs(dy));
+        p.y += step * (dy > 0 ? 1.0 : -1.0);
+        budget -= step;
+      }
+    }
+  }
+}
+
+}  // namespace giph::casestudy

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace giph::casestudy {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double distance_m(const Vec2& a, const Vec2& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Parameters of the grid-mobility substitute for the paper's SUMO traces: a
+/// rows x cols grid of intersections spaced block_m apart, with vehicles
+/// driving Manhattan routes between random intersections at constant speed.
+struct MobilityParams {
+  int grid_rows = 3;
+  int grid_cols = 3;
+  double block_m = 150.0;
+  double speed_mps = 12.0;
+  int num_vehicles = 12;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic (seeded) vehicle mobility on a city grid. Preserves what the
+/// placement problem depends on: CAV-to-RSU distances changing smoothly over
+/// time as vehicles move through the area.
+class GridMobility {
+ public:
+  explicit GridMobility(const MobilityParams& params);
+
+  /// Advances all vehicles by `seconds`.
+  void advance(double seconds);
+
+  const std::vector<Vec2>& positions() const noexcept { return positions_; }
+  int num_vehicles() const noexcept { return static_cast<int>(positions_.size()); }
+
+  /// World coordinates of intersection (r, c).
+  Vec2 intersection(int r, int c) const;
+  int num_intersections() const noexcept {
+    return params_.grid_rows * params_.grid_cols;
+  }
+  /// Intersection index -> coordinates (row-major).
+  Vec2 intersection(int index) const;
+
+ private:
+  void pick_new_target(int vehicle);
+
+  MobilityParams params_;
+  std::vector<Vec2> positions_;
+  std::vector<Vec2> targets_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace giph::casestudy

@@ -1,0 +1,262 @@
+#include "casestudy/sensor_fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace giph::casestudy {
+namespace {
+
+// Inter-task data volumes (bytes), estimated from the Table 2 deployment
+// measurements (a task's migration payload approximates its working output).
+double output_bytes(FusionTask task) {
+  switch (task) {
+    case FusionTask::kCamera: return 11494.0;
+    case FusionTask::kLidar: return 560.0;
+    case FusionTask::kCavFusion: return 11796.0;
+    case FusionTask::kRsuFusion: return 20907.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+CaseStudyParams paper_scale_params() {
+  CaseStudyParams p;
+  p.mobility.grid_rows = 6;
+  p.mobility.grid_cols = 6;
+  p.mobility.block_m = 300.0;  // 1.5 km span; RSU coverage overlaps like Tempe's
+  p.mobility.num_vehicles = 40;
+  p.edge_devices_a = 10;
+  p.edge_devices_b = 10;
+  p.edge_devices_c = 20;
+  p.cis_per_rsu = 4;
+  return p;
+}
+
+SensorFusionWorld::SensorFusionWorld(const CaseStudyParams& params)
+    : params_(params),
+      mobility_(params.mobility),
+      fit_(fit_latency_model()),
+      rng_(params.seed ^ 0x5f5f5f5fULL) {
+  const double width = (params.mobility.grid_cols - 1) * params.mobility.block_m;
+  const double height = (params.mobility.grid_rows - 1) * params.mobility.block_m;
+  std::uniform_real_distribution<double> ux(0.0, std::max(width, 1.0));
+  std::uniform_real_distribution<double> uy(0.0, std::max(height, 1.0));
+  auto place = [&](int count, DeviceType t) {
+    for (int i = 0; i < count; ++i) {
+      edge_pos_.push_back(Vec2{ux(rng_), uy(rng_)});
+      edge_type_.push_back(t);
+    }
+  };
+  place(params.edge_devices_a, DeviceType::kTypeA);
+  place(params.edge_devices_b, DeviceType::kTypeB);
+  place(params.edge_devices_c, DeviceType::kTypeC);
+
+  std::bernoulli_distribution is_tx2(0.5);
+  cav_type_.resize(params.mobility.num_vehicles);
+  for (auto& t : cav_type_) t = is_tx2(rng_) ? DeviceType::kTypeB : DeviceType::kTypeA;
+}
+
+std::optional<SensorFusionCase> SensorFusionWorld::next_case() {
+  mobility_.advance(params_.snapshot_period_s);
+  const auto& cavs = mobility_.positions();
+
+  // Active RSUs: at least one CAV within range; each CAV reports to its
+  // nearest in-range RSU.
+  const int num_rsus = mobility_.num_intersections();
+  std::vector<int> cav_rsu(cavs.size(), -1);
+  std::vector<bool> active(num_rsus, false);
+  for (std::size_t v = 0; v < cavs.size(); ++v) {
+    double best = params_.rsu_range_m;
+    for (int r = 0; r < num_rsus; ++r) {
+      const double d = distance_m(cavs[v], mobility_.intersection(r));
+      if (d <= best) {
+        best = d;
+        cav_rsu[v] = r;
+      }
+    }
+    if (cav_rsu[v] >= 0) active[cav_rsu[v]] = true;
+  }
+  if (std::none_of(active.begin(), active.end(), [](bool b) { return b; })) {
+    return std::nullopt;
+  }
+
+  SensorFusionCase c;
+  c.pipeline_hz = params_.pipeline_hz;
+
+  // ---- devices: RSUs, edge devices, active CAVs, CIS cameras -------------
+  std::vector<Vec2> dev_pos;
+  std::vector<bool> dev_wired;  // wired backhaul (RSUs and CIS cameras)
+  auto add_device = [&](DeviceType t, HwMask supports, const Vec2& pos, bool wired,
+                        std::string name) {
+    Device d;
+    const int ti = static_cast<int>(t);
+    d.speed = 1.0 / fit_.time_per_unit[ti];
+    d.startup = fit_.startup[ti];
+    d.supports_hw = supports;
+    d.type = ti;
+    d.name = std::move(name);
+    const int id = c.network.add_device(std::move(d));
+    c.device_type.push_back(t);
+    dev_pos.push_back(pos);
+    dev_wired.push_back(wired);
+    return id;
+  };
+
+  // Infrastructure devices participate only near the action (device_radius_m
+  // of an active RSU); remote infrastructure is irrelevant to this case.
+  const auto near_active = [&](const Vec2& pos) {
+    for (int r = 0; r < num_rsus; ++r) {
+      if (active[r] && distance_m(pos, mobility_.intersection(r)) <= params_.device_radius_m) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::vector<int> rsu_dev(num_rsus, -1);
+  for (int r = 0; r < num_rsus; ++r) {
+    if (!active[r] && !near_active(mobility_.intersection(r))) continue;
+    rsu_dev[r] = add_device(DeviceType::kTypeC, kGpuBit | kCpuBit,
+                            mobility_.intersection(r), true, "rsu" + std::to_string(r));
+  }
+  for (std::size_t i = 0; i < edge_pos_.size(); ++i) {
+    if (!near_active(edge_pos_[i])) continue;
+    add_device(edge_type_[i], kGpuBit | kCpuBit, edge_pos_[i], false,
+               "edge" + std::to_string(i));
+  }
+  std::vector<int> cav_dev(cavs.size(), -1);
+  for (std::size_t v = 0; v < cavs.size(); ++v) {
+    if (cav_rsu[v] < 0) continue;  // out of range: not part of this case
+    cav_dev[v] = add_device(cav_type_[v], kGpuBit | kCpuBit, cavs[v], false,
+                            "cav" + std::to_string(v));
+  }
+  // CIS cameras of active intersections: pure sensor hosts (no compute
+  // capability bits), wired to their RSU.
+  std::vector<std::vector<int>> cis_dev(num_rsus);
+  for (int r = 0; r < num_rsus; ++r) {
+    if (!active[r]) continue;
+    for (int k = 0; k < params_.cis_per_rsu; ++k) {
+      Vec2 pos = mobility_.intersection(r);
+      pos.x += (k % 2 == 0 ? 20.0 : -20.0);
+      pos.y += (k < 2 ? 20.0 : -20.0);
+      cis_dev[r].push_back(add_device(DeviceType::kTypeA, 0, pos, true,
+                                      "cis" + std::to_string(r) + "_" +
+                                          std::to_string(k)));
+    }
+  }
+
+  // ---- links: wired for co-located infrastructure, RF decaying with
+  // distance otherwise (B.4) ---------------------------------------------
+  const int m = c.network.num_devices();
+  for (int a = 0; a < m; ++a) {
+    for (int b = a + 1; b < m; ++b) {
+      const double d = distance_m(dev_pos[a], dev_pos[b]);
+      double bw_mbps, delay;
+      if (dev_wired[a] && dev_wired[b] && d <= 2.0 * params_.mobility.block_m) {
+        bw_mbps = params_.wired_bw_mbps;
+        delay = params_.wired_delay_ms;
+      } else {
+        bw_mbps = std::max(params_.min_bw_mbps,
+                           params_.bw0_mbps * std::exp(-d / params_.bw_decay_m));
+        delay = params_.wireless_delay_ms;
+      }
+      c.network.set_symmetric_link(a, b, bw_mbps * kMbpsToBytesPerMs, delay);
+    }
+  }
+
+  // ---- tasks --------------------------------------------------------------
+  auto add_task = [&](double compute, HwMask hw, int pinned, int kind,
+                      std::string name) {
+    Task t;
+    t.compute = compute;
+    t.requires_hw = hw;
+    t.pinned = pinned;
+    t.name = std::move(name);
+    const int id = c.graph.add_task(std::move(t));
+    c.task_kind.push_back(kind);
+    return id;
+  };
+  const auto C = [&](FusionTask t) { return fit_.task_compute[static_cast<int>(t)]; };
+
+  std::vector<int> rsu_fusion(num_rsus, -1);
+  for (int r = 0; r < num_rsus; ++r) {
+    if (!active[r]) continue;
+    rsu_fusion[r] = add_task(C(FusionTask::kRsuFusion), kCpuBit, -1,
+                             static_cast<int>(FusionTask::kRsuFusion),
+                             "rsu_fusion" + std::to_string(r));
+    for (int cis : cis_dev[r]) {
+      const int src = add_task(0.01, 0, cis, -1, "cis_src");
+      const int det = add_task(C(FusionTask::kCamera), kGpuBit, -1,
+                               static_cast<int>(FusionTask::kCamera), "cis_detect");
+      c.graph.add_edge(src, det, params_.camera_raw_bytes);
+      c.graph.add_edge(det, rsu_fusion[r], output_bytes(FusionTask::kCamera));
+    }
+  }
+  for (std::size_t v = 0; v < cavs.size(); ++v) {
+    const int r = cav_rsu[v];
+    if (r < 0) continue;
+    const std::string sv = std::to_string(v);
+    const int cam_src = add_task(0.01, 0, cav_dev[v], -1, "cam_src" + sv);
+    const int cam_det = add_task(C(FusionTask::kCamera), kGpuBit, -1,
+                                 static_cast<int>(FusionTask::kCamera),
+                                 "cam_detect" + sv);
+    const int lid_src = add_task(0.01, 0, cav_dev[v], -1, "lidar_src" + sv);
+    const int lid_det = add_task(C(FusionTask::kLidar), kGpuBit, -1,
+                                 static_cast<int>(FusionTask::kLidar),
+                                 "lidar_detect" + sv);
+    const int fusion = add_task(C(FusionTask::kCavFusion), kCpuBit, -1,
+                                static_cast<int>(FusionTask::kCavFusion),
+                                "cav_fusion" + sv);
+    c.graph.add_edge(cam_src, cam_det, params_.camera_raw_bytes);
+    c.graph.add_edge(lid_src, lid_det, params_.lidar_raw_bytes);
+    c.graph.add_edge(cam_det, fusion, output_bytes(FusionTask::kCamera));
+    c.graph.add_edge(lid_det, fusion, output_bytes(FusionTask::kLidar));
+    c.graph.add_edge(fusion, rsu_fusion[r], output_bytes(FusionTask::kCavFusion));
+  }
+  return c;
+}
+
+double total_relocation_cost_ms(const SensorFusionCase& c, const Placement& from,
+                                const Placement& to) {
+  double cost = 0.0;
+  for (int v = 0; v < c.graph.num_tasks(); ++v) {
+    if (c.task_kind[v] < 0) continue;  // pinned sources never move
+    const int a = from.device_of(v);
+    const int b = to.device_of(v);
+    if (a == b) continue;
+    const double bw = c.network.bandwidth(a, b);
+    cost += relocation_cost_ms(static_cast<FusionTask>(c.task_kind[v]),
+                               c.device_type[b], bw);
+  }
+  return cost;
+}
+
+Objective energy_objective(const SensorFusionCase& c, const LatencyModel& lat) {
+  return [&c, &lat](const TaskGraph& g, const DeviceNetwork& n, const Placement& p) {
+    double joules = 0.0;
+    for (int v = 0; v < g.num_tasks(); ++v) {
+      const int d = p.device_of(v);
+      joules += lat.compute_time(g, n, v, d) / 1000.0 *
+                device_power_w(c.device_type[d]);
+    }
+    for (int e = 0; e < g.num_edges(); ++e) {
+      const int a = p.device_of(g.edge(e).src);
+      const int b = p.device_of(g.edge(e).dst);
+      if (a == b) continue;
+      joules += lat.comm_time(g, n, e, a, b) / 1000.0 * kTxPowerW;
+    }
+    return joules;
+  };
+}
+
+Objective relocation_aware_objective(const SensorFusionCase& c, const LatencyModel& lat,
+                                     Placement reference, double amortization_window_s) {
+  const double runs = std::max(1.0, c.pipeline_hz * amortization_window_s);
+  return [&c, &lat, reference = std::move(reference), runs](
+             const TaskGraph& g, const DeviceNetwork& n, const Placement& p) {
+    return makespan(g, n, p, lat) + total_relocation_cost_ms(c, reference, p) / runs;
+  };
+}
+
+}  // namespace giph::casestudy

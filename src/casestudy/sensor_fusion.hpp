@@ -1,0 +1,107 @@
+#pragma once
+
+#include <optional>
+
+#include "casestudy/device_profiles.hpp"
+#include "casestudy/mobility.hpp"
+#include "sim/metrics.hpp"
+
+namespace giph::casestudy {
+
+/// Hardware capability bits used by the case study.
+inline constexpr HwMask kGpuBit = HwMask{1} << 0;  ///< object detection needs a GPU
+inline constexpr HwMask kCpuBit = HwMask{1} << 1;  ///< general compute (fusion tasks)
+
+/// Scenario parameters (Section 5.3 / Appendix B.4). Defaults are scaled
+/// down from the paper's 36-RSU Tempe scenario to keep single-core benches
+/// fast; `paper_scale_params()` returns the full-size configuration.
+struct CaseStudyParams {
+  /// Grid of intersections (1 RSU each). The default blocks are 400 m so the
+  /// 400 m RSU range creates locality: a CAV interacts with the nearest
+  /// intersection or two, not the whole map (keeping case sizes moderate).
+  MobilityParams mobility{.block_m = 400.0, .num_vehicles = 6};
+  int edge_devices_a = 1;         ///< extra edge devices of Type A
+  int edge_devices_b = 1;
+  int edge_devices_c = 2;
+  int cis_per_rsu = 2;            ///< infrastructure cameras per intersection
+  double rsu_range_m = 400.0;     ///< CAV <-> RSU interaction radius
+  /// Only infrastructure devices within this distance of an *active* RSU
+  /// participate in a case (placement candidates near the action); keeps the
+  /// device set - and hence the gpNet - proportional to local activity.
+  double device_radius_m = 800.0;
+  double bw0_mbps = 60.0;         ///< BW = bw0 * exp(-d / bw_decay) Mbps (B.4)
+  double bw_decay_m = 100.0;
+  double min_bw_mbps = 2.0;       ///< floor so far links stay finite (LTE-class)
+  double wireless_delay_ms = 2.0;
+  double wired_bw_mbps = 100.0;   ///< CIS cameras are wired to their RSU
+  double wired_delay_ms = 0.1;
+  double camera_raw_bytes = 300e3;  ///< compressed camera frame
+  double lidar_raw_bytes = 100e3;   ///< LIDAR scan
+  double snapshot_period_s = 10.0;  ///< trace sampling interval (paper: 10 s)
+  double pipeline_hz = 10.0;        ///< sensor pipeline run frequency
+  std::uint64_t seed = 1;
+};
+
+/// The paper-scale configuration: 6x6 intersections (36 RSUs), 40 edge
+/// devices (10 A / 10 B / 20 C), 4 CIS per RSU.
+CaseStudyParams paper_scale_params();
+
+/// One placement problem extracted from the trace: the sensor-fusion task
+/// graph of every active intersection at a snapshot, the reachable device
+/// network, and metadata for the relocation/energy models.
+struct SensorFusionCase {
+  TaskGraph graph;
+  DeviceNetwork network;
+  std::vector<int> task_kind;    ///< per task: FusionTask as int, or -1 for pinned sources
+  std::vector<DeviceType> device_type;  ///< per device
+  double pipeline_hz = 10.0;
+};
+
+inline constexpr double kMbpsToBytesPerMs = 125.0;  // 1 Mbps = 125 bytes/ms
+
+/// Simulated world: a grid of RSU-equipped intersections with wired CIS
+/// cameras, statically placed edge compute devices, and CAVs moving on the
+/// grid. Each call to next_case() advances time by one snapshot period and
+/// extracts the placement problem, mirroring the paper's trace collection at
+/// 10-second intervals.
+class SensorFusionWorld {
+ public:
+  explicit SensorFusionWorld(const CaseStudyParams& params);
+
+  /// Advances the traffic one snapshot and builds the placement case; empty
+  /// when no CAV is within range of any RSU.
+  std::optional<SensorFusionCase> next_case();
+
+  const CaseStudyParams& params() const noexcept { return params_; }
+  const LatencyFit& latency_fit() const noexcept { return fit_; }
+  const GridMobility& mobility() const noexcept { return mobility_; }
+
+ private:
+  CaseStudyParams params_;
+  GridMobility mobility_;
+  LatencyFit fit_;
+  std::vector<Vec2> edge_pos_;
+  std::vector<DeviceType> edge_type_;
+  std::vector<DeviceType> cav_type_;  ///< onboard computer type per vehicle
+  std::mt19937_64 rng_;
+};
+
+/// Total relocation cost (ms) of switching `from` -> `to`: for every
+/// non-source task whose device changed, the Table 2 migration time over the
+/// link between old and new device plus the startup time on the destination.
+double total_relocation_cost_ms(const SensorFusionCase& c, const Placement& from,
+                                const Placement& to);
+
+/// Energy-cost objective (Fig. 11 right): sum of computation energy
+/// (time x device power) and communication energy (time x radio power), in
+/// joules.
+Objective energy_objective(const SensorFusionCase& c, const LatencyModel& lat);
+
+/// Makespan objective augmented with the amortized relocation cost relative
+/// to `reference` (the placement currently deployed): relocation cost is
+/// divided by the number of pipeline runs it benefits,
+/// runs = pipeline_hz * amortization_window_s (Section 5.3, Fig. 11 left).
+Objective relocation_aware_objective(const SensorFusionCase& c, const LatencyModel& lat,
+                                     Placement reference, double amortization_window_s);
+
+}  // namespace giph::casestudy

@@ -1,0 +1,132 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+
+namespace giph {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+double safe_div(double a, double b) { return a / std::max(b, kEps); }
+
+}  // namespace
+
+FeatureScales compute_feature_scales(const TaskGraph& g, const DeviceNetwork& n,
+                                     const LatencyModel& lat) {
+  FeatureScales s;
+  const int nv = g.num_tasks();
+
+  double compute = 0.0;
+  for (int v = 0; v < nv; ++v) compute += g.task(v).compute;
+  s.compute = nv > 0 ? compute / nv : 1.0;
+
+  s.speed = n.mean_speed();
+  s.bw = n.mean_bandwidth();
+  s.dl = n.mean_delay();
+
+  double w = 0.0;
+  int w_count = 0;
+  for (int v = 0; v < nv; ++v) {
+    for (int d : feasible_devices(g, n, v)) {
+      w += lat.compute_time(g, n, v, d);
+      ++w_count;
+    }
+  }
+  s.w = w_count > 0 ? w / w_count : 1.0;
+
+  double bytes = 0.0;
+  for (const DataLink& e : g.edges()) bytes += e.bytes;
+  s.bytes = g.num_edges() > 0 ? bytes / g.num_edges() : 1.0;
+
+  // Mean communication time estimated from network-wide means.
+  s.c = s.dl + safe_div(s.bytes, s.bw);
+
+  // Guard all scales against zero so divisions stay finite.
+  for (double* p : {&s.compute, &s.speed, &s.w, &s.bytes, &s.bw, &s.dl, &s.c}) {
+    if (*p <= 0.0) *p = 1.0;
+  }
+  return s;
+}
+
+GpNetFeatures build_gpnet_features(const GpNet& net, const TaskGraph& g,
+                                   const DeviceNetwork& n, const Placement& placement,
+                                   const LatencyModel& lat, const Schedule& sched,
+                                   const FeatureScales& scales, bool include_potential) {
+  GpNetFeatures f;
+  f.node = nn::Matrix(net.num_nodes(), kNodeFeatureDim);
+  for (int u = 0; u < net.num_nodes(); ++u) {
+    const int v = net.node_task[u];
+    const int d = net.node_device[u];
+    f.node(u, 0) = g.task(v).compute / scales.compute;
+    f.node(u, 1) = n.device(d).speed / scales.speed;
+    f.node(u, 2) = lat.compute_time(g, n, v, d) / scales.w;
+    if (include_potential) {
+      const double est = earliest_start_on_queued(sched, g, n, placement, lat, v, d);
+      f.node(u, 3) = (sched.tasks[v].start - est) / scales.w;
+    }
+  }
+
+  f.edge = nn::Matrix(net.num_edges(), kEdgeFeatureDim);
+  for (int eh = 0; eh < net.num_edges(); ++eh) {
+    const auto [u1, u2] = net.view.edges[eh];
+    const int ge = net.edge_task_edge[eh];
+    const int dk = net.node_device[u1];
+    const int dl = net.node_device[u2];
+    f.edge(eh, 0) = g.edge(ge).bytes / scales.bytes;
+    // Inverse relative bandwidth: 0 for local (infinite-bandwidth) transfers.
+    f.edge(eh, 1) = dk == dl ? 0.0 : scales.bw / n.bandwidth(dk, dl);
+    f.edge(eh, 2) = n.delay(dk, dl) / scales.dl;
+    f.edge(eh, 3) = lat.comm_time(g, n, ge, dk, dl) / scales.c;
+  }
+  return f;
+}
+
+nn::Matrix append_mean_out_edge_features(const GpNet& net, const GpNetFeatures& f) {
+  const int nd = f.node.cols();
+  const int ed = f.edge.cols();
+  nn::Matrix out(net.num_nodes(), nd + ed);
+  for (int u = 0; u < net.num_nodes(); ++u) {
+    for (int j = 0; j < nd; ++j) out(u, j) = f.node(u, j);
+    const auto& oes = net.view.out_edges[u];
+    if (oes.empty()) continue;
+    for (int e : oes) {
+      for (int j = 0; j < ed; ++j) out(u, nd + j) += f.edge(e, j);
+    }
+    for (int j = 0; j < ed; ++j) out(u, nd + j) /= static_cast<double>(oes.size());
+  }
+  return out;
+}
+
+TaskGraphFeatures build_task_graph_features(const TaskGraph& g, const DeviceNetwork& n,
+                                            const Placement& placement,
+                                            const LatencyModel& lat, const Schedule& sched,
+                                            const std::vector<std::vector<int>>& feasible,
+                                            const FeatureScales& scales) {
+  TaskGraphFeatures f;
+  f.node = nn::Matrix(g.num_tasks(), 4);
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    const int cur = placement.device_of(v);
+    f.node(v, 0) = g.task(v).compute / scales.compute;
+    f.node(v, 1) = n.device(cur).speed / scales.speed;
+    f.node(v, 2) = lat.compute_time(g, n, v, cur) / scales.w;
+    // Best start-time improvement achievable by relocating v.
+    double best = 0.0;
+    for (int d : feasible[v]) {
+      const double est = earliest_start_on_queued(sched, g, n, placement, lat, v, d);
+      best = std::max(best, sched.tasks[v].start - est);
+    }
+    f.node(v, 3) = best / scales.w;
+  }
+  f.edge = nn::Matrix(g.num_edges(), 4);
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const int dk = placement.device_of(g.edge(e).src);
+    const int dl = placement.device_of(g.edge(e).dst);
+    f.edge(e, 0) = g.edge(e).bytes / scales.bytes;
+    f.edge(e, 1) = dk == dl ? 0.0 : scales.bw / n.bandwidth(dk, dl);
+    f.edge(e, 2) = n.delay(dk, dl) / scales.dl;
+    f.edge(e, 3) = lat.comm_time(g, n, e, dk, dl) / scales.c;
+  }
+  return f;
+}
+
+}  // namespace giph

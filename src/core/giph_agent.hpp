@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+
+#include "core/features.hpp"
+#include "core/gnn.hpp"
+#include "core/search_policy.hpp"
+#include "nn/optimizer.hpp"
+
+namespace giph {
+
+/// Configuration of a GiPH agent and its ablation variants.
+struct GiPHOptions {
+  GnnKind gnn = GnnKind::kGiPH;
+  int embed_dim = 5;      ///< dim_o (Table 4)
+  int k_steps = 3;        ///< for kGiPHK / kGraphSAGE
+  bool use_gpnet = true;  ///< false = GiPH-task-EFT (RL task selection + EFT device)
+  bool include_potential = true;  ///< start-time-potential node feature (Fig. 15)
+  bool mask_noop = true;    ///< mask actions equal to the current placement
+  bool mask_repeat = true;  ///< mask relocating the task moved in the previous step
+  /// Actor-critic extension: adds a value head over the mean graph embedding;
+  /// the trainer then uses V(s_t) as the policy-gradient baseline.
+  bool use_critic = false;
+  std::uint64_t seed = 1;   ///< parameter initialization seed
+};
+
+/// The GiPH placement agent (Section 4.2): gpNet representation -> GNN
+/// embedding -> per-action score policy. With use_gpnet = false it degrades
+/// to GiPH-task-EFT: the GNN runs over the raw task graph, the policy picks a
+/// task, and the device is chosen by earliest-finish-time.
+class GiPHAgent final : public SearchPolicy {
+ public:
+  explicit GiPHAgent(const GiPHOptions& options);
+
+  ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                        bool greedy) override;
+  std::vector<nn::Var> parameters() override { return reg_.params(); }
+  std::string name() const override;
+
+  nn::ParamRegistry& registry() noexcept { return reg_; }
+  const GiPHOptions& options() const noexcept { return options_; }
+
+  void save(const std::string& path) const { reg_.save(path); }
+  void load(const std::string& path) { reg_.load(path); }
+
+ private:
+  ActionDecision decide_gpnet(PlacementSearchEnv& env, std::mt19937_64& rng, bool greedy);
+  ActionDecision decide_task_eft(PlacementSearchEnv& env, std::mt19937_64& rng,
+                                 bool greedy);
+
+  GiPHOptions options_;
+  nn::ParamRegistry reg_;
+  std::unique_ptr<GraphEncoder> encoder_;
+  std::unique_ptr<ScorePolicy> policy_;
+  std::unique_ptr<nn::MLP> critic_;  ///< optional value head (use_critic)
+};
+
+/// True when this GNN kind consumes the 8-dim node features with appended
+/// mean out-edge features instead of separate edge features.
+bool uses_merged_edge_features(GnnKind kind);
+
+}  // namespace giph

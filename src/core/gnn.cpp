@@ -1,0 +1,214 @@
+#include "core/gnn.hpp"
+
+#include <stdexcept>
+
+namespace giph {
+
+using nn::Var;
+using nn::concat_cols;
+using nn::concat_rows;
+using nn::relu;
+
+GraphEncoder::GraphEncoder(nn::ParamRegistry& reg, const GnnConfig& cfg,
+                           std::mt19937_64& rng)
+    : cfg_(cfg) {
+  const int nd = cfg.node_dim;
+  const int ed = cfg.edge_dim;
+  const int eo = cfg.embed_dim;
+  switch (cfg.kind) {
+    case GnnKind::kGiPH:
+    case GnnKind::kGiPHK: {
+      // Node transform dim_n -> dim_n -> dim_o; message (dim_o + dim_e) ->
+      // (dim_o + dim_e); aggregation (dim_o + dim_e) -> dim_o (Table 5).
+      pre_embed_ = nn::MLP(reg, "gnn.pre", {nd, nd, eo}, rng, nn::Activation::kRelu,
+                           nn::Activation::kNone);
+      fwd_.message = nn::Linear(reg, "gnn.fwd.msg", eo + ed, eo + ed, rng);
+      fwd_.aggregate = nn::Linear(reg, "gnn.fwd.agg", eo + ed, eo, rng);
+      bwd_.message = nn::Linear(reg, "gnn.bwd.msg", eo + ed, eo + ed, rng);
+      bwd_.aggregate = nn::Linear(reg, "gnn.bwd.agg", eo + ed, eo, rng);
+      out_dim_ = 2 * eo;
+      break;
+    }
+    case GnnKind::kGiPHNE: {
+      cfg_.edge_dim = 0;  // edge features are folded into the node features
+      pre_embed_ = nn::MLP(reg, "gnn.pre", {nd, nd, eo}, rng, nn::Activation::kRelu,
+                           nn::Activation::kNone);
+      fwd_.message = nn::Linear(reg, "gnn.fwd.msg", eo, eo, rng);
+      fwd_.aggregate = nn::Linear(reg, "gnn.fwd.agg", eo, eo, rng);
+      bwd_.message = nn::Linear(reg, "gnn.bwd.msg", eo, eo, rng);
+      bwd_.aggregate = nn::Linear(reg, "gnn.bwd.agg", eo, eo, rng);
+      out_dim_ = 2 * eo;
+      break;
+    }
+    case GnnKind::kGraphSAGE: {
+      // Node transform dim_n -> 16, then k layers [h_u || mean h_par] -> 16,
+      // last layer -> dim_o (Table 5 uses dim_o = 10 with k = 3).
+      constexpr int kHidden = 16;
+      sage_transform_ = nn::Linear(reg, "gnn.sage.t", nd, kHidden, rng);
+      for (int l = 0; l < cfg.k_steps; ++l) {
+        const int out = l + 1 == cfg.k_steps ? 2 * eo : kHidden;
+        sage_layers_.emplace_back(reg, "gnn.sage.l" + std::to_string(l), 2 * kHidden,
+                                  out, rng);
+      }
+      out_dim_ = 2 * eo;
+      break;
+    }
+    case GnnKind::kNone:
+      out_dim_ = nd;
+      break;
+  }
+}
+
+std::vector<Var> GraphEncoder::pass_sequential(const GraphView& view, const Var& pre,
+                                               const Var& edge_feats,
+                                               const Direction& dir, bool forward) const {
+  const bool use_edges = cfg_.edge_dim > 0;
+  std::vector<Var> emb(view.num_nodes);
+  auto process = [&](int u) {
+    const auto& incoming = forward ? view.in_edges[u] : view.out_edges[u];
+    const Var self = row(pre, u);
+    if (incoming.empty()) {
+      emb[u] = self;
+      return;
+    }
+    std::vector<Var> msgs;
+    msgs.reserve(incoming.size());
+    for (int e : incoming) {
+      const int v = forward ? view.edges[e].first : view.edges[e].second;
+      if (use_edges) {
+        msgs.push_back(concat_cols({emb[v], row(edge_feats, e)}));
+      } else {
+        msgs.push_back(emb[v]);
+      }
+    }
+    const Var stacked = msgs.size() == 1 ? msgs[0] : concat_rows(msgs);
+    const Var aggregated = mean_rows(relu(dir.message(stacked)));
+    emb[u] = add(relu(dir.aggregate(aggregated)), self);
+  };
+  if (forward) {
+    for (int u : view.topo) process(u);
+  } else {
+    for (auto it = view.topo.rbegin(); it != view.topo.rend(); ++it) process(*it);
+  }
+  return emb;
+}
+
+std::vector<Var> GraphEncoder::pass_k_steps(const GraphView& view, const Var& pre,
+                                            const Var& edge_feats, const Direction& dir,
+                                            bool forward) const {
+  const bool use_edges = cfg_.edge_dim > 0;
+  std::vector<Var> emb(view.num_nodes);
+  for (int u = 0; u < view.num_nodes; ++u) emb[u] = row(pre, u);
+  for (int step = 0; step < cfg_.k_steps; ++step) {
+    std::vector<Var> next(view.num_nodes);
+    for (int u = 0; u < view.num_nodes; ++u) {
+      const auto& incoming = forward ? view.in_edges[u] : view.out_edges[u];
+      const Var self = row(pre, u);
+      if (incoming.empty()) {
+        next[u] = self;
+        continue;
+      }
+      std::vector<Var> msgs;
+      msgs.reserve(incoming.size());
+      for (int e : incoming) {
+        const int v = forward ? view.edges[e].first : view.edges[e].second;
+        if (use_edges) {
+          msgs.push_back(concat_cols({emb[v], row(edge_feats, e)}));
+        } else {
+          msgs.push_back(emb[v]);
+        }
+      }
+      const Var stacked = msgs.size() == 1 ? msgs[0] : concat_rows(msgs);
+      const Var aggregated = mean_rows(relu(dir.message(stacked)));
+      next[u] = add(relu(dir.aggregate(aggregated)), self);
+    }
+    emb = std::move(next);
+  }
+  return emb;
+}
+
+Var GraphEncoder::encode(const GraphView& view, const nn::Matrix& node_features,
+                         const nn::Matrix& edge_features) const {
+  if (node_features.rows() != view.num_nodes || node_features.cols() != cfg_.node_dim) {
+    throw std::invalid_argument("GraphEncoder::encode: node feature shape mismatch");
+  }
+  const Var nodes = nn::constant(node_features);
+  if (cfg_.kind == GnnKind::kNone) return nodes;
+
+  const Var edges = nn::constant(edge_features);
+
+  if (cfg_.kind == GnnKind::kGraphSAGE) {
+    std::vector<Var> emb(view.num_nodes);
+    {
+      const Var h0 = relu(sage_transform_(nodes));
+      for (int u = 0; u < view.num_nodes; ++u) emb[u] = row(h0, u);
+    }
+    for (const nn::Linear& layer : sage_layers_) {
+      std::vector<Var> next(view.num_nodes);
+      for (int u = 0; u < view.num_nodes; ++u) {
+        Var neigh;
+        if (view.in_edges[u].empty()) {
+          neigh = nn::constant(nn::Matrix::zeros(1, emb[u]->value.cols()));
+        } else {
+          std::vector<Var> ms;
+          ms.reserve(view.in_edges[u].size());
+          for (int e : view.in_edges[u]) ms.push_back(emb[view.edges[e].first]);
+          neigh = ms.size() == 1 ? ms[0] : mean_rows(concat_rows(ms));
+        }
+        next[u] = relu(layer(concat_cols({emb[u], neigh})));
+      }
+      emb = std::move(next);
+    }
+    return concat_rows(emb);
+  }
+
+  const Var pre = pre_embed_(nodes);
+  std::vector<Var> fwd, bwd;
+  if (cfg_.kind == GnnKind::kGiPHK) {
+    fwd = pass_k_steps(view, pre, edges, fwd_, true);
+    bwd = pass_k_steps(view, pre, edges, bwd_, false);
+  } else {
+    fwd = pass_sequential(view, pre, edges, fwd_, true);
+    bwd = pass_sequential(view, pre, edges, bwd_, false);
+  }
+  return concat_cols({concat_rows(fwd), concat_rows(bwd)});
+}
+
+ScorePolicy::ScorePolicy(nn::ParamRegistry& reg, const std::string& name, int in_dim,
+                         std::mt19937_64& rng)
+    : score_(reg, name, {in_dim, 16, 1}, rng, nn::Activation::kRelu,
+             nn::Activation::kNone) {}
+
+ScorePolicy::Sample ScorePolicy::act(const Var& embeddings,
+                                     const std::vector<int>& candidates,
+                                     std::mt19937_64& rng, bool greedy) const {
+  if (candidates.empty()) throw std::invalid_argument("ScorePolicy::act: no candidates");
+  const Var sub = gather_rows(embeddings, candidates);
+  const Var scores = score_(sub);                // k x 1
+  const Var logp = log_softmax_col(scores);      // k x 1
+
+  int idx = 0;
+  if (greedy) {
+    for (int i = 1; i < logp->value.rows(); ++i) {
+      if (logp->value(i, 0) > logp->value(idx, 0)) idx = i;
+    }
+  } else {
+    std::uniform_real_distribution<double> unif(0.0, 1.0);
+    double u = unif(rng);
+    idx = logp->value.rows() - 1;  // fallback for numeric leftovers
+    for (int i = 0; i < logp->value.rows(); ++i) {
+      u -= std::exp(logp->value(i, 0));
+      if (u <= 0.0) {
+        idx = i;
+        break;
+      }
+    }
+  }
+  Sample s;
+  s.choice = candidates[idx];
+  s.log_prob = pick(logp, idx, 0);
+  s.prob = std::exp(logp->value(idx, 0));
+  return s;
+}
+
+}  // namespace giph

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <random>
+
+#include "core/gpnet.hpp"
+#include "nn/layers.hpp"
+
+namespace giph {
+
+/// GNN architecture variants evaluated in the paper (Section 4.2.2 and
+/// Appendix B.6).
+enum class GnnKind {
+  kGiPH,       ///< full-depth two-way message passing with edge features (Eq. 1)
+  kGiPHK,      ///< k-step two-way message passing (Eq. 4), GiPH-k
+  kGiPHNE,     ///< two-way message passing without edge features (GiPH-NE)
+  kGraphSAGE,  ///< 3-layer uni-directional GraphSAGE (GraphSAGE-NE)
+  kNone,       ///< no GNN: raw node features straight to the policy (GiPH-NE-Pol)
+};
+
+struct GnnConfig {
+  GnnKind kind = GnnKind::kGiPH;
+  int node_dim = 4;   ///< raw node feature dim (8 for the -NE variants)
+  int edge_dim = 4;   ///< raw edge feature dim (ignored by -NE variants)
+  int embed_dim = 5;  ///< dim_o per direction
+  int k_steps = 3;    ///< message-passing steps for kGiPHK / layers for kGraphSAGE
+};
+
+/// Graph neural network over an arbitrary DAG (a gpNet, or the raw task
+/// graph for GiPH-task-EFT). Messages pass along edge direction ("forward",
+/// summarizing ancestors) and against it ("backward", summarizing
+/// descendants) with separate parameters; the two summaries are concatenated
+/// per node (Section 4.2.2).
+class GraphEncoder {
+ public:
+  GraphEncoder(nn::ParamRegistry& reg, const GnnConfig& cfg, std::mt19937_64& rng);
+
+  /// Returns a (num_nodes x out_dim) embedding matrix. `node_features` must
+  /// be (num_nodes x node_dim); `edge_features` (num_edges x edge_dim) and is
+  /// ignored by kinds that do not use edge features.
+  nn::Var encode(const GraphView& view, const nn::Matrix& node_features,
+                 const nn::Matrix& edge_features) const;
+
+  int out_dim() const noexcept { return out_dim_; }
+  const GnnConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Direction {
+    nn::Linear message;    ///< h1
+    nn::Linear aggregate;  ///< h2
+  };
+
+  /// One direction of sequential (full-depth) message passing; `order` is the
+  /// node order, `edge_ends` selects parent/child endpoints per edge.
+  std::vector<nn::Var> pass_sequential(const GraphView& view, const nn::Var& pre,
+                                       const nn::Var& edge_feats, const Direction& dir,
+                                       bool forward) const;
+  /// One direction of k-step synchronous message passing (Eq. 4).
+  std::vector<nn::Var> pass_k_steps(const GraphView& view, const nn::Var& pre,
+                                    const nn::Var& edge_feats, const Direction& dir,
+                                    bool forward) const;
+
+  GnnConfig cfg_;
+  int out_dim_ = 0;
+  nn::MLP pre_embed_;          ///< node feature pre-embedding (h3 for GiPH-k)
+  Direction fwd_, bwd_;
+  std::vector<nn::Linear> sage_layers_;  ///< kGraphSAGE
+  nn::Linear sage_transform_;
+};
+
+/// Policy head (Section 4.2.3): a score MLP (in -> 16 -> 1) applied per
+/// embedding row, masked to a candidate set, then softmax.
+class ScorePolicy {
+ public:
+  ScorePolicy(nn::ParamRegistry& reg, const std::string& name, int in_dim,
+              std::mt19937_64& rng);
+
+  struct Sample {
+    int choice = -1;       ///< element of `candidates` that was selected
+    nn::Var log_prob;      ///< log pi(a | s), differentiable
+    double prob = 0.0;     ///< probability of the sampled action
+  };
+
+  /// Samples (or arg-maxes when greedy) among `candidates`, which index rows
+  /// of `embeddings`. Throws on an empty candidate set.
+  Sample act(const nn::Var& embeddings, const std::vector<int>& candidates,
+             std::mt19937_64& rng, bool greedy = false) const;
+
+ private:
+  nn::MLP score_;
+};
+
+}  // namespace giph

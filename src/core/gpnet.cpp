@@ -1,0 +1,90 @@
+#include "core/gpnet.hpp"
+
+#include <stdexcept>
+
+namespace giph {
+
+int GraphView::add_node() {
+  in_edges.emplace_back();
+  out_edges.emplace_back();
+  return num_nodes++;
+}
+
+int GraphView::add_edge(int src, int dst) {
+  const int e = static_cast<int>(edges.size());
+  edges.emplace_back(src, dst);
+  out_edges.at(src).push_back(e);
+  in_edges.at(dst).push_back(e);
+  return e;
+}
+
+void GraphView::finalize() {
+  topo.clear();
+  topo.reserve(num_nodes);
+  std::vector<int> indeg(num_nodes);
+  for (int v = 0; v < num_nodes; ++v) indeg[v] = static_cast<int>(in_edges[v].size());
+  for (int v = 0; v < num_nodes; ++v) {
+    if (indeg[v] == 0) topo.push_back(v);
+  }
+  for (std::size_t head = 0; head < topo.size(); ++head) {
+    for (int e : out_edges[topo[head]]) {
+      if (--indeg[edges[e].second] == 0) topo.push_back(edges[e].second);
+    }
+  }
+  if (static_cast<int>(topo.size()) != num_nodes) {
+    throw std::logic_error("GraphView::finalize: graph is cyclic");
+  }
+}
+
+GraphView graph_view_of(const TaskGraph& g) {
+  GraphView v;
+  for (int i = 0; i < g.num_tasks(); ++i) v.add_node();
+  for (const DataLink& e : g.edges()) v.add_edge(e.src, e.dst);
+  v.finalize();
+  return v;
+}
+
+GpNet build_gpnet(const TaskGraph& g, const DeviceNetwork& n, const Placement& placement,
+                  const std::vector<std::vector<int>>& feasible) {
+  if (!is_feasible(g, n, placement)) {
+    throw std::invalid_argument("build_gpnet: infeasible placement");
+  }
+  GpNet net;
+  const int nv = g.num_tasks();
+  net.options.resize(nv);
+  net.pivot_of_task.assign(nv, -1);
+
+  // Node generation: one node per feasible (task, device) pair; options are
+  // laid out following the task graph's topological order so that gpNet edges
+  // (which follow G's edges) always point from lower to higher layout
+  // positions, making `finalize` cheap and the layout itself topological.
+  for (int v : g.topological_order()) {
+    for (int d : feasible[v]) {
+      const int u = net.view.add_node();
+      net.node_task.push_back(v);
+      net.node_device.push_back(d);
+      const bool pivot = placement.device_of(v) == d;
+      net.is_pivot.push_back(pivot);
+      net.options[v].push_back(u);
+      if (pivot) net.pivot_of_task[v] = u;
+    }
+  }
+
+  // Edge generation: (u1, u2) for each task edge (i, j) when u1 or u2 is a
+  // pivot.
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const DataLink& link = g.edge(e);
+    for (int u1 : net.options[link.src]) {
+      for (int u2 : net.options[link.dst]) {
+        if (net.is_pivot[u1] || net.is_pivot[u2]) {
+          net.view.add_edge(u1, u2);
+          net.edge_task_edge.push_back(e);
+        }
+      }
+    }
+  }
+  net.view.finalize();
+  return net;
+}
+
+}  // namespace giph

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/placement.hpp"
+
+namespace giph {
+
+/// Structure-only view of a directed acyclic graph, shared by the GNN
+/// encoders: the gpNet H, the raw task graph G (used by GiPH-task-EFT and
+/// Placeto), or any other DAG.
+struct GraphView {
+  int num_nodes = 0;
+  std::vector<std::pair<int, int>> edges;    ///< (src, dst) node ids
+  std::vector<std::vector<int>> in_edges;    ///< per node: incoming edge ids
+  std::vector<std::vector<int>> out_edges;   ///< per node: outgoing edge ids
+  std::vector<int> topo;                     ///< topological node order
+
+  int add_node();
+  int add_edge(int src, int dst);
+  /// Computes `topo` with Kahn's algorithm; throws std::logic_error on cycles.
+  void finalize();
+};
+
+/// Builds a GraphView mirroring a task graph (edge ids match g's edge ids).
+GraphView graph_view_of(const TaskGraph& g);
+
+/// The gpNet representation H of a placement P = (G, N, M) (Section 4.2.1,
+/// Algorithm B.1). Node u = (task, device) is one feasible placement option
+/// and simultaneously one MDP action; pivots are the options currently chosen
+/// by M. Edges connect options of dependent tasks when at least one endpoint
+/// is a pivot.
+struct GpNet {
+  GraphView view;
+  std::vector<int> node_task;    ///< per gpNet node: task id v_i
+  std::vector<int> node_device;  ///< per gpNet node: device id d_j
+  std::vector<bool> is_pivot;    ///< per gpNet node: in V_{H,P}?
+  std::vector<std::vector<int>> options;  ///< per task: its option node ids O_i
+  std::vector<int> pivot_of_task;         ///< per task: its pivot node id
+  std::vector<int> edge_task_edge;        ///< per gpNet edge: originating edge id in G
+
+  int num_nodes() const noexcept { return view.num_nodes; }
+  int num_edges() const noexcept { return static_cast<int>(view.edges.size()); }
+};
+
+/// Constructs the gpNet for (g, n, placement) with the given per-task
+/// feasible device sets. Node counts satisfy |V_H| = sum_i |D_i| and
+/// |E_H| = sum_i |D_i| |E_i| - |E|.
+GpNet build_gpnet(const TaskGraph& g, const DeviceNetwork& n, const Placement& placement,
+                  const std::vector<std::vector<int>>& feasible);
+
+}  // namespace giph

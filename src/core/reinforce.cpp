@@ -1,0 +1,153 @@
+#include "core/reinforce.hpp"
+
+#include <cmath>
+#include <memory>
+
+namespace giph {
+
+TrainStats train_reinforce(SearchPolicy& policy, const LatencyModel& lat,
+                           const InstanceSampler& sampler, const TrainOptions& opt) {
+  std::mt19937_64 rng(opt.seed);
+  const std::vector<nn::Var> params = policy.parameters();
+  std::unique_ptr<nn::Adam> adam;
+  if (!params.empty()) adam = std::make_unique<nn::Adam>(params, opt.lr);
+
+  TrainStats stats;
+  for (int ep = 0; ep < opt.episodes; ++ep) {
+    const ProblemInstance inst = sampler(rng);
+    const TaskGraph& g = *inst.graph;
+    const DeviceNetwork& n = *inst.network;
+
+    const double denom =
+        opt.normalizer ? opt.normalizer(g, n) : slr_denominator(g, n, lat);
+    Objective obj;
+    if (opt.objective_factory) {
+      obj = opt.objective_factory(g, n, rng);
+    } else {
+      obj = opt.noise > 0.0 ? noisy_makespan_objective(lat, opt.noise, rng)
+                            : makespan_objective(lat);
+    }
+    PlacementSearchEnv env(g, n, lat, std::move(obj), random_placement(g, n, rng), denom);
+
+    const int limit = policy.episode_limit(g);
+    const int T = limit > 0 ? limit : opt.episode_len_factor * g.num_tasks();
+
+    policy.begin_episode();
+    std::vector<nn::Var> log_probs;
+    std::vector<nn::Var> values;
+    std::vector<double> rewards;
+    log_probs.reserve(T);
+    rewards.reserve(T);
+    stats.episode_initial.push_back(env.objective());
+
+    for (int t = 0; t < T; ++t) {
+      ActionDecision d = policy.decide(env, rng, /*greedy=*/false);
+      const double r = d.full ? env.apply_placement(*std::move(d.full)) : env.apply(d.action);
+      if (d.log_prob) {
+        log_probs.push_back(std::move(d.log_prob));
+        rewards.push_back(r);
+        if (d.value) values.push_back(std::move(d.value));
+      }
+    }
+    stats.episode_final.push_back(env.objective());
+    stats.episode_best.push_back(env.best_objective());
+
+    if (adam && !log_probs.empty()) {
+      const int steps = static_cast<int>(rewards.size());
+      // Discounted returns G_t.
+      std::vector<double> returns(steps);
+      double acc = 0.0;
+      for (int t = steps - 1; t >= 0; --t) {
+        acc = rewards[t] + opt.gamma * acc;
+        returns[t] = acc;
+      }
+      // Baseline: the critic's state values when available (actor-critic
+      // extension), otherwise the average reward observed before step t
+      // within the episode (the paper's baseline).
+      const bool use_critic = static_cast<int>(values.size()) == steps && steps > 0;
+      std::vector<double> adv(steps);
+      double reward_sum = 0.0;
+      for (int t = 0; t < steps; ++t) {
+        const double baseline =
+            use_critic ? values[t]->value(0, 0) : (t > 0 ? reward_sum / t : 0.0);
+        adv[t] = returns[t] - baseline;
+        reward_sum += rewards[t];
+      }
+      if (opt.normalize_advantages && steps > 1) {
+        double mean = 0.0, sq = 0.0;
+        for (double a : adv) mean += a;
+        mean /= steps;
+        for (double a : adv) sq += (a - mean) * (a - mean);
+        const double sd = std::sqrt(sq / steps);
+        if (sd > 1e-9) {
+          for (double& a : adv) a = (a - mean) / sd;
+        }
+      }
+      std::vector<double> weights(steps);
+      for (int t = 0; t < steps; ++t) {
+        const double w = opt.discount_state_weight ? std::pow(opt.gamma, t) : 1.0;
+        weights[t] = -w * adv[t];
+      }
+      nn::Var loss = nn::weighted_sum(log_probs, weights);
+      if (use_critic) {
+        // Value regression towards the Monte-Carlo returns.
+        std::vector<nn::Var> sq_errors;
+        std::vector<double> vweights;
+        sq_errors.reserve(steps);
+        for (int t = 0; t < steps; ++t) {
+          const nn::Var diff =
+              nn::sub(values[t], nn::constant(nn::Matrix::scalar(returns[t])));
+          sq_errors.push_back(nn::mul(diff, diff));
+          vweights.push_back(opt.value_coef / steps);
+        }
+        loss = nn::add(loss, nn::weighted_sum(sq_errors, vweights));
+      }
+      nn::backward(loss);
+      if ((ep + 1) % std::max(1, opt.batch_episodes) == 0) {
+        if (opt.lr_final >= 0.0 && opt.lr_final < opt.lr && opt.episodes > 1) {
+          const double frac = static_cast<double>(ep) / (opt.episodes - 1);
+          adam->set_learning_rate(opt.lr + frac * (opt.lr_final - opt.lr));
+        }
+        nn::clip_grad_norm(params, opt.grad_clip);
+        adam->step();
+      }
+    }
+    if (opt.on_episode) opt.on_episode(ep);
+  }
+  return stats;
+}
+
+SearchTrace run_search(SearchPolicy& policy, PlacementSearchEnv& env, int steps,
+                       std::mt19937_64& rng, bool greedy) {
+  SearchTrace trace;
+  trace.initial = env.objective();
+  trace.move_counts.assign(env.graph().num_tasks(), 0);
+  const int limit = policy.episode_limit(env.graph());
+
+  policy.begin_episode();
+  int since_reset = 0;
+  for (int t = 0; t < steps; ++t) {
+    if (limit > 0 && since_reset >= limit) {
+      env.reset_to_initial();
+      policy.begin_episode();
+      since_reset = 0;
+    }
+    ActionDecision d = policy.decide(env, rng, greedy);
+    if (d.full) {
+      // Count every task whose device changed as a move.
+      for (int v = 0; v < env.graph().num_tasks(); ++v) {
+        if (d.full->device_of(v) != env.placement().device_of(v)) ++trace.move_counts[v];
+      }
+      env.apply_placement(*std::move(d.full));
+    } else {
+      env.apply(d.action);
+      ++trace.move_counts[d.action.task];
+    }
+    trace.best_so_far.push_back(env.best_objective());
+    ++since_reset;
+  }
+  trace.best_placement = env.best_placement();
+  return trace;
+}
+
+}  // namespace giph

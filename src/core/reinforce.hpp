@@ -1,0 +1,90 @@
+#pragma once
+
+#include <functional>
+
+#include "core/search_policy.hpp"
+#include "nn/optimizer.hpp"
+
+namespace giph {
+
+/// One training problem instance; pointers must outlive the call.
+struct ProblemInstance {
+  const TaskGraph* graph = nullptr;
+  const DeviceNetwork* network = nullptr;
+};
+
+/// Draws a (G, N) pair per episode from the training set.
+using InstanceSampler = std::function<ProblemInstance(std::mt19937_64&)>;
+
+/// Builds the per-episode objective for an instance (rng available for noisy
+/// objectives). Null = makespan (with TrainOptions::noise applied).
+using ObjectiveFactory =
+    std::function<Objective(const TaskGraph&, const DeviceNetwork&, std::mt19937_64&)>;
+
+/// Per-instance normalizer for the objective (rewards become scale-free
+/// across instances). Null = the SLR denominator.
+using NormalizerFn = std::function<double(const TaskGraph&, const DeviceNetwork&)>;
+
+/// REINFORCE training options (Appendix B.7). The objective per episode is
+/// the SLR (makespan normalized by the instance's lower bound), optionally
+/// with simulation noise.
+struct TrainOptions {
+  int episodes = 200;
+  int episode_len_factor = 2;  ///< T = factor * |V| unless the policy sets a limit
+  double gamma = 0.97;
+  double lr = 0.01;
+  /// Final learning rate; when < lr, the rate decays linearly over the
+  /// episodes (stabilizes late REINFORCE training). Default: no decay.
+  double lr_final = -1.0;
+  double grad_clip = 10.0;
+  double noise = 0.0;  ///< multiplicative simulation noise during training
+  /// Scale step t's gradient by gamma^t (the strict discounted policy
+  /// gradient, as in the paper's Appendix B.7 update). Disabling uses the
+  /// common undiscounted-state-distribution variant.
+  bool discount_state_weight = true;
+  /// Standardize advantages within each episode (variance reduction).
+  bool normalize_advantages = false;
+  /// Accumulate gradients over this many episodes before each optimizer step
+  /// (variance reduction; 1 = update every episode as in the paper).
+  int batch_episodes = 1;
+  /// Weight of the critic's value-regression loss when the policy provides
+  /// state-value estimates (actor-critic extension).
+  double value_coef = 0.25;
+  std::uint64_t seed = 7;
+  /// Called after each episode with (episode index, stats so far); optional.
+  std::function<void(int)> on_episode;
+  /// Custom training objective (e.g. total cost, energy); null = makespan.
+  ObjectiveFactory objective_factory;
+  /// Custom objective normalizer; null = SLR denominator.
+  NormalizerFn normalizer;
+};
+
+struct TrainStats {
+  std::vector<double> episode_initial;  ///< objective of the initial placement
+  std::vector<double> episode_final;    ///< objective after the last step
+  std::vector<double> episode_best;     ///< best objective within the episode
+};
+
+/// Trains `policy` with the policy-gradient method REINFORCE: per-episode
+/// Monte-Carlo returns with discount gamma and a per-step baseline equal to
+/// the average reward observed before that step in the episode. Non-learned
+/// policies (no parameters) are simply rolled out, which measures their
+/// search behavior under identical conditions.
+TrainStats train_reinforce(SearchPolicy& policy, const LatencyModel& lat,
+                           const InstanceSampler& sampler, const TrainOptions& opt);
+
+/// Best-so-far objective trace of a single search run.
+struct SearchTrace {
+  double initial = 0.0;
+  std::vector<double> best_so_far;  ///< after each step (size = steps)
+  Placement best_placement;
+  std::vector<int> move_counts;  ///< per task: how often it was relocated
+};
+
+/// Runs `policy` on `env` for `steps` steps, restarting the search (reset to
+/// the initial placement) whenever the policy's episode_limit is reached,
+/// e.g. every |V| steps for Placeto.
+SearchTrace run_search(SearchPolicy& policy, PlacementSearchEnv& env, int steps,
+                       std::mt19937_64& rng, bool greedy = false);
+
+}  // namespace giph

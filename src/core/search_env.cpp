@@ -1,0 +1,74 @@
+#include "core/search_env.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace giph {
+
+PlacementSearchEnv::PlacementSearchEnv(const TaskGraph& g, const DeviceNetwork& n,
+                                       const LatencyModel& lat, Objective objective,
+                                       Placement initial, double normalizer)
+    : g_(&g),
+      n_(&n),
+      lat_(&lat),
+      objective_(std::move(objective)),
+      normalizer_(normalizer > 0.0 ? normalizer : 1.0),
+      feasible_(feasible_sets(g, n)),
+      initial_(std::move(initial)),
+      current_(initial_) {
+  if (!is_feasible(g, n, current_)) {
+    throw std::invalid_argument("PlacementSearchEnv: infeasible initial placement");
+  }
+  refresh();
+  best_ = current_;
+  best_obj_ = obj_;
+}
+
+void PlacementSearchEnv::refresh() {
+  sched_ = simulate(*g_, *n_, current_, *lat_);
+  obj_ = objective_(*g_, *n_, current_) / normalizer_;
+}
+
+double PlacementSearchEnv::apply(const SearchAction& a) {
+  if (a.task < 0 || a.task >= g_->num_tasks()) {
+    throw std::invalid_argument("PlacementSearchEnv::apply: bad task");
+  }
+  const auto& devs = feasible_[a.task];
+  if (std::find(devs.begin(), devs.end(), a.device) == devs.end()) {
+    throw std::invalid_argument("PlacementSearchEnv::apply: infeasible device");
+  }
+  const double before = obj_;
+  current_.set(a.task, a.device);
+  refresh();
+  last_moved_ = a.task;
+  ++steps_;
+  if (obj_ < best_obj_) {
+    best_obj_ = obj_;
+    best_ = current_;
+  }
+  return before - obj_;
+}
+
+double PlacementSearchEnv::apply_placement(Placement p) {
+  if (!is_feasible(*g_, *n_, p)) {
+    throw std::invalid_argument("PlacementSearchEnv::apply_placement: infeasible");
+  }
+  const double before = obj_;
+  current_ = std::move(p);
+  refresh();
+  last_moved_ = -1;
+  ++steps_;
+  if (obj_ < best_obj_) {
+    best_obj_ = obj_;
+    best_ = current_;
+  }
+  return before - obj_;
+}
+
+void PlacementSearchEnv::reset_to_initial() {
+  current_ = initial_;
+  last_moved_ = -1;
+  refresh();
+}
+
+}  // namespace giph

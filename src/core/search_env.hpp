@@ -1,0 +1,85 @@
+#pragma once
+
+#include <random>
+
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace giph {
+
+/// An action of the placement-search MDP: relocate `task` to `device`
+/// (Section 4.1). Feasible iff device is in the task's feasible set.
+struct SearchAction {
+  int task = -1;
+  int device = -1;
+};
+
+/// The placement-search MDP for one problem instance (G, N): states are
+/// feasible placements, actions relocate one task, the reward is the
+/// objective improvement rho(s_t) - rho(s_{t+1}).
+///
+/// The environment also maintains the expected (noise-free) schedule of the
+/// current placement, which feeds the gpNet start-time-potential feature, and
+/// tracks the best placement seen so far (search policies report
+/// best-so-far).
+///
+/// When `normalizer` > 0, objective values are divided by it; passing the SLR
+/// denominator makes objective() the SLR directly and keeps rewards on a
+/// comparable scale across problem instances.
+class PlacementSearchEnv {
+ public:
+  PlacementSearchEnv(const TaskGraph& g, const DeviceNetwork& n, const LatencyModel& lat,
+                     Objective objective, Placement initial, double normalizer = 0.0);
+
+  const TaskGraph& graph() const noexcept { return *g_; }
+  const DeviceNetwork& network() const noexcept { return *n_; }
+  const LatencyModel& latency() const noexcept { return *lat_; }
+  const std::vector<std::vector<int>>& feasible() const noexcept { return feasible_; }
+
+  const Placement& placement() const noexcept { return current_; }
+  const Schedule& schedule() const noexcept { return sched_; }
+  double objective() const noexcept { return obj_; }
+
+  const Placement& best_placement() const noexcept { return best_; }
+  double best_objective() const noexcept { return best_obj_; }
+
+  /// Task moved by the previous apply(), or -1 (used by the action mask).
+  int last_moved_task() const noexcept { return last_moved_; }
+
+  int steps_taken() const noexcept { return steps_; }
+
+  /// Applies a feasible action and returns the reward
+  /// rho(s_t) - rho(s_{t+1}) (positive = improvement). Throws on infeasible
+  /// actions.
+  double apply(const SearchAction& a);
+
+  /// Replaces the whole placement (used by the random-sampling baseline,
+  /// which draws a fresh placement per step). Returns the reward.
+  double apply_placement(Placement p);
+
+  /// Restores the initial placement and clears per-episode state (used when a
+  /// policy restarts its search, e.g. Placeto every |V| steps). The
+  /// best-so-far record is kept.
+  void reset_to_initial();
+
+ private:
+  void refresh();
+
+  const TaskGraph* g_;
+  const DeviceNetwork* n_;
+  const LatencyModel* lat_;
+  Objective objective_;
+  double normalizer_;
+  std::vector<std::vector<int>> feasible_;
+
+  Placement initial_;
+  Placement current_;
+  Schedule sched_;
+  double obj_ = 0.0;
+  Placement best_;
+  double best_obj_ = 0.0;
+  int last_moved_ = -1;
+  int steps_ = 0;
+};
+
+}  // namespace giph

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/search_env.hpp"
+#include "nn/autograd.hpp"
+
+namespace giph {
+
+/// One decision of a search policy: the action plus (for learned policies)
+/// the differentiable log-probability used by REINFORCE. Heuristic policies
+/// leave log_prob null. A policy that replaces the entire placement per step
+/// (the paper's random-sampling baseline) sets `full` instead of `action`.
+struct ActionDecision {
+  SearchAction action;
+  nn::Var log_prob;
+  std::optional<Placement> full;
+  /// Optional state-value estimate V(s_t) from a critic head (actor-critic
+  /// extension); when every step of an episode provides one, the REINFORCE
+  /// trainer uses it as the baseline and adds a value-regression loss.
+  nn::Var value;
+};
+
+/// Interface shared by all search-based placement policies: GiPH, its
+/// ablation variants, GiPH-task-EFT, Random-task-EFT, random sampling, and
+/// Placeto. A policy inspects the environment's current state and proposes
+/// the next relocation; the caller applies it.
+class SearchPolicy {
+ public:
+  virtual ~SearchPolicy() = default;
+
+  virtual ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                                bool greedy) = 0;
+
+  /// Trainable parameters (empty for heuristics).
+  virtual std::vector<nn::Var> parameters() { return {}; }
+
+  /// Resets per-episode internal state (e.g. Placeto's traversal cursor).
+  virtual void begin_episode() {}
+
+  /// Natural episode length for graph g, or -1 for "no limit" (use the
+  /// caller's default, 2|V| in the paper). Placeto returns |V|: it visits
+  /// each node exactly once and must restart afterwards.
+  virtual int episode_limit(const TaskGraph& g) const {
+    (void)g;
+    return -1;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace giph

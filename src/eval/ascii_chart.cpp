@@ -1,0 +1,95 @@
+#include "eval/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace giph::eval {
+
+std::string ascii_chart(const std::vector<Series>& series, const ChartOptions& options) {
+  if (series.empty()) throw std::invalid_argument("ascii_chart: no series");
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const Series& s : series) {
+    if (s.y.empty()) throw std::invalid_argument("ascii_chart: empty series");
+    if (!s.x.empty() && s.x.size() != s.y.size()) {
+      throw std::invalid_argument("ascii_chart: x/y size mismatch");
+    }
+    for (std::size_t i = 0; i < s.y.size(); ++i) {
+      const double x = s.x.empty() ? static_cast<double>(i) : s.x[i];
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+    }
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  auto col_of = [&](double x) {
+    return std::clamp(static_cast<int>(std::lround((x - xmin) / (xmax - xmin) * (w - 1))),
+                      0, w - 1);
+  };
+  auto row_of = [&](double y) {
+    const int r = static_cast<int>(std::lround((y - ymin) / (ymax - ymin) * (h - 1)));
+    return std::clamp(h - 1 - r, 0, h - 1);  // row 0 is the top
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const Series& s = series[si];
+    const char mark = static_cast<char>('a' + si % 26);
+    int prev_c = -1, prev_r = -1;
+    for (std::size_t i = 0; i < s.y.size(); ++i) {
+      const double x = s.x.empty() ? static_cast<double>(i) : s.x[i];
+      const int c = col_of(x);
+      const int r = row_of(s.y[i]);
+      if (prev_c >= 0) {
+        // Linear interpolation between consecutive samples.
+        const int steps = std::max(std::abs(c - prev_c), std::abs(r - prev_r));
+        for (int k = 1; k < steps; ++k) {
+          const int ic = prev_c + (c - prev_c) * k / steps;
+          const int ir = prev_r + (r - prev_r) * k / steps;
+          grid[ir][ic] = mark;
+        }
+      }
+      grid[r][c] = mark;
+      prev_c = c;
+      prev_r = r;
+    }
+  }
+
+  std::ostringstream out;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%10.4g", ymax);
+  out << buf << " +" << std::string(w, '-') << "+\n";
+  for (int r = 0; r < h; ++r) {
+    out << std::string(11, ' ') << '|' << grid[r] << "|\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%10.4g", ymin);
+  out << buf << " +" << std::string(w, '-') << "+\n";
+  std::snprintf(buf, sizeof(buf), "%.4g", xmin);
+  std::string footer = std::string(12, ' ') + buf;
+  std::snprintf(buf, sizeof(buf), "%.4g", xmax);
+  const std::string xmax_s = buf;
+  const std::size_t target = 12 + w - xmax_s.size();
+  if (footer.size() < target) footer += std::string(target - footer.size(), ' ');
+  footer += xmax_s;
+  out << footer;
+  if (!options.x_label.empty()) out << "  (" << options.x_label << ")";
+  out << "\n";
+  out << "legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << " " << static_cast<char>('a' + si % 26) << "=" << series[si].name;
+  }
+  if (!options.y_label.empty()) out << "   [y: " << options.y_label << "]";
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace giph::eval

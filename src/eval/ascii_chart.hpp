@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace giph::eval {
+
+/// One named series for plotting; x values are implicit equally-spaced
+/// sample positions unless `x` is provided.
+struct Series {
+  std::string name;
+  std::vector<double> y;
+  std::vector<double> x;  ///< optional; same length as y when non-empty
+};
+
+struct ChartOptions {
+  int width = 64;    ///< plot columns (excluding the axis gutter)
+  int height = 16;   ///< plot rows
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders a multi-series ASCII line chart. Each series is drawn with its own
+/// marker (per-series letter); overlapping points show the later series.
+/// A legend line maps markers to names, and the y-axis is annotated with the
+/// min/max of the plotted range.
+std::string ascii_chart(const std::vector<Series>& series, const ChartOptions& options = {});
+
+}  // namespace giph::eval

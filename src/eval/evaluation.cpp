@@ -1,0 +1,136 @@
+#include "eval/evaluation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "heft/heft.hpp"
+
+namespace giph::eval {
+
+std::vector<double> curve_fractions(int points) {
+  std::vector<double> f(points);
+  for (int i = 0; i < points; ++i) f[i] = static_cast<double>(i + 1) / points;
+  return f;
+}
+
+namespace {
+
+SearchTrace run_case(SearchPolicy& policy, const Case& c, const LatencyModel& lat,
+                     double noise, std::uint64_t case_seed) {
+  const TaskGraph& g = *c.graph;
+  const DeviceNetwork& n = *c.network;
+  std::mt19937_64 rng(case_seed);
+  const Placement init = random_placement(g, n, rng);
+  const double denom = slr_denominator(g, n, lat);
+  Objective obj = noise > 0.0 ? noisy_makespan_objective(lat, noise, rng)
+                              : makespan_objective(lat);
+  PlacementSearchEnv env(g, n, lat, std::move(obj), init, denom);
+  return run_search(policy, env, 2 * g.num_tasks(), rng);
+}
+
+}  // namespace
+
+Curve policy_curve(SearchPolicy& policy, const std::vector<Case>& cases,
+                   const LatencyModel& lat, double noise, std::uint64_t seed,
+                   int points) {
+  Curve curve;
+  curve.name = policy.name();
+  curve.values.assign(points, 0.0);
+  const auto fractions = curve_fractions(points);
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const SearchTrace trace = run_case(policy, cases[ci], lat, noise, seed + ci);
+    const int steps = static_cast<int>(trace.best_so_far.size());
+    for (int i = 0; i < points; ++i) {
+      const int idx = std::clamp(
+          static_cast<int>(std::lround(fractions[i] * steps)) - 1, 0, steps - 1);
+      curve.values[i] += trace.best_so_far[idx];
+    }
+  }
+  for (double& v : curve.values) v /= static_cast<double>(std::max<std::size_t>(1, cases.size()));
+  return curve;
+}
+
+std::vector<double> policy_finals(SearchPolicy& policy, const std::vector<Case>& cases,
+                                  const LatencyModel& lat, double noise,
+                                  std::uint64_t seed) {
+  std::vector<double> finals;
+  finals.reserve(cases.size());
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    finals.push_back(run_case(policy, cases[ci], lat, noise, seed + ci).best_so_far.back());
+  }
+  return finals;
+}
+
+std::vector<double> heft_finals(const std::vector<Case>& cases, const LatencyModel& lat) {
+  std::vector<double> finals;
+  finals.reserve(cases.size());
+  for (const Case& c : cases) {
+    const double denom = slr_denominator(*c.graph, *c.network, lat);
+    const HeftResult r = heft_schedule(*c.graph, *c.network, lat);
+    finals.push_back(makespan(*c.graph, *c.network, r.placement, lat) / denom);
+  }
+  return finals;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stdev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sq = 0.0;
+  for (double x : xs) sq += (x - m) * (x - m);
+  return std::sqrt(sq / static_cast<double>(xs.size()));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double pos = p / 100.0 * (static_cast<double>(xs.size()) - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Interval bootstrap_mean_ci(const std::vector<double>& xs, double confidence,
+                           int resamples, std::uint64_t seed) {
+  if (xs.empty()) return {};
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> pick(0, xs.size() - 1);
+  std::vector<double> means(resamples);
+  for (int r = 0; r < resamples; ++r) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) s += xs[pick(rng)];
+    means[r] = s / static_cast<double>(xs.size());
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  return Interval{percentile(means, 100.0 * alpha), percentile(means, 100.0 * (1.0 - alpha))};
+}
+
+WinRate win_rate(const std::vector<double>& a, const std::vector<double>& b,
+                 double tol) {
+  WinRate w;
+  if (a.size() != b.size() || a.empty()) return w;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i] - tol) {
+      w.better += 1.0;
+    } else if (a[i] > b[i] + tol) {
+      w.worse += 1.0;
+    } else {
+      w.equal += 1.0;
+    }
+  }
+  const double n = static_cast<double>(a.size());
+  w.better /= n;
+  w.equal /= n;
+  w.worse /= n;
+  return w;
+}
+
+}  // namespace giph::eval

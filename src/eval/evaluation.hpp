@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/reinforce.hpp"
+#include "core/search_policy.hpp"
+
+namespace giph::eval {
+
+/// A placement problem instance by reference (graph + network must outlive
+/// the evaluation).
+struct Case {
+  const TaskGraph* graph = nullptr;
+  const DeviceNetwork* network = nullptr;
+};
+
+/// Fractions of the 2|V| search budget at which curves are sampled.
+std::vector<double> curve_fractions(int points = 9);
+
+/// Average best-so-far SLR of one policy over `cases`, sampled at
+/// curve_fractions(points) of each case's 2|V| search budget. Every policy
+/// evaluated with the same `seed` sees the same per-case initial placements,
+/// making curves directly comparable (the paper's protocol).
+struct Curve {
+  std::string name;
+  std::vector<double> values;
+};
+
+Curve policy_curve(SearchPolicy& policy, const std::vector<Case>& cases,
+                   const LatencyModel& lat, double noise, std::uint64_t seed,
+                   int points = 9);
+
+/// Final best SLR per case (same protocol as policy_curve).
+std::vector<double> policy_finals(SearchPolicy& policy, const std::vector<Case>& cases,
+                                  const LatencyModel& lat, double noise,
+                                  std::uint64_t seed);
+
+/// SLR of the HEFT placement per case, evaluated by the same simulator.
+std::vector<double> heft_finals(const std::vector<Case>& cases, const LatencyModel& lat);
+
+// ---- statistics ------------------------------------------------------------
+
+double mean(const std::vector<double>& xs);
+double stdev(const std::vector<double>& xs);
+double percentile(std::vector<double> xs, double p);
+
+/// Bootstrap confidence interval of the mean (seeded, `resamples` draws).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Interval bootstrap_mean_ci(const std::vector<double>& xs, double confidence = 0.95,
+                           int resamples = 1000, std::uint64_t seed = 17);
+
+/// Pairwise comparison of per-case finals: fraction of cases where a < b,
+/// a == b (within tol), a > b.
+struct WinRate {
+  double better = 0.0;
+  double equal = 0.0;
+  double worse = 0.0;
+};
+WinRate win_rate(const std::vector<double>& a, const std::vector<double>& b,
+                 double tol = 1e-9);
+
+}  // namespace giph::eval

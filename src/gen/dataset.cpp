@@ -1,0 +1,71 @@
+#include "gen/dataset.hpp"
+
+namespace giph {
+
+int ensure_all_kinds(DeviceNetwork& n, int num_hw_kinds, std::mt19937_64& rng) {
+  int added = 0;
+  std::uniform_int_distribution<int> pick(0, n.num_devices() - 1);
+  for (int b = 0; b < num_hw_kinds; ++b) {
+    const HwMask kind = HwMask{1} << b;
+    bool supported = false;
+    for (int k = 0; k < n.num_devices() && !supported; ++k) {
+      supported = (n.device(k).supports_hw & kind) != 0;
+    }
+    if (!supported) {
+      n.device(pick(rng)).supports_hw |= kind;
+      ++added;
+    }
+  }
+  return added;
+}
+
+Dataset generate_dataset(const std::vector<TaskGraphParams>& graph_params,
+                         const std::vector<NetworkParams>& network_params,
+                         int num_graphs, int num_networks, std::mt19937_64& rng) {
+  Dataset ds;
+  ds.graphs.reserve(num_graphs);
+  ds.networks.reserve(num_networks);
+  for (int i = 0; i < num_graphs; ++i) {
+    ds.graphs.push_back(generate_task_graph(graph_params[i % graph_params.size()], rng));
+  }
+  for (int i = 0; i < num_networks; ++i) {
+    const NetworkParams& np = network_params[i % network_params.size()];
+    DeviceNetwork n = generate_device_network(np, rng);
+    ensure_all_kinds(n, np.num_hw_kinds, rng);
+    ds.networks.push_back(std::move(n));
+  }
+  return ds;
+}
+
+std::vector<TaskGraphParams> default_graph_parameter_grid() {
+  std::vector<TaskGraphParams> grid;
+  for (int m : {12, 16, 20, 24}) {
+    for (double alpha : {0.6, 1.0, 1.6}) {
+      for (double het : {0.3, 0.6}) {
+        TaskGraphParams p;
+        p.num_tasks = m;
+        p.alpha = alpha;
+        p.het_compute = het;
+        p.het_bytes = het;
+        grid.push_back(p);
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<NetworkParams> default_network_parameter_grid() {
+  std::vector<NetworkParams> grid;
+  for (int m : {6, 8, 10}) {
+    for (double het : {0.3, 0.6}) {
+      NetworkParams p;
+      p.num_devices = m;
+      p.het_speed = het;
+      p.het_bandwidth = het;
+      grid.push_back(p);
+    }
+  }
+  return grid;
+}
+
+}  // namespace giph

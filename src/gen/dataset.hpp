@@ -1,0 +1,38 @@
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "gen/device_network_gen.hpp"
+#include "gen/task_graph_gen.hpp"
+
+namespace giph {
+
+/// A dataset of task graphs and device networks; problem instances (G, N) are
+/// drawn from the cartesian product, mirroring the paper's train/test split
+/// over independently generated graph and network sets.
+struct Dataset {
+  std::vector<TaskGraph> graphs;
+  std::vector<DeviceNetwork> networks;
+};
+
+/// Grants every hardware kind at least one supporting device so that any task
+/// generated with a single-kind requirement is placeable on any network of the
+/// dataset. Returns the number of support bits added.
+int ensure_all_kinds(DeviceNetwork& n, int num_hw_kinds, std::mt19937_64& rng);
+
+/// Generates `num_graphs` task graphs and `num_networks` device networks,
+/// cycling through the supplied parameter sets (Appendix B.2 "a specific
+/// combination of parameter values is used to generate data"). Every network
+/// is post-processed with ensure_all_kinds so all (G, N) pairs are feasible.
+Dataset generate_dataset(const std::vector<TaskGraphParams>& graph_params,
+                         const std::vector<NetworkParams>& network_params,
+                         int num_graphs, int num_networks, std::mt19937_64& rng);
+
+/// The default parameter grid used by the benches: a range of graph sizes,
+/// shapes and heterogeneity factors (roughly matching parameters/ in the
+/// paper artifact).
+std::vector<TaskGraphParams> default_graph_parameter_grid();
+std::vector<NetworkParams> default_network_parameter_grid();
+
+}  // namespace giph

@@ -1,0 +1,52 @@
+#include "gen/device_network_gen.hpp"
+
+#include <stdexcept>
+
+namespace giph {
+
+DeviceNetwork generate_device_network(const NetworkParams& params, std::mt19937_64& rng) {
+  if (params.num_devices <= 0) {
+    throw std::invalid_argument("generate_device_network: num_devices must be > 0");
+  }
+  DeviceNetwork n;
+  std::uniform_real_distribution<double> speed(
+      params.mean_speed * (1.0 - params.het_speed),
+      params.mean_speed * (1.0 + params.het_speed));
+  std::bernoulli_distribution supports(params.p_hw_support);
+  for (int k = 0; k < params.num_devices; ++k) {
+    Device d;
+    d.speed = speed(rng);
+    d.supports_hw = 0;
+    for (int b = 0; b < params.num_hw_kinds; ++b) {
+      if (supports(rng)) d.supports_hw |= HwMask{1} << b;
+    }
+    d.name = "d" + std::to_string(k);
+    n.add_device(std::move(d));
+  }
+  std::uniform_real_distribution<double> bw(
+      params.mean_bandwidth * (1.0 - params.het_bandwidth),
+      params.mean_bandwidth * (1.0 + params.het_bandwidth));
+  std::uniform_real_distribution<double> dl(0.0, 2.0 * params.mean_delay);
+  for (int k = 0; k < params.num_devices; ++k) {
+    for (int l = k + 1; l < params.num_devices; ++l) {
+      n.set_symmetric_link(k, l, bw(rng), dl(rng));
+    }
+  }
+  return n;
+}
+
+int ensure_feasible(const TaskGraph& g, DeviceNetwork& n, std::mt19937_64& rng) {
+  int added = 0;
+  std::uniform_int_distribution<int> pick(0, n.num_devices() - 1);
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    const HwMask req = g.task(v).requires_hw;
+    if (req == 0) continue;
+    if (n.feasible_devices(req).empty()) {
+      n.device(pick(rng)).supports_hw |= req;
+      ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace giph

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <random>
+
+#include "graph/device_network.hpp"
+#include "graph/task_graph.hpp"
+
+namespace giph {
+
+/// Parameters of the random device-network generator (Appendix B.2).
+struct NetworkParams {
+  int num_devices = 8;       ///< m
+  double mean_speed = 10.0;  ///< SP-bar
+  double mean_bandwidth = 50.0;  ///< BW-bar
+  double mean_delay = 1.0;   ///< DL-bar: DL_kl ~ U[0, 2*DL-bar]
+  double het_speed = 0.5;    ///< epsilon_SP
+  double het_bandwidth = 0.5;  ///< epsilon_BW
+  int num_hw_kinds = 4;      ///< must match the task-graph generator
+  double p_hw_support = 0.5; ///< per-kind probability a device supports it
+};
+
+/// Generates a random fully-connected device network with symmetric links.
+DeviceNetwork generate_device_network(const NetworkParams& params, std::mt19937_64& rng);
+
+/// Ensures every task of g has at least one feasible device in n by granting
+/// missing hardware support bits to randomly chosen devices. Returns the
+/// number of support bits added.
+int ensure_feasible(const TaskGraph& g, DeviceNetwork& n, std::mt19937_64& rng);
+
+}  // namespace giph

@@ -1,0 +1,73 @@
+#include "gen/enas_gen.hpp"
+
+#include <stdexcept>
+
+namespace giph {
+
+CellDesign sample_cell_design(int nodes, std::mt19937_64& rng) {
+  if (nodes < 2) throw std::invalid_argument("sample_cell_design: nodes must be >= 2");
+  CellDesign cell;
+  cell.prev.assign(nodes, 0);
+  cell.op_cost.assign(nodes, 1.0);
+  // Relative op costs model different activation / transform kinds, as in the
+  // ENAS PTB search space (identity, tanh, relu, sigmoid have different cost).
+  static constexpr double kOpCosts[] = {0.5, 1.0, 1.5, 2.0};
+  std::uniform_int_distribution<int> op(0, 3);
+  cell.op_cost[0] = 2.0;  // input transform (matmul-heavy)
+  for (int i = 1; i < nodes; ++i) {
+    std::uniform_int_distribution<int> pick(0, i - 1);
+    cell.prev[i] = pick(rng);
+    cell.op_cost[i] = kOpCosts[op(rng)];
+  }
+  return cell;
+}
+
+TaskGraph unroll_cell(const CellDesign& cell, int steps, int batch,
+                      const EnasParams& params) {
+  if (steps < 1) throw std::invalid_argument("unroll_cell: steps must be >= 1");
+  const int nodes = static_cast<int>(cell.prev.size());
+  const double bytes = params.base_bytes * batch;
+  const double work = params.base_compute * batch;
+
+  TaskGraph g;
+  const int entry = g.add_task(Task{.compute = 0.5 * work, .name = "input"});
+  int exit_accum = g.add_task(Task{.compute = 0.5 * work, .name = "output"});
+
+  int prev_output = -1;
+  for (int t = 0; t < steps; ++t) {
+    const std::string st = "s" + std::to_string(t) + ":";
+    const int embed = g.add_task(Task{.compute = work, .requires_hw = params.op_requires_hw, .name = st + "embed"});
+    g.add_edge(entry, embed, bytes);
+
+    std::vector<int> cell_ids(nodes);
+    std::vector<bool> has_child(nodes, false);
+    cell_ids[0] =
+        g.add_task(Task{.compute = cell.op_cost[0] * work, .requires_hw = params.op_requires_hw, .name = st + "n0"});
+    g.add_edge(embed, cell_ids[0], bytes);
+    if (prev_output >= 0) g.add_edge(prev_output, cell_ids[0], bytes);
+    for (int i = 1; i < nodes; ++i) {
+      cell_ids[i] = g.add_task(
+          Task{.compute = cell.op_cost[i] * work, .requires_hw = params.op_requires_hw, .name = st + "n" + std::to_string(i)});
+      g.add_edge(cell_ids[cell.prev[i]], cell_ids[i], bytes);
+      has_child[cell.prev[i]] = true;
+    }
+    // Output = average over loose ends (cell nodes without in-cell children).
+    const int avg = g.add_task(Task{.compute = 0.5 * work, .name = st + "avg"});
+    for (int i = 0; i < nodes; ++i) {
+      if (!has_child[i]) g.add_edge(cell_ids[i], avg, bytes);
+    }
+    g.add_edge(avg, exit_accum, bytes);
+    prev_output = avg;
+  }
+  return g;
+}
+
+TaskGraph generate_enas_graph(const EnasParams& params, std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> cell_n(params.min_cell_nodes, params.max_cell_nodes);
+  std::uniform_int_distribution<int> unroll(params.min_unroll, params.max_unroll);
+  std::uniform_int_distribution<int> batch(params.min_batch, params.max_batch);
+  const CellDesign cell = sample_cell_design(cell_n(rng), rng);
+  return unroll_cell(cell, unroll(rng), batch(rng), params);
+}
+
+}  // namespace giph

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <random>
+
+#include "graph/task_graph.hpp"
+
+namespace giph {
+
+/// Parameters of the ENAS-style deep-learning computation-graph generator
+/// (Section 5.2 / Appendix B.3). Random recurrent cell designs (each non-input
+/// cell node connects to one random previous node, loose ends are averaged)
+/// are unrolled over a sampled number of steps; per-operator compute scales
+/// with the sampled batch size. The result is a single-entry / single-exit
+/// DAG with 200-300 operators for default parameters.
+struct EnasParams {
+  int min_cell_nodes = 8;
+  int max_cell_nodes = 11;
+  int min_unroll = 20;   ///< unrolled steps, sampled uniformly
+  int max_unroll = 30;
+  int min_batch = 80;    ///< batch size, sampled uniformly
+  int max_batch = 150;
+  double base_compute = 1.0;  ///< per-op work per batch element
+  double base_bytes = 4.0;    ///< activation bytes per batch element
+  HwMask op_requires_hw = 0;  ///< optional hw constraint on compute-heavy ops
+};
+
+/// A sampled recurrent cell design: node i >= 1 reads from prev[i] < i.
+struct CellDesign {
+  std::vector<int> prev;          ///< prev[0] unused; prev[i] in [0, i)
+  std::vector<double> op_cost;    ///< relative cost of each cell node's op
+};
+
+/// Samples a random cell design with `nodes` internal nodes.
+CellDesign sample_cell_design(int nodes, std::mt19937_64& rng);
+
+/// Unrolls `cell` into a full computation graph: per step, an embedding op, the
+/// cell nodes, and an output-average op; step t's cell reads step t-1's output;
+/// a single entry feeds all embeddings and a single exit collects all outputs.
+TaskGraph unroll_cell(const CellDesign& cell, int steps, int batch, const EnasParams& params);
+
+/// Samples a cell design and unroll/batch parameters, returning the graph.
+TaskGraph generate_enas_graph(const EnasParams& params, std::mt19937_64& rng);
+
+}  // namespace giph

@@ -1,0 +1,84 @@
+#include "gen/grouping.hpp"
+
+#include <limits>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace giph {
+
+GroupedGraph group_operators(const TaskGraph& g, int target_nodes) {
+  if (target_nodes < 1) {
+    throw std::invalid_argument("group_operators: target_nodes must be >= 1");
+  }
+  const int n = g.num_tasks();
+
+  // Working representation: per-node parent/child byte maps over "alive" ids.
+  std::vector<Task> task(n);
+  std::vector<std::map<int, double>> out(n);  // v -> {child: bytes}
+  std::vector<std::set<int>> in(n);           // v -> parents
+  std::vector<bool> alive(n, true);
+  std::vector<int> root(n);  // union-find style: original -> representative
+  for (int v = 0; v < n; ++v) {
+    task[v] = g.task(v);
+    root[v] = v;
+  }
+  for (const DataLink& e : g.edges()) {
+    out[e.src][e.dst] += e.bytes;
+    in[e.dst].insert(e.src);
+  }
+
+  int count = n;
+  while (count > target_nodes) {
+    // Find the alive node with in-degree exactly 1 and minimum compute.
+    int best = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int v = 0; v < n; ++v) {
+      if (alive[v] && in[v].size() == 1 && task[v].compute < best_cost) {
+        best = v;
+        best_cost = task[v].compute;
+      }
+    }
+    if (best < 0) break;  // nothing mergeable
+    const int p = *in[best].begin();
+
+    task[p].compute += task[best].compute;
+    task[p].requires_hw |= task[best].requires_hw;
+    // Reroute best's out-edges to p (self-edge p->p from the original p->best
+    // link never arises: that link lives in out[p], not out[best]).
+    for (const auto& [c, bytes] : out[best]) {
+      out[p][c] += bytes;
+      in[c].erase(best);
+      in[c].insert(p);
+    }
+    out[p].erase(best);
+    alive[best] = false;
+    root[best] = p;
+    out[best].clear();
+    in[best].clear();
+    --count;
+  }
+
+  // Path-compress representatives.
+  auto find = [&](int v) {
+    while (root[v] != v) v = root[v];
+    return v;
+  };
+
+  GroupedGraph result;
+  std::vector<int> new_id(n, -1);
+  for (int v = 0; v < n; ++v) {
+    if (alive[v]) new_id[v] = result.graph.add_task(task[v]);
+  }
+  for (int v = 0; v < n; ++v) {
+    if (!alive[v]) continue;
+    for (const auto& [c, bytes] : out[v]) {
+      result.graph.add_edge(new_id[v], new_id[c], bytes);
+    }
+  }
+  result.group_of.resize(n);
+  for (int v = 0; v < n; ++v) result.group_of[v] = new_id[find(v)];
+  return result;
+}
+
+}  // namespace giph

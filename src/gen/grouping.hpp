@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace giph {
+
+/// Result of operator grouping: the reduced graph plus, for each original
+/// task id, the id of the group node that absorbed it.
+struct GroupedGraph {
+  TaskGraph graph;
+  std::vector<int> group_of;  ///< original task id -> grouped task id
+};
+
+/// Coarsens `g` by iteratively merging the node with in-degree one and lowest
+/// compute cost into its sole predecessor until at most `target_nodes` nodes
+/// remain (Section 5.2). Merging sums compute costs, unions hardware
+/// requirements, reroutes the merged node's out-edges to the predecessor, and
+/// accumulates data volumes of collapsed parallel edges. Stops early when no
+/// in-degree-one node remains.
+GroupedGraph group_operators(const TaskGraph& g, int target_nodes);
+
+}  // namespace giph

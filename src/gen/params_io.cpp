@@ -1,0 +1,148 @@
+#include "gen/params_io.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace giph {
+namespace {
+
+using Setter = std::function<void(double)>;
+
+std::map<std::string, Setter> graph_setters(TaskGraphParams& p) {
+  return {
+      {"graph.num_tasks", [&p](double v) { p.num_tasks = static_cast<int>(v); }},
+      {"graph.alpha", [&p](double v) { p.alpha = v; }},
+      {"graph.p_connect", [&p](double v) { p.p_connect = v; }},
+      {"graph.mean_compute", [&p](double v) { p.mean_compute = v; }},
+      {"graph.mean_bytes", [&p](double v) { p.mean_bytes = v; }},
+      {"graph.het_compute", [&p](double v) { p.het_compute = v; }},
+      {"graph.het_bytes", [&p](double v) { p.het_bytes = v; }},
+      {"graph.num_hw_kinds", [&p](double v) { p.num_hw_kinds = static_cast<int>(v); }},
+      {"graph.p_task_requires", [&p](double v) { p.p_task_requires = v; }},
+  };
+}
+
+std::map<std::string, Setter> network_setters(NetworkParams& p) {
+  return {
+      {"network.num_devices", [&p](double v) { p.num_devices = static_cast<int>(v); }},
+      {"network.mean_speed", [&p](double v) { p.mean_speed = v; }},
+      {"network.mean_bandwidth", [&p](double v) { p.mean_bandwidth = v; }},
+      {"network.mean_delay", [&p](double v) { p.mean_delay = v; }},
+      {"network.het_speed", [&p](double v) { p.het_speed = v; }},
+      {"network.het_bandwidth", [&p](double v) { p.het_bandwidth = v; }},
+      {"network.num_hw_kinds",
+       [&p](double v) { p.num_hw_kinds = static_cast<int>(v); }},
+      {"network.p_hw_support", [&p](double v) { p.p_hw_support = v; }},
+  };
+}
+
+/// Expands the per-key value lists into the cartesian-product grid of
+/// parameter structs.
+template <typename Params, typename SettersOf>
+std::vector<Params> expand(const std::map<std::string, std::vector<double>>& values,
+                           SettersOf setters_of, std::size_t max_grid) {
+  std::vector<Params> grid{Params{}};
+  for (const auto& [key, list] : values) {
+    if (list.empty()) continue;
+    std::vector<Params> next;
+    if (grid.size() * list.size() > max_grid) {
+      throw std::runtime_error("parameter grid exceeds " + std::to_string(max_grid) +
+                               " combinations");
+    }
+    next.reserve(grid.size() * list.size());
+    for (const Params& base : grid) {
+      for (double v : list) {
+        Params p = base;
+        auto setters = setters_of(p);
+        setters.at(key)(v);
+        next.push_back(p);
+      }
+    }
+    grid = std::move(next);
+  }
+  return grid;
+}
+
+}  // namespace
+
+GeneratorConfig parse_generator_config(std::istream& in, std::size_t max_grid) {
+  std::map<std::string, std::vector<double>> graph_values, network_values;
+  {
+    // Key validation tables.
+    TaskGraphParams gp;
+    NetworkParams np;
+    const auto gs = graph_setters(gp);
+    const auto ns = network_setters(np);
+
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::istringstream ls(line);
+      std::string key;
+      if (!(ls >> key)) continue;  // blank line
+      std::string eq;
+      if (!(ls >> eq) || eq != "=") {
+        throw std::runtime_error("parameter file line " + std::to_string(lineno) +
+                                 ": expected 'key = values'");
+      }
+      std::vector<double> vals;
+      double v = 0.0;
+      while (ls >> v) vals.push_back(v);
+      if (vals.empty()) {
+        throw std::runtime_error("parameter file line " + std::to_string(lineno) +
+                                 ": no values for " + key);
+      }
+      if (gs.count(key) != 0) {
+        graph_values[key] = vals;
+      } else if (ns.count(key) != 0) {
+        network_values[key] = vals;
+      } else {
+        throw std::runtime_error("parameter file line " + std::to_string(lineno) +
+                                 ": unknown key " + key);
+      }
+    }
+  }
+  GeneratorConfig cfg;
+  cfg.graph_grid = expand<TaskGraphParams>(
+      graph_values, [](TaskGraphParams& p) { return graph_setters(p); }, max_grid);
+  cfg.network_grid = expand<NetworkParams>(
+      network_values, [](NetworkParams& p) { return network_setters(p); }, max_grid);
+  return cfg;
+}
+
+GeneratorConfig load_generator_config(const std::string& path, std::size_t max_grid) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open parameter file: " + path);
+  return parse_generator_config(in, max_grid);
+}
+
+void write_generator_config(std::ostream& out, const TaskGraphParams& gp,
+                            const NetworkParams& np) {
+  out << "# GiPH generator parameters (values may be lists: the dataset is the\n"
+         "# cartesian product per prefix)\n";
+  out << "graph.num_tasks = " << gp.num_tasks << "\n";
+  out << "graph.alpha = " << gp.alpha << "\n";
+  out << "graph.p_connect = " << gp.p_connect << "\n";
+  out << "graph.mean_compute = " << gp.mean_compute << "\n";
+  out << "graph.mean_bytes = " << gp.mean_bytes << "\n";
+  out << "graph.het_compute = " << gp.het_compute << "\n";
+  out << "graph.het_bytes = " << gp.het_bytes << "\n";
+  out << "graph.num_hw_kinds = " << gp.num_hw_kinds << "\n";
+  out << "graph.p_task_requires = " << gp.p_task_requires << "\n";
+  out << "network.num_devices = " << np.num_devices << "\n";
+  out << "network.mean_speed = " << np.mean_speed << "\n";
+  out << "network.mean_bandwidth = " << np.mean_bandwidth << "\n";
+  out << "network.mean_delay = " << np.mean_delay << "\n";
+  out << "network.het_speed = " << np.het_speed << "\n";
+  out << "network.het_bandwidth = " << np.het_bandwidth << "\n";
+  out << "network.num_hw_kinds = " << np.num_hw_kinds << "\n";
+  out << "network.p_hw_support = " << np.p_hw_support << "\n";
+}
+
+}  // namespace giph

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gen/device_network_gen.hpp"
+#include "gen/task_graph_gen.hpp"
+
+namespace giph {
+
+/// Generator configuration parsed from a parameter file - the equivalent of
+/// the paper artifact's parameters/ directory (its README: "Our simulator
+/// allows for assigning multiple values to each parameter used by the
+/// generators. A specific combination of parameter values is used to
+/// generate data").
+///
+/// File format: `key = v1 v2 ...` lines, `#` comments. Keys are prefixed by
+/// `graph.` or `network.` (e.g. `graph.num_tasks = 12 16 20`). Every key may
+/// list several values; the grids are the cartesian products of the listed
+/// values within each prefix.
+struct GeneratorConfig {
+  std::vector<TaskGraphParams> graph_grid;
+  std::vector<NetworkParams> network_grid;
+};
+
+/// Parses a configuration; unknown keys and malformed lines throw
+/// std::runtime_error, as does a grid larger than `max_grid` combinations.
+GeneratorConfig parse_generator_config(std::istream& in, std::size_t max_grid = 10000);
+
+GeneratorConfig load_generator_config(const std::string& path,
+                                      std::size_t max_grid = 10000);
+
+/// Writes the full key set with the given single values (a template users
+/// can edit); parse(write(config)) uses the first grid entry of each side.
+void write_generator_config(std::ostream& out, const TaskGraphParams& gp,
+                            const NetworkParams& np);
+
+}  // namespace giph

@@ -1,0 +1,111 @@
+#include "gen/task_graph_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace giph {
+namespace {
+
+double uniform_around(double mean, double het, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> d(mean * (1.0 - het), mean * (1.0 + het));
+  return d(rng);
+}
+
+int sample_depth(int m, double alpha, std::mt19937_64& rng) {
+  // Uniform with mean sqrt(M)/alpha, clamped to [1, M].
+  const double mean = std::sqrt(static_cast<double>(m)) / alpha;
+  std::uniform_real_distribution<double> d(0.5, 2.0 * mean - 0.5);
+  const int depth = static_cast<int>(std::lround(std::max(1.0, d(rng))));
+  return std::clamp(depth, 1, m);
+}
+
+}  // namespace
+
+TaskGraph generate_task_graph(const TaskGraphParams& params, std::mt19937_64& rng) {
+  const int m = params.num_tasks;
+  if (m <= 0) throw std::invalid_argument("generate_task_graph: num_tasks must be > 0");
+  if (params.alpha <= 0.0) throw std::invalid_argument("generate_task_graph: alpha must be > 0");
+
+  TaskGraph g;
+  auto sample_hw = [&]() -> HwMask {
+    if (params.num_hw_kinds <= 0) return 0;
+    std::bernoulli_distribution has_req(params.p_task_requires);
+    if (!has_req(rng)) return 0;
+    std::uniform_int_distribution<int> kind(0, params.num_hw_kinds - 1);
+    return HwMask{1} << kind(rng);
+  };
+  for (int i = 0; i < m; ++i) {
+    Task t;
+    t.compute = uniform_around(params.mean_compute, params.het_compute, rng);
+    t.requires_hw = sample_hw();
+    t.name = "t" + std::to_string(i);
+    g.add_task(std::move(t));
+  }
+  if (m == 1) return g;
+
+  // Level layout: single entry, single exit, middle levels absorb the rest.
+  int depth = sample_depth(m, params.alpha, rng);
+  if (m > 2 && depth < 3) depth = 3;
+  if (m == 2) depth = 2;
+  depth = std::min(depth, m);
+
+  std::vector<int> width(depth, 1);
+  int extra = m - depth;
+  std::uniform_int_distribution<int> mid(1, std::max(1, depth - 2));
+  while (extra > 0) {
+    width[mid(rng)]++;
+    --extra;
+  }
+
+  // Assign node ids to levels in order: ids are contiguous per level, so the
+  // level of node v can be recovered by construction.
+  std::vector<std::vector<int>> level_nodes(depth);
+  {
+    int next = 0;
+    for (int l = 0; l < depth; ++l) {
+      for (int k = 0; k < width[l]; ++k) level_nodes[l].push_back(next++);
+    }
+  }
+
+  auto bytes = [&]() { return uniform_around(params.mean_bytes, params.het_bytes, rng); };
+
+  // Every node at level l > 0 receives one edge from a random node at level
+  // l-1 (fixes its level and leaves the entry as the unique parentless node).
+  for (int l = 1; l < depth; ++l) {
+    std::uniform_int_distribution<std::size_t> pick(0, level_nodes[l - 1].size() - 1);
+    for (int v : level_nodes[l]) {
+      g.add_edge(level_nodes[l - 1][pick(rng)], v, bytes());
+    }
+  }
+
+  // Extra forward edges from any higher level to any strictly lower level.
+  std::bernoulli_distribution connect(params.p_connect);
+  for (int lu = 0; lu < depth - 1; ++lu) {
+    for (int lv = lu + 1; lv < depth; ++lv) {
+      for (int u : level_nodes[lu]) {
+        for (int v : level_nodes[lv]) {
+          if (!g.has_edge(u, v) && connect(rng)) g.add_edge(u, v, bytes());
+        }
+      }
+    }
+  }
+
+  // Every non-exit node must reach the exit: childless nodes (other than the
+  // exit) get an edge to a random node at a later level.
+  const int exit_node = level_nodes[depth - 1][0];
+  for (int l = 0; l < depth - 1; ++l) {
+    for (int v : level_nodes[l]) {
+      if (g.out_degree(v) == 0) {
+        std::uniform_int_distribution<int> later(l + 1, depth - 1);
+        const int tl = later(rng);
+        std::uniform_int_distribution<std::size_t> pick(0, level_nodes[tl].size() - 1);
+        const int child = level_nodes[tl][pick(rng)];
+        g.add_edge(v, child == v ? exit_node : child, bytes());
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace giph

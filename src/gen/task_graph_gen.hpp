@@ -1,0 +1,29 @@
+#pragma once
+
+#include <random>
+
+#include "graph/task_graph.hpp"
+
+namespace giph {
+
+/// Parameters of the parametric random task-graph generator (Appendix B.2,
+/// following Topcuoglu et al. 2002). Generates single-entry / single-exit
+/// DAGs arranged in levels.
+struct TaskGraphParams {
+  int num_tasks = 20;        ///< M
+  double alpha = 1.0;        ///< shape: mean depth = sqrt(M)/alpha
+  double p_connect = 0.25;   ///< probability of an extra higher->lower level edge
+  double mean_compute = 100.0;  ///< C-bar
+  double mean_bytes = 100.0;    ///< B-bar
+  double het_compute = 0.5;  ///< epsilon_C in [0,1)
+  double het_bytes = 0.5;    ///< epsilon_B in [0,1)
+  int num_hw_kinds = 4;      ///< distinct hardware capability kinds
+  double p_task_requires = 0.3;  ///< probability a task carries a hw requirement
+};
+
+/// Generates a random task graph. Guarantees: exactly params.num_tasks nodes,
+/// acyclic, a single entry and a single exit (for num_tasks >= 2), all nodes
+/// on a path from entry towards the exit level structure described in B.2.
+TaskGraph generate_task_graph(const TaskGraphParams& params, std::mt19937_64& rng);
+
+}  // namespace giph

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file giph.hpp
+/// Umbrella header for the giph-cpp public API.
+///
+/// The library reproduces GiPH (Hu et al., MLSys 2023) end to end:
+///
+///   - problem model: TaskGraph, DeviceNetwork, Placement (graph/)
+///   - runtime:       simulate(), Schedule, metrics, objectives (sim/)
+///   - generators:    synthetic + ENAS-style datasets, grouping (gen/)
+///   - heuristics:    HEFT, CPOP, EFT device selection (heft/)
+///   - learning:      gpNet, GraphEncoder, GiPHAgent, train_reinforce (core/)
+///   - baselines:     random, Placeto, RNN placer, local search (baselines/)
+///   - evaluation:    comparable curves, statistics, ASCII charts (eval/)
+///   - case study:    cooperative sensor fusion for CAVs (casestudy/)
+///
+/// Typical flow: generate or load a dataset, construct a GiPHAgent, train it
+/// with train_reinforce(), then run_search() on new (TaskGraph, DeviceNetwork)
+/// instances - no retraining needed when the device network changes.
+
+#include "baselines/local_search.hpp"
+#include "baselines/placeto.hpp"
+#include "baselines/random_policies.hpp"
+#include "baselines/rnn_placer.hpp"
+#include "core/features.hpp"
+#include "core/giph_agent.hpp"
+#include "core/gnn.hpp"
+#include "core/gpnet.hpp"
+#include "core/reinforce.hpp"
+#include "core/search_env.hpp"
+#include "core/search_policy.hpp"
+#include "eval/ascii_chart.hpp"
+#include "eval/evaluation.hpp"
+#include "gen/dataset.hpp"
+#include "gen/device_network_gen.hpp"
+#include "gen/enas_gen.hpp"
+#include "gen/grouping.hpp"
+#include "gen/params_io.hpp"
+#include "gen/task_graph_gen.hpp"
+#include "graph/device_network.hpp"
+#include "graph/hardware.hpp"
+#include "graph/placement.hpp"
+#include "graph/serialization.hpp"
+#include "graph/task_graph.hpp"
+#include "graph/topology.hpp"
+#include "heft/cpop.hpp"
+#include "heft/heft.hpp"
+#include "sim/latency_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"

@@ -1,0 +1,113 @@
+#include "graph/device_network.hpp"
+
+#include <stdexcept>
+
+namespace giph {
+
+void DeviceNetwork::resize(int m) {
+  devices_.resize(m);
+  bw_.assign(static_cast<std::size_t>(m) * m, 1.0);
+  dl_.assign(static_cast<std::size_t>(m) * m, 0.0);
+}
+
+int DeviceNetwork::add_device(Device d) {
+  const int m = num_devices();
+  std::vector<double> bw(static_cast<std::size_t>(m + 1) * (m + 1), 1.0);
+  std::vector<double> dl(static_cast<std::size_t>(m + 1) * (m + 1), 0.0);
+  for (int k = 0; k < m; ++k) {
+    for (int l = 0; l < m; ++l) {
+      bw[static_cast<std::size_t>(k) * (m + 1) + l] = bw_[idx(k, l)];
+      dl[static_cast<std::size_t>(k) * (m + 1) + l] = dl_[idx(k, l)];
+    }
+  }
+  devices_.push_back(std::move(d));
+  bw_ = std::move(bw);
+  dl_ = std::move(dl);
+  return m;
+}
+
+void DeviceNetwork::remove_device(int k) {
+  check(k);
+  const int m = num_devices();
+  std::vector<double> bw(static_cast<std::size_t>(m - 1) * (m - 1));
+  std::vector<double> dl(static_cast<std::size_t>(m - 1) * (m - 1));
+  for (int a = 0, na = 0; a < m; ++a) {
+    if (a == k) continue;
+    for (int b = 0, nb = 0; b < m; ++b) {
+      if (b == k) continue;
+      bw[static_cast<std::size_t>(na) * (m - 1) + nb] = bw_[idx(a, b)];
+      dl[static_cast<std::size_t>(na) * (m - 1) + nb] = dl_[idx(a, b)];
+      ++nb;
+    }
+    ++na;
+  }
+  devices_.erase(devices_.begin() + k);
+  bw_ = std::move(bw);
+  dl_ = std::move(dl);
+}
+
+void DeviceNetwork::set_link(int k, int l, double bandwidth, double delay) {
+  check(k);
+  check(l);
+  if (k == l) throw std::invalid_argument("DeviceNetwork::set_link: self link is implicit");
+  if (!(bandwidth > 0.0)) {
+    throw std::invalid_argument("DeviceNetwork::set_link: bandwidth must be positive");
+  }
+  if (delay < 0.0) {
+    throw std::invalid_argument("DeviceNetwork::set_link: delay must be non-negative");
+  }
+  bw_[idx(k, l)] = bandwidth;
+  dl_[idx(k, l)] = delay;
+}
+
+void DeviceNetwork::set_symmetric_link(int k, int l, double bandwidth, double delay) {
+  set_link(k, l, bandwidth, delay);
+  set_link(l, k, bandwidth, delay);
+}
+
+std::vector<int> DeviceNetwork::feasible_devices(HwMask requires_hw) const {
+  std::vector<int> out;
+  for (int k = 0; k < num_devices(); ++k) {
+    if (hw_compatible(requires_hw, devices_[k].supports_hw)) out.push_back(k);
+  }
+  return out;
+}
+
+double DeviceNetwork::mean_bandwidth() const {
+  const int m = num_devices();
+  if (m < 2) return 0.0;
+  double s = 0.0;
+  for (int k = 0; k < m; ++k) {
+    for (int l = 0; l < m; ++l) {
+      if (k != l) s += bw_[idx(k, l)];
+    }
+  }
+  return s / (static_cast<double>(m) * (m - 1));
+}
+
+double DeviceNetwork::mean_delay() const {
+  const int m = num_devices();
+  if (m < 2) return 0.0;
+  double s = 0.0;
+  for (int k = 0; k < m; ++k) {
+    for (int l = 0; l < m; ++l) {
+      if (k != l) s += dl_[idx(k, l)];
+    }
+  }
+  return s / (static_cast<double>(m) * (m - 1));
+}
+
+double DeviceNetwork::mean_speed() const {
+  if (devices_.empty()) return 0.0;
+  double s = 0.0;
+  for (const Device& d : devices_) s += d.speed;
+  return s / static_cast<double>(devices_.size());
+}
+
+void DeviceNetwork::check(int k) const {
+  if (k < 0 || k >= num_devices()) {
+    throw std::out_of_range("DeviceNetwork: device id out of range");
+  }
+}
+
+}  // namespace giph

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/hardware.hpp"
+
+namespace giph {
+
+/// A compute device (node of the target network).
+struct Device {
+  double speed = 1.0;          ///< compute speed SP_k (work units / time)
+  HwMask supports_hw = kHwAll; ///< hardware-support property
+  int type = 0;                ///< device type tag (e.g. case-study type A/B/C)
+  double startup = 0.0;        ///< per-task startup time S_k (case-study model)
+  /// Number of tasks the device can execute concurrently. The paper's model
+  /// is 1 (at most one task per device); higher values model multi-core
+  /// servers, each core running at full `speed`.
+  int cores = 1;
+  std::string name;            ///< optional human-readable label
+};
+
+/// Fully-connected heterogeneous device network N = (D, b^n, b^e).
+///
+/// Each ordered device pair (k, l) has a communication bandwidth BW_kl and a
+/// startup delay DL_kl. Local transfers are free: BW_kk = infinity, DL_kk = 0
+/// (enforced, not stored). Topologies with missing links are modelled by
+/// near-zero bandwidth, as the paper suggests.
+class DeviceNetwork {
+ public:
+  DeviceNetwork() = default;
+  explicit DeviceNetwork(int num_devices) { resize(num_devices); }
+
+  /// Adds a device with default (infinite-cost) links; returns its id.
+  /// New links default to bandwidth 1 and delay 0 until set explicitly.
+  int add_device(Device d);
+
+  /// Removes device k, compacting ids (device m-1 keeps its relative order:
+  /// all ids > k shift down by one). Invalidates existing placements.
+  void remove_device(int k);
+
+  int num_devices() const noexcept { return static_cast<int>(devices_.size()); }
+
+  const Device& device(int k) const { return devices_.at(k); }
+  Device& device(int k) { return devices_.at(k); }
+
+  /// Bandwidth of the (k -> l) link; infinity when k == l.
+  double bandwidth(int k, int l) const {
+    check(k); check(l);
+    if (k == l) return std::numeric_limits<double>::infinity();
+    return bw_[idx(k, l)];
+  }
+
+  /// Startup delay of the (k -> l) link; 0 when k == l.
+  double delay(int k, int l) const {
+    check(k); check(l);
+    if (k == l) return 0.0;
+    return dl_[idx(k, l)];
+  }
+
+  /// Sets the directed link k -> l. Throws on k == l or non-positive bandwidth.
+  void set_link(int k, int l, double bandwidth, double delay);
+  /// Sets both directions of the link.
+  void set_symmetric_link(int k, int l, double bandwidth, double delay);
+
+  /// Device ids able to host a task with requirement mask `requires_hw`.
+  std::vector<int> feasible_devices(HwMask requires_hw) const;
+
+  /// Mean of off-diagonal bandwidths / delays and of device speeds; used by
+  /// HEFT's averaged cost model and by feature normalization.
+  double mean_bandwidth() const;
+  double mean_delay() const;
+  double mean_speed() const;
+
+ private:
+  void resize(int m);
+  std::size_t idx(int k, int l) const {
+    return static_cast<std::size_t>(k) * devices_.size() + static_cast<std::size_t>(l);
+  }
+  void check(int k) const;
+
+  std::vector<Device> devices_;
+  std::vector<double> bw_;  // row-major m x m, diagonal unused
+  std::vector<double> dl_;
+};
+
+}  // namespace giph

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+namespace giph {
+
+/// Bitmask of hardware capabilities. Bit i set in a task's requirement mask
+/// means the task can only run on devices whose support mask also has bit i.
+/// A zero requirement mask means "runs anywhere".
+using HwMask = std::uint32_t;
+
+/// All-capabilities mask (a device that supports everything).
+inline constexpr HwMask kHwAll = ~HwMask{0};
+
+/// True when a device with support mask `supports` can host a task whose
+/// requirement mask is `requires_hw`.
+constexpr bool hw_compatible(HwMask requires_hw, HwMask supports) noexcept {
+  return (requires_hw & supports) == requires_hw;
+}
+
+}  // namespace giph

@@ -1,0 +1,59 @@
+#include "graph/placement.hpp"
+
+#include <stdexcept>
+
+namespace giph {
+
+std::vector<int> feasible_devices(const TaskGraph& g, const DeviceNetwork& n, int v) {
+  const Task& t = g.task(v);
+  if (t.pinned >= 0) {
+    if (t.pinned >= n.num_devices()) return {};
+    return {t.pinned};
+  }
+  return n.feasible_devices(t.requires_hw);
+}
+
+bool device_feasible(const TaskGraph& g, const DeviceNetwork& n, int v, int d) {
+  if (d < 0 || d >= n.num_devices()) return false;
+  const Task& t = g.task(v);
+  if (t.pinned >= 0) return d == t.pinned;
+  return hw_compatible(t.requires_hw, n.device(d).supports_hw);
+}
+
+bool is_feasible(const TaskGraph& g, const DeviceNetwork& n, const Placement& p) {
+  if (p.num_tasks() != g.num_tasks()) return false;
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    if (!device_feasible(g, n, v, p.device_of(v))) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<int>> feasible_sets(const TaskGraph& g, const DeviceNetwork& n) {
+  std::vector<std::vector<int>> sets(g.num_tasks());
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    sets[v] = feasible_devices(g, n, v);
+    if (sets[v].empty()) {
+      throw std::runtime_error("feasible_sets: task " + std::to_string(v) +
+                               " has no feasible device");
+    }
+  }
+  return sets;
+}
+
+double state_space_size(const TaskGraph& g, const DeviceNetwork& n) {
+  double size = 1.0;
+  for (const auto& s : feasible_sets(g, n)) size *= static_cast<double>(s.size());
+  return size;
+}
+
+Placement random_placement(const TaskGraph& g, const DeviceNetwork& n, std::mt19937_64& rng) {
+  Placement p(g.num_tasks());
+  const auto sets = feasible_sets(g, n);
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    std::uniform_int_distribution<std::size_t> pick(0, sets[v].size() - 1);
+    p.set(v, sets[v][pick(rng)]);
+  }
+  return p;
+}
+
+}  // namespace giph

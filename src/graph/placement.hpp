@@ -1,0 +1,51 @@
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "graph/device_network.hpp"
+#include "graph/task_graph.hpp"
+
+namespace giph {
+
+/// A placement M : V -> D, stored as device id per task id (-1 = unplaced).
+class Placement {
+ public:
+  Placement() = default;
+  explicit Placement(int num_tasks) : assign_(num_tasks, -1) {}
+
+  int num_tasks() const noexcept { return static_cast<int>(assign_.size()); }
+  int device_of(int v) const { return assign_.at(v); }
+  void set(int v, int d) { assign_.at(v) = d; }
+
+  const std::vector<int>& assignments() const noexcept { return assign_; }
+
+  bool operator==(const Placement&) const = default;
+
+ private:
+  std::vector<int> assign_;
+};
+
+/// Feasible devices of task v in (g, n): the pinned device if the task is
+/// pinned, otherwise all devices whose hardware support covers the task's
+/// requirement mask.
+std::vector<int> feasible_devices(const TaskGraph& g, const DeviceNetwork& n, int v);
+
+/// True when device d can host task v.
+bool device_feasible(const TaskGraph& g, const DeviceNetwork& n, int v, int d);
+
+/// True when every task is placed on a feasible device of N.
+bool is_feasible(const TaskGraph& g, const DeviceNetwork& n, const Placement& p);
+
+/// Per-task feasible device sets D_i for (g, n). Throws std::runtime_error if
+/// some task has no feasible device.
+std::vector<std::vector<int>> feasible_sets(const TaskGraph& g, const DeviceNetwork& n);
+
+/// Size of the search state space prod_i |D_i| (saturates at +infinity).
+double state_space_size(const TaskGraph& g, const DeviceNetwork& n);
+
+/// Uniformly random feasible placement (the paper's random baseline and the
+/// episode initial state).
+Placement random_placement(const TaskGraph& g, const DeviceNetwork& n, std::mt19937_64& rng);
+
+}  // namespace giph

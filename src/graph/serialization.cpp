@@ -1,0 +1,179 @@
+#include "graph/serialization.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace giph {
+namespace {
+
+void expect_header(std::istream& in, const std::string& kind) {
+  std::string k, v;
+  in >> k >> v;
+  if (!in || k != kind || v != "v1") {
+    throw std::runtime_error("deserialize: expected '" + kind + " v1' header");
+  }
+}
+
+std::string encode_name(const std::string& name) {
+  if (name.empty()) return "-";
+  std::string out = name;
+  for (char& c : out) {
+    if (std::isspace(static_cast<unsigned char>(c))) c = '_';
+  }
+  return out;
+}
+
+std::string decode_name(const std::string& token) {
+  return token == "-" ? std::string{} : token;
+}
+
+void check(std::istream& in, const char* what) {
+  if (!in) throw std::runtime_error(std::string("deserialize: truncated ") + what);
+}
+
+}  // namespace
+
+void write_task_graph(std::ostream& out, const TaskGraph& g) {
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "task-graph v1\n" << g.num_tasks() << " " << g.num_edges() << "\n";
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    const Task& t = g.task(v);
+    out << t.compute << " " << t.requires_hw << " " << t.pinned << " "
+        << encode_name(t.name) << "\n";
+  }
+  for (const DataLink& e : g.edges()) {
+    out << e.src << " " << e.dst << " " << e.bytes << "\n";
+  }
+}
+
+TaskGraph read_task_graph(std::istream& in) {
+  expect_header(in, "task-graph");
+  int nv = 0, ne = 0;
+  in >> nv >> ne;
+  check(in, "task graph counts");
+  if (nv < 0 || ne < 0) throw std::runtime_error("deserialize: negative counts");
+  TaskGraph g;
+  for (int v = 0; v < nv; ++v) {
+    Task t;
+    std::string name;
+    in >> t.compute >> t.requires_hw >> t.pinned >> name;
+    check(in, "task row");
+    t.name = decode_name(name);
+    g.add_task(std::move(t));
+  }
+  for (int e = 0; e < ne; ++e) {
+    int src = 0, dst = 0;
+    double bytes = 0.0;
+    in >> src >> dst >> bytes;
+    check(in, "edge row");
+    g.add_edge(src, dst, bytes);
+  }
+  return g;
+}
+
+void write_device_network(std::ostream& out, const DeviceNetwork& n) {
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "device-network v1\n" << n.num_devices() << "\n";
+  for (int k = 0; k < n.num_devices(); ++k) {
+    const Device& d = n.device(k);
+    out << d.speed << " " << d.supports_hw << " " << d.type << " " << d.startup << " "
+        << d.cores << " " << encode_name(d.name) << "\n";
+  }
+  for (int k = 0; k < n.num_devices(); ++k) {
+    for (int l = 0; l < n.num_devices(); ++l) {
+      out << (k == l ? 0.0 : n.bandwidth(k, l)) << (l + 1 == n.num_devices() ? '\n' : ' ');
+    }
+  }
+  for (int k = 0; k < n.num_devices(); ++k) {
+    for (int l = 0; l < n.num_devices(); ++l) {
+      out << (k == l ? 0.0 : n.delay(k, l)) << (l + 1 == n.num_devices() ? '\n' : ' ');
+    }
+  }
+}
+
+DeviceNetwork read_device_network(std::istream& in) {
+  expect_header(in, "device-network");
+  int m = 0;
+  in >> m;
+  check(in, "device count");
+  if (m < 0) throw std::runtime_error("deserialize: negative device count");
+  DeviceNetwork n;
+  for (int k = 0; k < m; ++k) {
+    Device d;
+    std::string name;
+    in >> d.speed >> d.supports_hw >> d.type >> d.startup >> d.cores >> name;
+    check(in, "device row");
+    d.name = decode_name(name);
+    n.add_device(std::move(d));
+  }
+  std::vector<double> bw(static_cast<std::size_t>(m) * m), dl(bw.size());
+  for (double& x : bw) in >> x;
+  for (double& x : dl) in >> x;
+  check(in, "link matrices");
+  for (int k = 0; k < m; ++k) {
+    for (int l = 0; l < m; ++l) {
+      if (k != l) n.set_link(k, l, bw[static_cast<std::size_t>(k) * m + l],
+                             dl[static_cast<std::size_t>(k) * m + l]);
+    }
+  }
+  return n;
+}
+
+void write_placement(std::ostream& out, const Placement& p) {
+  out << "placement v1\n" << p.num_tasks() << "\n";
+  for (int v = 0; v < p.num_tasks(); ++v) {
+    out << p.device_of(v) << (v + 1 == p.num_tasks() ? '\n' : ' ');
+  }
+}
+
+Placement read_placement(std::istream& in) {
+  expect_header(in, "placement");
+  int nv = 0;
+  in >> nv;
+  check(in, "placement count");
+  Placement p(nv);
+  for (int v = 0; v < nv; ++v) {
+    int d = 0;
+    in >> d;
+    p.set(v, d);
+  }
+  check(in, "placement row");
+  return p;
+}
+
+namespace {
+
+template <typename WriteFn>
+void save_to(const std::string& path, WriteFn fn) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  fn(out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace
+
+void save_task_graph(const std::string& path, const TaskGraph& g) {
+  save_to(path, [&](std::ostream& out) { write_task_graph(out, g); });
+}
+
+TaskGraph load_task_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_task_graph(in);
+}
+
+void save_device_network(const std::string& path, const DeviceNetwork& n) {
+  save_to(path, [&](std::ostream& out) { write_device_network(out, n); });
+}
+
+DeviceNetwork load_device_network(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_device_network(in);
+}
+
+}  // namespace giph

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/placement.hpp"
+
+namespace giph {
+
+/// Plain-text serialization of the problem-domain types. The format is
+/// line-oriented and versioned; it round-trips exactly (doubles are written
+/// with max_digits10 precision). Used by the CLI for dataset persistence.
+///
+/// task-graph v1
+/// <num_tasks> <num_edges>
+/// <compute> <requires_hw> <pinned> <name-or-dash>   (per task)
+/// <src> <dst> <bytes>                               (per edge)
+void write_task_graph(std::ostream& out, const TaskGraph& g);
+TaskGraph read_task_graph(std::istream& in);
+
+/// device-network v1
+/// <num_devices>
+/// <speed> <supports_hw> <type> <startup> <name-or-dash>  (per device)
+/// <bandwidth> ... / <delay> ...    (two m x m row-major matrices, diag = 0)
+void write_device_network(std::ostream& out, const DeviceNetwork& n);
+DeviceNetwork read_device_network(std::istream& in);
+
+/// placement v1
+/// <num_tasks>
+/// <device ids...>
+void write_placement(std::ostream& out, const Placement& p);
+Placement read_placement(std::istream& in);
+
+// File-path conveniences (throw std::runtime_error on I/O failure).
+void save_task_graph(const std::string& path, const TaskGraph& g);
+TaskGraph load_task_graph(const std::string& path);
+void save_device_network(const std::string& path, const DeviceNetwork& n);
+DeviceNetwork load_device_network(const std::string& path);
+
+}  // namespace giph

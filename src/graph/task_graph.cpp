@@ -1,0 +1,136 @@
+#include "graph/task_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace giph {
+
+int TaskGraph::add_task(Task t) {
+  tasks_.push_back(std::move(t));
+  in_edges_.emplace_back();
+  out_edges_.emplace_back();
+  invalidate_cache();
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+int TaskGraph::add_edge(int u, int v, double bytes) {
+  if (u < 0 || u >= num_tasks() || v < 0 || v >= num_tasks()) {
+    throw std::invalid_argument("TaskGraph::add_edge: node id out of range");
+  }
+  if (u == v) {
+    throw std::invalid_argument("TaskGraph::add_edge: self-loop");
+  }
+  if (has_edge(u, v)) {
+    throw std::invalid_argument("TaskGraph::add_edge: duplicate edge");
+  }
+  const int e = static_cast<int>(edges_.size());
+  edges_.push_back(DataLink{u, v, bytes});
+  out_edges_[u].push_back(e);
+  in_edges_[v].push_back(e);
+  invalidate_cache();
+  return e;
+}
+
+std::vector<int> TaskGraph::parents(int v) const {
+  std::vector<int> out;
+  out.reserve(in_edges_.at(v).size());
+  for (int e : in_edges_[v]) out.push_back(edges_[e].src);
+  return out;
+}
+
+std::vector<int> TaskGraph::children(int v) const {
+  std::vector<int> out;
+  out.reserve(out_edges_.at(v).size());
+  for (int e : out_edges_[v]) out.push_back(edges_[e].dst);
+  return out;
+}
+
+bool TaskGraph::has_edge(int u, int v) const { return find_edge(u, v) >= 0; }
+
+int TaskGraph::find_edge(int u, int v) const {
+  for (int e : out_edges_.at(u)) {
+    if (edges_[e].dst == v) return e;
+  }
+  return -1;
+}
+
+std::vector<int> TaskGraph::entry_tasks() const {
+  std::vector<int> out;
+  for (int v = 0; v < num_tasks(); ++v) {
+    if (in_edges_[v].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<int> TaskGraph::exit_tasks() const {
+  std::vector<int> out;
+  for (int v = 0; v < num_tasks(); ++v) {
+    if (out_edges_[v].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+void TaskGraph::invalidate_cache() const { cache_valid_ = false; }
+
+void TaskGraph::build_order() const {
+  if (cache_valid_) return;
+  const int n = num_tasks();
+  topo_.clear();
+  topo_.reserve(n);
+  levels_.assign(n, 0);
+  std::vector<int> indeg(n);
+  for (int v = 0; v < n; ++v) indeg[v] = in_degree(v);
+  // Kahn's algorithm; the frontier is kept sorted by node id for determinism.
+  std::vector<int> frontier;
+  for (int v = 0; v < n; ++v) {
+    if (indeg[v] == 0) frontier.push_back(v);
+  }
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    const int v = frontier[head++];
+    topo_.push_back(v);
+    for (int e : out_edges_[v]) {
+      const int c = edges_[e].dst;
+      levels_[c] = std::max(levels_[c], levels_[v] + 1);
+      if (--indeg[c] == 0) frontier.push_back(c);
+    }
+  }
+  cyclic_ = static_cast<int>(topo_.size()) != n;
+  cache_valid_ = true;
+}
+
+bool TaskGraph::is_dag() const {
+  build_order();
+  return !cyclic_;
+}
+
+const std::vector<int>& TaskGraph::topological_order() const {
+  build_order();
+  if (cyclic_) throw std::logic_error("TaskGraph: graph is cyclic");
+  return topo_;
+}
+
+const std::vector<int>& TaskGraph::levels() const {
+  build_order();
+  if (cyclic_) throw std::logic_error("TaskGraph: graph is cyclic");
+  return levels_;
+}
+
+int TaskGraph::depth() const {
+  if (num_tasks() == 0) return 0;
+  const auto& lv = levels();
+  return *std::max_element(lv.begin(), lv.end()) + 1;
+}
+
+double TaskGraph::total_bytes() const {
+  return std::accumulate(edges_.begin(), edges_.end(), 0.0,
+                         [](double s, const DataLink& e) { return s + e.bytes; });
+}
+
+double TaskGraph::total_compute() const {
+  return std::accumulate(tasks_.begin(), tasks_.end(), 0.0,
+                         [](double s, const Task& t) { return s + t.compute; });
+}
+
+}  // namespace giph

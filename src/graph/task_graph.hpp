@@ -1,0 +1,157 @@
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/hardware.hpp"
+
+namespace giph {
+
+/// A computation task (node of the application DAG).
+struct Task {
+  double compute = 0.0;    ///< compute requirement C_i (abstract work units)
+  HwMask requires_hw = 0;  ///< hardware-requirement property (0 = any device)
+  int pinned = -1;         ///< if >= 0, the only feasible device (e.g. a sensor source)
+  std::string name;        ///< optional human-readable label
+};
+
+/// A directed data link (u -> v): v consumes `bytes` of u's output.
+struct DataLink {
+  int src = -1;
+  int dst = -1;
+  double bytes = 0.0;  ///< amount of data transferred B_ij
+};
+
+/// Directed acyclic task graph G = (V, E) with per-node compute requirements,
+/// per-edge data volumes, and hardware placement constraints.
+///
+/// Nodes are dense integer ids [0, num_tasks). Edges are stored in insertion
+/// order with per-node incoming/outgoing adjacency (edge-index lists).
+/// Structural queries (topological order, depth, levels) are computed lazily
+/// and cached; any mutation invalidates the cache.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+
+  /// Adds a task, returning its id.
+  int add_task(Task t);
+
+  /// Adds a data link u -> v. Throws std::invalid_argument on out-of-range
+  /// ids, self-loops, or duplicate edges.
+  int add_edge(int u, int v, double bytes);
+
+  int num_tasks() const noexcept { return static_cast<int>(tasks_.size()); }
+  int num_edges() const noexcept { return static_cast<int>(edges_.size()); }
+
+  const Task& task(int v) const { return tasks_.at(v); }
+  Task& task(int v) { return tasks_.at(v); }
+  const DataLink& edge(int e) const { return edges_.at(e); }
+  DataLink& edge(int e) { return edges_.at(e); }
+  std::span<const DataLink> edges() const noexcept { return edges_; }
+
+  /// Edge ids entering / leaving node v.
+  std::span<const int> in_edges(int v) const { return in_edges_.at(v); }
+  std::span<const int> out_edges(int v) const { return out_edges_.at(v); }
+
+  /// Parent / child task ids of v (in adjacency order).
+  std::vector<int> parents(int v) const;
+  std::vector<int> children(int v) const;
+
+  int in_degree(int v) const { return static_cast<int>(in_edges_.at(v).size()); }
+  int out_degree(int v) const { return static_cast<int>(out_edges_.at(v).size()); }
+  /// Total degree |E_i| of node v (used by the gpNet edge-count formula).
+  int degree(int v) const { return in_degree(v) + out_degree(v); }
+
+  /// True iff there is an edge u -> v.
+  bool has_edge(int u, int v) const;
+  /// Edge id of u -> v, or -1.
+  int find_edge(int u, int v) const;
+
+  /// Tasks with no parents / no children.
+  std::vector<int> entry_tasks() const;
+  std::vector<int> exit_tasks() const;
+
+  /// True when the edge set is acyclic (always true unless edges were added
+  /// forming a cycle; add_edge does not eagerly check reachability).
+  bool is_dag() const;
+
+  /// Topological order of all tasks. Throws std::logic_error if cyclic.
+  const std::vector<int>& topological_order() const;
+
+  /// Level of each task: entry tasks are level 0, otherwise 1 + max parent
+  /// level. Throws if cyclic.
+  const std::vector<int>& levels() const;
+
+  /// Depth = number of levels = length (in nodes) of the longest path.
+  int depth() const;
+
+  /// Longest entry->exit path weight using per-node cost(v) and per-edge
+  /// cost(e) callables; also known as the static critical path.
+  template <typename NodeCost, typename EdgeCost>
+  double critical_path_cost(NodeCost node_cost, EdgeCost edge_cost) const {
+    double best = 0.0;
+    std::vector<double> dist(tasks_.size(), 0.0);
+    for (int v : topological_order()) {
+      double d = 0.0;
+      for (int e : in_edges_[v]) {
+        d = std::max(d, dist[edges_[e].src] + edge_cost(e));
+      }
+      dist[v] = d + node_cost(v);
+      best = std::max(best, dist[v]);
+    }
+    return best;
+  }
+
+  /// Nodes on the critical path when only node costs are counted (CP_MIN of
+  /// the SLR definition uses this with the per-node minimum compute cost).
+  template <typename NodeCost>
+  std::vector<int> critical_path_nodes(NodeCost node_cost) const {
+    std::vector<double> dist(tasks_.size(), 0.0);
+    std::vector<int> pred(tasks_.size(), -1);
+    int best_node = -1;
+    double best = -1.0;
+    for (int v : topological_order()) {
+      double d = 0.0;
+      int p = -1;
+      for (int e : in_edges_[v]) {
+        if (dist[edges_[e].src] > d) {
+          d = dist[edges_[e].src];
+          p = edges_[e].src;
+        }
+      }
+      dist[v] = d + node_cost(v);
+      pred[v] = p;
+      if (dist[v] > best) {
+        best = dist[v];
+        best_node = v;
+      }
+    }
+    std::vector<int> path;
+    for (int v = best_node; v != -1; v = pred[v]) path.push_back(v);
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+
+  /// Sum of data volumes over all edges.
+  double total_bytes() const;
+  /// Sum of compute requirements over all tasks.
+  double total_compute() const;
+
+ private:
+  void invalidate_cache() const;
+  void build_order() const;
+
+  std::vector<Task> tasks_;
+  std::vector<DataLink> edges_;
+  std::vector<std::vector<int>> in_edges_;
+  std::vector<std::vector<int>> out_edges_;
+
+  mutable bool cache_valid_ = false;
+  mutable bool cyclic_ = false;
+  mutable std::vector<int> topo_;
+  mutable std::vector<int> levels_;
+};
+
+}  // namespace giph

@@ -1,0 +1,68 @@
+#include "graph/topology.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace giph {
+
+void apply_topology(DeviceNetwork& n, const std::vector<PhysicalLink>& links,
+                    double unreachable_bw, double unreachable_delay) {
+  const int m = n.num_devices();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> delay(static_cast<std::size_t>(m) * m, inf);
+  std::vector<double> bw(static_cast<std::size_t>(m) * m, 0.0);
+  auto at = [m](int i, int j) { return static_cast<std::size_t>(i) * m + j; };
+
+  for (int k = 0; k < m; ++k) {
+    delay[at(k, k)] = 0.0;
+    bw[at(k, k)] = inf;
+  }
+  auto add_dir = [&](int a, int b, double link_bw, double link_dl) {
+    if (a < 0 || a >= m || b < 0 || b >= m || a == b) {
+      throw std::invalid_argument("apply_topology: bad link endpoints");
+    }
+    if (!(link_bw > 0.0) || link_dl < 0.0) {
+      throw std::invalid_argument("apply_topology: bad link parameters");
+    }
+    // Keep the better (lower-delay, then higher-bandwidth) parallel link.
+    if (link_dl < delay[at(a, b)] ||
+        (link_dl == delay[at(a, b)] && link_bw > bw[at(a, b)])) {
+      delay[at(a, b)] = link_dl;
+      bw[at(a, b)] = link_bw;
+    }
+  };
+  for (const PhysicalLink& l : links) {
+    add_dir(l.a, l.b, l.bandwidth, l.delay);
+    if (l.bidirectional) add_dir(l.b, l.a, l.bandwidth, l.delay);
+  }
+
+  // Floyd-Warshall on total delay; the path bandwidth is the bottleneck.
+  for (int k = 0; k < m; ++k) {
+    for (int i = 0; i < m; ++i) {
+      if (delay[at(i, k)] == inf) continue;
+      for (int j = 0; j < m; ++j) {
+        if (delay[at(k, j)] == inf) continue;
+        const double via = delay[at(i, k)] + delay[at(k, j)];
+        const double via_bw = std::min(bw[at(i, k)], bw[at(k, j)]);
+        if (via < delay[at(i, j)] ||
+            (via == delay[at(i, j)] && via_bw > bw[at(i, j)])) {
+          delay[at(i, j)] = via;
+          bw[at(i, j)] = via_bw;
+        }
+      }
+    }
+  }
+
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i == j) continue;
+      if (delay[at(i, j)] == inf) {
+        n.set_link(i, j, unreachable_bw, unreachable_delay);
+      } else {
+        n.set_link(i, j, bw[at(i, j)], delay[at(i, j)]);
+      }
+    }
+  }
+}
+
+}  // namespace giph

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/device_network.hpp"
+
+namespace giph {
+
+/// A physical (sparse) communication link between two devices.
+struct PhysicalLink {
+  int a = -1;
+  int b = -1;
+  double bandwidth = 1.0;  ///< bytes per time unit
+  double delay = 0.0;
+  bool bidirectional = true;
+};
+
+/// Projects a sparse physical topology onto the fully-connected link model
+/// the rest of the library uses (Section 3 notes that complex topologies are
+/// handled "by attaching very high communication losses to links that do not
+/// exist"). Every device pair's effective link is the minimum-total-delay
+/// route through the physical links, with the path bandwidth equal to the
+/// bottleneck link's bandwidth. Unreachable pairs get `unreachable_bw` /
+/// `unreachable_delay`.
+void apply_topology(DeviceNetwork& n, const std::vector<PhysicalLink>& links,
+                    double unreachable_bw = 1e-6, double unreachable_delay = 1e9);
+
+}  // namespace giph

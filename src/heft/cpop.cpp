@@ -1,0 +1,169 @@
+#include "heft/cpop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace giph {
+namespace {
+
+/// Same per-device busy-interval structure as HEFT's scheduler.
+class DeviceTimeline {
+ public:
+  double earliest_slot(double ready, double dur) const {
+    double t = ready;
+    for (const auto& [s, f] : busy_) {
+      if (t + dur <= s) return t;
+      t = std::max(t, f);
+    }
+    return t;
+  }
+  void occupy(double start, double finish) {
+    auto it = std::lower_bound(busy_.begin(), busy_.end(), std::pair{start, finish});
+    busy_.insert(it, {start, finish});
+  }
+
+ private:
+  std::vector<std::pair<double, double>> busy_;
+};
+
+std::vector<double> averaged_compute(const TaskGraph& g, const DeviceNetwork& n,
+                                     const LatencyModel& lat) {
+  std::vector<double> wbar(g.num_tasks(), 0.0);
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    const auto devs = feasible_devices(g, n, v);
+    double s = 0.0;
+    for (int d : devs) s += lat.compute_time(g, n, v, d);
+    wbar[v] = devs.empty() ? 0.0 : s / static_cast<double>(devs.size());
+  }
+  return wbar;
+}
+
+}  // namespace
+
+std::vector<double> downward_ranks(const TaskGraph& g, const DeviceNetwork& n,
+                                   const LatencyModel& lat) {
+  const std::vector<double> wbar = averaged_compute(g, n, lat);
+  const double mean_bw = n.mean_bandwidth();
+  const double mean_dl = n.mean_delay();
+  auto cbar = [&](int e) {
+    if (n.num_devices() < 2) return 0.0;
+    return mean_dl + g.edge(e).bytes / mean_bw;
+  };
+  std::vector<double> rank(g.num_tasks(), 0.0);
+  for (int v : g.topological_order()) {
+    double best = 0.0;
+    for (int e : g.in_edges(v)) {
+      const int p = g.edge(e).src;
+      best = std::max(best, rank[p] + wbar[p] + cbar(e));
+    }
+    rank[v] = best;
+  }
+  return rank;
+}
+
+CpopResult cpop_schedule(const TaskGraph& g, const DeviceNetwork& n,
+                         const LatencyModel& lat) {
+  const int nv = g.num_tasks();
+  CpopResult res;
+  res.placement = Placement(nv);
+  res.timing.assign(nv, TaskTiming{});
+
+  const std::vector<double> up = upward_ranks(g, n, lat);
+  const std::vector<double> down = downward_ranks(g, n, lat);
+  res.priority.resize(nv);
+  for (int v = 0; v < nv; ++v) res.priority[v] = up[v] + down[v];
+
+  // Critical path: walk from the highest-priority entry through the
+  // highest-priority children (ties broken by id via max_element semantics).
+  double cp_priority = 0.0;
+  for (int v = 0; v < nv; ++v) {
+    if (g.in_degree(v) == 0) cp_priority = std::max(cp_priority, res.priority[v]);
+  }
+  const double tol = 1e-9 * std::max(1.0, cp_priority);
+  for (int v : g.topological_order()) {
+    if (std::abs(res.priority[v] - cp_priority) <= tol) res.critical_path.push_back(v);
+  }
+
+  // Critical-path processor: feasible for every CP task, minimizing their
+  // total execution time.
+  double best_total = std::numeric_limits<double>::infinity();
+  for (int d = 0; d < n.num_devices(); ++d) {
+    bool ok = true;
+    double total = 0.0;
+    for (int v : res.critical_path) {
+      if (!device_feasible(g, n, v, d)) {
+        ok = false;
+        break;
+      }
+      total += lat.compute_time(g, n, v, d);
+    }
+    if (ok && total < best_total) {
+      best_total = total;
+      res.cp_device = d;
+    }
+  }
+
+  std::vector<bool> on_cp(nv, false);
+  for (int v : res.critical_path) on_cp[v] = true;
+
+  // Priority queue of ready tasks (highest priority first, id tie-break).
+  auto cmp = [&](int a, int b) {
+    if (res.priority[a] != res.priority[b]) return res.priority[a] < res.priority[b];
+    return a > b;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(cmp)> ready(cmp);
+  std::vector<int> pending(nv);
+  for (int v = 0; v < nv; ++v) {
+    pending[v] = g.in_degree(v);
+    if (pending[v] == 0) ready.push(v);
+  }
+
+  std::vector<DeviceTimeline> timeline(n.num_devices());
+  auto eft_on = [&](int v, int d, double* est_out) {
+    double ready_t = 0.0;
+    for (int e : g.in_edges(v)) {
+      const int p = g.edge(e).src;
+      ready_t = std::max(ready_t, res.timing[p].finish +
+                                      lat.comm_time(g, n, e, res.placement.device_of(p), d));
+    }
+    const double w = lat.compute_time(g, n, v, d);
+    const double est = timeline[d].earliest_slot(ready_t, w);
+    *est_out = est;
+    return est + w;
+  };
+
+  while (!ready.empty()) {
+    const int v = ready.top();
+    ready.pop();
+    int dev = -1;
+    double est = 0.0, eft = 0.0;
+    if (on_cp[v] && res.cp_device >= 0) {
+      dev = res.cp_device;
+      eft = eft_on(v, dev, &est);
+    } else {
+      double best_eft = std::numeric_limits<double>::infinity();
+      for (int d : feasible_devices(g, n, v)) {
+        double e0 = 0.0;
+        const double f = eft_on(v, d, &e0);
+        if (f < best_eft) {
+          best_eft = f;
+          dev = d;
+          est = e0;
+        }
+      }
+      eft = best_eft;
+    }
+    res.placement.set(v, dev);
+    res.timing[v] = TaskTiming{est, eft};
+    timeline[dev].occupy(est, eft);
+    res.cpop_makespan = std::max(res.cpop_makespan, eft);
+    for (int e : g.out_edges(v)) {
+      if (--pending[g.edge(e).dst] == 0) ready.push(g.edge(e).dst);
+    }
+  }
+  return res;
+}
+
+}  // namespace giph

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "heft/heft.hpp"
+
+namespace giph {
+
+/// Critical-Path-on-a-Processor (CPOP, Topcuoglu et al. 2002) - the companion
+/// algorithm to HEFT in the original paper and an additional non-learned
+/// baseline here. Task priority is rank_u + rank_d; the tasks on the critical
+/// path (priority equal to the entry task's) are all assigned to the single
+/// feasible device minimizing their total execution time, while the remaining
+/// tasks are assigned by insertion-based earliest finish time in priority
+/// order.
+struct CpopResult {
+  Placement placement;
+  std::vector<TaskTiming> timing;
+  double cpop_makespan = 0.0;
+  std::vector<double> priority;    ///< rank_u + rank_d per task
+  std::vector<int> critical_path;  ///< tasks on the critical path
+  int cp_device = -1;              ///< the critical-path processor (-1 if none fits)
+};
+
+CpopResult cpop_schedule(const TaskGraph& g, const DeviceNetwork& n,
+                         const LatencyModel& lat);
+
+/// Downward ranks: rank_d(entry) = 0, rank_d(j) = max over parents i of
+/// (rank_d(i) + w-bar_i + c-bar_ij) using the same averaged costs as
+/// upward_ranks.
+std::vector<double> downward_ranks(const TaskGraph& g, const DeviceNetwork& n,
+                                   const LatencyModel& lat);
+
+}  // namespace giph

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace giph::nn {
+
+/// Xavier/Glorot uniform initialization for an (in x out) weight matrix.
+Matrix xavier_uniform(int in, int out, std::mt19937_64& rng);
+
+/// Owns a model's trainable parameters by name; provides save/load and
+/// gradient clearing. Layers register their parameters here at construction.
+class ParamRegistry {
+ public:
+  /// Creates and registers a parameter. Names must be unique.
+  Var create(const std::string& name, Matrix init);
+
+  const std::vector<Var>& params() const noexcept { return params_; }
+  const std::vector<std::string>& names() const noexcept { return names_; }
+
+  /// Total scalar parameter count.
+  std::size_t num_scalars() const;
+
+  void zero_grad();
+
+  /// Plain-text serialization (name, shape, row-major values per parameter).
+  void save(const std::string& path) const;
+  /// Loads values into already-registered parameters; shapes must match.
+  void load(const std::string& path);
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Var> params_;
+};
+
+enum class Activation { kNone, kRelu, kTanh, kSigmoid };
+
+Var apply_activation(const Var& x, Activation act);
+
+/// Affine layer y = x W + b with x of shape (n x in).
+class Linear {
+ public:
+  Linear() = default;
+  Linear(ParamRegistry& reg, const std::string& name, int in, int out,
+         std::mt19937_64& rng);
+
+  Var operator()(const Var& x) const { return add_rowvec(matmul(x, W_), b_); }
+
+  const Var& weight() const { return W_; }
+  const Var& bias() const { return b_; }
+
+ private:
+  Var W_, b_;
+};
+
+/// Feed-forward network with the given layer dims, hidden activation applied
+/// between layers and an optional output activation.
+class MLP {
+ public:
+  MLP() = default;
+  MLP(ParamRegistry& reg, const std::string& name, const std::vector<int>& dims,
+      std::mt19937_64& rng, Activation hidden = Activation::kRelu,
+      Activation output = Activation::kNone);
+
+  Var operator()(Var x) const;
+
+  int output_dim() const { return out_dim_; }
+
+ private:
+  std::vector<Linear> layers_;
+  Activation hidden_ = Activation::kRelu;
+  Activation output_ = Activation::kNone;
+  int out_dim_ = 0;
+};
+
+/// Single LSTM cell with gate layout [input, forget, cell, output].
+class LSTMCell {
+ public:
+  LSTMCell() = default;
+  LSTMCell(ParamRegistry& reg, const std::string& name, int input_dim, int hidden_dim,
+           std::mt19937_64& rng);
+
+  struct State {
+    Var h;  ///< 1 x hidden
+    Var c;  ///< 1 x hidden
+  };
+
+  /// Zero initial state.
+  State initial_state() const;
+
+  /// One step: x is 1 x input_dim.
+  State operator()(const Var& x, const State& s) const;
+
+  int hidden_dim() const { return hidden_; }
+
+ private:
+  Var w_ih_, w_hh_, b_;
+  int hidden_ = 0;
+};
+
+}  // namespace giph::nn

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace giph::nn {
+
+/// Dense row-major matrix of doubles. The shapes used by GiPH are tiny
+/// (embedding dims 4-16), so a straightforward implementation is both simple
+/// and fast enough; all autograd ops are built on top of this type.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  static Matrix zeros(int rows, int cols) { return Matrix(rows, cols, 0.0); }
+  static Matrix from_row(const std::vector<double>& v) {
+    Matrix m(1, static_cast<int>(v.size()));
+    m.data_ = v;
+    return m;
+  }
+  static Matrix from_col(const std::vector<double>& v) {
+    Matrix m(static_cast<int>(v.size()), 1);
+    m.data_ = v;
+    return m;
+  }
+  static Matrix scalar(double v) {
+    Matrix m(1, 1);
+    m(0, 0) = v;
+    return m;
+  }
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool same_shape(const Matrix& o) const noexcept {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  double& operator()(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  Matrix& operator+=(const Matrix& o) {
+    assert(same_shape(o));
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& o) {
+    assert(same_shape(o));
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  Matrix& operator*=(double s) {
+    for (double& x : data_) x *= s;
+    return *this;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A^T * B (avoids materializing the transpose).
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// C = A * B^T.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+Matrix transpose(const Matrix& a);
+Matrix operator+(const Matrix& a, const Matrix& b);
+Matrix operator-(const Matrix& a, const Matrix& b);
+Matrix hadamard(const Matrix& a, const Matrix& b);
+Matrix operator*(const Matrix& a, double s);
+
+/// Max-norm of the difference; used by tests and gradient checks.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace giph::nn

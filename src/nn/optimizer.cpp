@@ -1,0 +1,62 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace giph::nn {
+
+double clip_grad_norm(const std::vector<Var>& params, double max_norm) {
+  double sq = 0.0;
+  for (const Var& p : params) {
+    if (p->grad.size() == 0) continue;
+    for (int i = 0; i < p->grad.rows(); ++i) {
+      for (int j = 0; j < p->grad.cols(); ++j) sq += p->grad(i, j) * p->grad(i, j);
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double s = max_norm / norm;
+    for (const Var& p : params) {
+      if (p->grad.size() > 0) p->grad *= s;
+    }
+  }
+  return norm;
+}
+
+Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2, double eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.emplace_back(Matrix::zeros(p->value.rows(), p->value.cols()));
+    v_.emplace_back(Matrix::zeros(p->value.rows(), p->value.cols()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, t_);
+  const double bc2 = 1.0 - std::pow(beta2_, t_);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Var& p = params_[k];
+    if (p->grad.size() == 0) continue;  // parameter unused this round
+    Matrix& m = m_[k];
+    Matrix& v = v_[k];
+    for (int i = 0; i < p->value.rows(); ++i) {
+      for (int j = 0; j < p->value.cols(); ++j) {
+        const double g = p->grad(i, j);
+        m(i, j) = beta1_ * m(i, j) + (1.0 - beta1_) * g;
+        v(i, j) = beta2_ * v(i, j) + (1.0 - beta2_) * g * g;
+        const double mhat = m(i, j) / bc1;
+        const double vhat = v(i, j) / bc2;
+        p->value(i, j) -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      }
+    }
+  }
+  zero_grad();
+}
+
+void Adam::zero_grad() {
+  for (const Var& p : params_) p->grad = Matrix();
+}
+
+}  // namespace giph::nn

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace giph::nn {
+
+/// Clips the global L2 norm of the accumulated gradients to `max_norm`.
+/// Returns the pre-clip norm.
+double clip_grad_norm(const std::vector<Var>& params, double max_norm);
+
+/// Adam optimizer (Kingma & Ba). step() consumes and zeroes the accumulated
+/// gradients of the registered parameters.
+class Adam {
+ public:
+  explicit Adam(std::vector<Var> params, double lr = 0.01, double beta1 = 0.9,
+                double beta2 = 0.999, double eps = 1e-8);
+
+  void step();
+  void zero_grad();
+
+  double learning_rate() const noexcept { return lr_; }
+  void set_learning_rate(double lr) noexcept { lr_ = lr; }
+
+ private:
+  std::vector<Var> params_;
+  std::vector<Matrix> m_, v_;
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+};
+
+}  // namespace giph::nn

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "graph/device_network.hpp"
+#include "graph/task_graph.hpp"
+
+namespace giph {
+
+/// Expected computation / communication latency model (Appendix B.5).
+///
+/// Implementations return *expected* times; the simulator applies
+/// multiplicative uniform noise on top when requested.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Expected execution time w_{v,k} of task v on device k.
+  virtual double compute_time(const TaskGraph& g, const DeviceNetwork& n, int v,
+                              int k) const = 0;
+
+  /// Expected transmission time c of edge e with its source on device k and
+  /// destination on device l. Must be 0 when k == l.
+  virtual double comm_time(const TaskGraph& g, const DeviceNetwork& n, int e, int k,
+                           int l) const = 0;
+};
+
+/// The paper's latency model (Eqs. 2-3), extended with the case-study affine
+/// term: w_{v,k} = C_v / SP_k + S_k and c = DL_kl + B_e / BW_kl.
+/// Synthetic devices have S_k = 0, reducing to Eq. 2 exactly.
+class DefaultLatencyModel final : public LatencyModel {
+ public:
+  double compute_time(const TaskGraph& g, const DeviceNetwork& n, int v,
+                      int k) const override {
+    return g.task(v).compute / n.device(k).speed + n.device(k).startup;
+  }
+
+  double comm_time(const TaskGraph& g, const DeviceNetwork& n, int e, int k,
+                   int l) const override {
+    if (k == l) return 0.0;
+    return n.delay(k, l) + g.edge(e).bytes / n.bandwidth(k, l);
+  }
+};
+
+/// Latency model backed by a measured (task kind, device type) -> time table,
+/// as one would obtain from profiling (e.g. the paper's Table 1). Task kind is
+/// read from Task::requires_hw-independent metadata: the table is keyed by the
+/// task's integer `kind` supplied at construction via a per-task kind vector.
+class TableLatencyModel final : public LatencyModel {
+ public:
+  /// `task_kind[v]` gives the profile row for task v; `table[{kind, type}]`
+  /// gives the measured mean execution time.
+  TableLatencyModel(std::vector<int> task_kind, std::map<std::pair<int, int>, double> table)
+      : task_kind_(std::move(task_kind)), table_(std::move(table)) {}
+
+  double compute_time(const TaskGraph&, const DeviceNetwork& n, int v,
+                      int k) const override {
+    return table_.at({task_kind_.at(v), n.device(k).type});
+  }
+
+  double comm_time(const TaskGraph& g, const DeviceNetwork& n, int e, int k,
+                   int l) const override {
+    if (k == l) return 0.0;
+    return n.delay(k, l) + g.edge(e).bytes / n.bandwidth(k, l);
+  }
+
+ private:
+  std::vector<int> task_kind_;
+  std::map<std::pair<int, int>, double> table_;
+};
+
+}  // namespace giph

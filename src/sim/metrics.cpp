@@ -1,0 +1,70 @@
+#include "sim/metrics.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace giph {
+namespace {
+
+double min_compute_cost(const TaskGraph& g, const DeviceNetwork& n,
+                        const LatencyModel& lat, int v) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int d : feasible_devices(g, n, v)) {
+    best = std::min(best, lat.compute_time(g, n, v, d));
+  }
+  if (!std::isfinite(best)) {
+    throw std::runtime_error("slr_denominator: task has no feasible device");
+  }
+  return best;
+}
+
+}  // namespace
+
+double slr_denominator(const TaskGraph& g, const DeviceNetwork& n, const LatencyModel& lat) {
+  const auto cp = g.critical_path_nodes(
+      [&](int v) { return min_compute_cost(g, n, lat, v); });
+  double denom = 0.0;
+  for (int v : cp) denom += min_compute_cost(g, n, lat, v);
+  return denom;
+}
+
+double slr(double makespan_value, double denominator) {
+  if (denominator <= 0.0) {
+    throw std::invalid_argument("slr: denominator must be positive");
+  }
+  return makespan_value / denominator;
+}
+
+double total_cost(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                  const LatencyModel& lat) {
+  double cost = 0.0;
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    cost += lat.compute_time(g, n, v, p.device_of(v));
+  }
+  for (int e = 0; e < g.num_edges(); ++e) {
+    cost += lat.comm_time(g, n, e, p.device_of(g.edge(e).src), p.device_of(g.edge(e).dst));
+  }
+  return cost;
+}
+
+Objective makespan_objective(const LatencyModel& lat) {
+  return [&lat](const TaskGraph& g, const DeviceNetwork& n, const Placement& p) {
+    return makespan(g, n, p, lat);
+  };
+}
+
+Objective noisy_makespan_objective(const LatencyModel& lat, double sigma,
+                                   std::mt19937_64& rng) {
+  return [&lat, sigma, &rng](const TaskGraph& g, const DeviceNetwork& n,
+                             const Placement& p) {
+    return simulate(g, n, p, lat, SimOptions{sigma, &rng}).makespan;
+  };
+}
+
+Objective total_cost_objective(const LatencyModel& lat) {
+  return [&lat](const TaskGraph& g, const DeviceNetwork& n, const Placement& p) {
+    return total_cost(g, n, p, lat);
+  };
+}
+
+}  // namespace giph

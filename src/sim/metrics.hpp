@@ -1,0 +1,39 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+
+namespace giph {
+
+/// Denominator of the Schedule Length Ratio: the sum over CP_MIN (the
+/// critical path computed from each task's minimum feasible compute cost) of
+/// those minimum compute costs (Topcuoglu et al. normalization, Section 5).
+double slr_denominator(const TaskGraph& g, const DeviceNetwork& n, const LatencyModel& lat);
+
+/// SLR = makespan / slr_denominator. Lower is better; >= 1 would hold for an
+/// ideal zero-communication schedule.
+double slr(double makespan_value, double denominator);
+
+/// Total cost objective of Appendix B.8: sum of each task's compute time plus
+/// each data link's communication time under placement p.
+double total_cost(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                  const LatencyModel& lat);
+
+/// A performance criterion rho(M | G, N): smaller is better. The RL reward is
+/// rho(s_t) - rho(s_{t+1}).
+using Objective =
+    std::function<double(const TaskGraph&, const DeviceNetwork&, const Placement&)>;
+
+/// Makespan objective bound to a latency model (expected, noise-free).
+Objective makespan_objective(const LatencyModel& lat);
+
+/// Noisy makespan objective: each evaluation simulates one realization with
+/// multiplicative uniform noise sigma using `rng`.
+Objective noisy_makespan_objective(const LatencyModel& lat, double sigma,
+                                   std::mt19937_64& rng);
+
+/// Total-cost objective of Appendix B.8.
+Objective total_cost_objective(const LatencyModel& lat);
+
+}  // namespace giph

@@ -1,0 +1,169 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace giph {
+namespace {
+
+enum class EventKind { kTaskDone, kTransferDone };
+
+struct Event {
+  double time;
+  long seq;  // creation order, breaks time ties deterministically
+  EventKind kind;
+  int id;  // task id or edge id
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+double realize(double expected, const SimOptions& opt) {
+  if (opt.noise <= 0.0) return expected;
+  std::uniform_real_distribution<double> d(expected * (1.0 - opt.noise),
+                                           expected * (1.0 + opt.noise));
+  return d(*opt.rng);
+}
+
+}  // namespace
+
+Schedule simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                  const LatencyModel& lat, const SimOptions& opt) {
+  if (!is_feasible(g, n, p)) {
+    throw std::invalid_argument("simulate: infeasible placement");
+  }
+  if (opt.noise > 0.0 && opt.rng == nullptr) {
+    throw std::invalid_argument("simulate: noise > 0 requires an rng");
+  }
+  const int nv = g.num_tasks();
+  const int ne = g.num_edges();
+
+  Schedule sched;
+  sched.tasks.assign(nv, TaskTiming{-1.0, -1.0});
+  sched.edge_start.assign(ne, -1.0);
+  sched.edge_finish.assign(ne, -1.0);
+  if (nv == 0) return sched;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> pq;
+  long seq = 0;
+
+  std::vector<int> remaining_inputs(nv);
+  for (int v = 0; v < nv; ++v) remaining_inputs[v] = g.in_degree(v);
+
+  std::vector<std::deque<int>> fifo(n.num_devices());
+  std::vector<int> running(n.num_devices(), 0);  // occupied cores per device
+  std::vector<double> nic_free(n.num_devices(), 0.0);  // serialize_transfers only
+  int completed = 0;
+
+  auto start_task = [&](int v, double t) {
+    const int d = p.device_of(v);
+    ++running[d];
+    sched.tasks[v].start = t;
+    const double w = realize(lat.compute_time(g, n, v, d), opt);
+    pq.push(Event{t + w, seq++, EventKind::kTaskDone, v});
+  };
+
+  auto make_runnable = [&](int v, double t) {
+    const int d = p.device_of(v);
+    if (running[d] < n.device(d).cores && fifo[d].empty()) {
+      start_task(v, t);
+    } else {
+      fifo[d].push_back(v);
+    }
+  };
+
+  // Entry tasks become runnable at t = 0 in task-id order.
+  for (int v = 0; v < nv; ++v) {
+    if (remaining_inputs[v] == 0) make_runnable(v, 0.0);
+  }
+  // topological_order() throws on cyclic input; check up-front so a cyclic
+  // graph cannot hang the event loop.
+  (void)g.topological_order();
+
+  while (!pq.empty()) {
+    const Event ev = pq.top();
+    pq.pop();
+    if (ev.kind == EventKind::kTaskDone) {
+      const int v = ev.id;
+      sched.tasks[v].finish = ev.time;
+      ++completed;
+      const int d = p.device_of(v);
+      // Outputs start transmitting to every child's device - concurrently in
+      // the paper's model, back-to-back through the NIC under contention.
+      for (int e : g.out_edges(v)) {
+        const int dl = p.device_of(g.edge(e).dst);
+        const double c = realize(lat.comm_time(g, n, e, d, dl), opt);
+        double start = ev.time;
+        if (opt.serialize_transfers && dl != d) {
+          start = std::max(start, nic_free[d]);
+          nic_free[d] = start + c;
+        }
+        sched.edge_start[e] = start;
+        pq.push(Event{start + c, seq++, EventKind::kTransferDone, e});
+      }
+      --running[d];
+      if (!fifo[d].empty() && running[d] < n.device(d).cores) {
+        const int next = fifo[d].front();
+        fifo[d].pop_front();
+        start_task(next, ev.time);
+      }
+    } else {
+      const int e = ev.id;
+      sched.edge_finish[e] = ev.time;
+      const int child = g.edge(e).dst;
+      if (--remaining_inputs[child] == 0) make_runnable(child, ev.time);
+    }
+  }
+
+  if (completed != nv) {
+    throw std::logic_error("simulate: not all tasks completed (cyclic graph?)");
+  }
+
+  double first_start = sched.tasks[0].start, last_finish = sched.tasks[0].finish;
+  for (const TaskTiming& t : sched.tasks) {
+    first_start = std::min(first_start, t.start);
+    last_finish = std::max(last_finish, t.finish);
+  }
+  sched.makespan = last_finish - first_start;
+  return sched;
+}
+
+double makespan(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                const LatencyModel& lat) {
+  return simulate(g, n, p, lat).makespan;
+}
+
+double earliest_start_on(const Schedule& sched, const TaskGraph& g,
+                         const DeviceNetwork& n, const Placement& p,
+                         const LatencyModel& lat, int v, int d) {
+  double est = 0.0;
+  for (int e : g.in_edges(v)) {
+    const int parent = g.edge(e).src;
+    const int pd = p.device_of(parent);
+    est = std::max(est, sched.tasks[parent].finish + lat.comm_time(g, n, e, pd, d));
+  }
+  return est;
+}
+
+double earliest_start_on_queued(const Schedule& sched, const TaskGraph& g,
+                                const DeviceNetwork& n, const Placement& p,
+                                const LatencyModel& lat, int v, int d) {
+  double est = earliest_start_on(sched, g, n, p, lat, v, d);
+  // Tasks currently scheduled to start before v would occupy device d ahead
+  // of it; tasks starting later (v's descendants and unrelated late work)
+  // would queue behind v instead.
+  for (int u = 0; u < g.num_tasks(); ++u) {
+    if (u == v || p.device_of(u) != d) continue;
+    if (sched.tasks[u].start >= sched.tasks[v].start) continue;
+    est = std::max(est, sched.tasks[u].finish);
+  }
+  return est;
+}
+
+}  // namespace giph

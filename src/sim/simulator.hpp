@@ -1,0 +1,70 @@
+#pragma once
+
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "graph/placement.hpp"
+#include "sim/latency_model.hpp"
+
+namespace giph {
+
+/// Start/finish times of one task execution.
+struct TaskTiming {
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+/// Full timing trace of one simulated run of a placed task graph.
+struct Schedule {
+  std::vector<TaskTiming> tasks;     ///< per task id
+  std::vector<double> edge_start;    ///< per edge id: transmission start
+  std::vector<double> edge_finish;   ///< per edge id: data available at dst
+  double makespan = 0.0;             ///< exit finish - entry start
+};
+
+/// Simulation options. With noise sigma > 0, every realized computation /
+/// communication time is drawn uniformly from [x(1-sigma), x(1+sigma)] around
+/// the expected value x, using the provided engine (required when sigma > 0).
+struct SimOptions {
+  double noise = 0.0;
+  std::mt19937_64* rng = nullptr;
+  /// When true, outgoing transfers of a device are serialized through a
+  /// single NIC (contention model) instead of the paper's contention-free
+  /// concurrent sends. Local (same-device) transfers always bypass the NIC.
+  bool serialize_transfers = false;
+};
+
+/// Discrete-event runtime simulator (Appendix B.5).
+///
+/// Execution model: each device runs at most one task at a time,
+/// non-preemptively, serving runnable tasks from a FIFO queue in the order
+/// they became runnable; inter-device transfers are contention-free and
+/// overlap with computation; a task becomes runnable once all parent outputs
+/// have arrived at its device. Entry tasks are runnable at t = 0.
+///
+/// Throws std::invalid_argument for infeasible placements and std::logic_error
+/// for cyclic graphs.
+Schedule simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                  const LatencyModel& lat, const SimOptions& opt = {});
+
+/// Expected makespan (noise-free simulation). Convenience wrapper.
+double makespan(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                const LatencyModel& lat);
+
+/// Earliest possible start time of task v on device d given the parent finish
+/// times of `sched` (what-if analysis; ignores queueing on d). Entry tasks
+/// return 0. Used for the gpNet "start-time potential" feature.
+double earliest_start_on(const Schedule& sched, const TaskGraph& g,
+                         const DeviceNetwork& n, const Placement& p,
+                         const LatencyModel& lat, int v, int d);
+
+/// Queue-aware variant: additionally accounts for device d being busy with
+/// tasks that run before v in the current schedule (FIFO devices serve one
+/// task at a time). This mirrors HEFT's processor-ready term and is the est
+/// used by EFT device selection and the gpNet start-time-potential feature.
+double earliest_start_on_queued(const Schedule& sched, const TaskGraph& g,
+                                const DeviceNetwork& n, const Placement& p,
+                                const LatencyModel& lat, int v, int d);
+
+}  // namespace giph

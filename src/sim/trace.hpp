@@ -1,0 +1,22 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace giph {
+
+/// Writes the schedule as CSV: one `task` row per task (id, name, device,
+/// start, finish) followed by one `edge` row per data link (id, src, dst,
+/// from_device, to_device, start, finish). Suitable for external plotting.
+void write_schedule_csv(std::ostream& out, const TaskGraph& g, const DeviceNetwork& n,
+                        const Placement& p, const Schedule& sched);
+
+/// Renders an ASCII Gantt chart of the schedule: one row per device, time on
+/// the horizontal axis scaled to `width` characters. Task executions are
+/// drawn with per-task letters; '.' marks idle time.
+std::string ascii_gantt(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                        const Schedule& sched, int width = 72);
+
+}  // namespace giph

@@ -1,0 +1,243 @@
+#include "nn/autograd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <random>
+
+namespace giph::nn {
+namespace {
+
+Matrix random_matrix(int r, int c, std::mt19937_64& rng, double lo = -1.0,
+                     double hi = 1.0) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  Matrix m(r, c);
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < c; ++j) m(i, j) = d(rng);
+  }
+  return m;
+}
+
+/// Central-difference gradient check: `build` constructs a scalar graph from
+/// fresh parameter leaves each call. Verifies every analytic parameter
+/// gradient against the numeric estimate.
+void grad_check(const std::function<Var(const std::vector<Var>&)>& build,
+                std::vector<Matrix> inits, double tol = 1e-6) {
+  auto eval = [&](const std::vector<Matrix>& values) {
+    std::vector<Var> params;
+    params.reserve(values.size());
+    for (const Matrix& v : values) params.push_back(parameter(v));
+    return build(params);
+  };
+
+  // Analytic gradients.
+  std::vector<Var> params;
+  for (const Matrix& v : inits) params.push_back(parameter(v));
+  const Var out = build(params);
+  ASSERT_EQ(out->value.rows(), 1);
+  ASSERT_EQ(out->value.cols(), 1);
+  backward(out);
+
+  const double h = 1e-6;
+  for (std::size_t p = 0; p < inits.size(); ++p) {
+    for (int i = 0; i < inits[p].rows(); ++i) {
+      for (int j = 0; j < inits[p].cols(); ++j) {
+        std::vector<Matrix> plus = inits, minus = inits;
+        plus[p](i, j) += h;
+        minus[p](i, j) -= h;
+        const double numeric =
+            (eval(plus)->value(0, 0) - eval(minus)->value(0, 0)) / (2 * h);
+        const double analytic =
+            params[p]->grad.size() > 0 ? params[p]->grad(i, j) : 0.0;
+        EXPECT_NEAR(analytic, numeric, tol)
+            << "param " << p << " element (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(Autograd, MatmulGradient) {
+  std::mt19937_64 rng(1);
+  grad_check([](const std::vector<Var>& p) { return sum_all(matmul(p[0], p[1])); },
+             {random_matrix(2, 3, rng), random_matrix(3, 4, rng)});
+}
+
+TEST(Autograd, AddSubMulGradient) {
+  std::mt19937_64 rng(2);
+  grad_check(
+      [](const std::vector<Var>& p) {
+        return sum_all(mul(add(p[0], p[1]), sub(p[0], p[2])));
+      },
+      {random_matrix(2, 2, rng), random_matrix(2, 2, rng), random_matrix(2, 2, rng)});
+}
+
+TEST(Autograd, AddRowvecGradient) {
+  std::mt19937_64 rng(3);
+  grad_check([](const std::vector<Var>& p) { return sum_all(add_rowvec(p[0], p[1])); },
+             {random_matrix(3, 2, rng), random_matrix(1, 2, rng)});
+}
+
+TEST(Autograd, ScaleGradient) {
+  std::mt19937_64 rng(4);
+  grad_check([](const std::vector<Var>& p) { return sum_all(scale(p[0], -2.5)); },
+             {random_matrix(2, 3, rng)});
+}
+
+TEST(Autograd, ReluGradient) {
+  std::mt19937_64 rng(5);
+  // Keep values away from the kink at 0.
+  Matrix m = random_matrix(2, 3, rng);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (std::abs(m(i, j)) < 0.1) m(i, j) = 0.5;
+    }
+  }
+  grad_check([](const std::vector<Var>& p) { return sum_all(relu(p[0])); }, {m});
+}
+
+TEST(Autograd, TanhSigmoidGradient) {
+  std::mt19937_64 rng(6);
+  grad_check(
+      [](const std::vector<Var>& p) {
+        return sum_all(mul(tanh_act(p[0]), sigmoid_act(p[0])));
+      },
+      {random_matrix(2, 2, rng)});
+}
+
+TEST(Autograd, ConcatColsRowsGradient) {
+  std::mt19937_64 rng(7);
+  grad_check(
+      [](const std::vector<Var>& p) {
+        const Var cc = concat_cols({p[0], p[1]});
+        const Var rr = concat_rows({cc, cc});
+        return sum_all(mul(rr, rr));
+      },
+      {random_matrix(2, 2, rng), random_matrix(2, 3, rng)});
+}
+
+TEST(Autograd, SliceGradient) {
+  std::mt19937_64 rng(8);
+  grad_check(
+      [](const std::vector<Var>& p) {
+        return sum_all(mul(slice_cols(p[0], 1, 3), slice_rows(p[1], 0, 1)));
+      },
+      {random_matrix(1, 4, rng), random_matrix(3, 2, rng)});
+}
+
+TEST(Autograd, GatherRowsGradient) {
+  std::mt19937_64 rng(9);
+  grad_check(
+      [](const std::vector<Var>& p) {
+        // Repeated index 1 checks gradient accumulation on gathered rows.
+        return sum_all(mul(gather_rows(p[0], {1, 1, 2}), gather_rows(p[0], {0, 2, 2})));
+      },
+      {random_matrix(3, 2, rng)});
+}
+
+TEST(Autograd, SumMeanRowsGradient) {
+  std::mt19937_64 rng(10);
+  grad_check(
+      [](const std::vector<Var>& p) {
+        return sum_all(mul(sum_rows(p[0]), mean_rows(p[0])));
+      },
+      {random_matrix(3, 3, rng)});
+}
+
+TEST(Autograd, SoftmaxColGradient) {
+  std::mt19937_64 rng(11);
+  grad_check(
+      [](const std::vector<Var>& p) {
+        return sum_all(mul(softmax_col(p[0]), p[1]));
+      },
+      {random_matrix(4, 1, rng), random_matrix(4, 1, rng)});
+}
+
+TEST(Autograd, LogSoftmaxColGradient) {
+  std::mt19937_64 rng(12);
+  grad_check(
+      [](const std::vector<Var>& p) { return pick(log_softmax_col(p[0]), 2, 0); },
+      {random_matrix(5, 1, rng, -3.0, 3.0)});
+}
+
+TEST(Autograd, TransposeGradient) {
+  std::mt19937_64 rng(13);
+  grad_check(
+      [](const std::vector<Var>& p) {
+        return sum_all(matmul(transpose_of(p[0]), p[1]));
+      },
+      {random_matrix(3, 2, rng), random_matrix(3, 4, rng)});
+}
+
+TEST(Autograd, WeightedSumGradient) {
+  std::mt19937_64 rng(14);
+  grad_check(
+      [](const std::vector<Var>& p) {
+        const std::vector<Var> scalars = {pick(p[0], 0, 0), pick(p[0], 1, 1),
+                                          sum_all(p[0])};
+        return weighted_sum(scalars, {0.5, -2.0, 3.0});
+      },
+      {random_matrix(2, 2, rng)});
+}
+
+TEST(Autograd, DeepCompositeGradient) {
+  std::mt19937_64 rng(15);
+  grad_check(
+      [](const std::vector<Var>& p) {
+        Var h = tanh_act(matmul(p[0], p[1]));
+        h = add_rowvec(h, p[2]);
+        h = relu(add(h, scale(h, 0.5)));
+        return pick(log_softmax_col(transpose_of(sum_rows(h))), 1, 0);
+      },
+      {random_matrix(3, 4, rng), random_matrix(4, 3, rng), random_matrix(1, 3, rng)},
+      1e-5);
+}
+
+TEST(Autograd, ConstantsReceiveNoGradient) {
+  const Var c = constant(Matrix::scalar(2.0));
+  const Var p = parameter(Matrix::scalar(3.0));
+  const Var out = mul(c, p);
+  backward(out);
+  EXPECT_EQ(c->grad.size(), 0u);
+  EXPECT_DOUBLE_EQ(p->grad(0, 0), 2.0);
+}
+
+TEST(Autograd, GradientsAccumulateAcrossBackwardCalls) {
+  const Var p = parameter(Matrix::scalar(3.0));
+  backward(scale(p, 2.0));
+  backward(scale(p, 5.0));
+  EXPECT_DOUBLE_EQ(p->grad(0, 0), 7.0);
+}
+
+TEST(Autograd, DiamondReuseAccumulates) {
+  const Var p = parameter(Matrix::scalar(4.0));
+  const Var out = mul(p, p);  // d/dp p^2 = 2p
+  backward(out);
+  EXPECT_DOUBLE_EQ(p->grad(0, 0), 8.0);
+}
+
+TEST(Autograd, BackwardOnConstantGraphIsNoop) {
+  const Var c = constant(Matrix::scalar(1.0));
+  EXPECT_NO_THROW(backward(scale(c, 2.0)));
+}
+
+TEST(Autograd, GraphSizeCountsReachableNodes) {
+  const Var a = parameter(Matrix::scalar(1.0));
+  const Var b = parameter(Matrix::scalar(2.0));
+  const Var out = mul(add(a, b), a);
+  EXPECT_EQ(graph_size(out), 4u);  // a, b, add, mul
+}
+
+TEST(Autograd, ShapeMismatchThrows) {
+  const Var a = parameter(Matrix(2, 2));
+  const Var b = parameter(Matrix(2, 3));
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(mul(a, b), std::invalid_argument);
+  EXPECT_THROW(softmax_col(b), std::invalid_argument);
+  EXPECT_THROW(slice_cols(a, 1, 4), std::invalid_argument);
+  EXPECT_THROW(gather_rows(a, {5}), std::invalid_argument);
+  EXPECT_THROW(pick(a, 2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace giph::nn

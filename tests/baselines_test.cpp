@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baselines/placeto.hpp"
+#include "baselines/random_policies.hpp"
+#include "baselines/rnn_placer.hpp"
+#include "core/giph_agent.hpp"
+#include "core/reinforce.hpp"
+#include "gen/dataset.hpp"
+#include "heft/heft.hpp"
+
+namespace giph {
+namespace {
+
+const DefaultLatencyModel kLat;
+
+struct Instance {
+  TaskGraph g;
+  DeviceNetwork n;
+  Instance(int tasks = 10, int devices = 5, std::uint64_t seed = 77) {
+    std::mt19937_64 rng(seed);
+    TaskGraphParams gp;
+    gp.num_tasks = tasks;
+    NetworkParams np;
+    np.num_devices = devices;
+    g = generate_task_graph(gp, rng);
+    n = generate_device_network(np, rng);
+    ensure_all_kinds(n, np.num_hw_kinds, rng);
+  }
+};
+
+TEST(RandomSampling, ProducesFullFeasiblePlacements) {
+  Instance inst;
+  RandomSamplingPolicy pol;
+  std::mt19937_64 rng(1);
+  PlacementSearchEnv env(inst.g, inst.n, kLat, makespan_objective(kLat),
+                         random_placement(inst.g, inst.n, rng));
+  for (int i = 0; i < 5; ++i) {
+    const ActionDecision d = pol.decide(env, rng, false);
+    ASSERT_TRUE(d.full.has_value());
+    EXPECT_TRUE(is_feasible(inst.g, inst.n, *d.full));
+    EXPECT_FALSE(d.log_prob);
+    env.apply_placement(*d.full);
+  }
+}
+
+TEST(RandomTaskEft, MovesToEftDevice) {
+  Instance inst;
+  RandomTaskEftPolicy pol;
+  std::mt19937_64 rng(2);
+  PlacementSearchEnv env(inst.g, inst.n, kLat, makespan_objective(kLat),
+                         random_placement(inst.g, inst.n, rng));
+  for (int i = 0; i < 10; ++i) {
+    const ActionDecision d = pol.decide(env, rng, false);
+    const int expected = eft_select_device(inst.g, inst.n, env.placement(), kLat,
+                                           env.schedule(), d.action.task);
+    EXPECT_EQ(d.action.device, expected);
+    env.apply(d.action);
+  }
+}
+
+TEST(RandomTaskEft, ImprovesOverRandomWalkOnAverage) {
+  Instance inst(12, 6, 5);
+  RandomTaskEftPolicy eft;
+  RandomWalkPolicy walk;
+  std::mt19937_64 rng(3);
+  const double denom = slr_denominator(inst.g, inst.n, kLat);
+  double eft_total = 0.0, walk_total = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    const Placement init = random_placement(inst.g, inst.n, rng);
+    PlacementSearchEnv e1(inst.g, inst.n, kLat, makespan_objective(kLat), init, denom);
+    PlacementSearchEnv e2(inst.g, inst.n, kLat, makespan_objective(kLat), init, denom);
+    eft_total += run_search(eft, e1, 24, rng).best_so_far.back();
+    walk_total += run_search(walk, e2, 24, rng).best_so_far.back();
+  }
+  EXPECT_LT(eft_total, walk_total);
+}
+
+TEST(Placeto, TraversesTopologicalOrderOncePerEpisode) {
+  Instance inst;
+  PlacetoOptions po;
+  po.num_devices = inst.n.num_devices();
+  PlacetoPolicy pol(po);
+  std::mt19937_64 rng(4);
+  PlacementSearchEnv env(inst.g, inst.n, kLat, makespan_objective(kLat),
+                         random_placement(inst.g, inst.n, rng));
+  pol.begin_episode();
+  const auto& topo = inst.g.topological_order();
+  for (int i = 0; i < inst.g.num_tasks(); ++i) {
+    const ActionDecision d = pol.decide(env, rng, false);
+    EXPECT_EQ(d.action.task, topo[i]);
+    env.apply(d.action);
+  }
+  EXPECT_EQ(pol.episode_limit(inst.g), inst.g.num_tasks());
+}
+
+TEST(Placeto, ActionsAreFeasibleAndDifferentiable) {
+  Instance inst;
+  PlacetoOptions po;
+  po.num_devices = inst.n.num_devices();
+  PlacetoPolicy pol(po);
+  std::mt19937_64 rng(5);
+  PlacementSearchEnv env(inst.g, inst.n, kLat, makespan_objective(kLat),
+                         random_placement(inst.g, inst.n, rng));
+  pol.begin_episode();
+  const ActionDecision d = pol.decide(env, rng, false);
+  ASSERT_TRUE(d.log_prob);
+  nn::backward(d.log_prob);
+  bool any = false;
+  for (const nn::Var& p : pol.parameters()) any = any || p->grad.size() > 0;
+  EXPECT_TRUE(any);
+  EXPECT_NO_THROW(env.apply(d.action));
+}
+
+TEST(Placeto, CannotAddressDevicesBeyondHeadSize) {
+  Instance inst;
+  PlacetoOptions po;
+  po.num_devices = 2;  // head smaller than the network
+  PlacetoPolicy pol(po);
+  std::mt19937_64 rng(6);
+  PlacementSearchEnv env(inst.g, inst.n, kLat, makespan_objective(kLat),
+                         random_placement(inst.g, inst.n, rng));
+  pol.begin_episode();
+  // Learned decisions stay below the head size whenever the task has a
+  // feasible device there; fallbacks (no gradient) may exceed it.
+  for (int i = 0; i < inst.g.num_tasks(); ++i) {
+    const ActionDecision d = pol.decide(env, rng, false);
+    if (d.log_prob) EXPECT_LT(d.action.device, 2);
+    env.apply(d.action);
+  }
+}
+
+TEST(Placeto, TrainsWithReinforce) {
+  Instance inst;
+  PlacetoOptions po;
+  po.num_devices = inst.n.num_devices();
+  PlacetoPolicy pol(po);
+  InstanceSampler sampler = [&](std::mt19937_64&) {
+    return ProblemInstance{&inst.g, &inst.n};
+  };
+  TrainOptions topt;
+  topt.episodes = 10;
+  const TrainStats stats = train_reinforce(pol, kLat, sampler, topt);
+  EXPECT_EQ(stats.episode_best.size(), 10u);
+}
+
+TEST(RnnPlacer, TrainsAndProducesFeasiblePlacement) {
+  Instance inst(8, 4, 99);
+  RnnPlacerOptions o;
+  o.max_updates = 10;
+  o.seed = 3;
+  RnnPlacer placer(inst.g, inst.n, kLat, o);
+  const double best = placer.train();
+  EXPECT_TRUE(std::isfinite(best));
+  EXPECT_TRUE(is_feasible(inst.g, inst.n, placer.best_placement()));
+  EXPECT_FALSE(placer.update_trace().empty());
+  // Trace is monotone non-increasing (best so far).
+  for (std::size_t i = 1; i < placer.update_trace().size(); ++i) {
+    EXPECT_LE(placer.update_trace()[i], placer.update_trace()[i - 1] + 1e-12);
+  }
+}
+
+TEST(RnnPlacer, RespectsConstraints) {
+  Instance inst(8, 4, 100);
+  inst.g.task(3).pinned = 2;
+  RnnPlacerOptions o;
+  o.max_updates = 3;
+  RnnPlacer placer(inst.g, inst.n, kLat, o);
+  placer.train();
+  EXPECT_EQ(placer.best_placement().device_of(3), 2);
+}
+
+TEST(GiphTaskEft, DecidesTaskThenEftDevice) {
+  Instance inst;
+  GiPHOptions o;
+  o.use_gpnet = false;
+  GiPHAgent agent(o);
+  EXPECT_EQ(agent.name(), "GiPH-task-eft");
+  std::mt19937_64 rng(7);
+  PlacementSearchEnv env(inst.g, inst.n, kLat, makespan_objective(kLat),
+                         random_placement(inst.g, inst.n, rng));
+  const ActionDecision d = agent.decide(env, rng, false);
+  ASSERT_TRUE(d.log_prob);
+  const int expected = eft_select_device(inst.g, inst.n, env.placement(), kLat,
+                                         env.schedule(), d.action.task);
+  EXPECT_EQ(d.action.device, expected);
+}
+
+TEST(GiphAgent, VariantNamesAndConstruction) {
+  for (auto [kind, name] :
+       std::initializer_list<std::pair<GnnKind, std::string>>{
+           {GnnKind::kGiPH, "GiPH"},
+           {GnnKind::kGiPHNE, "GiPH-NE"},
+           {GnnKind::kGraphSAGE, "GraphSAGE-NE"},
+           {GnnKind::kNone, "GiPH-NE-Pol"}}) {
+    GiPHOptions o;
+    o.gnn = kind;
+    GiPHAgent agent(o);
+    EXPECT_EQ(agent.name(), name);
+  }
+  GiPHOptions k;
+  k.gnn = GnnKind::kGiPHK;
+  k.k_steps = 3;
+  EXPECT_EQ(GiPHAgent(k).name(), "GiPH-3");
+}
+
+TEST(GiphAgent, MasksNoopAndRepeatedTask) {
+  Instance inst;
+  GiPHOptions o;
+  GiPHAgent agent(o);
+  std::mt19937_64 rng(8);
+  PlacementSearchEnv env(inst.g, inst.n, kLat, makespan_objective(kLat),
+                         random_placement(inst.g, inst.n, rng));
+  for (int i = 0; i < 12; ++i) {
+    const ActionDecision d = agent.decide(env, rng, false);
+    // Never a no-op...
+    EXPECT_NE(env.placement().device_of(d.action.task), d.action.device);
+    // ...and never the task moved in the previous step.
+    EXPECT_NE(d.action.task, env.last_moved_task());
+    env.apply(d.action);
+  }
+}
+
+TEST(GiphAgent, SaveLoadRoundTripPreservesBehavior) {
+  Instance inst;
+  GiPHOptions o;
+  o.seed = 21;
+  GiPHAgent a(o);
+  const std::string path = testing::TempDir() + "giph_agent_params.txt";
+  a.save(path);
+  GiPHOptions o2;
+  o2.seed = 22;  // different init
+  GiPHAgent b(o2);
+  b.load(path);
+  std::mt19937_64 r1(5), r2(5);
+  PlacementSearchEnv e1(inst.g, inst.n, kLat, makespan_objective(kLat),
+                        random_placement(inst.g, inst.n, r1), 1.0);
+  std::mt19937_64 r1b(5);
+  PlacementSearchEnv e2(inst.g, inst.n, kLat, makespan_objective(kLat),
+                        random_placement(inst.g, inst.n, r2), 1.0);
+  const ActionDecision d1 = a.decide(e1, r1b, true);
+  std::mt19937_64 r2b(5);
+  const ActionDecision d2 = b.decide(e2, r2b, true);
+  EXPECT_EQ(d1.action.task, d2.action.task);
+  EXPECT_EQ(d1.action.device, d2.action.device);
+  std::remove(path.c_str());
+}
+
+class AllVariantsSmoke : public ::testing::TestWithParam<GnnKind> {};
+
+TEST_P(AllVariantsSmoke, OneTrainingEpisodeRuns) {
+  Instance inst;
+  GiPHOptions o;
+  o.gnn = GetParam();
+  GiPHAgent agent(o);
+  InstanceSampler sampler = [&](std::mt19937_64&) {
+    return ProblemInstance{&inst.g, &inst.n};
+  };
+  TrainOptions topt;
+  topt.episodes = 2;
+  EXPECT_NO_THROW(train_reinforce(agent, kLat, sampler, topt));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllVariantsSmoke,
+                         ::testing::Values(GnnKind::kGiPH, GnnKind::kGiPHK,
+                                           GnnKind::kGiPHNE, GnnKind::kGraphSAGE,
+                                           GnnKind::kNone));
+
+}  // namespace
+}  // namespace giph

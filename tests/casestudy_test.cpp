@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include "casestudy/device_profiles.hpp"
+#include "casestudy/mobility.hpp"
+#include "casestudy/sensor_fusion.hpp"
+#include "heft/heft.hpp"
+
+namespace giph::casestudy {
+namespace {
+
+TEST(DeviceProfiles, Table1ValuesEmbedded) {
+  EXPECT_EQ(measured_runtime(FusionTask::kCamera, DeviceType::kTypeA).mean_ms, 53.0);
+  EXPECT_EQ(measured_runtime(FusionTask::kCamera, DeviceType::kTypeC).mean_ms, 9.0);
+  EXPECT_EQ(measured_runtime(FusionTask::kRsuFusion, DeviceType::kTypeB).mean_ms, 250.0);
+  EXPECT_EQ(measured_runtime(FusionTask::kLidar, DeviceType::kTypeB).std_ms, 3.0);
+}
+
+TEST(DeviceProfiles, Table2ValuesEmbedded) {
+  const RelocationProfile cam = relocation_profile(FusionTask::kCamera);
+  EXPECT_EQ(cam.migration_bytes, 11494.0);
+  EXPECT_EQ(cam.static_init_kb, 72173.525);
+  EXPECT_EQ(cam.startup_ms_type_a, 4273.73);
+  EXPECT_EQ(cam.startup_ms_type_c, 794.66);
+}
+
+TEST(DeviceProfiles, StartupInterpolatesTypeB) {
+  for (int t = 0; t < kNumFusionTasks; ++t) {
+    const FusionTask task = static_cast<FusionTask>(t);
+    const double a = startup_ms(task, DeviceType::kTypeA);
+    const double b = startup_ms(task, DeviceType::kTypeB);
+    const double c = startup_ms(task, DeviceType::kTypeC);
+    EXPECT_GE(b, std::min(a, c));
+    EXPECT_LE(b, std::max(a, c));
+  }
+}
+
+TEST(DeviceProfiles, RelocationCostDecomposition) {
+  const double bw = 1000.0;  // bytes/ms
+  const RelocationProfile lidar = relocation_profile(FusionTask::kLidar);
+  const double expected =
+      (lidar.migration_bytes + lidar.static_init_kb * 1024.0) / bw +
+      lidar.startup_ms_type_c;
+  EXPECT_DOUBLE_EQ(relocation_cost_ms(FusionTask::kLidar, DeviceType::kTypeC, bw),
+                   expected);
+  EXPECT_THROW(relocation_cost_ms(FusionTask::kLidar, DeviceType::kTypeC, 0.0),
+               std::invalid_argument);
+}
+
+TEST(LatencyFit, ReproducesTable1Shape) {
+  const LatencyFit fit = fit_latency_model();
+  // Type C is by far the fastest: smallest time-per-unit.
+  EXPECT_LT(fit.time_per_unit[2], fit.time_per_unit[0]);
+  EXPECT_LT(fit.time_per_unit[2], fit.time_per_unit[1]);
+  // RSU fusion is the heaviest task.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_LE(fit.task_compute[i], fit.task_compute[3]);
+  }
+  // The fit reproduces the big cells reasonably (RMS residual bounded; the
+  // affine model cannot be exact for Table 1).
+  EXPECT_LT(fit.rms_residual_ms, 60.0);
+  // Scale normalization: mean T == 1.
+  EXPECT_NEAR((fit.time_per_unit[0] + fit.time_per_unit[1] + fit.time_per_unit[2]) / 3.0,
+              1.0, 1e-9);
+  // Predictions are positive everywhere.
+  for (int i = 0; i < kNumFusionTasks; ++i) {
+    for (int j = 0; j < kNumDeviceTypes; ++j) {
+      EXPECT_GT(fit.predict_ms(static_cast<FusionTask>(i), static_cast<DeviceType>(j)),
+                0.0);
+    }
+  }
+}
+
+TEST(DeviceProfiles, PowerOrdering) {
+  EXPECT_LT(device_power_w(DeviceType::kTypeA), device_power_w(DeviceType::kTypeB));
+  EXPECT_LT(device_power_w(DeviceType::kTypeB), device_power_w(DeviceType::kTypeC));
+}
+
+TEST(Mobility, VehiclesStayOnGridAndMove) {
+  MobilityParams p;
+  p.num_vehicles = 6;
+  p.seed = 4;
+  GridMobility m(p);
+  const auto before = m.positions();
+  m.advance(30.0);
+  const auto after = m.positions();
+  const double max_x = (p.grid_cols - 1) * p.block_m;
+  const double max_y = (p.grid_rows - 1) * p.block_m;
+  bool moved = false;
+  for (int v = 0; v < p.num_vehicles; ++v) {
+    EXPECT_GE(after[v].x, -1e-9);
+    EXPECT_LE(after[v].x, max_x + 1e-9);
+    EXPECT_GE(after[v].y, -1e-9);
+    EXPECT_LE(after[v].y, max_y + 1e-9);
+    if (distance_m(before[v], after[v]) > 1.0) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Mobility, SpeedBoundsDisplacement) {
+  MobilityParams p;
+  p.num_vehicles = 8;
+  p.speed_mps = 10.0;
+  GridMobility m(p);
+  const auto before = m.positions();
+  m.advance(5.0);
+  const auto after = m.positions();
+  for (int v = 0; v < p.num_vehicles; ++v) {
+    // Manhattan distance travelled is at most speed * time.
+    const double manhattan = std::abs(after[v].x - before[v].x) +
+                             std::abs(after[v].y - before[v].y);
+    EXPECT_LE(manhattan, 50.0 + 1e-6);
+  }
+}
+
+TEST(Mobility, DeterministicGivenSeed) {
+  MobilityParams p;
+  p.seed = 11;
+  GridMobility a(p), b(p);
+  a.advance(17.0);
+  b.advance(17.0);
+  for (int v = 0; v < p.num_vehicles; ++v) {
+    EXPECT_EQ(a.positions()[v].x, b.positions()[v].x);
+    EXPECT_EQ(a.positions()[v].y, b.positions()[v].y);
+  }
+}
+
+TEST(Mobility, IntersectionIndexing) {
+  MobilityParams p;
+  GridMobility m(p);
+  EXPECT_EQ(m.num_intersections(), 9);
+  EXPECT_EQ(m.intersection(4).x, m.intersection(1, 1).x);
+  EXPECT_THROW(m.intersection(3, 0), std::out_of_range);
+}
+
+SensorFusionCase first_case(SensorFusionWorld& world) {
+  for (int i = 0; i < 50; ++i) {
+    auto c = world.next_case();
+    if (c) return std::move(*c);
+  }
+  throw std::runtime_error("no case produced in 50 snapshots");
+}
+
+TEST(SensorFusionWorld, ProducesValidCases) {
+  SensorFusionWorld world(CaseStudyParams{});
+  const SensorFusionCase c = first_case(world);
+  EXPECT_GT(c.graph.num_tasks(), 0);
+  EXPECT_TRUE(c.graph.is_dag());
+  EXPECT_EQ(static_cast<int>(c.task_kind.size()), c.graph.num_tasks());
+  EXPECT_EQ(static_cast<int>(c.device_type.size()), c.network.num_devices());
+  // Every task has a feasible device.
+  EXPECT_NO_THROW(feasible_sets(c.graph, c.network));
+}
+
+TEST(SensorFusionWorld, SourcesArePinnedDetectionNeedsGpu) {
+  SensorFusionWorld world(CaseStudyParams{});
+  const SensorFusionCase c = first_case(world);
+  int sources = 0, detects = 0;
+  for (int v = 0; v < c.graph.num_tasks(); ++v) {
+    if (c.task_kind[v] < 0) {
+      EXPECT_GE(c.graph.task(v).pinned, 0);
+      ++sources;
+    } else if (c.task_kind[v] == static_cast<int>(FusionTask::kCamera) ||
+               c.task_kind[v] == static_cast<int>(FusionTask::kLidar)) {
+      EXPECT_EQ(c.graph.task(v).requires_hw & kGpuBit, kGpuBit);
+      ++detects;
+    }
+  }
+  EXPECT_GT(sources, 0);
+  EXPECT_GT(detects, 0);
+}
+
+TEST(SensorFusionWorld, LatencyModelMatchesTable1OnNativeDevices) {
+  SensorFusionWorld world(CaseStudyParams{});
+  const SensorFusionCase c = first_case(world);
+  const DefaultLatencyModel lat;
+  const LatencyFit& fit = world.latency_fit();
+  for (int v = 0; v < c.graph.num_tasks(); ++v) {
+    if (c.task_kind[v] < 0) continue;
+    for (int d = 0; d < c.network.num_devices(); ++d) {
+      if (!device_feasible(c.graph, c.network, v, d)) continue;
+      const double w = lat.compute_time(c.graph, c.network, v, d);
+      const double expected = fit.predict_ms(static_cast<FusionTask>(c.task_kind[v]),
+                                             c.device_type[d]);
+      EXPECT_NEAR(w, expected, 1e-9);
+    }
+  }
+}
+
+TEST(SensorFusionWorld, CaseIsSchedulable) {
+  SensorFusionWorld world(CaseStudyParams{});
+  const SensorFusionCase c = first_case(world);
+  const DefaultLatencyModel lat;
+  std::mt19937_64 rng(3);
+  const Placement p = random_placement(c.graph, c.network, rng);
+  EXPECT_GT(makespan(c.graph, c.network, p, lat), 0.0);
+  // HEFT also works on the case.
+  const HeftResult h = heft_schedule(c.graph, c.network, lat);
+  EXPECT_TRUE(is_feasible(c.graph, c.network, h.placement));
+}
+
+TEST(Relocation, NoMoveNoCost) {
+  SensorFusionWorld world(CaseStudyParams{});
+  const SensorFusionCase c = first_case(world);
+  std::mt19937_64 rng(4);
+  const Placement p = random_placement(c.graph, c.network, rng);
+  EXPECT_DOUBLE_EQ(total_relocation_cost_ms(c, p, p), 0.0);
+}
+
+TEST(Relocation, MovingAddsPositiveCost) {
+  SensorFusionWorld world(CaseStudyParams{});
+  const SensorFusionCase c = first_case(world);
+  std::mt19937_64 rng(5);
+  const Placement p = random_placement(c.graph, c.network, rng);
+  Placement q = p;
+  // Move the first non-source task somewhere else.
+  for (int v = 0; v < c.graph.num_tasks(); ++v) {
+    if (c.task_kind[v] < 0) continue;
+    for (int d : feasible_devices(c.graph, c.network, v)) {
+      if (d != p.device_of(v)) {
+        q.set(v, d);
+        break;
+      }
+    }
+    if (q.device_of(v) != p.device_of(v)) break;
+  }
+  EXPECT_GT(total_relocation_cost_ms(c, p, q), 0.0);
+}
+
+TEST(Relocation, AmortizedObjectivePenalizesMovesLessAtHighFrequency) {
+  SensorFusionWorld world(CaseStudyParams{});
+  SensorFusionCase c = first_case(world);
+  const DefaultLatencyModel lat;
+  std::mt19937_64 rng(6);
+  const Placement ref = random_placement(c.graph, c.network, rng);
+  Placement moved = random_placement(c.graph, c.network, rng);
+
+  c.pipeline_hz = 1.0;
+  const double low = relocation_aware_objective(c, lat, ref, 10.0)(c.graph, c.network,
+                                                                   moved);
+  c.pipeline_hz = 100.0;
+  const double high = relocation_aware_objective(c, lat, ref, 10.0)(c.graph, c.network,
+                                                                    moved);
+  const double base = makespan(c.graph, c.network, moved, lat);
+  EXPECT_GT(low, base);
+  EXPECT_GT(high, base);
+  EXPECT_LT(high, low);  // relocation amortizes better at high frequency
+  // Reference placement itself has no relocation penalty.
+  EXPECT_DOUBLE_EQ(
+      relocation_aware_objective(c, lat, ref, 10.0)(c.graph, c.network, ref),
+      makespan(c.graph, c.network, ref, lat));
+}
+
+TEST(Energy, CheaperOnLowPowerDevices) {
+  SensorFusionWorld world(CaseStudyParams{});
+  const SensorFusionCase c = first_case(world);
+  const DefaultLatencyModel lat;
+  const Objective energy = energy_objective(c, lat);
+  std::mt19937_64 rng(7);
+  const Placement p = random_placement(c.graph, c.network, rng);
+  const double e = energy(c.graph, c.network, p);
+  EXPECT_GT(e, 0.0);
+  EXPECT_TRUE(std::isfinite(e));
+}
+
+TEST(Energy, CoLocationRemovesCommEnergy) {
+  // Build a tiny synthetic case exercising the energy objective directly.
+  SensorFusionCase c;
+  c.network.add_device(Device{.speed = 1.0});
+  c.network.add_device(Device{.speed = 1.0});
+  c.network.set_symmetric_link(0, 1, 10.0, 1.0);
+  c.device_type = {DeviceType::kTypeA, DeviceType::kTypeA};
+  c.graph.add_task(Task{.compute = 1.0});
+  c.graph.add_task(Task{.compute = 1.0});
+  c.graph.add_edge(0, 1, 100.0);
+  c.task_kind = {0, 0};
+  const DefaultLatencyModel lat;
+  const Objective energy = energy_objective(c, lat);
+  Placement together(2), apart(2);
+  together.set(0, 0);
+  together.set(1, 0);
+  apart.set(0, 0);
+  apart.set(1, 1);
+  EXPECT_LT(energy(c.graph, c.network, together), energy(c.graph, c.network, apart));
+}
+
+TEST(SensorFusionWorld, RemoteInfrastructureIsExcluded) {
+  // Two far-apart active regions never both fit in one device_radius, so the
+  // device set must be smaller than the full infrastructure inventory.
+  CaseStudyParams p;
+  p.mobility.grid_rows = 4;
+  p.mobility.grid_cols = 4;
+  p.mobility.block_m = 900.0;  // intersections far apart
+  p.mobility.num_vehicles = 2;
+  p.device_radius_m = 500.0;
+  p.seed = 3;
+  SensorFusionWorld world(p);
+  const int full_infra = 16 + p.edge_devices_a + p.edge_devices_b + p.edge_devices_c;
+  bool saw_filtered = false;
+  for (int s = 0; s < 30; ++s) {
+    auto c = world.next_case();
+    if (!c) continue;
+    if (c->network.num_devices() < full_infra) saw_filtered = true;
+  }
+  EXPECT_TRUE(saw_filtered);
+}
+
+TEST(SensorFusionWorld, CisCamerasAreWiredToTheirRsu) {
+  SensorFusionWorld world(CaseStudyParams{});
+  const SensorFusionCase c = first_case(world);
+  // Find a CIS device (supports nothing) and its RSU (type C, same corner);
+  // the wired link must be much faster than the RF floor.
+  const CaseStudyParams& p = world.params();
+  for (int k = 0; k < c.network.num_devices(); ++k) {
+    if (c.network.device(k).supports_hw != 0) continue;  // CIS
+    double best_bw = 0.0;
+    for (int l = 0; l < c.network.num_devices(); ++l) {
+      if (l != k) best_bw = std::max(best_bw, c.network.bandwidth(k, l));
+    }
+    EXPECT_GE(best_bw, p.wired_bw_mbps * kMbpsToBytesPerMs - 1e-9);
+  }
+}
+
+TEST(SensorFusionWorld, BandwidthDecaysWithDistanceOnRfLinks) {
+  // Two mobile (non-wired) devices: their link follows the exponential decay.
+  SensorFusionWorld world(CaseStudyParams{});
+  const SensorFusionCase c = first_case(world);
+  const CaseStudyParams& p = world.params();
+  const double max_rf = p.bw0_mbps * kMbpsToBytesPerMs;
+  int rf_links = 0;
+  for (int k = 0; k < c.network.num_devices(); ++k) {
+    for (int l = k + 1; l < c.network.num_devices(); ++l) {
+      const double bw = c.network.bandwidth(k, l);
+      if (bw <= max_rf + 1e-9) {
+        ++rf_links;
+        EXPECT_GE(bw, p.min_bw_mbps * kMbpsToBytesPerMs - 1e-9);
+      }
+    }
+  }
+  EXPECT_GT(rf_links, 0);
+}
+
+TEST(PaperScaleParams, MatchesPaperCounts) {
+  const CaseStudyParams p = paper_scale_params();
+  EXPECT_EQ(p.mobility.grid_rows * p.mobility.grid_cols, 36);  // 36 RSUs
+  EXPECT_EQ(p.edge_devices_a + p.edge_devices_b + p.edge_devices_c, 40);
+  EXPECT_EQ(p.cis_per_rsu, 4);
+}
+
+}  // namespace
+}  // namespace giph::casestudy

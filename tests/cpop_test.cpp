@@ -1,0 +1,120 @@
+#include "heft/cpop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/dataset.hpp"
+#include "sim/metrics.hpp"
+
+namespace giph {
+namespace {
+
+const DefaultLatencyModel kLat;
+
+struct Fixture {
+  TaskGraph g;
+  DeviceNetwork n;
+  Fixture() {
+    // Chain 0 -> 1 -> 3 plus a light side branch 0 -> 2 -> 3.
+    g.add_task(Task{.compute = 4.0});
+    g.add_task(Task{.compute = 8.0});
+    g.add_task(Task{.compute = 1.0});
+    g.add_task(Task{.compute = 4.0});
+    g.add_edge(0, 1, 8.0);
+    g.add_edge(0, 2, 2.0);
+    g.add_edge(1, 3, 8.0);
+    g.add_edge(2, 3, 2.0);
+    n.add_device(Device{.speed = 2.0});
+    n.add_device(Device{.speed = 1.0});
+    n.set_symmetric_link(0, 1, 2.0, 1.0);
+  }
+};
+
+TEST(Cpop, DownwardRanksIncreaseAlongPaths) {
+  Fixture f;
+  const auto down = downward_ranks(f.g, f.n, kLat);
+  EXPECT_EQ(down[0], 0.0);  // entry
+  for (const DataLink& e : f.g.edges()) EXPECT_GT(down[e.dst], down[e.src]);
+}
+
+TEST(Cpop, PriorityIsConstantAlongCriticalPath) {
+  Fixture f;
+  const CpopResult r = cpop_schedule(f.g, f.n, kLat);
+  // The heavy chain 0-1-3 is the critical path.
+  EXPECT_EQ(r.critical_path, (std::vector<int>{0, 1, 3}));
+  EXPECT_NEAR(r.priority[0], r.priority[1], 1e-9);
+  EXPECT_NEAR(r.priority[0], r.priority[3], 1e-9);
+  EXPECT_LT(r.priority[2], r.priority[0]);
+}
+
+TEST(Cpop, CriticalPathTasksShareTheCpProcessor) {
+  Fixture f;
+  const CpopResult r = cpop_schedule(f.g, f.n, kLat);
+  EXPECT_EQ(r.cp_device, 0);  // fastest device minimizes the CP total
+  for (int v : r.critical_path) EXPECT_EQ(r.placement.device_of(v), r.cp_device);
+}
+
+TEST(Cpop, ScheduleIsFeasibleAndRespectsPrecedence) {
+  Fixture f;
+  const CpopResult r = cpop_schedule(f.g, f.n, kLat);
+  EXPECT_TRUE(is_feasible(f.g, f.n, r.placement));
+  for (const DataLink& e : f.g.edges()) {
+    EXPECT_LE(r.timing[e.src].finish, r.timing[e.dst].start + 1e-9);
+  }
+}
+
+TEST(Cpop, RespectsConstraintsOffCriticalPath) {
+  Fixture f;
+  f.g.task(2).requires_hw = 0b1;
+  f.n.device(1).supports_hw = 0b1;
+  f.n.device(0).supports_hw = 0;
+  const CpopResult r = cpop_schedule(f.g, f.n, kLat);
+  EXPECT_EQ(r.placement.device_of(2), 1);
+  EXPECT_TRUE(is_feasible(f.g, f.n, r.placement));
+}
+
+TEST(Cpop, FallsBackToEftWhenNoCpProcessorFits) {
+  Fixture f;
+  // No single device can host the whole critical path.
+  f.g.task(0).pinned = 0;
+  f.g.task(1).pinned = 1;
+  const CpopResult r = cpop_schedule(f.g, f.n, kLat);
+  EXPECT_EQ(r.cp_device, -1);
+  EXPECT_TRUE(is_feasible(f.g, f.n, r.placement));
+}
+
+TEST(Cpop, ComparableToHeftOnRandomInstances) {
+  std::mt19937_64 rng(41);
+  TaskGraphParams gp;
+  gp.num_tasks = 16;
+  NetworkParams np;
+  np.num_devices = 6;
+  double cpop_total = 0.0, random_total = 0.0;
+  const int cases = 8;
+  for (int i = 0; i < cases; ++i) {
+    const TaskGraph g = generate_task_graph(gp, rng);
+    DeviceNetwork n = generate_device_network(np, rng);
+    ensure_all_kinds(n, np.num_hw_kinds, rng);
+    const double denom = slr_denominator(g, n, kLat);
+    cpop_total += makespan(g, n, cpop_schedule(g, n, kLat).placement, kLat) / denom;
+    double rnd = 0.0;
+    for (int r = 0; r < 5; ++r) {
+      rnd += makespan(g, n, random_placement(g, n, rng), kLat) / denom;
+    }
+    random_total += rnd / 5;
+  }
+  EXPECT_LT(cpop_total, random_total);  // a real scheduling heuristic
+}
+
+TEST(Cpop, SingleTaskGraph) {
+  TaskGraph g;
+  g.add_task(Task{.compute = 5.0});
+  DeviceNetwork n;
+  n.add_device(Device{.speed = 1.0});
+  n.add_device(Device{.speed = 5.0});
+  const CpopResult r = cpop_schedule(g, n, kLat);
+  EXPECT_EQ(r.placement.device_of(0), 1);
+  EXPECT_DOUBLE_EQ(r.cpop_makespan, 1.0);
+}
+
+}  // namespace
+}  // namespace giph

@@ -1,0 +1,97 @@
+#include "graph/device_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace giph {
+namespace {
+
+DeviceNetwork three_devices() {
+  DeviceNetwork n;
+  n.add_device(Device{.speed = 1.0, .supports_hw = 0b01});
+  n.add_device(Device{.speed = 2.0, .supports_hw = 0b10});
+  n.add_device(Device{.speed = 4.0, .supports_hw = 0b11});
+  n.set_symmetric_link(0, 1, 10.0, 1.0);
+  n.set_symmetric_link(0, 2, 20.0, 2.0);
+  n.set_symmetric_link(1, 2, 40.0, 4.0);
+  return n;
+}
+
+TEST(DeviceNetwork, SelfLinksAreFree) {
+  const DeviceNetwork n = three_devices();
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_TRUE(std::isinf(n.bandwidth(k, k)));
+    EXPECT_EQ(n.delay(k, k), 0.0);
+  }
+}
+
+TEST(DeviceNetwork, SymmetricLinkSetsBothDirections) {
+  const DeviceNetwork n = three_devices();
+  EXPECT_EQ(n.bandwidth(0, 1), 10.0);
+  EXPECT_EQ(n.bandwidth(1, 0), 10.0);
+  EXPECT_EQ(n.delay(2, 1), 4.0);
+}
+
+TEST(DeviceNetwork, DirectedLinksCanDiffer) {
+  DeviceNetwork n(2);
+  n.set_link(0, 1, 5.0, 0.5);
+  n.set_link(1, 0, 50.0, 0.1);
+  EXPECT_EQ(n.bandwidth(0, 1), 5.0);
+  EXPECT_EQ(n.bandwidth(1, 0), 50.0);
+}
+
+TEST(DeviceNetwork, SetLinkValidation) {
+  DeviceNetwork n(2);
+  EXPECT_THROW(n.set_link(0, 0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(n.set_link(0, 1, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(n.set_link(0, 1, 1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(n.set_link(0, 2, 1.0, 0.0), std::out_of_range);
+}
+
+TEST(DeviceNetwork, AddDevicePreservesLinks) {
+  DeviceNetwork n = three_devices();
+  const int id = n.add_device(Device{.speed = 8.0});
+  EXPECT_EQ(id, 3);
+  EXPECT_EQ(n.num_devices(), 4);
+  EXPECT_EQ(n.bandwidth(0, 1), 10.0);
+  EXPECT_EQ(n.delay(1, 2), 4.0);
+  // New links default to bandwidth 1, delay 0 until set.
+  EXPECT_EQ(n.bandwidth(0, 3), 1.0);
+  EXPECT_EQ(n.delay(0, 3), 0.0);
+}
+
+TEST(DeviceNetwork, RemoveDeviceCompacts) {
+  DeviceNetwork n = three_devices();
+  n.remove_device(1);
+  EXPECT_EQ(n.num_devices(), 2);
+  EXPECT_EQ(n.device(1).speed, 4.0);  // old device 2
+  EXPECT_EQ(n.bandwidth(0, 1), 20.0);  // old (0, 2) link
+  EXPECT_EQ(n.delay(0, 1), 2.0);
+}
+
+TEST(DeviceNetwork, FeasibleDevicesByMask) {
+  const DeviceNetwork n = three_devices();
+  EXPECT_EQ(n.feasible_devices(0), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(n.feasible_devices(0b01), (std::vector<int>{0, 2}));
+  EXPECT_EQ(n.feasible_devices(0b10), (std::vector<int>{1, 2}));
+  EXPECT_EQ(n.feasible_devices(0b11), (std::vector<int>{2}));
+  EXPECT_TRUE(n.feasible_devices(0b100).empty());
+}
+
+TEST(DeviceNetwork, Means) {
+  const DeviceNetwork n = three_devices();
+  EXPECT_NEAR(n.mean_speed(), (1.0 + 2.0 + 4.0) / 3.0, 1e-12);
+  EXPECT_NEAR(n.mean_bandwidth(), (10.0 + 20.0 + 40.0) * 2 / 6.0, 1e-12);
+  EXPECT_NEAR(n.mean_delay(), (1.0 + 2.0 + 4.0) * 2 / 6.0, 1e-12);
+}
+
+TEST(DeviceNetwork, MeansOfSingleton) {
+  DeviceNetwork n(1);
+  EXPECT_EQ(n.mean_bandwidth(), 0.0);
+  EXPECT_EQ(n.mean_delay(), 0.0);
+}
+
+}  // namespace
+}  // namespace giph

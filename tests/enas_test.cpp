@@ -1,0 +1,71 @@
+#include "gen/enas_gen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace giph {
+namespace {
+
+TEST(Enas, CellDesignIsValid) {
+  std::mt19937_64 rng(1);
+  for (int nodes : {2, 5, 12}) {
+    const CellDesign c = sample_cell_design(nodes, rng);
+    ASSERT_EQ(static_cast<int>(c.prev.size()), nodes);
+    for (int i = 1; i < nodes; ++i) {
+      EXPECT_GE(c.prev[i], 0);
+      EXPECT_LT(c.prev[i], i);
+    }
+    for (double cost : c.op_cost) EXPECT_GT(cost, 0.0);
+  }
+  EXPECT_THROW(sample_cell_design(1, rng), std::invalid_argument);
+}
+
+TEST(Enas, UnrolledGraphStructure) {
+  std::mt19937_64 rng(2);
+  const CellDesign c = sample_cell_design(6, rng);
+  const TaskGraph g = unroll_cell(c, 10, 100, EnasParams{});
+  // 2 shared nodes + per step: embed + 6 cell nodes + avg.
+  EXPECT_EQ(g.num_tasks(), 2 + 10 * 8);
+  EXPECT_TRUE(g.is_dag());
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+}
+
+TEST(Enas, ComputeScalesWithBatch) {
+  std::mt19937_64 rng(3);
+  const CellDesign c = sample_cell_design(6, rng);
+  const TaskGraph small = unroll_cell(c, 5, 80, EnasParams{});
+  const TaskGraph large = unroll_cell(c, 5, 160, EnasParams{});
+  EXPECT_NEAR(large.total_compute() / small.total_compute(), 2.0, 1e-9);
+}
+
+TEST(Enas, GeneratedGraphsInPaperSizeRange) {
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 10; ++i) {
+    const TaskGraph g = generate_enas_graph(EnasParams{}, rng);
+    // Paper: each graph contains 200-300 operators.
+    EXPECT_GE(g.num_tasks(), 150);
+    EXPECT_LE(g.num_tasks(), 450);
+    EXPECT_TRUE(g.is_dag());
+  }
+}
+
+TEST(Enas, HwConstraintAppliedToOps) {
+  std::mt19937_64 rng(5);
+  EnasParams p;
+  p.op_requires_hw = 0b1;
+  const TaskGraph g = generate_enas_graph(p, rng);
+  int constrained = 0;
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    if (g.task(v).requires_hw == 0b1) ++constrained;
+  }
+  EXPECT_GT(constrained, g.num_tasks() / 2);
+}
+
+TEST(Enas, UnrollRejectsBadSteps) {
+  std::mt19937_64 rng(6);
+  const CellDesign c = sample_cell_design(4, rng);
+  EXPECT_THROW(unroll_cell(c, 0, 100, EnasParams{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace giph

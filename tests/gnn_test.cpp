@@ -1,0 +1,221 @@
+#include "core/gnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/features.hpp"
+#include "gen/dataset.hpp"
+#include "sim/simulator.hpp"
+
+namespace giph {
+namespace {
+
+const DefaultLatencyModel kLat;
+
+struct Instance {
+  TaskGraph g;
+  DeviceNetwork n;
+  Placement m;
+  GpNet net;
+  GpNetFeatures feats;
+  Instance() {
+    std::mt19937_64 rng(77);
+    TaskGraphParams gp;
+    gp.num_tasks = 8;
+    NetworkParams np;
+    np.num_devices = 4;
+    g = generate_task_graph(gp, rng);
+    n = generate_device_network(np, rng);
+    ensure_all_kinds(n, np.num_hw_kinds, rng);
+    m = random_placement(g, n, rng);
+    const auto feasible = feasible_sets(g, n);
+    net = build_gpnet(g, n, m, feasible);
+    const Schedule sched = simulate(g, n, m, kLat);
+    const FeatureScales s = compute_feature_scales(g, n, kLat);
+    feats = build_gpnet_features(net, g, n, m, kLat, sched, s);
+  }
+};
+
+class EncoderKinds : public ::testing::TestWithParam<GnnKind> {};
+
+TEST_P(EncoderKinds, ShapesAndGradients) {
+  Instance inst;
+  const GnnKind kind = GetParam();
+  GnnConfig cfg;
+  cfg.kind = kind;
+  const bool merged = kind == GnnKind::kGiPHNE || kind == GnnKind::kGraphSAGE ||
+                      kind == GnnKind::kNone;
+  cfg.node_dim = merged ? 8 : 4;
+  cfg.edge_dim = merged ? 0 : 4;
+
+  std::mt19937_64 rng(5);
+  nn::ParamRegistry reg;
+  const GraphEncoder enc(reg, cfg, rng);
+
+  nn::Matrix node_feats =
+      merged ? append_mean_out_edge_features(inst.net, inst.feats) : inst.feats.node;
+  const nn::Var emb = enc.encode(inst.net.view, node_feats,
+                                 merged ? nn::Matrix() : inst.feats.edge);
+  EXPECT_EQ(emb->value.rows(), inst.net.num_nodes());
+  EXPECT_EQ(emb->value.cols(), enc.out_dim());
+  for (int i = 0; i < emb->value.rows(); ++i) {
+    for (int j = 0; j < emb->value.cols(); ++j) {
+      EXPECT_TRUE(std::isfinite(emb->value(i, j)));
+    }
+  }
+
+  if (kind == GnnKind::kNone) {
+    EXPECT_TRUE(reg.params().empty());
+    return;
+  }
+  // Gradients reach every registered parameter.
+  nn::backward(nn::sum_all(emb));
+  for (const nn::Var& p : reg.params()) {
+    EXPECT_GT(p->grad.size(), 0u) << "parameter received no gradient";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, EncoderKinds,
+                         ::testing::Values(GnnKind::kGiPH, GnnKind::kGiPHK,
+                                           GnnKind::kGiPHNE, GnnKind::kGraphSAGE,
+                                           GnnKind::kNone));
+
+TEST(GraphEncoder, DeterministicForward) {
+  Instance inst;
+  GnnConfig cfg;
+  std::mt19937_64 rng(5);
+  nn::ParamRegistry reg;
+  const GraphEncoder enc(reg, cfg, rng);
+  const nn::Var a = enc.encode(inst.net.view, inst.feats.node, inst.feats.edge);
+  const nn::Var b = enc.encode(inst.net.view, inst.feats.node, inst.feats.edge);
+  EXPECT_EQ(nn::max_abs_diff(a->value, b->value), 0.0);
+}
+
+TEST(GraphEncoder, EmbeddingDependsOnGraphStructure) {
+  Instance inst;
+  GnnConfig cfg;
+  std::mt19937_64 rng(5);
+  nn::ParamRegistry reg;
+  const GraphEncoder enc(reg, cfg, rng);
+  const nn::Var a = enc.encode(inst.net.view, inst.feats.node, inst.feats.edge);
+  // Zeroing an edge feature changes embeddings of connected nodes.
+  nn::Matrix edited = inst.feats.edge;
+  for (int j = 0; j < edited.cols(); ++j) edited(0, j) += 5.0;
+  const nn::Var b = enc.encode(inst.net.view, inst.feats.node, edited);
+  EXPECT_GT(nn::max_abs_diff(a->value, b->value), 0.0);
+}
+
+TEST(GraphEncoder, OutDimMatchesConfig) {
+  std::mt19937_64 rng(5);
+  {
+    nn::ParamRegistry reg;
+    GnnConfig cfg;
+    cfg.embed_dim = 7;
+    EXPECT_EQ(GraphEncoder(reg, cfg, rng).out_dim(), 14);
+  }
+  {
+    nn::ParamRegistry reg;
+    GnnConfig cfg;
+    cfg.kind = GnnKind::kNone;
+    cfg.node_dim = 8;
+    EXPECT_EQ(GraphEncoder(reg, cfg, rng).out_dim(), 8);
+  }
+}
+
+TEST(GraphEncoder, RejectsShapeMismatch) {
+  Instance inst;
+  GnnConfig cfg;
+  std::mt19937_64 rng(5);
+  nn::ParamRegistry reg;
+  const GraphEncoder enc(reg, cfg, rng);
+  EXPECT_THROW(enc.encode(inst.net.view, nn::Matrix(3, 4), inst.feats.edge),
+               std::invalid_argument);
+}
+
+TEST(ScorePolicy, SamplesOnlyFromCandidates) {
+  std::mt19937_64 rng(9);
+  nn::ParamRegistry reg;
+  const ScorePolicy pol(reg, "p", 6, rng);
+  const nn::Var emb = nn::constant(nn::Matrix(10, 6, 0.3));
+  const std::vector<int> candidates{2, 5, 7};
+  std::mt19937_64 sample_rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = pol.act(emb, candidates, sample_rng, false);
+    EXPECT_TRUE(s.choice == 2 || s.choice == 5 || s.choice == 7);
+    EXPECT_GT(s.prob, 0.0);
+    EXPECT_LE(s.prob, 1.0);
+    EXPECT_NEAR(std::exp(s.log_prob->value(0, 0)), s.prob, 1e-12);
+  }
+}
+
+TEST(ScorePolicy, GreedyPicksArgmax) {
+  std::mt19937_64 rng(9);
+  nn::ParamRegistry reg;
+  const ScorePolicy pol(reg, "p", 2, rng);
+  // Distinct rows produce distinct scores; greedy must be deterministic.
+  nn::Matrix m(4, 2);
+  for (int i = 0; i < 4; ++i) {
+    m(i, 0) = i;
+    m(i, 1) = -i;
+  }
+  const nn::Var emb = nn::constant(m);
+  std::mt19937_64 r1(1), r2(2);
+  const auto a = pol.act(emb, {0, 1, 2, 3}, r1, true);
+  const auto b = pol.act(emb, {0, 1, 2, 3}, r2, true);
+  EXPECT_EQ(a.choice, b.choice);
+}
+
+TEST(ScorePolicy, EmptyCandidatesThrow) {
+  std::mt19937_64 rng(9);
+  nn::ParamRegistry reg;
+  const ScorePolicy pol(reg, "p", 2, rng);
+  const nn::Var emb = nn::constant(nn::Matrix(4, 2));
+  EXPECT_THROW(pol.act(emb, {}, rng, false), std::invalid_argument);
+}
+
+TEST(ScorePolicy, SamplingFrequenciesMatchProbabilities) {
+  std::mt19937_64 rng(9);
+  nn::ParamRegistry reg;
+  const ScorePolicy pol(reg, "p", 2, rng);
+  nn::Matrix m(3, 2);
+  m(0, 0) = 1.0;
+  m(1, 0) = -1.0;
+  m(2, 1) = 2.0;
+  const nn::Var emb = nn::constant(m);
+  // Reference probabilities from a single act() call.
+  std::mt19937_64 r0(1);
+  std::vector<double> probs(3, 0.0);
+  for (int c = 0; c < 3; ++c) {
+    // Greedy act on a singleton candidate set exposes each log-prob = 0, so
+    // instead read probabilities through repeated sampling.
+    (void)c;
+  }
+  const int trials = 4000;
+  std::vector<int> counts(3, 0);
+  std::mt19937_64 sr(77);
+  double p_first = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const auto s = pol.act(emb, {0, 1, 2}, sr, false);
+    ++counts[s.choice];
+    if (s.choice == 0) p_first = s.prob;
+  }
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_GT(counts[c], 0) << "every candidate sampled eventually";
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / trials, p_first, 0.03);
+}
+
+TEST(ScorePolicy, LogProbGradientReachesScoreParams) {
+  std::mt19937_64 rng(9);
+  nn::ParamRegistry reg;
+  const ScorePolicy pol(reg, "p", 3, rng);
+  const nn::Var emb = nn::constant(nn::Matrix(5, 3, 0.5));
+  std::mt19937_64 sr(4);
+  const auto s = pol.act(emb, {0, 1, 2, 3, 4}, sr, false);
+  nn::backward(s.log_prob);
+  // At least the first-layer weights must receive gradient. (With identical
+  // candidate rows the final-layer weight gradient can cancel exactly.)
+  EXPECT_GT(reg.params()[0]->grad.size(), 0u);
+}
+
+}  // namespace
+}  // namespace giph

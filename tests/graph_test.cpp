@@ -1,0 +1,138 @@
+#include "graph/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace giph {
+namespace {
+
+TaskGraph diamond() {
+  // 0 -> {1, 2} -> 3
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_task(Task{.compute = 1.0 + i});
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(0, 2, 20.0);
+  g.add_edge(1, 3, 30.0);
+  g.add_edge(2, 3, 40.0);
+  return g;
+}
+
+TEST(TaskGraph, EmptyGraph) {
+  TaskGraph g;
+  EXPECT_EQ(g.num_tasks(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.depth(), 0);
+  EXPECT_TRUE(g.is_dag());
+  EXPECT_TRUE(g.entry_tasks().empty());
+}
+
+TEST(TaskGraph, AddTaskReturnsSequentialIds) {
+  TaskGraph g;
+  EXPECT_EQ(g.add_task(Task{}), 0);
+  EXPECT_EQ(g.add_task(Task{}), 1);
+  EXPECT_EQ(g.add_task(Task{}), 2);
+  EXPECT_EQ(g.num_tasks(), 3);
+}
+
+TEST(TaskGraph, EdgeAccessorsAndAdjacency) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.find_edge(2, 3), 3);
+  EXPECT_EQ(g.edge(3).bytes, 40.0);
+  EXPECT_EQ(g.parents(3), (std::vector<int>{1, 2}));
+  EXPECT_EQ(g.children(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(g.in_degree(3), 2);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(TaskGraph, AddEdgeRejectsBadArguments) {
+  TaskGraph g = diamond();
+  EXPECT_THROW(g.add_edge(0, 4, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(-1, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(2, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, 1.0), std::invalid_argument);  // duplicate
+}
+
+TEST(TaskGraph, EntryAndExitTasks) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(g.entry_tasks(), std::vector<int>{0});
+  EXPECT_EQ(g.exit_tasks(), std::vector<int>{3});
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  const TaskGraph g = diamond();
+  const auto& topo = g.topological_order();
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[topo[i]] = i;
+  for (const DataLink& e : g.edges()) EXPECT_LT(pos[e.src], pos[e.dst]);
+}
+
+TEST(TaskGraph, LevelsAndDepth) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(g.levels(), (std::vector<int>{0, 1, 1, 2}));
+  EXPECT_EQ(g.depth(), 3);
+}
+
+TEST(TaskGraph, CycleDetection) {
+  TaskGraph g;
+  for (int i = 0; i < 3; ++i) g.add_task(Task{});
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 0, 1.0);
+  EXPECT_FALSE(g.is_dag());
+  EXPECT_THROW(g.topological_order(), std::logic_error);
+  EXPECT_THROW(g.levels(), std::logic_error);
+}
+
+TEST(TaskGraph, CacheInvalidatedByMutation) {
+  TaskGraph g;
+  g.add_task(Task{});
+  g.add_task(Task{});
+  EXPECT_EQ(g.depth(), 1);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_EQ(g.depth(), 2);
+}
+
+TEST(TaskGraph, CriticalPathCostNodeOnly) {
+  const TaskGraph g = diamond();
+  // Path 0-2-3 has node costs 1+3+4 = 8 (heavier than 0-1-3 = 7).
+  const double cp = g.critical_path_cost([&](int v) { return g.task(v).compute; },
+                                         [](int) { return 0.0; });
+  EXPECT_DOUBLE_EQ(cp, 8.0);
+}
+
+TEST(TaskGraph, CriticalPathCostWithEdges) {
+  const TaskGraph g = diamond();
+  // Edge costs steer the critical path: 0 -(20)- 2 -(40)- 3: 1+20+3+40+4 = 68.
+  const double cp = g.critical_path_cost([&](int v) { return g.task(v).compute; },
+                                         [&](int e) { return g.edge(e).bytes; });
+  EXPECT_DOUBLE_EQ(cp, 68.0);
+}
+
+TEST(TaskGraph, CriticalPathNodes) {
+  const TaskGraph g = diamond();
+  const auto path = g.critical_path_nodes([&](int v) { return g.task(v).compute; });
+  EXPECT_EQ(path, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(TaskGraph, CriticalPathSingleNode) {
+  TaskGraph g;
+  g.add_task(Task{.compute = 5.0});
+  EXPECT_DOUBLE_EQ(
+      g.critical_path_cost([&](int) { return 5.0; }, [](int) { return 0.0; }), 5.0);
+  EXPECT_EQ(g.critical_path_nodes([](int) { return 5.0; }), std::vector<int>{0});
+}
+
+TEST(TaskGraph, Totals) {
+  const TaskGraph g = diamond();
+  EXPECT_DOUBLE_EQ(g.total_compute(), 1.0 + 2.0 + 3.0 + 4.0);
+  EXPECT_DOUBLE_EQ(g.total_bytes(), 100.0);
+}
+
+}  // namespace
+}  // namespace giph

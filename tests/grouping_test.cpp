@@ -1,0 +1,116 @@
+#include "gen/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/enas_gen.hpp"
+#include "gen/task_graph_gen.hpp"
+
+namespace giph {
+namespace {
+
+TEST(Grouping, ChainCollapsesToTarget) {
+  TaskGraph g;
+  for (int i = 0; i < 5; ++i) g.add_task(Task{.compute = 1.0 + i});
+  for (int i = 0; i + 1 < 5; ++i) g.add_edge(i, i + 1, 10.0);
+  const GroupedGraph r = group_operators(g, 2);
+  EXPECT_EQ(r.graph.num_tasks(), 2);
+  // Total compute is conserved.
+  EXPECT_DOUBLE_EQ(r.graph.total_compute(), g.total_compute());
+  EXPECT_TRUE(r.graph.is_dag());
+}
+
+TEST(Grouping, MergesLowestCostInDegreeOneFirst) {
+  // 0 -> 1 (cost 5), 0 -> 2 (cost 1): node 2 merges first.
+  TaskGraph g;
+  g.add_task(Task{.compute = 10.0});
+  g.add_task(Task{.compute = 5.0});
+  g.add_task(Task{.compute = 1.0});
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  const GroupedGraph r = group_operators(g, 2);
+  EXPECT_EQ(r.graph.num_tasks(), 2);
+  // Node 2 merged into 0; node 1 survives.
+  EXPECT_EQ(r.group_of[2], r.group_of[0]);
+  EXPECT_NE(r.group_of[1], r.group_of[0]);
+  EXPECT_DOUBLE_EQ(r.graph.task(r.group_of[0]).compute, 11.0);
+}
+
+TEST(Grouping, ParallelEdgesAccumulateBytes) {
+  // Diamond 0 -> {1, 2} -> 3; merging 1 and 2 into 0 leaves edges 0 -> 3
+  // carrying the sum of both branch volumes.
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_task(Task{.compute = 1.0});
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(0, 2, 20.0);
+  g.add_edge(1, 3, 30.0);
+  g.add_edge(2, 3, 40.0);
+  const GroupedGraph r = group_operators(g, 2);
+  EXPECT_EQ(r.graph.num_tasks(), 2);
+  ASSERT_EQ(r.graph.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(r.graph.edge(0).bytes, 70.0);
+}
+
+TEST(Grouping, HwRequirementsAreUnioned) {
+  TaskGraph g;
+  g.add_task(Task{.compute = 1.0, .requires_hw = 0b01});
+  g.add_task(Task{.compute = 1.0, .requires_hw = 0b10});
+  g.add_edge(0, 1, 1.0);
+  const GroupedGraph r = group_operators(g, 1);
+  EXPECT_EQ(r.graph.num_tasks(), 1);
+  EXPECT_EQ(r.graph.task(0).requires_hw, 0b11u);
+}
+
+TEST(Grouping, StopsWhenNothingMergeable) {
+  // Two independent roots plus a join: the join has in-degree 2, roots have
+  // in-degree 0 -> nothing with in-degree exactly 1 after the first merges.
+  TaskGraph g;
+  g.add_task(Task{.compute = 1.0});
+  g.add_task(Task{.compute = 1.0});
+  g.add_task(Task{.compute = 1.0});
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const GroupedGraph r = group_operators(g, 1);
+  EXPECT_EQ(r.graph.num_tasks(), 3);  // cannot reach 1
+}
+
+TEST(Grouping, TargetLargerThanGraphIsIdentity) {
+  TaskGraph g;
+  g.add_task(Task{.compute = 2.0});
+  g.add_task(Task{.compute = 3.0});
+  g.add_edge(0, 1, 5.0);
+  const GroupedGraph r = group_operators(g, 10);
+  EXPECT_EQ(r.graph.num_tasks(), 2);
+  EXPECT_EQ(r.graph.num_edges(), 1);
+}
+
+TEST(Grouping, InvalidTargetThrows) {
+  TaskGraph g;
+  g.add_task(Task{});
+  EXPECT_THROW(group_operators(g, 0), std::invalid_argument);
+}
+
+TEST(Grouping, GroupOfMapsEveryNode) {
+  std::mt19937_64 rng(4);
+  TaskGraphParams p;
+  p.num_tasks = 60;
+  const TaskGraph g = generate_task_graph(p, rng);
+  const GroupedGraph r = group_operators(g, 12);
+  ASSERT_EQ(static_cast<int>(r.group_of.size()), g.num_tasks());
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_GE(r.group_of[v], 0);
+    EXPECT_LT(r.group_of[v], r.graph.num_tasks());
+  }
+  EXPECT_NEAR(r.graph.total_compute(), g.total_compute(), 1e-6);
+  EXPECT_TRUE(r.graph.is_dag());
+}
+
+TEST(Grouping, EnasGraphReducesToFortyNodes) {
+  std::mt19937_64 rng(8);
+  const TaskGraph g = generate_enas_graph(EnasParams{}, rng);
+  const GroupedGraph r = group_operators(g, 40);
+  EXPECT_LE(r.graph.num_tasks(), 40 + 5);  // a few unmergeable joins may remain
+  EXPECT_TRUE(r.graph.is_dag());
+}
+
+}  // namespace
+}  // namespace giph

@@ -1,0 +1,190 @@
+#include "baselines/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reinforce.hpp"
+#include "gen/dataset.hpp"
+
+namespace giph {
+namespace {
+
+const DefaultLatencyModel kLat;
+
+struct Fixture {
+  TaskGraph g;
+  DeviceNetwork n;
+  Fixture() {
+    g.add_task(Task{.compute = 4.0});
+    g.add_task(Task{.compute = 4.0});
+    g.add_edge(0, 1, 50.0);
+    n.add_device(Device{.speed = 1.0});
+    n.add_device(Device{.speed = 4.0});
+    n.set_symmetric_link(0, 1, 1.0, 1.0);
+  }
+};
+
+TEST(HillClimb, TakesTheBestImprovingMove) {
+  Fixture f;
+  Placement worst(2);
+  worst.set(0, 0);
+  worst.set(1, 1);  // split on a terrible link
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), worst);
+  HillClimbPolicy policy;
+  std::mt19937_64 rng(1);
+  const ActionDecision d = policy.decide(env, rng, false);
+  // The single best move: co-locate on the fast device (task 0 -> d1).
+  EXPECT_EQ(d.action.task, 0);
+  EXPECT_EQ(d.action.device, 1);
+}
+
+TEST(HillClimb, ConvergesToOptimumOnTinyInstance) {
+  Fixture f;
+  std::mt19937_64 rng(2);
+  const double denom = slr_denominator(f.g, f.n, kLat);
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat),
+                         random_placement(f.g, f.n, rng), denom);
+  HillClimbPolicy policy;
+  run_search(policy, env, 6, rng);
+  Placement opt(2);
+  opt.set(0, 1);
+  opt.set(1, 1);
+  EXPECT_NEAR(env.best_objective(), makespan(f.g, f.n, opt, kLat) / denom, 1e-9);
+}
+
+TEST(HillClimb, EscapesLocalOptimaWithRandomMoves) {
+  Fixture f;
+  Placement opt(2);
+  opt.set(0, 1);
+  opt.set(1, 1);  // already optimal: no improving move exists
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), opt);
+  HillClimbPolicy policy;
+  std::mt19937_64 rng(3);
+  EXPECT_NO_THROW(env.apply(policy.decide(env, rng, false).action));
+}
+
+TEST(SimulatedAnnealing, FindsOptimumOnTinyInstance) {
+  Fixture f;
+  std::mt19937_64 rng(4);
+  const double denom = slr_denominator(f.g, f.n, kLat);
+  Placement worst(2);
+  worst.set(0, 0);
+  worst.set(1, 1);
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), worst, denom);
+  // Reaching the optimum from the co-located local optimum requires crossing
+  // a ~24-SLR barrier: start hot enough to accept it.
+  AnnealingOptions opts;
+  opts.initial_temperature = 50.0;
+  opts.cooling = 0.95;
+  SimulatedAnnealingPolicy policy(opts);
+  policy.begin_episode();
+  run_search(policy, env, 200, rng);
+  Placement opt(2);
+  opt.set(0, 1);
+  opt.set(1, 1);
+  EXPECT_NEAR(env.best_objective(), makespan(f.g, f.n, opt, kLat) / denom, 1e-9);
+}
+
+TEST(SimulatedAnnealing, RevertsRejectedMovesAtLowTemperature) {
+  Fixture f;
+  Placement opt(2);
+  opt.set(0, 1);
+  opt.set(1, 1);
+  AnnealingOptions opts;
+  opts.initial_temperature = 1e-9;  // effectively greedy: reject any worsening
+  SimulatedAnnealingPolicy policy(opts);
+  policy.begin_episode();
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), opt);
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 40; ++i) env.apply(policy.decide(env, rng, false).action);
+  // Any degrading move must have been undone on the following step, so the
+  // final state is at most one move away from the optimum and the best
+  // placement is the optimum itself.
+  EXPECT_EQ(env.best_placement(), opt);
+}
+
+TEST(TabuSearch, MovesEvenWhenNoImprovementExists) {
+  Fixture f;
+  Placement opt(2);
+  opt.set(0, 1);
+  opt.set(1, 1);  // optimum: every neighbor is worse, tabu still moves
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), opt);
+  TabuSearchPolicy policy;
+  policy.begin_episode();
+  std::mt19937_64 rng(7);
+  const ActionDecision d = policy.decide(env, rng, false);
+  EXPECT_NE(d.action.device, opt.device_of(d.action.task));
+}
+
+TEST(TabuSearch, DoesNotImmediatelyUndoItsMoves) {
+  Fixture f;
+  Placement opt(2);
+  opt.set(0, 1);
+  opt.set(1, 1);
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), opt);
+  TabuSearchPolicy policy;
+  policy.begin_episode();
+  std::mt19937_64 rng(8);
+  const ActionDecision first = policy.decide(env, rng, false);
+  env.apply(first.action);
+  const ActionDecision second = policy.decide(env, rng, false);
+  // Undoing `first` exactly (same task back to d1) is tabu; with two tasks
+  // and two devices the only non-tabu steepest move touches something else.
+  const bool undoes = second.action.task == first.action.task &&
+                      second.action.device == 1;
+  EXPECT_FALSE(undoes);
+}
+
+TEST(TabuSearch, EscapesLocalOptimumViaTenure) {
+  Fixture f;
+  // Start at the co-located local optimum on the slow device; the optimum on
+  // the fast device requires crossing a bad intermediate state. Tabu's
+  // accept-best-even-if-worse rule crosses it deterministically.
+  Placement slow(2);
+  slow.set(0, 0);
+  slow.set(1, 0);
+  const double denom = slr_denominator(f.g, f.n, kLat);
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), slow, denom);
+  TabuSearchPolicy policy;
+  policy.begin_episode();
+  std::mt19937_64 rng(9);
+  run_search(policy, env, 10, rng);
+  Placement opt(2);
+  opt.set(0, 1);
+  opt.set(1, 1);
+  EXPECT_NEAR(env.best_objective(), makespan(f.g, f.n, opt, kLat) / denom, 1e-9);
+}
+
+TEST(LocalSearch, BothBeatRandomWalkOnSyntheticInstances) {
+  std::mt19937_64 rng(6);
+  TaskGraphParams gp;
+  gp.num_tasks = 10;
+  NetworkParams np;
+  np.num_devices = 5;
+  const TaskGraph g = generate_task_graph(gp, rng);
+  DeviceNetwork n = generate_device_network(np, rng);
+  ensure_all_kinds(n, np.num_hw_kinds, rng);
+  const double denom = slr_denominator(g, n, kLat);
+
+  auto final_of = [&](SearchPolicy& p, std::uint64_t seed) {
+    std::mt19937_64 r(seed);
+    PlacementSearchEnv env(g, n, kLat, makespan_objective(kLat),
+                           random_placement(g, n, r), denom);
+    p.begin_episode();
+    return run_search(p, env, 20, r).best_so_far.back();
+  };
+  HillClimbPolicy hill;
+  SimulatedAnnealingPolicy anneal;
+  double hc = 0.0, sa = 0.0, walk_obj = 0.0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    hc += final_of(hill, 100 + s);
+    sa += final_of(anneal, 100 + s);
+    std::mt19937_64 r(100 + s);
+    walk_obj += makespan(g, n, random_placement(g, n, r), kLat) / denom;
+  }
+  EXPECT_LT(hc, walk_obj);
+  EXPECT_LT(sa, walk_obj);
+  EXPECT_LE(hc, sa + 0.3);  // greedy search is at least competitive here
+}
+
+}  // namespace
+}  // namespace giph

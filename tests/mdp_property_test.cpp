@@ -1,0 +1,129 @@
+// Property tests for the search-MDP claims of Section 4.1 and the gpNet
+// closed forms of Section 4.2.1, swept over randomized problem instances.
+
+#include <gtest/gtest.h>
+
+#include "core/gpnet.hpp"
+#include "core/search_env.hpp"
+#include "gen/dataset.hpp"
+
+namespace giph {
+namespace {
+
+const DefaultLatencyModel kLat;
+
+struct SweepCase {
+  int tasks;
+  int devices;
+  double p_requires;
+  std::uint64_t seed;
+};
+
+class MdpProperties : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  void SetUp() override {
+    const SweepCase c = GetParam();
+    std::mt19937_64 rng(c.seed);
+    TaskGraphParams gp;
+    gp.num_tasks = c.tasks;
+    gp.p_task_requires = c.p_requires;
+    NetworkParams np;
+    np.num_devices = c.devices;
+    g = generate_task_graph(gp, rng);
+    n = generate_device_network(np, rng);
+    ensure_all_kinds(n, np.num_hw_kinds, rng);
+    feasible = feasible_sets(g, n);
+  }
+  TaskGraph g;
+  DeviceNetwork n;
+  std::vector<std::vector<int>> feasible;
+};
+
+TEST_P(MdpProperties, ActionSpaceSizeIsSumOfFeasibleSets) {
+  // |A_{G,N}| = sum_i |D_i| (Section 4.1); gpNet nodes are exactly the
+  // actions, so |V_H| must equal it.
+  std::mt19937_64 rng(3);
+  const Placement m = random_placement(g, n, rng);
+  const GpNet net = build_gpnet(g, n, m, feasible);
+  int expected = 0;
+  for (const auto& s : feasible) expected += static_cast<int>(s.size());
+  EXPECT_EQ(net.num_nodes(), expected);
+}
+
+TEST_P(MdpProperties, StateSpaceSizeIsProductOfFeasibleSets) {
+  double expected = 1.0;
+  for (const auto& s : feasible) expected *= static_cast<double>(s.size());
+  EXPECT_DOUBLE_EQ(state_space_size(g, n), expected);
+}
+
+TEST_P(MdpProperties, AnyStateReachableInAtMostVMoves) {
+  // The MDP diameter is |V|: one move per task transforms any placement into
+  // any other (Section 4.1).
+  std::mt19937_64 rng(5);
+  const Placement from = random_placement(g, n, rng);
+  const Placement to = random_placement(g, n, rng);
+  PlacementSearchEnv env(g, n, kLat, makespan_objective(kLat), from);
+  int moves = 0;
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    if (env.placement().device_of(v) != to.device_of(v)) {
+      env.apply(SearchAction{v, to.device_of(v)});
+      ++moves;
+    }
+  }
+  EXPECT_EQ(env.placement(), to);
+  EXPECT_LE(moves, g.num_tasks());
+}
+
+TEST_P(MdpProperties, RewardsTelescopeToTotalImprovement) {
+  // Sum of rewards along any trajectory equals rho(s_0) - rho(s_T).
+  std::mt19937_64 rng(7);
+  PlacementSearchEnv env(g, n, kLat, makespan_objective(kLat),
+                         random_placement(g, n, rng));
+  const double initial = env.objective();
+  double total = 0.0;
+  for (int t = 0; t < 12; ++t) {
+    std::uniform_int_distribution<int> pt(0, g.num_tasks() - 1);
+    const int v = pt(rng);
+    std::uniform_int_distribution<std::size_t> pd(0, feasible[v].size() - 1);
+    total += env.apply(SearchAction{v, feasible[v][pd(rng)]});
+  }
+  EXPECT_NEAR(total, initial - env.objective(), 1e-9);
+}
+
+TEST_P(MdpProperties, GpNetEdgeCountFormulaHolds) {
+  std::mt19937_64 rng(9);
+  const Placement m = random_placement(g, n, rng);
+  const GpNet net = build_gpnet(g, n, m, feasible);
+  int expected = -g.num_edges();
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    expected += static_cast<int>(feasible[v].size()) * g.degree(v);
+  }
+  EXPECT_EQ(net.num_edges(), expected);
+}
+
+TEST_P(MdpProperties, GpNetRebuildIsConsistentAfterMoves) {
+  std::mt19937_64 rng(11);
+  PlacementSearchEnv env(g, n, kLat, makespan_objective(kLat),
+                         random_placement(g, n, rng));
+  for (int t = 0; t < 5; ++t) {
+    std::uniform_int_distribution<int> pt(0, g.num_tasks() - 1);
+    const int v = pt(rng);
+    std::uniform_int_distribution<std::size_t> pd(0, feasible[v].size() - 1);
+    env.apply(SearchAction{v, feasible[v][pd(rng)]});
+    const GpNet net = build_gpnet(g, n, env.placement(), feasible);
+    for (int task = 0; task < g.num_tasks(); ++task) {
+      const int pivot = net.pivot_of_task[task];
+      ASSERT_GE(pivot, 0);
+      EXPECT_EQ(net.node_device[pivot], env.placement().device_of(task));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MdpProperties,
+    ::testing::Values(SweepCase{2, 2, 0.0, 1}, SweepCase{6, 3, 0.5, 2},
+                      SweepCase{10, 5, 0.3, 3}, SweepCase{14, 8, 0.7, 4},
+                      SweepCase{20, 10, 0.5, 5}, SweepCase{30, 4, 1.0, 6}));
+
+}  // namespace
+}  // namespace giph

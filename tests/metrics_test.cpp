@@ -1,0 +1,95 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace giph {
+namespace {
+
+const DefaultLatencyModel kLat;
+
+struct Fixture {
+  TaskGraph g;
+  DeviceNetwork n;
+  Fixture() {
+    g.add_task(Task{.compute = 2.0});
+    g.add_task(Task{.compute = 8.0});
+    g.add_task(Task{.compute = 4.0});
+    g.add_edge(0, 1, 10.0);
+    g.add_edge(0, 2, 10.0);
+    n.add_device(Device{.speed = 1.0});
+    n.add_device(Device{.speed = 2.0});
+    n.set_symmetric_link(0, 1, 5.0, 0.5);
+  }
+};
+
+TEST(Metrics, SlrDenominatorUsesMinCostCriticalPath) {
+  Fixture f;
+  // Min compute costs (on the fastest feasible device, speed 2):
+  // t0 = 1, t1 = 4, t2 = 2. Critical path by node cost: 0 -> 1 (cost 5).
+  EXPECT_DOUBLE_EQ(slr_denominator(f.g, f.n, kLat), 5.0);
+}
+
+TEST(Metrics, SlrDenominatorRespectsConstraints) {
+  Fixture f;
+  // Pin the heavy task to the slow device: its min cost doubles.
+  f.g.task(1).requires_hw = 0b1;
+  f.n.device(0).supports_hw = 0b1;
+  f.n.device(1).supports_hw = 0;
+  EXPECT_DOUBLE_EQ(slr_denominator(f.g, f.n, kLat), 1.0 + 8.0);
+}
+
+TEST(Metrics, SlrDivides) {
+  EXPECT_DOUBLE_EQ(slr(10.0, 5.0), 2.0);
+  EXPECT_THROW(slr(10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(slr(10.0, -1.0), std::invalid_argument);
+}
+
+TEST(Metrics, TotalCostSumsComputeAndComm) {
+  Fixture f;
+  Placement p(3);
+  p.set(0, 0);
+  p.set(1, 1);
+  p.set(2, 0);
+  // Compute: 2/1 + 8/2 + 4/1 = 10. Comm: edge 0->1 crosses (0.5 + 10/5 =
+  // 2.5); edge 0->2 local (0).
+  EXPECT_DOUBLE_EQ(total_cost(f.g, f.n, p, kLat), 12.5);
+}
+
+TEST(Metrics, MakespanObjectiveMatchesSimulate) {
+  Fixture f;
+  Placement p(3);
+  for (int v = 0; v < 3; ++v) p.set(v, 0);
+  const Objective obj = makespan_objective(kLat);
+  EXPECT_DOUBLE_EQ(obj(f.g, f.n, p), makespan(f.g, f.n, p, kLat));
+}
+
+TEST(Metrics, NoisyObjectiveVariesButBounded) {
+  Fixture f;
+  Placement p(3);
+  for (int v = 0; v < 3; ++v) p.set(v, 0);
+  std::mt19937_64 rng(11);
+  const Objective obj = noisy_makespan_objective(kLat, 0.2, rng);
+  const double expected = makespan(f.g, f.n, p, kLat);
+  double lo = 1e18, hi = -1e18;
+  for (int i = 0; i < 100; ++i) {
+    const double m = obj(f.g, f.n, p);
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+    EXPECT_GE(m, expected * 0.8 - 1e-9);
+    EXPECT_LE(m, expected * 1.2 + 1e-9);
+  }
+  EXPECT_LT(lo, hi);  // actually stochastic
+}
+
+TEST(Metrics, TotalCostObjectiveMatchesTotalCost) {
+  Fixture f;
+  Placement p(3);
+  p.set(0, 0);
+  p.set(1, 1);
+  p.set(2, 0);
+  EXPECT_DOUBLE_EQ(total_cost_objective(kLat)(f.g, f.n, p),
+                   total_cost(f.g, f.n, p, kLat));
+}
+
+}  // namespace
+}  // namespace giph

@@ -1,0 +1,97 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace giph::nn {
+namespace {
+
+TEST(ClipGradNorm, NoClipBelowThreshold) {
+  const Var p = parameter(Matrix::scalar(0.0));
+  p->grad = Matrix::scalar(3.0);
+  const double norm = clip_grad_norm({p}, 10.0);
+  EXPECT_DOUBLE_EQ(norm, 3.0);
+  EXPECT_DOUBLE_EQ(p->grad(0, 0), 3.0);
+}
+
+TEST(ClipGradNorm, ScalesDownAboveThreshold) {
+  const Var a = parameter(Matrix::scalar(0.0));
+  const Var b = parameter(Matrix::scalar(0.0));
+  a->grad = Matrix::scalar(3.0);
+  b->grad = Matrix::scalar(4.0);
+  const double norm = clip_grad_norm({a, b}, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(a->grad(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(b->grad(0, 0), 0.8, 1e-12);
+}
+
+TEST(ClipGradNorm, IgnoresUnusedParams) {
+  const Var p = parameter(Matrix::scalar(0.0));  // no grad allocated
+  EXPECT_DOUBLE_EQ(clip_grad_norm({p}, 1.0), 0.0);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(x) = (x - 3)^2, df/dx = 2(x - 3).
+  const Var x = parameter(Matrix::scalar(0.0));
+  Adam adam({x}, 0.1);
+  for (int i = 0; i < 500; ++i) {
+    const Var diff = sub(x, constant(Matrix::scalar(3.0)));
+    backward(mul(diff, diff));
+    adam.step();
+  }
+  EXPECT_NEAR(x->value(0, 0), 3.0, 1e-3);
+}
+
+TEST(Adam, StepZeroesGradients) {
+  const Var x = parameter(Matrix::scalar(1.0));
+  Adam adam({x}, 0.01);
+  backward(scale(x, 2.0));
+  adam.step();
+  EXPECT_EQ(x->grad.size(), 0u);
+}
+
+TEST(Adam, SkipsParamsWithoutGradients) {
+  const Var x = parameter(Matrix::scalar(1.0));
+  Adam adam({x}, 0.01);
+  adam.step();  // nothing accumulated: value unchanged
+  EXPECT_DOUBLE_EQ(x->value(0, 0), 1.0);
+}
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  const Var x = parameter(Matrix::scalar(0.0));
+  Adam adam({x}, 0.05);
+  backward(scale(x, 7.0));  // grad = 7
+  adam.step();
+  EXPECT_NEAR(x->value(0, 0), -0.05, 1e-6);
+}
+
+TEST(Adam, LearningRateAccessors) {
+  Adam adam({}, 0.01);
+  EXPECT_DOUBLE_EQ(adam.learning_rate(), 0.01);
+  adam.set_learning_rate(0.002);
+  EXPECT_DOUBLE_EQ(adam.learning_rate(), 0.002);
+}
+
+TEST(Adam, MinimizesRosenbrockish2D) {
+  // f(x, y) = (1 - x)^2 + 10 (y - x^2)^2 via composed autograd ops.
+  const Var x = parameter(Matrix::scalar(-1.0));
+  const Var y = parameter(Matrix::scalar(1.0));
+  Adam adam({x, y}, 0.02);
+  double last = 1e18;
+  for (int i = 0; i < 2000; ++i) {
+    const Var one = constant(Matrix::scalar(1.0));
+    const Var a = sub(one, x);
+    const Var b = sub(y, mul(x, x));
+    const Var loss = add(mul(a, a), scale(mul(b, b), 10.0));
+    last = loss->value(0, 0);
+    backward(loss);
+    adam.step();
+  }
+  EXPECT_LT(last, 1e-2);
+  EXPECT_NEAR(x->value(0, 0), 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace giph::nn

@@ -1,0 +1,108 @@
+#include "gen/params_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace giph {
+namespace {
+
+TEST(ParamsIo, SingleValuesGiveSingleCombination) {
+  std::stringstream in(
+      "graph.num_tasks = 20\n"
+      "graph.alpha = 0.5\n"
+      "network.num_devices = 6\n");
+  const GeneratorConfig cfg = parse_generator_config(in);
+  ASSERT_EQ(cfg.graph_grid.size(), 1u);
+  ASSERT_EQ(cfg.network_grid.size(), 1u);
+  EXPECT_EQ(cfg.graph_grid[0].num_tasks, 20);
+  EXPECT_EQ(cfg.graph_grid[0].alpha, 0.5);
+  EXPECT_EQ(cfg.network_grid[0].num_devices, 6);
+  // Unlisted keys keep defaults.
+  EXPECT_EQ(cfg.graph_grid[0].p_connect, TaskGraphParams{}.p_connect);
+}
+
+TEST(ParamsIo, MultiValuesExpandToCartesianGrid) {
+  std::stringstream in(
+      "graph.num_tasks = 10 20\n"
+      "graph.alpha = 0.5 1.0 2.0\n"
+      "network.num_devices = 4 8\n");
+  const GeneratorConfig cfg = parse_generator_config(in);
+  EXPECT_EQ(cfg.graph_grid.size(), 6u);
+  EXPECT_EQ(cfg.network_grid.size(), 2u);
+  // Every (num_tasks, alpha) combination appears exactly once.
+  int seen[2][3] = {};
+  for (const TaskGraphParams& p : cfg.graph_grid) {
+    const int ti = p.num_tasks == 10 ? 0 : 1;
+    const int ai = p.alpha == 0.5 ? 0 : (p.alpha == 1.0 ? 1 : 2);
+    ++seen[ti][ai];
+  }
+  for (auto& row : seen) {
+    for (int c : row) EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(ParamsIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "graph.num_tasks = 7  # trailing comment\n");
+  const GeneratorConfig cfg = parse_generator_config(in);
+  EXPECT_EQ(cfg.graph_grid[0].num_tasks, 7);
+}
+
+TEST(ParamsIo, MalformedLinesThrow) {
+  {
+    std::stringstream in("graph.num_tasks 20\n");
+    EXPECT_THROW(parse_generator_config(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("graph.num_tasks =\n");
+    EXPECT_THROW(parse_generator_config(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("graph.bogus = 1\n");
+    EXPECT_THROW(parse_generator_config(in), std::runtime_error);
+  }
+}
+
+TEST(ParamsIo, GridSizeLimitEnforced) {
+  std::stringstream in(
+      "graph.num_tasks = 1 2 3 4 5 6 7 8 9 10\n"
+      "graph.alpha = 1 2 3 4 5 6 7 8 9 10\n");
+  EXPECT_THROW(parse_generator_config(in, 50), std::runtime_error);
+}
+
+TEST(ParamsIo, WriteReadRoundTrip) {
+  TaskGraphParams gp;
+  gp.num_tasks = 33;
+  gp.mean_bytes = 250.0;
+  NetworkParams np;
+  np.num_devices = 9;
+  np.p_hw_support = 0.75;
+  std::stringstream ss;
+  write_generator_config(ss, gp, np);
+  const GeneratorConfig cfg = parse_generator_config(ss);
+  ASSERT_EQ(cfg.graph_grid.size(), 1u);
+  EXPECT_EQ(cfg.graph_grid[0].num_tasks, 33);
+  EXPECT_EQ(cfg.graph_grid[0].mean_bytes, 250.0);
+  EXPECT_EQ(cfg.network_grid[0].num_devices, 9);
+  EXPECT_EQ(cfg.network_grid[0].p_hw_support, 0.75);
+}
+
+TEST(ParamsIo, RepositoryParameterFilesParse) {
+  for (const char* name :
+       {"parameters/single_network.txt", "parameters/multi_network.txt",
+        "parameters/comm_heavy.txt"}) {
+    // Tests run from the build tree; resolve relative to the source dir.
+    const std::string path = std::string(GIPH_SOURCE_DIR) + "/" + name;
+    EXPECT_NO_THROW({
+      const GeneratorConfig cfg = load_generator_config(path);
+      EXPECT_FALSE(cfg.graph_grid.empty());
+      EXPECT_FALSE(cfg.network_grid.empty());
+    }) << name;
+  }
+}
+
+}  // namespace
+}  // namespace giph

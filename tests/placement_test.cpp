@@ -1,0 +1,99 @@
+#include "graph/placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace giph {
+namespace {
+
+struct Fixture {
+  TaskGraph g;
+  DeviceNetwork n;
+  Fixture() {
+    g.add_task(Task{.compute = 1.0, .requires_hw = 0b01});
+    g.add_task(Task{.compute = 2.0});
+    g.add_task(Task{.compute = 3.0, .requires_hw = 0b10});
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 1.0);
+    n.add_device(Device{.speed = 1.0, .supports_hw = 0b01});
+    n.add_device(Device{.speed = 1.0, .supports_hw = 0b11});
+    n.add_device(Device{.speed = 1.0, .supports_hw = 0b10});
+  }
+};
+
+TEST(Placement, FeasibleDevicesRespectHwMask) {
+  Fixture f;
+  EXPECT_EQ(feasible_devices(f.g, f.n, 0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(feasible_devices(f.g, f.n, 1), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(feasible_devices(f.g, f.n, 2), (std::vector<int>{1, 2}));
+}
+
+TEST(Placement, PinnedTaskHasSingletonSet) {
+  Fixture f;
+  f.g.task(1).pinned = 2;
+  EXPECT_EQ(feasible_devices(f.g, f.n, 1), std::vector<int>{2});
+  EXPECT_TRUE(device_feasible(f.g, f.n, 1, 2));
+  EXPECT_FALSE(device_feasible(f.g, f.n, 1, 0));
+}
+
+TEST(Placement, PinnedBeyondNetworkIsEmpty) {
+  Fixture f;
+  f.g.task(1).pinned = 99;
+  EXPECT_TRUE(feasible_devices(f.g, f.n, 1).empty());
+  EXPECT_THROW(feasible_sets(f.g, f.n), std::runtime_error);
+}
+
+TEST(Placement, IsFeasibleChecksEveryTask) {
+  Fixture f;
+  Placement p(3);
+  p.set(0, 0);
+  p.set(1, 2);
+  p.set(2, 1);
+  EXPECT_TRUE(is_feasible(f.g, f.n, p));
+  p.set(0, 2);  // device 2 lacks hw bit 0
+  EXPECT_FALSE(is_feasible(f.g, f.n, p));
+}
+
+TEST(Placement, IsFeasibleRejectsWrongSizeOrUnplaced) {
+  Fixture f;
+  EXPECT_FALSE(is_feasible(f.g, f.n, Placement(2)));
+  EXPECT_FALSE(is_feasible(f.g, f.n, Placement(3)));  // all -1
+}
+
+TEST(Placement, StateSpaceSize) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(state_space_size(f.g, f.n), 2.0 * 3.0 * 2.0);
+}
+
+TEST(Placement, RandomPlacementIsAlwaysFeasible) {
+  Fixture f;
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(is_feasible(f.g, f.n, random_placement(f.g, f.n, rng)));
+  }
+}
+
+TEST(Placement, RandomPlacementCoversAllFeasibleDevices) {
+  Fixture f;
+  std::mt19937_64 rng(2);
+  std::vector<std::vector<int>> seen(3, std::vector<int>(3, 0));
+  for (int i = 0; i < 300; ++i) {
+    const Placement p = random_placement(f.g, f.n, rng);
+    for (int v = 0; v < 3; ++v) seen[v][p.device_of(v)]++;
+  }
+  for (int v = 0; v < 3; ++v) {
+    for (int d : feasible_devices(f.g, f.n, v)) EXPECT_GT(seen[v][d], 0);
+  }
+  EXPECT_EQ(seen[0][2], 0);  // infeasible device never drawn
+}
+
+TEST(Placement, EqualityIsValueBased) {
+  Placement a(2), b(2);
+  a.set(0, 1);
+  b.set(0, 1);
+  EXPECT_EQ(a, b);
+  b.set(1, 0);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace giph

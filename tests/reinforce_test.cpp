@@ -1,0 +1,175 @@
+#include "core/reinforce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/random_policies.hpp"
+#include "core/giph_agent.hpp"
+#include "gen/dataset.hpp"
+
+namespace giph {
+namespace {
+
+const DefaultLatencyModel kLat;
+
+struct TwoTaskInstance {
+  // Two tasks, strong locality incentive: the optimal policy co-locates them
+  // on the fast device.
+  TaskGraph g;
+  DeviceNetwork n;
+  TwoTaskInstance() {
+    g.add_task(Task{.compute = 4.0});
+    g.add_task(Task{.compute = 4.0});
+    g.add_edge(0, 1, 50.0);
+    n.add_device(Device{.speed = 1.0});
+    n.add_device(Device{.speed = 4.0});
+    n.set_symmetric_link(0, 1, 1.0, 1.0);
+  }
+};
+
+TEST(Reinforce, GiphLearnsTrivialInstance) {
+  TwoTaskInstance inst;
+  GiPHOptions o;
+  o.seed = 11;
+  GiPHAgent agent(o);
+  InstanceSampler sampler = [&](std::mt19937_64&) {
+    return ProblemInstance{&inst.g, &inst.n};
+  };
+  TrainOptions topt;
+  topt.episodes = 150;
+  topt.seed = 5;
+  const TrainStats stats = train_reinforce(agent, kLat, sampler, topt);
+  ASSERT_EQ(stats.episode_best.size(), 150u);
+
+  // After training, a greedy search from the worst placement must find the
+  // optimum (both tasks on the fast device, SLR-normalized).
+  const double denom = slr_denominator(inst.g, inst.n, kLat);
+  Placement worst(2);
+  worst.set(0, 0);
+  worst.set(1, 1);
+  PlacementSearchEnv env(inst.g, inst.n, kLat, makespan_objective(kLat), worst, denom);
+  std::mt19937_64 rng(3);
+  const SearchTrace trace = run_search(agent, env, 4, rng, /*greedy=*/true);
+  Placement opt(2);
+  opt.set(0, 1);
+  opt.set(1, 1);
+  const double best_possible = makespan(inst.g, inst.n, opt, kLat) / denom;
+  EXPECT_NEAR(trace.best_so_far.back(), best_possible, 1e-9);
+}
+
+TEST(Reinforce, StatsTrackEpisodes) {
+  TwoTaskInstance inst;
+  RandomWalkPolicy policy;
+  InstanceSampler sampler = [&](std::mt19937_64&) {
+    return ProblemInstance{&inst.g, &inst.n};
+  };
+  TrainOptions topt;
+  topt.episodes = 5;
+  const TrainStats stats = train_reinforce(policy, kLat, sampler, topt);
+  EXPECT_EQ(stats.episode_initial.size(), 5u);
+  EXPECT_EQ(stats.episode_final.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_LE(stats.episode_best[i], stats.episode_initial[i] + 1e-12);
+    EXPECT_LE(stats.episode_best[i], stats.episode_final[i] + 1e-12);
+  }
+}
+
+TEST(Reinforce, OnEpisodeCallbackFires) {
+  TwoTaskInstance inst;
+  RandomWalkPolicy policy;
+  InstanceSampler sampler = [&](std::mt19937_64&) {
+    return ProblemInstance{&inst.g, &inst.n};
+  };
+  TrainOptions topt;
+  topt.episodes = 7;
+  int fired = 0;
+  topt.on_episode = [&](int ep) {
+    EXPECT_EQ(ep, fired);
+    ++fired;
+  };
+  train_reinforce(policy, kLat, sampler, topt);
+  EXPECT_EQ(fired, 7);
+}
+
+TEST(Reinforce, DeterministicGivenSeeds) {
+  TwoTaskInstance inst;
+  InstanceSampler sampler = [&](std::mt19937_64&) {
+    return ProblemInstance{&inst.g, &inst.n};
+  };
+  TrainOptions topt;
+  topt.episodes = 20;
+  GiPHOptions o;
+  o.seed = 2;
+  GiPHAgent a1(o), a2(o);
+  const TrainStats s1 = train_reinforce(a1, kLat, sampler, topt);
+  const TrainStats s2 = train_reinforce(a2, kLat, sampler, topt);
+  EXPECT_EQ(s1.episode_best, s2.episode_best);
+  EXPECT_EQ(s1.episode_final, s2.episode_final);
+}
+
+TEST(RunSearch, BestSoFarIsMonotone) {
+  TwoTaskInstance inst;
+  RandomWalkPolicy policy;
+  std::mt19937_64 rng(9);
+  PlacementSearchEnv env(inst.g, inst.n, kLat, makespan_objective(kLat),
+                         random_placement(inst.g, inst.n, rng));
+  const SearchTrace trace = run_search(policy, env, 20, rng);
+  ASSERT_EQ(trace.best_so_far.size(), 20u);
+  for (std::size_t i = 1; i < trace.best_so_far.size(); ++i) {
+    EXPECT_LE(trace.best_so_far[i], trace.best_so_far[i - 1] + 1e-12);
+  }
+  EXPECT_LE(trace.best_so_far.back(), trace.initial + 1e-12);
+}
+
+TEST(RunSearch, MoveCountsSumToSteps) {
+  TwoTaskInstance inst;
+  RandomWalkPolicy policy;
+  std::mt19937_64 rng(10);
+  PlacementSearchEnv env(inst.g, inst.n, kLat, makespan_objective(kLat),
+                         random_placement(inst.g, inst.n, rng));
+  const SearchTrace trace = run_search(policy, env, 15, rng);
+  int total = 0;
+  for (int c : trace.move_counts) total += c;
+  EXPECT_EQ(total, 15);
+}
+
+TEST(RunSearch, BestPlacementAchievesBestObjective) {
+  TwoTaskInstance inst;
+  RandomWalkPolicy policy;
+  std::mt19937_64 rng(11);
+  const double denom = slr_denominator(inst.g, inst.n, kLat);
+  PlacementSearchEnv env(inst.g, inst.n, kLat, makespan_objective(kLat),
+                         random_placement(inst.g, inst.n, rng), denom);
+  const SearchTrace trace = run_search(policy, env, 25, rng);
+  EXPECT_NEAR(makespan(inst.g, inst.n, trace.best_placement, kLat) / denom,
+              trace.best_so_far.back(), 1e-12);
+}
+
+// A policy with a finite episode limit to exercise the restart logic.
+class LimitedPolicy final : public SearchPolicy {
+ public:
+  int restarts = 0;
+  ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng, bool) override {
+    std::uniform_int_distribution<int> t(0, env.graph().num_tasks() - 1);
+    const int task = t(rng);
+    const auto& devs = env.feasible()[task];
+    std::uniform_int_distribution<std::size_t> d(0, devs.size() - 1);
+    return ActionDecision{SearchAction{task, devs[d(rng)]}, nullptr, std::nullopt};
+  }
+  void begin_episode() override { ++restarts; }
+  int episode_limit(const TaskGraph& g) const override { return g.num_tasks(); }
+  std::string name() const override { return "limited"; }
+};
+
+TEST(RunSearch, RestartsAtEpisodeLimit) {
+  TwoTaskInstance inst;  // |V| = 2 -> restart every 2 steps
+  LimitedPolicy policy;
+  std::mt19937_64 rng(12);
+  PlacementSearchEnv env(inst.g, inst.n, kLat, makespan_objective(kLat),
+                         random_placement(inst.g, inst.n, rng));
+  run_search(policy, env, 10, rng);
+  // begin_episode: once up front + once per restart (after steps 2,4,6,8).
+  EXPECT_EQ(policy.restarts, 5);
+}
+
+}  // namespace
+}  // namespace giph

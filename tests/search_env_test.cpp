@@ -1,0 +1,125 @@
+#include "core/search_env.hpp"
+
+#include <gtest/gtest.h>
+
+namespace giph {
+namespace {
+
+const DefaultLatencyModel kLat;
+
+struct Fixture {
+  TaskGraph g;
+  DeviceNetwork n;
+  Placement init;
+  Fixture() : init(2) {
+    g.add_task(Task{.compute = 4.0});
+    g.add_task(Task{.compute = 4.0});
+    g.add_edge(0, 1, 10.0);
+    n.add_device(Device{.speed = 1.0});
+    n.add_device(Device{.speed = 1.0});
+    n.set_symmetric_link(0, 1, 1.0, 0.0);  // crossing costs 10
+    init.set(0, 0);
+    init.set(1, 1);  // initial: split, makespan = 4 + 10 + 4 = 18
+  }
+};
+
+TEST(SearchEnv, InitialStateAndObjective) {
+  Fixture f;
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), f.init);
+  EXPECT_DOUBLE_EQ(env.objective(), 18.0);
+  EXPECT_DOUBLE_EQ(env.best_objective(), 18.0);
+  EXPECT_EQ(env.last_moved_task(), -1);
+  EXPECT_EQ(env.steps_taken(), 0);
+  EXPECT_EQ(env.placement(), f.init);
+}
+
+TEST(SearchEnv, NormalizerTurnsObjectiveIntoSlr) {
+  Fixture f;
+  const double denom = slr_denominator(f.g, f.n, kLat);
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), f.init, denom);
+  EXPECT_DOUBLE_EQ(env.objective(), 18.0 / denom);
+}
+
+TEST(SearchEnv, ApplyReturnsImprovementReward) {
+  Fixture f;
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), f.init);
+  // Moving task 1 next to task 0 removes the 10-cost transfer.
+  const double r = env.apply(SearchAction{1, 0});
+  EXPECT_DOUBLE_EQ(r, 18.0 - 8.0);
+  EXPECT_DOUBLE_EQ(env.objective(), 8.0);
+  EXPECT_EQ(env.last_moved_task(), 1);
+  EXPECT_EQ(env.steps_taken(), 1);
+}
+
+TEST(SearchEnv, NegativeRewardOnDegradation) {
+  Fixture f;
+  f.init.set(1, 0);  // start co-located (makespan 8)
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), f.init);
+  const double r = env.apply(SearchAction{1, 1});
+  EXPECT_DOUBLE_EQ(r, 8.0 - 18.0);
+  // Best is still the initial placement.
+  EXPECT_DOUBLE_EQ(env.best_objective(), 8.0);
+  EXPECT_EQ(env.best_placement().device_of(1), 0);
+}
+
+TEST(SearchEnv, BestTracksMinimumOverTrajectory) {
+  Fixture f;
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), f.init);
+  env.apply(SearchAction{1, 0});  // 8
+  env.apply(SearchAction{1, 1});  // back to 18
+  EXPECT_DOUBLE_EQ(env.objective(), 18.0);
+  EXPECT_DOUBLE_EQ(env.best_objective(), 8.0);
+}
+
+TEST(SearchEnv, ApplyRejectsInfeasible) {
+  Fixture f;
+  f.g.task(0).requires_hw = 0b1;
+  f.n.device(0).supports_hw = 0b1;
+  f.n.device(1).supports_hw = 0;
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), f.init);
+  EXPECT_THROW(env.apply(SearchAction{0, 1}), std::invalid_argument);
+  EXPECT_THROW(env.apply(SearchAction{5, 0}), std::invalid_argument);
+}
+
+TEST(SearchEnv, InfeasibleInitialPlacementRejected) {
+  Fixture f;
+  Placement bad(2);
+  bad.set(0, 0);  // task 1 unplaced
+  EXPECT_THROW(
+      PlacementSearchEnv(f.g, f.n, kLat, makespan_objective(kLat), bad),
+      std::invalid_argument);
+}
+
+TEST(SearchEnv, ApplyPlacementReplacesWholeState) {
+  Fixture f;
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), f.init);
+  Placement p(2);
+  p.set(0, 1);
+  p.set(1, 1);
+  const double r = env.apply_placement(p);
+  EXPECT_DOUBLE_EQ(r, 18.0 - 8.0);
+  EXPECT_EQ(env.placement(), p);
+  EXPECT_EQ(env.last_moved_task(), -1);
+}
+
+TEST(SearchEnv, ResetToInitialRestoresStateKeepsBest) {
+  Fixture f;
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), f.init);
+  env.apply(SearchAction{1, 0});
+  env.reset_to_initial();
+  EXPECT_EQ(env.placement(), f.init);
+  EXPECT_DOUBLE_EQ(env.objective(), 18.0);
+  EXPECT_EQ(env.last_moved_task(), -1);
+  EXPECT_DOUBLE_EQ(env.best_objective(), 8.0);  // best survives the reset
+}
+
+TEST(SearchEnv, ScheduleMatchesCurrentPlacement) {
+  Fixture f;
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), f.init);
+  EXPECT_DOUBLE_EQ(env.schedule().makespan, 18.0);
+  env.apply(SearchAction{1, 0});
+  EXPECT_DOUBLE_EQ(env.schedule().makespan, 8.0);
+}
+
+}  // namespace
+}  // namespace giph

@@ -1,0 +1,115 @@
+#include "graph/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/dataset.hpp"
+
+namespace giph {
+namespace {
+
+TEST(Serialization, TaskGraphRoundTrip) {
+  TaskGraph g;
+  g.add_task(Task{.compute = 1.25, .requires_hw = 0b101, .name = "camera detect"});
+  g.add_task(Task{.compute = 3.5, .pinned = 2, .name = ""});
+  g.add_task(Task{.compute = 0.125});
+  g.add_edge(0, 1, 10.5);
+  g.add_edge(0, 2, 0.25);
+
+  std::stringstream ss;
+  write_task_graph(ss, g);
+  const TaskGraph h = read_task_graph(ss);
+  ASSERT_EQ(h.num_tasks(), 3);
+  ASSERT_EQ(h.num_edges(), 2);
+  EXPECT_EQ(h.task(0).compute, 1.25);
+  EXPECT_EQ(h.task(0).requires_hw, 0b101u);
+  EXPECT_EQ(h.task(0).name, "camera_detect");  // spaces normalized
+  EXPECT_EQ(h.task(1).pinned, 2);
+  EXPECT_EQ(h.task(1).name, "");
+  EXPECT_EQ(h.edge(1).bytes, 0.25);
+}
+
+TEST(Serialization, TaskGraphRoundTripPreservesRandomGraphsExactly) {
+  std::mt19937_64 rng(3);
+  TaskGraphParams p;
+  p.num_tasks = 25;
+  const TaskGraph g = generate_task_graph(p, rng);
+  std::stringstream ss;
+  write_task_graph(ss, g);
+  const TaskGraph h = read_task_graph(ss);
+  ASSERT_EQ(h.num_tasks(), g.num_tasks());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_EQ(h.task(v).compute, g.task(v).compute);  // bit-exact doubles
+  }
+  for (int e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.edge(e).src, g.edge(e).src);
+    EXPECT_EQ(h.edge(e).dst, g.edge(e).dst);
+    EXPECT_EQ(h.edge(e).bytes, g.edge(e).bytes);
+  }
+}
+
+TEST(Serialization, DeviceNetworkRoundTrip) {
+  std::mt19937_64 rng(5);
+  NetworkParams p;
+  p.num_devices = 6;
+  const DeviceNetwork n = generate_device_network(p, rng);
+  std::stringstream ss;
+  write_device_network(ss, n);
+  const DeviceNetwork m = read_device_network(ss);
+  ASSERT_EQ(m.num_devices(), 6);
+  for (int k = 0; k < 6; ++k) {
+    EXPECT_EQ(m.device(k).speed, n.device(k).speed);
+    EXPECT_EQ(m.device(k).supports_hw, n.device(k).supports_hw);
+    for (int l = 0; l < 6; ++l) {
+      if (k == l) continue;
+      EXPECT_EQ(m.bandwidth(k, l), n.bandwidth(k, l));
+      EXPECT_EQ(m.delay(k, l), n.delay(k, l));
+    }
+  }
+}
+
+TEST(Serialization, PlacementRoundTrip) {
+  Placement p(4);
+  p.set(0, 2);
+  p.set(1, 0);
+  p.set(2, 1);
+  p.set(3, 2);
+  std::stringstream ss;
+  write_placement(ss, p);
+  EXPECT_EQ(read_placement(ss), p);
+}
+
+TEST(Serialization, BadHeaderThrows) {
+  std::stringstream ss("task-graph v2\n0 0\n");
+  EXPECT_THROW(read_task_graph(ss), std::runtime_error);
+  std::stringstream ss2("placement v1\n2\n0 1\n");
+  EXPECT_THROW(read_task_graph(ss2), std::runtime_error);
+}
+
+TEST(Serialization, TruncatedInputThrows) {
+  std::stringstream ss("task-graph v1\n2 1\n1.0 0 -1 -\n");
+  EXPECT_THROW(read_task_graph(ss), std::runtime_error);
+}
+
+TEST(Serialization, FileHelpersRoundTrip) {
+  const std::string dir = testing::TempDir();
+  std::mt19937_64 rng(7);
+  TaskGraphParams gp;
+  gp.num_tasks = 8;
+  const TaskGraph g = generate_task_graph(gp, rng);
+  save_task_graph(dir + "giph_g.txt", g);
+  EXPECT_EQ(load_task_graph(dir + "giph_g.txt").num_edges(), g.num_edges());
+  NetworkParams np;
+  np.num_devices = 3;
+  const DeviceNetwork n = generate_device_network(np, rng);
+  save_device_network(dir + "giph_n.txt", n);
+  EXPECT_EQ(load_device_network(dir + "giph_n.txt").num_devices(), 3);
+  EXPECT_THROW(load_task_graph(dir + "does_not_exist.txt"), std::runtime_error);
+  std::remove((dir + "giph_g.txt").c_str());
+  std::remove((dir + "giph_n.txt").c_str());
+}
+
+}  // namespace
+}  // namespace giph

@@ -1,0 +1,78 @@
+#include "graph/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace giph {
+namespace {
+
+DeviceNetwork four_devices() {
+  DeviceNetwork n;
+  for (int i = 0; i < 4; ++i) n.add_device(Device{.speed = 1.0});
+  return n;
+}
+
+TEST(Topology, DirectLinksAreKept) {
+  DeviceNetwork n = four_devices();
+  apply_topology(n, {{0, 1, 10.0, 2.0}, {1, 2, 20.0, 1.0}, {2, 3, 5.0, 0.5}});
+  EXPECT_EQ(n.bandwidth(0, 1), 10.0);
+  EXPECT_EQ(n.delay(0, 1), 2.0);
+  EXPECT_EQ(n.bandwidth(1, 0), 10.0);  // bidirectional by default
+}
+
+TEST(Topology, MultiHopUsesBottleneckBandwidthAndSummedDelay) {
+  DeviceNetwork n = four_devices();
+  apply_topology(n, {{0, 1, 10.0, 2.0}, {1, 2, 20.0, 1.0}, {2, 3, 5.0, 0.5}});
+  // 0 -> 3 goes 0-1-2-3: delay 3.5, bottleneck bandwidth 5.
+  EXPECT_DOUBLE_EQ(n.delay(0, 3), 3.5);
+  EXPECT_DOUBLE_EQ(n.bandwidth(0, 3), 5.0);
+}
+
+TEST(Topology, PicksMinimumDelayRoute) {
+  DeviceNetwork n = four_devices();
+  // Two routes 0 -> 2: direct slow-delay link vs. two fast hops.
+  apply_topology(n, {{0, 2, 100.0, 10.0}, {0, 1, 50.0, 1.0}, {1, 2, 50.0, 1.0}});
+  EXPECT_DOUBLE_EQ(n.delay(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(n.bandwidth(0, 2), 50.0);
+}
+
+TEST(Topology, UnreachablePairsGetLossyLinks) {
+  DeviceNetwork n = four_devices();
+  apply_topology(n, {{0, 1, 10.0, 1.0}});  // 2 and 3 are isolated
+  EXPECT_EQ(n.bandwidth(0, 2), 1e-6);
+  EXPECT_EQ(n.delay(0, 2), 1e9);
+  EXPECT_EQ(n.bandwidth(2, 3), 1e-6);
+}
+
+TEST(Topology, DirectionalLinks) {
+  DeviceNetwork n = four_devices();
+  apply_topology(n, {{0, 1, 10.0, 1.0, /*bidirectional=*/false}});
+  EXPECT_EQ(n.bandwidth(0, 1), 10.0);
+  EXPECT_EQ(n.bandwidth(1, 0), 1e-6);  // no reverse route
+}
+
+TEST(Topology, ParallelLinksKeepBest) {
+  DeviceNetwork n = four_devices();
+  apply_topology(n, {{0, 1, 10.0, 5.0}, {0, 1, 8.0, 1.0}});
+  EXPECT_DOUBLE_EQ(n.delay(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(n.bandwidth(0, 1), 8.0);
+}
+
+TEST(Topology, RejectsBadLinks) {
+  DeviceNetwork n = four_devices();
+  EXPECT_THROW(apply_topology(n, {{0, 0, 1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(apply_topology(n, {{0, 9, 1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(apply_topology(n, {{0, 1, 0.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(apply_topology(n, {{0, 1, 1.0, -1.0}}), std::invalid_argument);
+}
+
+TEST(Topology, SelfLinksRemainFree) {
+  DeviceNetwork n = four_devices();
+  apply_topology(n, {{0, 1, 10.0, 1.0}});
+  EXPECT_TRUE(std::isinf(n.bandwidth(0, 0)));
+  EXPECT_EQ(n.delay(1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace giph

@@ -1,0 +1,98 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace giph {
+namespace {
+
+const DefaultLatencyModel kLat;
+
+struct Fixture {
+  TaskGraph g;
+  DeviceNetwork n;
+  Placement p;
+  Schedule sched;
+  Fixture() : p(3) {
+    g.add_task(Task{.compute = 2.0, .name = "load"});
+    g.add_task(Task{.compute = 4.0});
+    g.add_task(Task{.compute = 2.0});
+    g.add_edge(0, 1, 8.0);
+    g.add_edge(1, 2, 8.0);
+    n.add_device(Device{.speed = 1.0, .name = "cpu"});
+    n.add_device(Device{.speed = 2.0});
+    n.set_symmetric_link(0, 1, 2.0, 1.0);
+    p.set(0, 0);
+    p.set(1, 1);
+    p.set(2, 1);
+    sched = simulate(g, n, p, kLat);
+  }
+};
+
+TEST(Trace, CsvHasHeaderAndAllRows) {
+  Fixture f;
+  std::stringstream out;
+  write_schedule_csv(out, f.g, f.n, f.p, f.sched);
+  std::string line;
+  std::getline(out, line);
+  EXPECT_EQ(line, "kind,id,name,device,peer_device,start,finish");
+  int tasks = 0, edges = 0;
+  while (std::getline(out, line)) {
+    if (line.rfind("task,", 0) == 0) ++tasks;
+    if (line.rfind("edge,", 0) == 0) ++edges;
+  }
+  EXPECT_EQ(tasks, 3);
+  EXPECT_EQ(edges, 2);
+}
+
+TEST(Trace, CsvUsesNamesAndTimes) {
+  Fixture f;
+  std::stringstream out;
+  write_schedule_csv(out, f.g, f.n, f.p, f.sched);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("task,0,load,0,,0,2"), std::string::npos);
+  EXPECT_NE(text.find("edge,0,0->1,0,1,"), std::string::npos);
+}
+
+TEST(Trace, GanttHasOneRowPerDevice) {
+  Fixture f;
+  const std::string gantt = ascii_gantt(f.g, f.n, f.p, f.sched, 40);
+  EXPECT_NE(gantt.find("cpu"), std::string::npos);
+  EXPECT_NE(gantt.find("d1"), std::string::npos);
+  int rows = 0;
+  for (char c : gantt) {
+    if (c == '\n') ++rows;
+  }
+  EXPECT_EQ(rows, 1 + f.n.num_devices());
+}
+
+TEST(Trace, GanttMarksTasksOnTheirDevices) {
+  Fixture f;
+  const std::string gantt = ascii_gantt(f.g, f.n, f.p, f.sched, 40);
+  // Task 0 ('A') runs on device 0 (row "cpu..."), tasks 1/2 ('B'/'C') on d1.
+  std::stringstream ss(gantt);
+  std::string header, row0, row1;
+  std::getline(ss, header);
+  std::getline(ss, row0);
+  std::getline(ss, row1);
+  EXPECT_NE(row0.find('A'), std::string::npos);
+  EXPECT_EQ(row0.find('B'), std::string::npos);
+  EXPECT_NE(row1.find('B'), std::string::npos);
+  EXPECT_NE(row1.find('C'), std::string::npos);
+}
+
+TEST(Trace, GanttHandlesSingleTask) {
+  TaskGraph g;
+  g.add_task(Task{.compute = 1.0});
+  DeviceNetwork n;
+  n.add_device(Device{.speed = 1.0});
+  Placement p(1);
+  p.set(0, 0);
+  const Schedule s = simulate(g, n, p, kLat);
+  const std::string gantt = ascii_gantt(g, n, p, s, 10);
+  EXPECT_NE(gantt.find("AAAAAAAAAA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace giph

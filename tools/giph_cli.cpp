@@ -1,0 +1,265 @@
+// giph_cli - command-line workflow mirroring the paper artifact's main.py:
+// generate datasets, train a policy, evaluate it, and place a single
+// application (optionally printing the schedule as a Gantt chart).
+//
+//   giph_cli generate --out DIR [--graphs N] [--networks M] [--tasks T]
+//                     [--devices D] [--seed S]
+//   giph_cli train    --data DIR --model FILE [--episodes E] [--variant V]
+//                     [--noise X] [--seed S]
+//   giph_cli evaluate --data DIR --model FILE [--variant V] [--cases N]
+//   giph_cli place    --graph FILE --network FILE [--model FILE] [--variant V]
+//                     [--steps N] [--gantt] [--csv FILE]
+//
+// Variants: giph (default), giph-3, giph-5, giph-ne, graphsage-ne, ne-pol,
+// task-eft.
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+
+#include "core/giph_agent.hpp"
+#include "core/reinforce.hpp"
+#include "gen/dataset.hpp"
+#include "gen/params_io.hpp"
+#include "graph/serialization.hpp"
+#include "heft/heft.hpp"
+#include "sim/trace.hpp"
+
+using namespace giph;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  int get_int(const std::string& key, int fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoi(it->second);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc < 2) return args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw std::runtime_error("expected --option, got: " + key);
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";  // boolean flag
+    }
+  }
+  return args;
+}
+
+GiPHOptions variant_options(const std::string& variant, std::uint64_t seed) {
+  GiPHOptions o;
+  o.seed = seed;
+  if (variant == "giph" || variant.empty()) {
+    o.gnn = GnnKind::kGiPH;
+  } else if (variant == "giph-3") {
+    o.gnn = GnnKind::kGiPHK;
+    o.k_steps = 3;
+  } else if (variant == "giph-5") {
+    o.gnn = GnnKind::kGiPHK;
+    o.k_steps = 5;
+  } else if (variant == "giph-ne") {
+    o.gnn = GnnKind::kGiPHNE;
+  } else if (variant == "graphsage-ne") {
+    o.gnn = GnnKind::kGraphSAGE;
+  } else if (variant == "ne-pol") {
+    o.gnn = GnnKind::kNone;
+  } else if (variant == "task-eft") {
+    o.use_gpnet = false;
+  } else {
+    throw std::runtime_error("unknown variant: " + variant);
+  }
+  return o;
+}
+
+Dataset load_dataset(const std::string& dir) {
+  Dataset ds;
+  for (int i = 0;; ++i) {
+    const fs::path p = fs::path(dir) / ("graph_" + std::to_string(i) + ".txt");
+    if (!fs::exists(p)) break;
+    ds.graphs.push_back(load_task_graph(p.string()));
+  }
+  for (int i = 0;; ++i) {
+    const fs::path p = fs::path(dir) / ("network_" + std::to_string(i) + ".txt");
+    if (!fs::exists(p)) break;
+    ds.networks.push_back(load_device_network(p.string()));
+  }
+  if (ds.graphs.empty() || ds.networks.empty()) {
+    throw std::runtime_error("no dataset found in " + dir +
+                             " (expected graph_<i>.txt / network_<i>.txt)");
+  }
+  return ds;
+}
+
+int cmd_generate(const Args& args) {
+  const std::string dir = args.get("out");
+  if (dir.empty()) throw std::runtime_error("generate: --out DIR is required");
+  fs::create_directories(dir);
+  std::mt19937_64 rng(args.get_int("seed", 1));
+  std::vector<TaskGraphParams> gps;
+  std::vector<NetworkParams> nps;
+  if (args.has("params")) {
+    // Parameter file with (possibly multi-valued) generator settings, like
+    // the paper artifact's parameters/ directory.
+    const GeneratorConfig cfg = load_generator_config(args.get("params"));
+    gps = cfg.graph_grid;
+    nps = cfg.network_grid;
+  } else {
+    TaskGraphParams gp;
+    gp.num_tasks = args.get_int("tasks", 14);
+    NetworkParams np;
+    np.num_devices = args.get_int("devices", 8);
+    gps = {gp};
+    nps = {np};
+  }
+  const Dataset ds = generate_dataset(gps, nps, args.get_int("graphs", 40),
+                                      args.get_int("networks", 4), rng);
+  for (std::size_t i = 0; i < ds.graphs.size(); ++i) {
+    save_task_graph((fs::path(dir) / ("graph_" + std::to_string(i) + ".txt")).string(),
+                    ds.graphs[i]);
+  }
+  for (std::size_t i = 0; i < ds.networks.size(); ++i) {
+    save_device_network(
+        (fs::path(dir) / ("network_" + std::to_string(i) + ".txt")).string(),
+        ds.networks[i]);
+  }
+  std::cout << "wrote " << ds.graphs.size() << " graphs and " << ds.networks.size()
+            << " networks to " << dir << "\n";
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const Dataset ds = load_dataset(args.get("data"));
+  const std::string model = args.get("model");
+  if (model.empty()) throw std::runtime_error("train: --model FILE is required");
+
+  GiPHOptions agent_options =
+      variant_options(args.get("variant", "giph"), args.get_int("seed", 1));
+  agent_options.use_critic = args.has("critic");
+  GiPHAgent agent(agent_options);
+  const DefaultLatencyModel lat;
+  TrainOptions topt;
+  topt.episodes = args.get_int("episodes", 300);
+  topt.lr = args.get_double("lr", 0.003);
+  topt.gamma = args.get_double("gamma", 0.1);
+  topt.discount_state_weight = false;
+  topt.noise = args.get_double("noise", 0.0);
+  topt.seed = args.get_int("seed", 1) + 1;
+  int last_percent = -1;
+  topt.on_episode = [&](int ep) {
+    const int percent = 100 * (ep + 1) / topt.episodes;
+    if (percent / 10 != last_percent / 10) {
+      std::cout << "trained " << percent << "%\n" << std::flush;
+      last_percent = percent;
+    }
+  };
+  train_reinforce(agent, lat,
+                  [&ds](std::mt19937_64& r) {
+                    std::uniform_int_distribution<std::size_t> gi(0, ds.graphs.size() - 1);
+                    std::uniform_int_distribution<std::size_t> ni(0, ds.networks.size() - 1);
+                    return ProblemInstance{&ds.graphs[gi(r)], &ds.networks[ni(r)]};
+                  },
+                  topt);
+  agent.save(model);
+  std::cout << "model (" << agent.name() << ", "
+            << agent.registry().num_scalars() << " parameters) saved to " << model
+            << "\n";
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const Dataset ds = load_dataset(args.get("data"));
+  GiPHAgent agent(variant_options(args.get("variant", "giph"), 1));
+  if (args.has("model")) agent.load(args.get("model"));
+  const DefaultLatencyModel lat;
+
+  const int cases = args.get_int("cases", 50);
+  std::mt19937_64 rng(args.get_int("seed", 9));
+  double agent_slr = 0.0, heft_slr = 0.0, init_slr = 0.0;
+  for (int i = 0; i < cases; ++i) {
+    const TaskGraph& g = ds.graphs[i % ds.graphs.size()];
+    const DeviceNetwork& n = ds.networks[i % ds.networks.size()];
+    const double denom = slr_denominator(g, n, lat);
+    const Placement init = random_placement(g, n, rng);
+    PlacementSearchEnv env(g, n, lat, makespan_objective(lat), init, denom);
+    init_slr += env.objective();
+    run_search(agent, env, 2 * g.num_tasks(), rng);
+    agent_slr += env.best_objective();
+    heft_slr += makespan(g, n, heft_schedule(g, n, lat).placement, lat) / denom;
+  }
+  std::cout << "cases: " << cases << "\n"
+            << "average initial SLR: " << init_slr / cases << "\n"
+            << "average " << agent.name() << " SLR: " << agent_slr / cases << "\n"
+            << "average HEFT SLR: " << heft_slr / cases << "\n";
+  return 0;
+}
+
+int cmd_place(const Args& args) {
+  const TaskGraph g = load_task_graph(args.get("graph"));
+  const DeviceNetwork n = load_device_network(args.get("network"));
+  GiPHAgent agent(variant_options(args.get("variant", "giph"), 1));
+  if (args.has("model")) agent.load(args.get("model"));
+  const DefaultLatencyModel lat;
+
+  std::mt19937_64 rng(args.get_int("seed", 9));
+  const double denom = slr_denominator(g, n, lat);
+  PlacementSearchEnv env(g, n, lat, makespan_objective(lat),
+                         random_placement(g, n, rng), denom);
+  const int steps = args.get_int("steps", 2 * g.num_tasks());
+  run_search(agent, env, steps, rng);
+  const Placement& best = env.best_placement();
+  const Schedule sched = simulate(g, n, best, lat);
+  std::cout << "makespan: " << sched.makespan << "  (SLR " << env.best_objective()
+            << ")\nplacement:";
+  for (int v = 0; v < g.num_tasks(); ++v) std::cout << " " << best.device_of(v);
+  std::cout << "\n";
+  if (args.has("gantt")) std::cout << ascii_gantt(g, n, best, sched);
+  if (args.has("csv")) {
+    std::ofstream out(args.get("csv"));
+    write_schedule_csv(out, g, n, best, sched);
+    std::cout << "schedule written to " << args.get("csv") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "evaluate") return cmd_evaluate(args);
+    if (args.command == "place") return cmd_place(args);
+    std::cerr << "usage: giph_cli {generate|train|evaluate|place} [--options]\n"
+                 "see the header of tools/giph_cli.cpp for details\n";
+    return args.command.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
