@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_critic_ablation.dir/ext_critic_ablation.cpp.o"
+  "CMakeFiles/ext_critic_ablation.dir/ext_critic_ablation.cpp.o.d"
+  "ext_critic_ablation"
+  "ext_critic_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_critic_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

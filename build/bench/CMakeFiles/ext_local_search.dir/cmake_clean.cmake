@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_local_search.dir/ext_local_search.cpp.o"
+  "CMakeFiles/ext_local_search.dir/ext_local_search.cpp.o.d"
+  "ext_local_search"
+  "ext_local_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_local_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

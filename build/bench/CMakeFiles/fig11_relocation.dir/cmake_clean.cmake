@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_relocation.dir/fig11_relocation.cpp.o"
+  "CMakeFiles/fig11_relocation.dir/fig11_relocation.cpp.o.d"
+  "fig11_relocation"
+  "fig11_relocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_relocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_generator_stats.dir/fig12_generator_stats.cpp.o"
+  "CMakeFiles/fig12_generator_stats.dir/fig12_generator_stats.cpp.o.d"
+  "fig12_generator_stats"
+  "fig12_generator_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_generator_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

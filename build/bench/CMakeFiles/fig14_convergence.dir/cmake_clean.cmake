@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_convergence.dir/fig14_convergence.cpp.o"
+  "CMakeFiles/fig14_convergence.dir/fig14_convergence.cpp.o.d"
+  "fig14_convergence"
+  "fig14_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cost_minimization.dir/fig16_cost_minimization.cpp.o"
+  "CMakeFiles/fig16_cost_minimization.dir/fig16_cost_minimization.cpp.o.d"
+  "fig16_cost_minimization"
+  "fig16_cost_minimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cost_minimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

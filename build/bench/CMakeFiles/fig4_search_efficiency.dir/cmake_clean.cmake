@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_search_efficiency.dir/fig4_search_efficiency.cpp.o"
+  "CMakeFiles/fig4_search_efficiency.dir/fig4_search_efficiency.cpp.o.d"
+  "fig4_search_efficiency"
+  "fig4_search_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_search_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

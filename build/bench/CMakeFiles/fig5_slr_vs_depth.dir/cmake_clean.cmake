@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_slr_vs_depth.dir/fig5_slr_vs_depth.cpp.o"
+  "CMakeFiles/fig5_slr_vs_depth.dir/fig5_slr_vs_depth.cpp.o.d"
+  "fig5_slr_vs_depth"
+  "fig5_slr_vs_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_slr_vs_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

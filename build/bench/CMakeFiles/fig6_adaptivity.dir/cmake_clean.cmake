@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_adaptivity.dir/fig6_adaptivity.cpp.o"
+  "CMakeFiles/fig6_adaptivity.dir/fig6_adaptivity.cpp.o.d"
+  "fig6_adaptivity"
+  "fig6_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

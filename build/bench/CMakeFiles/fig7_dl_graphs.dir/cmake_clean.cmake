@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dl_graphs.dir/fig7_dl_graphs.cpp.o"
+  "CMakeFiles/fig7_dl_graphs.dir/fig7_dl_graphs.cpp.o.d"
+  "fig7_dl_graphs"
+  "fig7_dl_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dl_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libgiph_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_latency_fit.dir/table1_latency_fit.cpp.o"
+  "CMakeFiles/table1_latency_fit.dir/table1_latency_fit.cpp.o.d"
+  "table1_latency_fit"
+  "table1_latency_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_latency_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

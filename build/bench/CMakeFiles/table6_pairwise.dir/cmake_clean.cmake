@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_pairwise.dir/table6_pairwise.cpp.o"
+  "CMakeFiles/table6_pairwise.dir/table6_pairwise.cpp.o.d"
+  "table6_pairwise"
+  "table6_pairwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_pairwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_running_time.dir/table7_running_time.cpp.o"
+  "CMakeFiles/table7_running_time.dir/table7_running_time.cpp.o.d"
+  "table7_running_time"
+  "table7_running_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_running_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

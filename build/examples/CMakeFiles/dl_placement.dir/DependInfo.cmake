@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dl_placement.cpp" "examples/CMakeFiles/dl_placement.dir/dl_placement.cpp.o" "gcc" "examples/CMakeFiles/dl_placement.dir/dl_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/giph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/giph_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/giph_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/heft/CMakeFiles/giph_heft.dir/DependInfo.cmake"
+  "/root/repo/build/src/casestudy/CMakeFiles/giph_casestudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/giph_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/giph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/giph_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

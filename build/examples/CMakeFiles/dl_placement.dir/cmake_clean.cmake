@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_placement.dir/dl_placement.cpp.o"
+  "CMakeFiles/dl_placement.dir/dl_placement.cpp.o.d"
+  "dl_placement"
+  "dl_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giph_baselines.dir/local_search.cpp.o"
+  "CMakeFiles/giph_baselines.dir/local_search.cpp.o.d"
+  "CMakeFiles/giph_baselines.dir/placeto.cpp.o"
+  "CMakeFiles/giph_baselines.dir/placeto.cpp.o.d"
+  "CMakeFiles/giph_baselines.dir/random_policies.cpp.o"
+  "CMakeFiles/giph_baselines.dir/random_policies.cpp.o.d"
+  "CMakeFiles/giph_baselines.dir/rnn_placer.cpp.o"
+  "CMakeFiles/giph_baselines.dir/rnn_placer.cpp.o.d"
+  "libgiph_baselines.a"
+  "libgiph_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giph_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giph_casestudy.dir/device_profiles.cpp.o"
+  "CMakeFiles/giph_casestudy.dir/device_profiles.cpp.o.d"
+  "CMakeFiles/giph_casestudy.dir/mobility.cpp.o"
+  "CMakeFiles/giph_casestudy.dir/mobility.cpp.o.d"
+  "CMakeFiles/giph_casestudy.dir/sensor_fusion.cpp.o"
+  "CMakeFiles/giph_casestudy.dir/sensor_fusion.cpp.o.d"
+  "libgiph_casestudy.a"
+  "libgiph_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giph_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for giph_casestudy.
+# This may be replaced when dependencies are built.

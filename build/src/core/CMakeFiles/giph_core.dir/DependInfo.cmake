@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/giph_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/giph_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/giph_agent.cpp" "src/core/CMakeFiles/giph_core.dir/giph_agent.cpp.o" "gcc" "src/core/CMakeFiles/giph_core.dir/giph_agent.cpp.o.d"
+  "/root/repo/src/core/gnn.cpp" "src/core/CMakeFiles/giph_core.dir/gnn.cpp.o" "gcc" "src/core/CMakeFiles/giph_core.dir/gnn.cpp.o.d"
+  "/root/repo/src/core/gpnet.cpp" "src/core/CMakeFiles/giph_core.dir/gpnet.cpp.o" "gcc" "src/core/CMakeFiles/giph_core.dir/gpnet.cpp.o.d"
+  "/root/repo/src/core/reinforce.cpp" "src/core/CMakeFiles/giph_core.dir/reinforce.cpp.o" "gcc" "src/core/CMakeFiles/giph_core.dir/reinforce.cpp.o.d"
+  "/root/repo/src/core/search_env.cpp" "src/core/CMakeFiles/giph_core.dir/search_env.cpp.o" "gcc" "src/core/CMakeFiles/giph_core.dir/search_env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/giph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/heft/CMakeFiles/giph_heft.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/giph_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/giph_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

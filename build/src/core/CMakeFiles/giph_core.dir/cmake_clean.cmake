@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giph_core.dir/features.cpp.o"
+  "CMakeFiles/giph_core.dir/features.cpp.o.d"
+  "CMakeFiles/giph_core.dir/giph_agent.cpp.o"
+  "CMakeFiles/giph_core.dir/giph_agent.cpp.o.d"
+  "CMakeFiles/giph_core.dir/gnn.cpp.o"
+  "CMakeFiles/giph_core.dir/gnn.cpp.o.d"
+  "CMakeFiles/giph_core.dir/gpnet.cpp.o"
+  "CMakeFiles/giph_core.dir/gpnet.cpp.o.d"
+  "CMakeFiles/giph_core.dir/reinforce.cpp.o"
+  "CMakeFiles/giph_core.dir/reinforce.cpp.o.d"
+  "CMakeFiles/giph_core.dir/search_env.cpp.o"
+  "CMakeFiles/giph_core.dir/search_env.cpp.o.d"
+  "libgiph_core.a"
+  "libgiph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgiph_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giph_eval.dir/ascii_chart.cpp.o"
+  "CMakeFiles/giph_eval.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/giph_eval.dir/evaluation.cpp.o"
+  "CMakeFiles/giph_eval.dir/evaluation.cpp.o.d"
+  "libgiph_eval.a"
+  "libgiph_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giph_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/dataset.cpp" "src/gen/CMakeFiles/giph_gen.dir/dataset.cpp.o" "gcc" "src/gen/CMakeFiles/giph_gen.dir/dataset.cpp.o.d"
+  "/root/repo/src/gen/device_network_gen.cpp" "src/gen/CMakeFiles/giph_gen.dir/device_network_gen.cpp.o" "gcc" "src/gen/CMakeFiles/giph_gen.dir/device_network_gen.cpp.o.d"
+  "/root/repo/src/gen/enas_gen.cpp" "src/gen/CMakeFiles/giph_gen.dir/enas_gen.cpp.o" "gcc" "src/gen/CMakeFiles/giph_gen.dir/enas_gen.cpp.o.d"
+  "/root/repo/src/gen/grouping.cpp" "src/gen/CMakeFiles/giph_gen.dir/grouping.cpp.o" "gcc" "src/gen/CMakeFiles/giph_gen.dir/grouping.cpp.o.d"
+  "/root/repo/src/gen/params_io.cpp" "src/gen/CMakeFiles/giph_gen.dir/params_io.cpp.o" "gcc" "src/gen/CMakeFiles/giph_gen.dir/params_io.cpp.o.d"
+  "/root/repo/src/gen/task_graph_gen.cpp" "src/gen/CMakeFiles/giph_gen.dir/task_graph_gen.cpp.o" "gcc" "src/gen/CMakeFiles/giph_gen.dir/task_graph_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/giph_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

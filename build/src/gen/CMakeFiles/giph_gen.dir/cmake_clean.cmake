@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giph_gen.dir/dataset.cpp.o"
+  "CMakeFiles/giph_gen.dir/dataset.cpp.o.d"
+  "CMakeFiles/giph_gen.dir/device_network_gen.cpp.o"
+  "CMakeFiles/giph_gen.dir/device_network_gen.cpp.o.d"
+  "CMakeFiles/giph_gen.dir/enas_gen.cpp.o"
+  "CMakeFiles/giph_gen.dir/enas_gen.cpp.o.d"
+  "CMakeFiles/giph_gen.dir/grouping.cpp.o"
+  "CMakeFiles/giph_gen.dir/grouping.cpp.o.d"
+  "CMakeFiles/giph_gen.dir/params_io.cpp.o"
+  "CMakeFiles/giph_gen.dir/params_io.cpp.o.d"
+  "CMakeFiles/giph_gen.dir/task_graph_gen.cpp.o"
+  "CMakeFiles/giph_gen.dir/task_graph_gen.cpp.o.d"
+  "libgiph_gen.a"
+  "libgiph_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giph_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

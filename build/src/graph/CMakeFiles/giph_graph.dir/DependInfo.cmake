@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/device_network.cpp" "src/graph/CMakeFiles/giph_graph.dir/device_network.cpp.o" "gcc" "src/graph/CMakeFiles/giph_graph.dir/device_network.cpp.o.d"
+  "/root/repo/src/graph/placement.cpp" "src/graph/CMakeFiles/giph_graph.dir/placement.cpp.o" "gcc" "src/graph/CMakeFiles/giph_graph.dir/placement.cpp.o.d"
+  "/root/repo/src/graph/serialization.cpp" "src/graph/CMakeFiles/giph_graph.dir/serialization.cpp.o" "gcc" "src/graph/CMakeFiles/giph_graph.dir/serialization.cpp.o.d"
+  "/root/repo/src/graph/task_graph.cpp" "src/graph/CMakeFiles/giph_graph.dir/task_graph.cpp.o" "gcc" "src/graph/CMakeFiles/giph_graph.dir/task_graph.cpp.o.d"
+  "/root/repo/src/graph/topology.cpp" "src/graph/CMakeFiles/giph_graph.dir/topology.cpp.o" "gcc" "src/graph/CMakeFiles/giph_graph.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giph_graph.dir/device_network.cpp.o"
+  "CMakeFiles/giph_graph.dir/device_network.cpp.o.d"
+  "CMakeFiles/giph_graph.dir/placement.cpp.o"
+  "CMakeFiles/giph_graph.dir/placement.cpp.o.d"
+  "CMakeFiles/giph_graph.dir/serialization.cpp.o"
+  "CMakeFiles/giph_graph.dir/serialization.cpp.o.d"
+  "CMakeFiles/giph_graph.dir/task_graph.cpp.o"
+  "CMakeFiles/giph_graph.dir/task_graph.cpp.o.d"
+  "CMakeFiles/giph_graph.dir/topology.cpp.o"
+  "CMakeFiles/giph_graph.dir/topology.cpp.o.d"
+  "libgiph_graph.a"
+  "libgiph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heft/cpop.cpp" "src/heft/CMakeFiles/giph_heft.dir/cpop.cpp.o" "gcc" "src/heft/CMakeFiles/giph_heft.dir/cpop.cpp.o.d"
+  "/root/repo/src/heft/heft.cpp" "src/heft/CMakeFiles/giph_heft.dir/heft.cpp.o" "gcc" "src/heft/CMakeFiles/giph_heft.dir/heft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/giph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/giph_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giph_heft.dir/cpop.cpp.o"
+  "CMakeFiles/giph_heft.dir/cpop.cpp.o.d"
+  "CMakeFiles/giph_heft.dir/heft.cpp.o"
+  "CMakeFiles/giph_heft.dir/heft.cpp.o.d"
+  "libgiph_heft.a"
+  "libgiph_heft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giph_heft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

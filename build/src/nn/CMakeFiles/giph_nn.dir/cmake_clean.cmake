@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giph_nn.dir/autograd.cpp.o"
+  "CMakeFiles/giph_nn.dir/autograd.cpp.o.d"
+  "CMakeFiles/giph_nn.dir/layers.cpp.o"
+  "CMakeFiles/giph_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/giph_nn.dir/matrix.cpp.o"
+  "CMakeFiles/giph_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/giph_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/giph_nn.dir/optimizer.cpp.o.d"
+  "libgiph_nn.a"
+  "libgiph_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giph_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

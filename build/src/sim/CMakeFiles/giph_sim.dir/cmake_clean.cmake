@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giph_sim.dir/metrics.cpp.o"
+  "CMakeFiles/giph_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/giph_sim.dir/simulator.cpp.o"
+  "CMakeFiles/giph_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/giph_sim.dir/trace.cpp.o"
+  "CMakeFiles/giph_sim.dir/trace.cpp.o.d"
+  "libgiph_sim.a"
+  "libgiph_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giph_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autograd_test.cpp" "tests/CMakeFiles/giph_tests.dir/autograd_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/autograd_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/giph_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/casestudy_test.cpp" "tests/CMakeFiles/giph_tests.dir/casestudy_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/casestudy_test.cpp.o.d"
+  "/root/repo/tests/cpop_test.cpp" "tests/CMakeFiles/giph_tests.dir/cpop_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/cpop_test.cpp.o.d"
+  "/root/repo/tests/device_network_test.cpp" "tests/CMakeFiles/giph_tests.dir/device_network_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/device_network_test.cpp.o.d"
+  "/root/repo/tests/enas_test.cpp" "tests/CMakeFiles/giph_tests.dir/enas_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/enas_test.cpp.o.d"
+  "/root/repo/tests/eval_test.cpp" "tests/CMakeFiles/giph_tests.dir/eval_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/eval_test.cpp.o.d"
+  "/root/repo/tests/features_test.cpp" "tests/CMakeFiles/giph_tests.dir/features_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/features_test.cpp.o.d"
+  "/root/repo/tests/generator_test.cpp" "tests/CMakeFiles/giph_tests.dir/generator_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/generator_test.cpp.o.d"
+  "/root/repo/tests/gnn_test.cpp" "tests/CMakeFiles/giph_tests.dir/gnn_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/gnn_test.cpp.o.d"
+  "/root/repo/tests/gpnet_test.cpp" "tests/CMakeFiles/giph_tests.dir/gpnet_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/gpnet_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/giph_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/grouping_test.cpp" "tests/CMakeFiles/giph_tests.dir/grouping_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/grouping_test.cpp.o.d"
+  "/root/repo/tests/heft_test.cpp" "tests/CMakeFiles/giph_tests.dir/heft_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/heft_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/giph_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/layers_test.cpp" "tests/CMakeFiles/giph_tests.dir/layers_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/layers_test.cpp.o.d"
+  "/root/repo/tests/local_search_test.cpp" "tests/CMakeFiles/giph_tests.dir/local_search_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/local_search_test.cpp.o.d"
+  "/root/repo/tests/matrix_test.cpp" "tests/CMakeFiles/giph_tests.dir/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/matrix_test.cpp.o.d"
+  "/root/repo/tests/mdp_property_test.cpp" "tests/CMakeFiles/giph_tests.dir/mdp_property_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/mdp_property_test.cpp.o.d"
+  "/root/repo/tests/metrics_test.cpp" "tests/CMakeFiles/giph_tests.dir/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/metrics_test.cpp.o.d"
+  "/root/repo/tests/optimizer_test.cpp" "tests/CMakeFiles/giph_tests.dir/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/optimizer_test.cpp.o.d"
+  "/root/repo/tests/params_io_test.cpp" "tests/CMakeFiles/giph_tests.dir/params_io_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/params_io_test.cpp.o.d"
+  "/root/repo/tests/placement_test.cpp" "tests/CMakeFiles/giph_tests.dir/placement_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/placement_test.cpp.o.d"
+  "/root/repo/tests/reinforce_test.cpp" "tests/CMakeFiles/giph_tests.dir/reinforce_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/reinforce_test.cpp.o.d"
+  "/root/repo/tests/search_env_test.cpp" "tests/CMakeFiles/giph_tests.dir/search_env_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/search_env_test.cpp.o.d"
+  "/root/repo/tests/serialization_test.cpp" "tests/CMakeFiles/giph_tests.dir/serialization_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/serialization_test.cpp.o.d"
+  "/root/repo/tests/simulator_test.cpp" "tests/CMakeFiles/giph_tests.dir/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/simulator_test.cpp.o.d"
+  "/root/repo/tests/topology_test.cpp" "tests/CMakeFiles/giph_tests.dir/topology_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/topology_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/giph_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/trainer_options_test.cpp" "tests/CMakeFiles/giph_tests.dir/trainer_options_test.cpp.o" "gcc" "tests/CMakeFiles/giph_tests.dir/trainer_options_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/giph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/giph_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/giph_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/heft/CMakeFiles/giph_heft.dir/DependInfo.cmake"
+  "/root/repo/build/src/casestudy/CMakeFiles/giph_casestudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/giph_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/giph_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/giph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/giph_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

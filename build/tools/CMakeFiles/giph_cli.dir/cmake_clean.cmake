@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giph_cli.dir/giph_cli.cpp.o"
+  "CMakeFiles/giph_cli.dir/giph_cli.cpp.o.d"
+  "giph_cli"
+  "giph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
