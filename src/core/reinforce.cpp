@@ -1,9 +1,105 @@
 #include "core/reinforce.hpp"
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
 
 namespace giph {
+namespace {
+
+void write_doubles(std::ostream& out, const std::vector<double>& xs) {
+  out << xs.size();
+  for (double x : xs) out << " " << x;
+  out << "\n";
+}
+
+std::vector<double> read_doubles(std::istream& in) {
+  std::size_t count = 0;
+  in >> count;
+  std::vector<double> xs(count);
+  for (double& x : xs) in >> x;
+  return xs;
+}
+
+/// Atomic checkpoint write: everything needed to resume with an identical
+/// trajectory - episode cursor, RNG state, stats, parameter values, Adam
+/// moments. Streamed as text at max_digits10, which round-trips exactly.
+void save_checkpoint(const std::string& path, int next_episode, std::mt19937_64& rng,
+                     const TrainStats& stats, const std::vector<nn::Var>& params,
+                     const nn::Adam* adam) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << "reinforce-checkpoint v1\n" << next_episode << "\n" << rng << "\n";
+    write_doubles(out, stats.episode_initial);
+    write_doubles(out, stats.episode_final);
+    write_doubles(out, stats.episode_best);
+    out << params.size() << "\n";
+    for (const nn::Var& p : params) {
+      const nn::Matrix& m = p->value;
+      out << m.rows() << " " << m.cols() << "\n";
+      for (int r = 0; r < m.rows(); ++r) {
+        for (int c = 0; c < m.cols(); ++c) out << m(r, c) << (c + 1 == m.cols() ? '\n' : ' ');
+      }
+    }
+    out << (adam != nullptr ? 1 : 0) << "\n";
+    if (adam != nullptr) adam->save(out);
+    if (!out) throw std::runtime_error("checkpoint: write failed: " + tmp);
+  }
+  std::filesystem::rename(tmp, path);  // atomic on POSIX: old file stays valid
+}
+
+/// Restores a checkpoint written by save_checkpoint; returns the episode to
+/// resume from. Throws std::runtime_error on malformed input or a parameter
+/// shape mismatch (e.g. resuming with a different model variant).
+int load_checkpoint(const std::string& path, std::mt19937_64& rng, TrainStats& stats,
+                    const std::vector<nn::Var>& params, nn::Adam* adam) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::string magic, version;
+  in >> magic >> version;
+  if (!in || magic != "reinforce-checkpoint" || version != "v1") {
+    throw std::runtime_error("checkpoint: bad header in " + path);
+  }
+  int next_episode = 0;
+  in >> next_episode >> rng;
+  stats.episode_initial = read_doubles(in);
+  stats.episode_final = read_doubles(in);
+  stats.episode_best = read_doubles(in);
+  std::size_t count = 0;
+  in >> count;
+  if (!in || count != params.size()) {
+    throw std::runtime_error("checkpoint: parameter count mismatch in " + path);
+  }
+  for (const nn::Var& p : params) {
+    int rows = 0, cols = 0;
+    in >> rows >> cols;
+    if (!in || rows != p->value.rows() || cols != p->value.cols()) {
+      throw std::runtime_error("checkpoint: parameter shape mismatch in " + path);
+    }
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) in >> p->value(r, c);
+    }
+  }
+  int has_adam = 0;
+  in >> has_adam;
+  if (!in) throw std::runtime_error("checkpoint: truncated file " + path);
+  if (has_adam != 0) {
+    if (adam == nullptr) {
+      throw std::runtime_error("checkpoint: optimizer state present but unused in " + path);
+    }
+    adam->load(in);
+  }
+  return next_episode;
+}
+
+}  // namespace
 
 TrainStats train_reinforce(SearchPolicy& policy, const LatencyModel& lat,
                            const InstanceSampler& sampler, const TrainOptions& opt) {
@@ -13,7 +109,12 @@ TrainStats train_reinforce(SearchPolicy& policy, const LatencyModel& lat,
   if (!params.empty()) adam = std::make_unique<nn::Adam>(params, opt.lr);
 
   TrainStats stats;
-  for (int ep = 0; ep < opt.episodes; ++ep) {
+  int start_episode = 0;
+  if (opt.resume && !opt.checkpoint_path.empty() &&
+      std::filesystem::exists(opt.checkpoint_path)) {
+    start_episode = load_checkpoint(opt.checkpoint_path, rng, stats, params, adam.get());
+  }
+  for (int ep = start_episode; ep < opt.episodes; ++ep) {
     const ProblemInstance inst = sampler(rng);
     const TaskGraph& g = *inst.graph;
     const DeviceNetwork& n = *inst.network;
@@ -113,6 +214,10 @@ TrainStats train_reinforce(SearchPolicy& policy, const LatencyModel& lat,
       }
     }
     if (opt.on_episode) opt.on_episode(ep);
+    if (opt.checkpoint_every > 0 && !opt.checkpoint_path.empty() &&
+        (ep + 1) % opt.checkpoint_every == 0) {
+      save_checkpoint(opt.checkpoint_path, ep + 1, rng, stats, params, adam.get());
+    }
   }
   return stats;
 }

@@ -51,6 +51,16 @@ struct TrainOptions {
   /// state-value estimates (actor-critic extension).
   double value_coef = 0.25;
   std::uint64_t seed = 7;
+  /// Crash-safe checkpointing: every `checkpoint_every` episodes the trainer
+  /// writes parameters, optimizer moments, RNG state, and stats so far to
+  /// `checkpoint_path` - atomically, via `path.tmp` + rename, so a crash
+  /// mid-write never corrupts the previous checkpoint. 0 disables.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// When true and `checkpoint_path` exists, training resumes from it and
+  /// reproduces the exact trajectory an uninterrupted run would have had
+  /// (same per-episode losses, same final parameters).
+  bool resume = false;
   /// Called after each episode with (episode index, stats so far); optional.
   std::function<void(int)> on_episode;
   /// Custom training objective (e.g. total cost, energy); null = makespan.

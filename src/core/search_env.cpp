@@ -71,4 +71,19 @@ void PlacementSearchEnv::reset_to_initial() {
   refresh();
 }
 
+void PlacementSearchEnv::rebase(const DeviceNetwork& n, Placement p) {
+  if (!is_feasible(*g_, n, p)) {
+    throw std::invalid_argument("PlacementSearchEnv::rebase: infeasible placement");
+  }
+  n_ = &n;
+  feasible_ = feasible_sets(*g_, n);
+  initial_ = std::move(p);
+  current_ = initial_;
+  last_moved_ = -1;
+  steps_ = 0;
+  refresh();
+  best_ = current_;
+  best_obj_ = obj_;
+}
+
 }  // namespace giph

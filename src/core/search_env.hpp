@@ -62,6 +62,21 @@ class PlacementSearchEnv {
   /// best-so-far record is kept.
   void reset_to_initial();
 
+  /// Re-anchors the search on a changed device network and/or a damaged
+  /// placement (the fault-recovery warm start): `n` becomes the environment's
+  /// network, feasible sets are recomputed, `p` becomes both the current and
+  /// the initial placement, and the best-so-far record and step counter are
+  /// reset - the pre-fault best may no longer be feasible, so it must not be
+  /// reported. The graph, objective, and normalizer are kept, which lets a
+  /// trained agent resume search from the repaired state instead of starting
+  /// a fresh episode from scratch. `n` must outlive the environment and keep
+  /// the graph placeable; throws std::invalid_argument when `p` is infeasible
+  /// on it.
+  void rebase(const DeviceNetwork& n, Placement p);
+
+  /// Same-network warm start (slowdowns / link degrades only).
+  void rebase(Placement p) { rebase(*n_, std::move(p)); }
+
  private:
   void refresh();
 

@@ -1,0 +1,220 @@
+#include "eval/robustness_eval.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "heft/heft.hpp"
+
+namespace giph::eval {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// True when remapping leaves every pinned device id unchanged, i.e. the
+/// remapped graph is structurally identical to `g` and an existing search
+/// environment can be rebased instead of rebuilt.
+bool pins_unchanged(const TaskGraph& g, const std::vector<int>& old_to_new) {
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    const int pin = g.task(v).pinned;
+    if (pin < 0) continue;
+    if (pin >= static_cast<int>(old_to_new.size()) || old_to_new[pin] != pin) return false;
+  }
+  return true;
+}
+
+/// Patches every unplaced task (its device died) onto its fastest feasible
+/// device of the post-fault network, in topological order. Deterministic.
+/// Returns false when some task has no feasible device left.
+bool patch_damaged(const TaskGraph& g, const DeviceNetwork& n, const LatencyModel& lat,
+                   Placement& p) {
+  for (int v : g.topological_order()) {
+    if (p.device_of(v) >= 0) continue;
+    int best = -1;
+    double best_w = kInf;
+    for (int d : feasible_devices(g, n, v)) {
+      const double w = lat.compute_time(g, n, v, d);
+      if (w < best_w) {
+        best_w = w;
+        best = d;
+      }
+    }
+    if (best < 0) return false;
+    p.set(v, best);
+  }
+  return true;
+}
+
+int count_moves(const Placement& before_remapped, const Placement& after) {
+  int moves = 0;
+  for (int v = 0; v < after.num_tasks(); ++v) {
+    if (before_remapped.device_of(v) != after.device_of(v)) ++moves;
+  }
+  return moves;
+}
+
+/// Steps 2-4 of the protocol, common to every placer: replay the pre-fault
+/// placement under the plan, then fill in the repair fields from the
+/// placer-specific repaired placement.
+void replay_faults(const TaskGraph& g, const DeviceNetwork& n, const LatencyModel& lat,
+                   const FaultPlan& plan, const Placement& pre_fault, RepairOutcome& row) {
+  const FaultSimResult faulted = simulate_with_faults(g, n, pre_fault, lat, plan);
+  row.stranded_tasks = static_cast<int>(faulted.stranded.size());
+  row.faulted_makespan = faulted.completed() ? faulted.schedule.makespan : kInf;
+}
+
+void finish_row(const TaskGraph& g, RepairOutcome& row) {
+  row.degradation_ratio = row.fault_free_makespan > 0.0
+                              ? row.recovery_makespan / row.fault_free_makespan
+                              : kInf;
+  row.repair_fraction =
+      g.num_tasks() > 0 ? static_cast<double>(row.repair_steps) / g.num_tasks() : 0.0;
+}
+
+void mark_unrecoverable(RepairOutcome& row) {
+  row.recoverable = false;
+  row.recovery_makespan = kInf;
+  row.degradation_ratio = kInf;
+  row.tasks_moved = 0;
+  row.repair_steps = 0;
+  row.repair_fraction = 0.0;
+}
+
+}  // namespace
+
+RobustnessReport evaluate_robustness(
+    const TaskGraph& g, const DeviceNetwork& n, const LatencyModel& lat,
+    const FaultPlan& plan,
+    const std::vector<std::pair<std::string, SearchPolicy*>>& placers,
+    const RobustnessOptions& opt) {
+  validate_fault_plan(plan, n);
+  RobustnessReport report;
+  report.faults = plan.events;
+  std::stable_sort(report.faults.begin(), report.faults.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+
+  const PostFaultNetwork pf = post_fault_network(n, plan);
+  const TaskGraph remapped_g = remap_pinned(g, pf.old_to_new);
+  const bool can_rebase = pins_unchanged(g, pf.old_to_new);
+  bool hosts_graph = pf.network.num_devices() > 0;
+  if (hosts_graph) {
+    try {
+      (void)feasible_sets(remapped_g, pf.network);
+    } catch (const std::runtime_error&) {
+      hosts_graph = false;  // pinned device lost or no surviving host
+    }
+  }
+
+  for (const auto& [name, policy] : placers) {
+    if (policy == nullptr) continue;
+    RepairOutcome row;
+    row.placer = name;
+
+    // 1. Fault-free baseline: every placer starts from the same seeded
+    // initial placement (the paper's comparability protocol).
+    std::mt19937_64 rng(opt.seed);
+    PlacementSearchEnv env(g, n, lat, makespan_objective(lat), random_placement(g, n, rng));
+    run_search(*policy, env, opt.baseline_steps_factor * g.num_tasks(), rng);
+    const Placement pre_fault = env.best_placement();
+    row.fault_free_makespan = env.best_objective();
+
+    // 2. Replay the placement against the fault plan.
+    replay_faults(g, n, lat, plan, pre_fault, row);
+
+    // 3. Incremental repair: patch stranded tasks, resume search warm.
+    if (!hosts_graph) {
+      mark_unrecoverable(row);
+    } else {
+      const Placement damaged = remap_placement(pre_fault, pf.old_to_new);
+      int affected = 0;
+      for (int v = 0; v < damaged.num_tasks(); ++v) {
+        if (damaged.device_of(v) < 0) ++affected;
+      }
+      Placement patched = damaged;
+      if (!patch_damaged(remapped_g, pf.network, lat, patched)) {
+        mark_unrecoverable(row);
+      } else {
+        const int budget =
+            opt.repair_budget > 0 ? opt.repair_budget : std::max(2, 2 * affected);
+        // Resume the same environment from the damaged placement when the
+        // graph is unchanged (the warm start the GiPH story needs); rebuild
+        // only when pinned ids had to be remapped.
+        std::optional<PlacementSearchEnv> repair_env;
+        if (can_rebase) {
+          env.rebase(pf.network, patched);
+        } else {
+          repair_env.emplace(remapped_g, pf.network, lat, makespan_objective(lat),
+                             patched);
+        }
+        PlacementSearchEnv& renv = can_rebase ? env : *repair_env;
+        run_search(*policy, renv, budget, rng);
+        row.recovery_makespan = renv.best_objective();
+        row.tasks_moved = count_moves(damaged, renv.best_placement());
+        row.repair_steps = budget;
+      }
+    }
+    finish_row(g, row);
+    report.rows.push_back(std::move(row));
+  }
+
+  // HEFT: schedule once fault-free, full reschedule on the damaged network.
+  {
+    RepairOutcome row;
+    row.placer = "HEFT";
+    const Placement pre_fault = heft_schedule(g, n, lat).placement;
+    row.fault_free_makespan = makespan(g, n, pre_fault, lat);
+    replay_faults(g, n, lat, plan, pre_fault, row);
+    if (!hosts_graph) {
+      mark_unrecoverable(row);
+    } else {
+      const Placement repaired = heft_schedule(remapped_g, pf.network, lat).placement;
+      row.recovery_makespan = makespan(remapped_g, pf.network, repaired, lat);
+      row.tasks_moved = count_moves(remap_placement(pre_fault, pf.old_to_new), repaired);
+      row.repair_steps = g.num_tasks();
+    }
+    finish_row(g, row);
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string format_report(const RobustnessReport& report) {
+  std::ostringstream out;
+  out << "injected faults:\n";
+  if (report.faults.empty()) out << "  (none)\n";
+  for (const FaultEvent& e : report.faults) out << "  " << describe(e) << "\n";
+  out << "\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-16s %12s %12s %9s %12s %8s %7s %7s\n", "placer",
+                "fault-free", "faulted", "stranded", "recovery", "degrade", "moved",
+                "repair");
+  out << line;
+  const auto num_or = [](double x, const char* word, char* buf, std::size_t size) {
+    if (x == std::numeric_limits<double>::infinity()) {
+      std::snprintf(buf, size, "%12s", word);
+    } else {
+      std::snprintf(buf, size, "%12.4g", x);
+    }
+    return buf;
+  };
+  for (const RepairOutcome& r : report.rows) {
+    char faulted[32], recovery[32];
+    num_or(r.faulted_makespan, "stranded", faulted, sizeof(faulted));
+    num_or(r.recovery_makespan, "unrecoverable", recovery, sizeof(recovery));
+    if (!r.recoverable) {
+      std::snprintf(line, sizeof(line), "%-16s %12.4g %s %9d %s\n", r.placer.c_str(),
+                    r.fault_free_makespan, faulted, r.stranded_tasks, recovery);
+    } else {
+      std::snprintf(line, sizeof(line), "%-16s %12.4g %s %9d %s %7.2fx %7d %6d\n",
+                    r.placer.c_str(), r.fault_free_makespan, faulted, r.stranded_tasks,
+                    recovery, r.degradation_ratio, r.tasks_moved, r.repair_steps);
+    }
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace giph::eval

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/reinforce.hpp"
+#include "sim/faults.hpp"
+
+namespace giph::eval {
+
+/// Options of the robustness protocol. All randomness is derived from `seed`,
+/// and every placer sees the same seeded initial placement, so a report is
+/// bitwise reproducible for a fixed (instance, plan, seed).
+struct RobustnessOptions {
+  std::uint64_t seed = 1;
+  /// Fault-free search budget = factor * |V| steps (the paper's 2|V|).
+  int baseline_steps_factor = 2;
+  /// Search budget of the post-fault repair; 0 = 2 * (tasks forced to move),
+  /// at least 2. HEFT always pays a full reschedule of |V| tasks instead.
+  int repair_budget = 0;
+};
+
+/// One placer's journey through the fault scenario.
+struct RepairOutcome {
+  std::string placer;
+  /// False when the post-fault network cannot host the graph at all (a
+  /// pinned task's device died, or no device remains for some requirement);
+  /// repair fields are then meaningless (infinity / zero).
+  bool recoverable = true;
+  double fault_free_makespan = 0.0;
+  /// Makespan of replaying the pre-fault placement against the fault plan;
+  /// infinity when tasks were stranded (the placement is broken, not slow).
+  double faulted_makespan = 0.0;
+  int stranded_tasks = 0;  ///< tasks stranded before any repair
+  /// Makespan of the repaired placement on the post-fault network.
+  double recovery_makespan = 0.0;
+  /// recovery_makespan / fault_free_makespan (>= ~1 means full recovery cost).
+  double degradation_ratio = 0.0;
+  /// Tasks whose device changed between the pre-fault and repaired placement.
+  int tasks_moved = 0;
+  /// Repair cost: search node-visits for search policies, |V| for HEFT's
+  /// full reschedule.
+  int repair_steps = 0;
+  /// repair_steps / |V| - below 1.0 means the repair was cheaper than a full
+  /// reschedule (the paper's incremental-repair claim).
+  double repair_fraction = 0.0;
+};
+
+struct RobustnessReport {
+  std::vector<FaultEvent> faults;  ///< the injected plan, time-ordered
+  std::vector<RepairOutcome> rows;
+};
+
+/// The fault-recovery protocol, measuring the paper's adaptivity claim:
+/// 1. each placer produces a fault-free placement of (g, n) - search policies
+///    run baseline_steps_factor * |V| seeded search steps, HEFT schedules
+///    once - and its fault-free makespan is recorded;
+/// 2. the placement is replayed under `plan` with simulate_with_faults(),
+///    yielding the degraded makespan or the stranded-task count;
+/// 3. the network is rolled past all faults (post_fault_network()); each
+///    search policy repairs incrementally: stranded tasks are patched onto
+///    their fastest feasible surviving device and the policy resumes search
+///    from that damaged placement (PlacementSearchEnv::rebase) for a small
+///    budget, while HEFT reschedules from scratch;
+/// 4. recovery makespan, degradation ratio, and repair cost are reported.
+///
+/// `placers` maps display names to search policies (nullptr entries are
+/// skipped); a "HEFT" row is always appended.
+RobustnessReport evaluate_robustness(
+    const TaskGraph& g, const DeviceNetwork& n, const LatencyModel& lat,
+    const FaultPlan& plan,
+    const std::vector<std::pair<std::string, SearchPolicy*>>& placers,
+    const RobustnessOptions& opt = {});
+
+/// Fixed-width text rendering of a report (CLI / bench output).
+std::string format_report(const RobustnessReport& report);
+
+}  // namespace giph::eval

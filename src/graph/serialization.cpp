@@ -1,6 +1,8 @@
 #include "graph/serialization.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -34,6 +36,39 @@ void check(std::istream& in, const char* what) {
   if (!in) throw std::runtime_error(std::string("deserialize: truncated ") + what);
 }
 
+/// Reads one double via strtod. Stream extraction refuses "nan"/"inf"
+/// tokens outright (a confusing "truncated" error for a hand-edited file);
+/// strtod parses them, so the finite-value checks below can name the field.
+double read_double(std::istream& in, const char* what) {
+  std::string token;
+  in >> token;
+  check(in, what);
+  char* end = nullptr;
+  const double x = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    throw std::runtime_error(std::string("deserialize: ") + what +
+                             " is not a number: '" + token + "'");
+  }
+  return x;
+}
+
+// Input files may be hand-edited or hostile; reject values that would poison
+// every downstream computation (NaN/Inf propagate silently through the
+// simulator) or crash it (bad indices), each with a message naming the field.
+void check_finite_nonneg(double x, const char* what) {
+  if (!std::isfinite(x) || x < 0.0) {
+    throw std::runtime_error(std::string("deserialize: ") + what +
+                             " must be finite and >= 0, got " + std::to_string(x));
+  }
+}
+
+void check_finite_positive(double x, const char* what) {
+  if (!std::isfinite(x) || x <= 0.0) {
+    throw std::runtime_error(std::string("deserialize: ") + what +
+                             " must be finite and > 0, got " + std::to_string(x));
+  }
+}
+
 }  // namespace
 
 void write_task_graph(std::ostream& out, const TaskGraph& g) {
@@ -59,16 +94,34 @@ TaskGraph read_task_graph(std::istream& in) {
   for (int v = 0; v < nv; ++v) {
     Task t;
     std::string name;
-    in >> t.compute >> t.requires_hw >> t.pinned >> name;
+    t.compute = read_double(in, "task compute");
+    in >> t.requires_hw >> t.pinned >> name;
     check(in, "task row");
+    check_finite_nonneg(t.compute, "task compute");
+    if (t.pinned < -1) {
+      throw std::runtime_error("deserialize: task pinned device must be >= -1");
+    }
     t.name = decode_name(name);
     g.add_task(std::move(t));
   }
   for (int e = 0; e < ne; ++e) {
     int src = 0, dst = 0;
-    double bytes = 0.0;
-    in >> src >> dst >> bytes;
+    in >> src >> dst;
     check(in, "edge row");
+    const double bytes = read_double(in, "edge bytes");
+    if (src < 0 || src >= nv || dst < 0 || dst >= nv) {
+      throw std::runtime_error("deserialize: edge endpoint out of range: " +
+                               std::to_string(src) + " -> " + std::to_string(dst));
+    }
+    if (src == dst) {
+      throw std::runtime_error("deserialize: self-loop edge at task " +
+                               std::to_string(src));
+    }
+    if (g.has_edge(src, dst)) {
+      throw std::runtime_error("deserialize: duplicate edge " + std::to_string(src) +
+                               " -> " + std::to_string(dst));
+    }
+    check_finite_nonneg(bytes, "edge bytes");
     g.add_edge(src, dst, bytes);
   }
   return g;
@@ -104,19 +157,30 @@ DeviceNetwork read_device_network(std::istream& in) {
   for (int k = 0; k < m; ++k) {
     Device d;
     std::string name;
-    in >> d.speed >> d.supports_hw >> d.type >> d.startup >> d.cores >> name;
+    d.speed = read_double(in, "device speed");
+    in >> d.supports_hw >> d.type;
+    d.startup = read_double(in, "device startup");
+    in >> d.cores >> name;
     check(in, "device row");
+    check_finite_positive(d.speed, "device speed");
+    check_finite_nonneg(d.startup, "device startup");
+    if (d.cores < 1) {
+      throw std::runtime_error("deserialize: device cores must be >= 1, got " +
+                               std::to_string(d.cores));
+    }
     d.name = decode_name(name);
     n.add_device(std::move(d));
   }
   std::vector<double> bw(static_cast<std::size_t>(m) * m), dl(bw.size());
-  for (double& x : bw) in >> x;
-  for (double& x : dl) in >> x;
-  check(in, "link matrices");
+  for (double& x : bw) x = read_double(in, "link bandwidth");
+  for (double& x : dl) x = read_double(in, "link delay");
   for (int k = 0; k < m; ++k) {
     for (int l = 0; l < m; ++l) {
-      if (k != l) n.set_link(k, l, bw[static_cast<std::size_t>(k) * m + l],
-                             dl[static_cast<std::size_t>(k) * m + l]);
+      if (k == l) continue;
+      check_finite_positive(bw[static_cast<std::size_t>(k) * m + l], "link bandwidth");
+      check_finite_nonneg(dl[static_cast<std::size_t>(k) * m + l], "link delay");
+      n.set_link(k, l, bw[static_cast<std::size_t>(k) * m + l],
+                 dl[static_cast<std::size_t>(k) * m + l]);
     }
   }
   return n;

@@ -1,8 +1,29 @@
 #include "nn/optimizer.hpp"
 
 #include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
 
 namespace giph::nn {
+namespace {
+
+void write_matrix(std::ostream& out, const Matrix& m) {
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) {
+      out << m(i, j) << (j + 1 == m.cols() ? '\n' : ' ');
+    }
+  }
+}
+
+void read_matrix(std::istream& in, Matrix& m) {
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) in >> m(i, j);
+  }
+}
+
+}  // namespace
 
 double clip_grad_norm(const std::vector<Var>& params, double max_norm) {
   double sq = 0.0;
@@ -57,6 +78,43 @@ void Adam::step() {
 
 void Adam::zero_grad() {
   for (const Var& p : params_) p->grad = Matrix();
+}
+
+void Adam::save(std::ostream& out) const {
+  const auto old_precision = out.precision(std::numeric_limits<double>::max_digits10);
+  out << "adam v1\n"
+      << t_ << " " << lr_ << " " << beta1_ << " " << beta2_ << " " << eps_ << "\n"
+      << params_.size() << "\n";
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    out << m_[k].rows() << " " << m_[k].cols() << "\n";
+    write_matrix(out, m_[k]);
+    write_matrix(out, v_[k]);
+  }
+  out.precision(old_precision);
+}
+
+void Adam::load(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  if (!in || magic != "adam" || version != "v1") {
+    throw std::runtime_error("Adam::load: bad header");
+  }
+  in >> t_ >> lr_ >> beta1_ >> beta2_ >> eps_;
+  std::size_t count = 0;
+  in >> count;
+  if (!in || count != params_.size()) {
+    throw std::runtime_error("Adam::load: parameter count mismatch");
+  }
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    int rows = 0, cols = 0;
+    in >> rows >> cols;
+    if (!in || rows != m_[k].rows() || cols != m_[k].cols()) {
+      throw std::runtime_error("Adam::load: moment shape mismatch");
+    }
+    read_matrix(in, m_[k]);
+    read_matrix(in, v_[k]);
+  }
+  if (!in) throw std::runtime_error("Adam::load: truncated stream");
 }
 
 }  // namespace giph::nn

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "nn/autograd.hpp"
@@ -22,6 +23,14 @@ class Adam {
 
   double learning_rate() const noexcept { return lr_; }
   void set_learning_rate(double lr) noexcept { lr_ = lr; }
+
+  /// Serializes the optimizer state (step count, hyperparameters, first and
+  /// second moments) so training can resume with an identical trajectory.
+  /// Values round-trip exactly (max_digits10 precision).
+  void save(std::ostream& out) const;
+  /// Restores state written by save(); the registered parameter shapes must
+  /// match. Throws std::runtime_error on mismatch or truncation.
+  void load(std::istream& in);
 
  private:
   std::vector<Var> params_;

@@ -1,0 +1,666 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace giph {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool finite_nonneg(double x) { return std::isfinite(x) && x >= 0.0; }
+
+/// A fault event expanded onto the timeline: transient effects become an
+/// apply action at `time` and a revert action at `until`.
+struct FaultAction {
+  enum Type { kCrash, kLeave, kSlowApply, kSlowRevert, kLinkApply, kLinkRevert };
+  double time = 0.0;
+  Type type = kCrash;
+  int device = -1;
+  int src = -1, dst = -1;
+  double factor = 1.0;
+  double delay_add = 0.0;
+};
+
+std::vector<FaultAction> expand_plan(const FaultPlan& plan, int num_devices) {
+  std::vector<FaultAction> actions;
+  for (const FaultEvent& e : plan.events) {
+    // Joins and events targeting joined devices cannot affect a fixed
+    // placement over the base network; they matter for post_fault_network().
+    if (e.kind == FaultKind::kDeviceJoin) continue;
+    if (e.device >= num_devices || e.link_src >= num_devices || e.link_dst >= num_devices) {
+      continue;
+    }
+    switch (e.kind) {
+      case FaultKind::kDeviceCrash:
+        actions.push_back({e.time, FaultAction::kCrash, e.device});
+        break;
+      case FaultKind::kDeviceLeave:
+        actions.push_back({e.time, FaultAction::kLeave, e.device});
+        break;
+      case FaultKind::kSlowdown:
+        actions.push_back({e.time, FaultAction::kSlowApply, e.device, -1, -1, e.factor});
+        if (e.until < kInf) {
+          actions.push_back({e.until, FaultAction::kSlowRevert, e.device, -1, -1, e.factor});
+        }
+        break;
+      case FaultKind::kLinkDegrade:
+        actions.push_back({e.time, FaultAction::kLinkApply, -1, e.link_src, e.link_dst,
+                           e.factor, e.delay_add});
+        if (e.until < kInf) {
+          actions.push_back({e.until, FaultAction::kLinkRevert, -1, e.link_src,
+                             e.link_dst, e.factor, e.delay_add});
+        }
+        break;
+      case FaultKind::kDeviceJoin:
+        break;
+    }
+  }
+  std::stable_sort(actions.begin(), actions.end(),
+                   [](const FaultAction& a, const FaultAction& b) { return a.time < b.time; });
+  return actions;
+}
+
+enum class EventKind { kTaskDone, kTransferDone, kFault };
+
+struct Event {
+  double time;
+  long seq;  // creation order, breaks time ties deterministically
+  EventKind kind;
+  int id;       // task id, edge id, or fault-action index
+  int version;  // rescaled task/transfer events invalidate older versions
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+// Fault actions break time ties *after* every simulation event created so
+// far: a task finishing exactly at crash time counts as completed.
+constexpr long kFaultSeqBase = std::numeric_limits<long>::max() / 2;
+
+double realize(double expected, const SimOptions& opt) {
+  if (opt.noise <= 0.0) return expected;
+  std::uniform_real_distribution<double> d(expected * (1.0 - opt.noise),
+                                           expected * (1.0 + opt.noise));
+  return d(*opt.rng);
+}
+
+}  // namespace
+
+void validate_fault_plan(const FaultPlan& plan, const DeviceNetwork& n) {
+  // Device ids may reference devices added by earlier (time-ordered) joins.
+  int devices = n.num_devices();
+  std::vector<const FaultEvent*> by_time;
+  by_time.reserve(plan.events.size());
+  for (const FaultEvent& e : plan.events) by_time.push_back(&e);
+  std::stable_sort(by_time.begin(), by_time.end(),
+                   [](const FaultEvent* a, const FaultEvent* b) { return a->time < b->time; });
+  for (const FaultEvent* ep : by_time) {
+    const FaultEvent& e = *ep;
+    if (!finite_nonneg(e.time)) {
+      throw std::invalid_argument("fault plan: event time must be finite and >= 0");
+    }
+    if (e.until < e.time) {
+      throw std::invalid_argument("fault plan: transient end precedes start");
+    }
+    switch (e.kind) {
+      case FaultKind::kDeviceCrash:
+      case FaultKind::kDeviceLeave:
+        if (e.device < 0 || e.device >= devices) {
+          throw std::invalid_argument("fault plan: crash/leave device id out of range");
+        }
+        break;
+      case FaultKind::kSlowdown:
+        if (e.device < 0 || e.device >= devices) {
+          throw std::invalid_argument("fault plan: slowdown device id out of range");
+        }
+        if (!std::isfinite(e.factor) || e.factor <= 0.0) {
+          throw std::invalid_argument("fault plan: slowdown factor must be finite and > 0");
+        }
+        break;
+      case FaultKind::kLinkDegrade:
+        if (e.link_src < 0 || e.link_src >= devices || e.link_dst < 0 ||
+            e.link_dst >= devices || e.link_src == e.link_dst) {
+          throw std::invalid_argument("fault plan: degraded link endpoints out of range");
+        }
+        if (!std::isfinite(e.factor) || e.factor <= 0.0 || !finite_nonneg(e.delay_add)) {
+          throw std::invalid_argument("fault plan: link degrade factor/delay invalid");
+        }
+        break;
+      case FaultKind::kDeviceJoin:
+        if (!std::isfinite(e.joined.speed) || e.joined.speed <= 0.0) {
+          throw std::invalid_argument("fault plan: joined device speed must be > 0");
+        }
+        if (!std::isfinite(e.join_bandwidth) || e.join_bandwidth <= 0.0 ||
+            !finite_nonneg(e.join_delay)) {
+          throw std::invalid_argument("fault plan: joined device link invalid");
+        }
+        ++devices;
+        break;
+    }
+  }
+}
+
+FaultPlan generate_fault_plan(const DeviceNetwork& n, const FaultPlanParams& params,
+                              std::mt19937_64& rng) {
+  if (params.horizon <= 0.0 || !std::isfinite(params.horizon)) {
+    throw std::invalid_argument("generate_fault_plan: horizon must be finite and > 0");
+  }
+  FaultPlan plan;
+  const int m = n.num_devices();
+  std::uniform_real_distribution<double> when(0.0, params.horizon);
+  std::uniform_int_distribution<int> which(0, std::max(0, m - 1));
+
+  // Crash / leave distinct devices, always sparing at least one so the
+  // instance stays repairable.
+  std::vector<int> ids(m);
+  for (int i = 0; i < m; ++i) ids[i] = i;
+  std::shuffle(ids.begin(), ids.end(), rng);
+  const int removable = std::max(0, m - 1);
+  const int crashes = std::min(params.crashes, removable);
+  const int leaves = std::min(params.leaves, removable - crashes);
+  for (int i = 0; i < crashes + leaves; ++i) {
+    FaultEvent e;
+    e.kind = i < crashes ? FaultKind::kDeviceCrash : FaultKind::kDeviceLeave;
+    e.device = ids[i];
+    e.time = when(rng);
+    plan.events.push_back(e);
+  }
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int i = 0; i < params.slowdowns && m > 0; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kSlowdown;
+    e.device = which(rng);
+    e.time = when(rng);
+    e.factor = params.slowdown_factor;
+    if (unit(rng) < params.transient_fraction) e.until = e.time + when(rng);
+    plan.events.push_back(e);
+  }
+  for (int i = 0; i < params.link_degrades && m > 1; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kLinkDegrade;
+    e.link_src = which(rng);
+    do {
+      e.link_dst = which(rng);
+    } while (e.link_dst == e.link_src);
+    e.time = when(rng);
+    e.factor = params.link_factor;
+    if (unit(rng) < params.transient_fraction) e.until = e.time + when(rng);
+    plan.events.push_back(e);
+  }
+  for (int i = 0; i < params.joins; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kDeviceJoin;
+    e.time = when(rng);
+    e.joined.speed = n.mean_speed() > 0.0 ? n.mean_speed() : 1.0;
+    e.joined.name = "joined";
+    e.join_bandwidth = n.mean_bandwidth() > 0.0 ? n.mean_bandwidth() : 1.0;
+    e.join_delay = n.mean_delay();
+    plan.events.push_back(e);
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+  return plan;
+}
+
+namespace {
+
+double parse_number(const std::string& tok, const std::string& spec) {
+  try {
+    std::size_t pos = 0;
+    const double x = std::stod(tok, &pos);
+    if (pos != tok.size()) throw std::invalid_argument(tok);
+    return x;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_fault_plan: bad number '" + tok + "' in '" + spec +
+                                "'");
+  }
+}
+
+int parse_id(const std::string& tok, const std::string& spec) {
+  try {
+    std::size_t pos = 0;
+    const int x = std::stoi(tok, &pos);
+    if (pos != tok.size() || x < 0) throw std::invalid_argument(tok);
+    return x;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_fault_plan: bad device id '" + tok + "' in '" +
+                                spec + "'");
+  }
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    FaultEvent e;
+    std::string head = item, tail;
+    const auto at = item.find('@');
+    if (at == std::string::npos) {
+      throw std::invalid_argument("parse_fault_plan: missing '@<time>' in '" + item + "'");
+    }
+    head = item.substr(0, at);
+    tail = item.substr(at + 1);
+
+    std::string kind = head, target;
+    const auto colon = head.find(':');
+    if (colon != std::string::npos) {
+      kind = head.substr(0, colon);
+      target = head.substr(colon + 1);
+    }
+
+    // tail = <time>[x<factor>[+<delay>]][:<until>]
+    std::string time_part = tail, until_part;
+    const auto ucolon = tail.find(':');
+    if (ucolon != std::string::npos) {
+      time_part = tail.substr(0, ucolon);
+      until_part = tail.substr(ucolon + 1);
+    }
+    std::string factor_part, delay_part;
+    const auto x = time_part.find('x');
+    if (x != std::string::npos) {
+      factor_part = time_part.substr(x + 1);
+      time_part = time_part.substr(0, x);
+      const auto plus = factor_part.find('+');
+      if (plus != std::string::npos) {
+        delay_part = factor_part.substr(plus + 1);
+        factor_part = factor_part.substr(0, plus);
+      }
+    }
+    e.time = parse_number(time_part, item);
+    if (!until_part.empty()) e.until = parse_number(until_part, item);
+
+    if (kind == "crash" || kind == "leave") {
+      e.kind = kind == "crash" ? FaultKind::kDeviceCrash : FaultKind::kDeviceLeave;
+      if (target.empty()) {
+        throw std::invalid_argument("parse_fault_plan: '" + kind + "' needs a device id");
+      }
+      e.device = parse_id(target, item);
+    } else if (kind == "slow") {
+      e.kind = FaultKind::kSlowdown;
+      if (target.empty() || factor_part.empty()) {
+        throw std::invalid_argument(
+            "parse_fault_plan: 'slow' needs slow:<dev>@<t>x<factor>");
+      }
+      e.device = parse_id(target, item);
+      e.factor = parse_number(factor_part, item);
+    } else if (kind == "link") {
+      e.kind = FaultKind::kLinkDegrade;
+      const auto dash = target.find('-');
+      if (dash == std::string::npos || factor_part.empty()) {
+        throw std::invalid_argument(
+            "parse_fault_plan: 'link' needs link:<src>-<dst>@<t>x<factor>");
+      }
+      e.link_src = parse_id(target.substr(0, dash), item);
+      e.link_dst = parse_id(target.substr(dash + 1), item);
+      e.factor = parse_number(factor_part, item);
+      if (!delay_part.empty()) e.delay_add = parse_number(delay_part, item);
+    } else if (kind == "join") {
+      e.kind = FaultKind::kDeviceJoin;
+      e.joined.speed = factor_part.empty() ? 1.0 : parse_number(factor_part, item);
+      e.joined.name = "joined";
+    } else {
+      throw std::invalid_argument("parse_fault_plan: unknown event kind '" + kind + "'");
+    }
+    plan.events.push_back(e);
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+  return plan;
+}
+
+std::string describe(const FaultEvent& e) {
+  std::ostringstream out;
+  switch (e.kind) {
+    case FaultKind::kDeviceCrash:
+      out << "crash of device " << e.device << " at t=" << e.time;
+      break;
+    case FaultKind::kDeviceLeave:
+      out << "departure of device " << e.device << " at t=" << e.time;
+      break;
+    case FaultKind::kSlowdown:
+      out << "slowdown x" << e.factor << " of device " << e.device << " at t=" << e.time;
+      if (e.until < kInf) out << " until t=" << e.until;
+      break;
+    case FaultKind::kLinkDegrade:
+      out << "link " << e.link_src << "->" << e.link_dst << " degraded x" << e.factor;
+      if (e.delay_add > 0.0) out << " (+" << e.delay_add << " delay)";
+      out << " at t=" << e.time;
+      if (e.until < kInf) out << " until t=" << e.until;
+      break;
+    case FaultKind::kDeviceJoin:
+      out << "device join at t=" << e.time;
+      break;
+  }
+  return out.str();
+}
+
+FaultSimResult simulate_with_faults(const TaskGraph& g, const DeviceNetwork& n,
+                                    const Placement& p, const LatencyModel& lat,
+                                    const FaultPlan& plan, const SimOptions& opt) {
+  if (opt.noise > 0.0 && opt.rng == nullptr) {
+    throw std::invalid_argument("simulate_with_faults: noise > 0 requires an rng");
+  }
+  if (!is_feasible(g, n, p)) {
+    throw std::invalid_argument("simulate_with_faults: infeasible placement");
+  }
+  validate_fault_plan(plan, n);
+  const int nv = g.num_tasks();
+  const int ne = g.num_edges();
+  const int m = n.num_devices();
+
+  FaultSimResult result;
+  Schedule& sched = result.schedule;
+  sched.tasks.assign(nv, TaskTiming{-1.0, -1.0});
+  sched.edge_start.assign(ne, -1.0);
+  sched.edge_finish.assign(ne, -1.0);
+  if (nv == 0) return result;
+
+  const std::vector<FaultAction> actions = expand_plan(plan, m);
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> pq;
+  long seq = 0;
+
+  std::vector<int> remaining_inputs(nv);
+  for (int v = 0; v < nv; ++v) remaining_inputs[v] = g.in_degree(v);
+
+  std::vector<std::deque<int>> fifo(m);
+  std::vector<int> running(m, 0);        // occupied cores per device
+  std::vector<double> nic_free(m, 0.0);  // serialize_transfers only
+  int completed = 0;
+
+  // Fault state. `scale` multiplies durations (1 = nominal); link effects are
+  // keyed by the directed device pair.
+  std::vector<char> up(m, 1);
+  std::vector<char> leaving(m, 0);  // departed gracefully: running work finishes
+  std::vector<double> scale(m, 1.0);
+  std::map<std::pair<int, int>, std::pair<double, double>> link_effect;  // {factor, delay}
+
+  // Rescalable in-flight work: current finish times + version counters so a
+  // rescheduled completion invalidates its stale queue entry.
+  std::vector<int> task_version(nv, 0);
+  std::vector<double> task_finish_at(nv, -1.0);
+  std::vector<char> stranded(nv, 0);
+  std::vector<int> edge_version(ne, 0);
+  std::vector<double> edge_finish_at(ne, -1.0);
+  std::vector<int> edge_src_dev(ne, -1), edge_dst_dev(ne, -1);
+  std::vector<char> edge_inflight(ne, 0);
+
+  auto link_terms = [&](int k, int l) -> std::pair<double, double> {
+    const auto it = link_effect.find({k, l});
+    return it == link_effect.end() ? std::pair<double, double>{1.0, 0.0} : it->second;
+  };
+
+  auto start_task = [&](int v, double t) {
+    const int d = p.device_of(v);
+    ++running[d];
+    sched.tasks[v].start = t;
+    const double w = realize(lat.compute_time(g, n, v, d), opt) * scale[d];
+    task_finish_at[v] = t + w;
+    pq.push(Event{t + w, seq++, EventKind::kTaskDone, v, task_version[v]});
+  };
+
+  auto make_runnable = [&](int v, double t) {
+    const int d = p.device_of(v);
+    if (stranded[v]) return;
+    if (!up[d]) {  // inputs arrived at a dead device: the task can never run
+      stranded[v] = 1;
+      return;
+    }
+    if (running[d] < n.device(d).cores && fifo[d].empty()) {
+      start_task(v, t);
+    } else {
+      fifo[d].push_back(v);
+    }
+  };
+
+  auto strand_unfinished_on = [&](int d, bool kill_running) {
+    for (int v = 0; v < nv; ++v) {
+      if (p.device_of(v) != d || sched.tasks[v].finish >= 0.0) continue;
+      const bool is_running = sched.tasks[v].start >= 0.0;
+      if (is_running && !kill_running) continue;  // graceful leave: let it finish
+      stranded[v] = 1;
+      if (is_running) {
+        ++task_version[v];  // invalidate the pending completion event
+        sched.tasks[v].start = -1.0;
+      }
+    }
+    fifo[d].clear();
+    if (kill_running) running[d] = 0;
+  };
+
+  auto apply_fault = [&](const FaultAction& a, double t) {
+    switch (a.type) {
+      case FaultAction::kCrash:
+        if (!up[a.device]) break;
+        up[a.device] = 0;
+        result.failed_devices.push_back(a.device);
+        strand_unfinished_on(a.device, /*kill_running=*/true);
+        break;
+      case FaultAction::kLeave:
+        if (!up[a.device]) break;
+        up[a.device] = 0;
+        leaving[a.device] = 1;
+        result.failed_devices.push_back(a.device);
+        strand_unfinished_on(a.device, /*kill_running=*/false);
+        break;
+      case FaultAction::kSlowApply:
+      case FaultAction::kSlowRevert: {
+        const int d = a.device;
+        const double old_scale = scale[d];
+        scale[d] = a.type == FaultAction::kSlowApply ? scale[d] * a.factor
+                                                     : scale[d] / a.factor;
+        // Rescale the remaining work of tasks running on d.
+        for (int v = 0; v < nv; ++v) {
+          if (p.device_of(v) != d || stranded[v]) continue;
+          if (sched.tasks[v].start < 0.0 || sched.tasks[v].finish >= 0.0) continue;
+          const double remaining = task_finish_at[v] - t;
+          task_finish_at[v] = t + remaining * (scale[d] / old_scale);
+          pq.push(Event{task_finish_at[v], seq++, EventKind::kTaskDone, v,
+                        ++task_version[v]});
+        }
+        break;
+      }
+      case FaultAction::kLinkApply:
+      case FaultAction::kLinkRevert: {
+        auto& eff = link_effect[{a.src, a.dst}];
+        if (eff.first == 0.0) eff = {1.0, 0.0};
+        const double old_factor = eff.first;
+        if (a.type == FaultAction::kLinkApply) {
+          eff = {eff.first * a.factor, eff.second + a.delay_add};
+        } else {
+          eff = {eff.first / a.factor, eff.second - a.delay_add};
+        }
+        // Rescale in-flight transfers on the degraded link.
+        for (int e = 0; e < ne; ++e) {
+          if (!edge_inflight[e] || edge_src_dev[e] != a.src || edge_dst_dev[e] != a.dst) {
+            continue;
+          }
+          const double remaining = edge_finish_at[e] - t;
+          edge_finish_at[e] = t + remaining * (eff.first / old_factor);
+          pq.push(Event{edge_finish_at[e], seq++, EventKind::kTransferDone, e,
+                        ++edge_version[e]});
+        }
+        break;
+      }
+    }
+  };
+
+  // Entry tasks become runnable at t = 0 in task-id order.
+  for (int v = 0; v < nv; ++v) {
+    if (remaining_inputs[v] == 0) make_runnable(v, 0.0);
+  }
+  // topological_order() throws on cyclic input; check up-front so a cyclic
+  // graph cannot hang the event loop.
+  (void)g.topological_order();
+
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    pq.push(Event{actions[i].time, kFaultSeqBase + static_cast<long>(i), EventKind::kFault,
+                  static_cast<int>(i), 0});
+  }
+
+  while (!pq.empty()) {
+    const Event ev = pq.top();
+    pq.pop();
+    if (ev.kind == EventKind::kFault) {
+      apply_fault(actions[static_cast<std::size_t>(ev.id)], ev.time);
+      continue;
+    }
+    if (ev.kind == EventKind::kTaskDone) {
+      const int v = ev.id;
+      if (ev.version != task_version[v]) continue;  // rescaled or killed
+      sched.tasks[v].finish = ev.time;
+      ++completed;
+      const int d = p.device_of(v);
+      // Outputs start transmitting to every child's device - concurrently in
+      // the paper's model, back-to-back through the NIC under contention.
+      for (int e : g.out_edges(v)) {
+        const int dl = p.device_of(g.edge(e).dst);
+        const auto [lf, ld] = link_terms(d, dl);
+        const double c = realize(lat.comm_time(g, n, e, d, dl), opt) * lf +
+                         (dl != d ? ld : 0.0);
+        double start = ev.time;
+        if (opt.serialize_transfers && dl != d) {
+          start = std::max(start, nic_free[d]);
+          nic_free[d] = start + c;
+        }
+        sched.edge_start[e] = start;
+        edge_src_dev[e] = d;
+        edge_dst_dev[e] = dl;
+        edge_inflight[e] = 1;
+        edge_finish_at[e] = start + c;
+        pq.push(Event{start + c, seq++, EventKind::kTransferDone, e, edge_version[e]});
+      }
+      --running[d];
+      if (up[d] && !fifo[d].empty() && running[d] < n.device(d).cores) {
+        const int next = fifo[d].front();
+        fifo[d].pop_front();
+        start_task(next, ev.time);
+      }
+    } else {
+      const int e = ev.id;
+      if (ev.version != edge_version[e]) continue;  // rescaled
+      sched.edge_finish[e] = ev.time;
+      edge_inflight[e] = 0;
+      const int child = g.edge(e).dst;
+      if (--remaining_inputs[child] == 0) make_runnable(child, ev.time);
+    }
+  }
+
+  // Everything unfinished - killed, never started, or starved of an input
+  // produced by a stranded ancestor - is stranded.
+  for (int v = 0; v < nv; ++v) {
+    if (sched.tasks[v].finish < 0.0) result.stranded.push_back(v);
+  }
+  if (result.stranded.empty() && completed != nv) {
+    throw std::logic_error("simulate_with_faults: not all tasks completed");
+  }
+
+  double first_start = kInf, last_finish = -kInf;
+  for (const TaskTiming& t : sched.tasks) {
+    if (t.finish < 0.0) continue;
+    first_start = std::min(first_start, t.start);
+    last_finish = std::max(last_finish, t.finish);
+  }
+  sched.makespan = last_finish >= first_start ? last_finish - first_start : 0.0;
+  std::sort(result.failed_devices.begin(), result.failed_devices.end());
+  return result;
+}
+
+PostFaultNetwork post_fault_network(const DeviceNetwork& base, const FaultPlan& plan) {
+  validate_fault_plan(plan, base);
+  DeviceNetwork work = base;
+  std::vector<char> down(base.num_devices(), 0);
+
+  std::vector<const FaultEvent*> by_time;
+  by_time.reserve(plan.events.size());
+  for (const FaultEvent& e : plan.events) by_time.push_back(&e);
+  std::stable_sort(by_time.begin(), by_time.end(),
+                   [](const FaultEvent* a, const FaultEvent* b) { return a->time < b->time; });
+
+  for (const FaultEvent* ep : by_time) {
+    const FaultEvent& e = *ep;
+    switch (e.kind) {
+      case FaultKind::kDeviceCrash:
+      case FaultKind::kDeviceLeave:
+        down[e.device] = 1;
+        break;
+      case FaultKind::kSlowdown:
+        // A permanent straggler is a proportionally slower device.
+        if (e.until == kInf) work.device(e.device).speed /= e.factor;
+        break;
+      case FaultKind::kLinkDegrade:
+        if (e.until == kInf) {
+          work.set_link(e.link_src, e.link_dst,
+                        work.bandwidth(e.link_src, e.link_dst) / e.factor,
+                        work.delay(e.link_src, e.link_dst) + e.delay_add);
+        }
+        break;
+      case FaultKind::kDeviceJoin: {
+        const int j = work.add_device(e.joined);
+        down.push_back(0);
+        for (int k = 0; k < j; ++k) {
+          work.set_symmetric_link(k, j, e.join_bandwidth, e.join_delay);
+        }
+        break;
+      }
+    }
+  }
+
+  PostFaultNetwork out;
+  out.old_to_new.assign(down.size(), -1);
+  for (std::size_t k = 0; k < down.size(); ++k) {
+    if (down[k]) continue;
+    out.old_to_new[k] = out.network.add_device(work.device(static_cast<int>(k)));
+    out.new_to_old.push_back(static_cast<int>(k));
+  }
+  for (std::size_t k = 0; k < down.size(); ++k) {
+    if (down[k]) continue;
+    for (std::size_t l = 0; l < down.size(); ++l) {
+      if (down[l] || k == l) continue;
+      out.network.set_link(out.old_to_new[k], out.old_to_new[l],
+                           work.bandwidth(static_cast<int>(k), static_cast<int>(l)),
+                           work.delay(static_cast<int>(k), static_cast<int>(l)));
+    }
+  }
+  return out;
+}
+
+Placement remap_placement(const Placement& p, const std::vector<int>& old_to_new) {
+  Placement out(p.num_tasks());
+  for (int v = 0; v < p.num_tasks(); ++v) {
+    const int d = p.device_of(v);
+    out.set(v, d >= 0 && d < static_cast<int>(old_to_new.size()) ? old_to_new[d] : -1);
+  }
+  return out;
+}
+
+TaskGraph remap_pinned(const TaskGraph& g, const std::vector<int>& old_to_new) {
+  TaskGraph out = g;
+  for (int v = 0; v < out.num_tasks(); ++v) {
+    const int pin = out.task(v).pinned;
+    if (pin < 0) continue;
+    // A pin to a lost device maps to an out-of-range id: feasibility checks
+    // then report "no feasible device" instead of silently unpinning.
+    out.task(v).pinned = pin < static_cast<int>(old_to_new.size()) && old_to_new[pin] >= 0
+                             ? old_to_new[pin]
+                             : std::numeric_limits<int>::max();
+  }
+  return out;
+}
+
+}  // namespace giph

@@ -35,11 +35,13 @@ double realize(double expected, const SimOptions& opt) {
 
 Schedule simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
                   const LatencyModel& lat, const SimOptions& opt) {
-  if (!is_feasible(g, n, p)) {
-    throw std::invalid_argument("simulate: infeasible placement");
-  }
+  // Validate options first: noise without an engine would dereference null
+  // inside the event loop, far from the caller's mistake.
   if (opt.noise > 0.0 && opt.rng == nullptr) {
     throw std::invalid_argument("simulate: noise > 0 requires an rng");
+  }
+  if (!is_feasible(g, n, p)) {
+    throw std::invalid_argument("simulate: infeasible placement");
   }
   const int nv = g.num_tasks();
   const int ne = g.num_edges();

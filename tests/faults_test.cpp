@@ -1,0 +1,402 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/device_network_gen.hpp"
+#include "gen/task_graph_gen.hpp"
+
+namespace giph {
+namespace {
+
+const DefaultLatencyModel kLat;
+
+DeviceNetwork two_devices() {
+  DeviceNetwork n;
+  n.add_device(Device{.speed = 1.0});
+  n.add_device(Device{.speed = 2.0});
+  n.set_symmetric_link(0, 1, 2.0, 1.0);  // bandwidth 2 bytes/time, delay 1
+  return n;
+}
+
+/// Chain 0 -> 1 -> 2 placed d0, d1, d0: hand-computed timings in
+/// simulator_test.cpp (t1 runs [7, 9] on device 1, makespan 24).
+TaskGraph chain3() {
+  TaskGraph g;
+  g.add_task(Task{.compute = 2.0});
+  g.add_task(Task{.compute = 4.0});
+  g.add_task(Task{.compute = 6.0});
+  g.add_edge(0, 1, 8.0);
+  g.add_edge(1, 2, 16.0);
+  return g;
+}
+
+Placement alternating3() {
+  Placement p(3);
+  p.set(0, 0);
+  p.set(1, 1);
+  p.set(2, 0);
+  return p;
+}
+
+TEST(Faults, EmptyPlanReducesToSimulateNoiseFree) {
+  const TaskGraph g = chain3();
+  const DeviceNetwork n = two_devices();
+  const Placement p = alternating3();
+
+  const Schedule expected = simulate(g, n, p, kLat);
+  const FaultSimResult r = simulate_with_faults(g, n, p, kLat, FaultPlan{});
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(r.schedule.makespan, expected.makespan);
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_EQ(r.schedule.tasks[v].start, expected.tasks[v].start);
+    EXPECT_EQ(r.schedule.tasks[v].finish, expected.tasks[v].finish);
+  }
+  for (int e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(r.schedule.edge_start[e], expected.edge_start[e]);
+    EXPECT_EQ(r.schedule.edge_finish[e], expected.edge_finish[e]);
+  }
+}
+
+TEST(Faults, EmptyPlanReducesToSimulateUnderNoise) {
+  std::mt19937_64 rng(99);
+  const TaskGraphParams gp{.num_tasks = 16};
+  const NetworkParams np{.num_devices = 5};
+  const TaskGraph g = generate_task_graph(gp, rng);
+  DeviceNetwork n = generate_device_network(np, rng);
+  ensure_feasible(g, n, rng);
+  const Placement p = random_placement(g, n, rng);
+
+  // Identical noise draws require identical engine states and draw order.
+  std::mt19937_64 rng_a(1234), rng_b(1234);
+  const Schedule expected = simulate(g, n, p, kLat, SimOptions{0.3, &rng_a});
+  const FaultSimResult r =
+      simulate_with_faults(g, n, p, kLat, FaultPlan{}, SimOptions{0.3, &rng_b});
+  ASSERT_TRUE(r.completed());
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_EQ(r.schedule.tasks[v].start, expected.tasks[v].start);
+    EXPECT_EQ(r.schedule.tasks[v].finish, expected.tasks[v].finish);
+  }
+  for (int e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(r.schedule.edge_start[e], expected.edge_start[e]);
+    EXPECT_EQ(r.schedule.edge_finish[e], expected.edge_finish[e]);
+  }
+  EXPECT_EQ(r.schedule.makespan, expected.makespan);
+}
+
+TEST(Faults, DeterministicAcrossRuns) {
+  std::mt19937_64 rng(7);
+  const TaskGraphParams gp{.num_tasks = 20};
+  const NetworkParams np{.num_devices = 6};
+  const TaskGraph g = generate_task_graph(gp, rng);
+  DeviceNetwork n = generate_device_network(np, rng);
+  ensure_feasible(g, n, rng);
+  const Placement p = random_placement(g, n, rng);
+
+  std::mt19937_64 plan_rng_a(42), plan_rng_b(42);
+  FaultPlanParams fp;
+  fp.horizon = 50.0;
+  fp.crashes = 1;
+  fp.slowdowns = 2;
+  fp.link_degrades = 2;
+  const FaultPlan plan_a = generate_fault_plan(n, fp, plan_rng_a);
+  const FaultPlan plan_b = generate_fault_plan(n, fp, plan_rng_b);
+  ASSERT_EQ(plan_a.events.size(), plan_b.events.size());
+  for (std::size_t i = 0; i < plan_a.events.size(); ++i) {
+    EXPECT_EQ(describe(plan_a.events[i]), describe(plan_b.events[i]));
+  }
+
+  // Same seed + same plan: bitwise-identical degraded schedules.
+  std::mt19937_64 sim_a(5), sim_b(5);
+  const FaultSimResult a =
+      simulate_with_faults(g, n, p, kLat, plan_a, SimOptions{0.2, &sim_a});
+  const FaultSimResult b =
+      simulate_with_faults(g, n, p, kLat, plan_b, SimOptions{0.2, &sim_b});
+  EXPECT_EQ(a.stranded, b.stranded);
+  EXPECT_EQ(a.failed_devices, b.failed_devices);
+  EXPECT_EQ(a.schedule.makespan, b.schedule.makespan);
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_EQ(a.schedule.tasks[v].start, b.schedule.tasks[v].start);
+    EXPECT_EQ(a.schedule.tasks[v].finish, b.schedule.tasks[v].finish);
+  }
+  for (int e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(a.schedule.edge_start[e], b.schedule.edge_start[e]);
+    EXPECT_EQ(a.schedule.edge_finish[e], b.schedule.edge_finish[e]);
+  }
+}
+
+TEST(Faults, CrashStrandsRunningAndDownstreamTasks) {
+  const TaskGraph g = chain3();
+  const DeviceNetwork n = two_devices();
+  const Placement p = alternating3();
+
+  // Task 1 runs on device 1 during [7, 9]; crash device 1 at t = 8.
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kDeviceCrash, .time = 8.0,
+                                   .device = 1});
+  const FaultSimResult r = simulate_with_faults(g, n, p, kLat, plan);
+  EXPECT_FALSE(r.completed());
+  EXPECT_EQ(r.stranded, (std::vector<int>{1, 2}));  // task 2 starved of input
+  EXPECT_EQ(r.failed_devices, std::vector<int>{1});
+  // Task 0 completed before the crash.
+  EXPECT_DOUBLE_EQ(r.schedule.tasks[0].finish, 2.0);
+  EXPECT_LT(r.schedule.tasks[1].finish, 0.0);
+  EXPECT_LT(r.schedule.tasks[2].finish, 0.0);
+}
+
+TEST(Faults, TaskFinishingExactlyAtCrashTimeCompletes) {
+  const TaskGraph g = chain3();
+  const DeviceNetwork n = two_devices();
+  const Placement p = alternating3();
+
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kDeviceCrash, .time = 9.0,
+                                   .device = 1});
+  const FaultSimResult r = simulate_with_faults(g, n, p, kLat, plan);
+  // Task 1 finishes exactly at t = 9 and its output is already on the wire;
+  // the whole chain completes.
+  ASSERT_TRUE(r.completed());
+  EXPECT_DOUBLE_EQ(r.schedule.makespan, 24.0);
+}
+
+TEST(Faults, GracefulLeaveLetsRunningTaskFinish) {
+  const TaskGraph g = chain3();
+  const DeviceNetwork n = two_devices();
+  const Placement p = alternating3();
+
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kDeviceLeave, .time = 8.0,
+                                   .device = 1});
+  const FaultSimResult r = simulate_with_faults(g, n, p, kLat, plan);
+  // Leave at t = 8 while task 1 runs [7, 9]: it finishes and sends its
+  // output, so the chain still completes.
+  ASSERT_TRUE(r.completed());
+  EXPECT_DOUBLE_EQ(r.schedule.makespan, 24.0);
+  EXPECT_EQ(r.failed_devices, std::vector<int>{1});
+}
+
+TEST(Faults, LeaveStrandsQueuedTasks) {
+  const TaskGraph g = chain3();
+  const DeviceNetwork n = two_devices();
+  const Placement p = alternating3();
+
+  // Leave before task 1 starts (it starts at t = 7): stranded.
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kDeviceLeave, .time = 5.0,
+                                   .device = 1});
+  const FaultSimResult r = simulate_with_faults(g, n, p, kLat, plan);
+  EXPECT_EQ(r.stranded, (std::vector<int>{1, 2}));
+}
+
+TEST(Faults, PermanentSlowdownStretchesRemainingWork) {
+  const TaskGraph g = chain3();
+  const DeviceNetwork n = two_devices();
+  const Placement p = alternating3();
+
+  // Slowdown x3 of device 1 at t = 8: task 1 ran [7, 9], one unit of work
+  // remains at t = 8 and now takes 3, so it finishes at 11. Everything
+  // downstream shifts by 2: edge arrives 11 + 9 = 20, task 2 runs [20, 26].
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kSlowdown, .time = 8.0,
+                                   .device = 1, .factor = 3.0});
+  const FaultSimResult r = simulate_with_faults(g, n, p, kLat, plan);
+  ASSERT_TRUE(r.completed());
+  EXPECT_DOUBLE_EQ(r.schedule.tasks[1].finish, 11.0);
+  EXPECT_DOUBLE_EQ(r.schedule.tasks[2].start, 20.0);
+  EXPECT_DOUBLE_EQ(r.schedule.makespan, 26.0);
+}
+
+TEST(Faults, TransientSlowdownRevertsAtUntil) {
+  const TaskGraph g = chain3();
+  const DeviceNetwork n = two_devices();
+  const Placement p = alternating3();
+
+  // Slowdown x3 during [8, 9.5]: at t = 8 one unit of remaining work is
+  // stretched to 3 (finish 11); at t = 9.5, 1.5 of stretched work remains,
+  // shrinking back to 0.5 - task 1 finishes at 10, a 1-unit total delay.
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kSlowdown, .time = 8.0,
+                                   .device = 1, .factor = 3.0, .until = 9.5});
+  const FaultSimResult r = simulate_with_faults(g, n, p, kLat, plan);
+  ASSERT_TRUE(r.completed());
+  EXPECT_DOUBLE_EQ(r.schedule.tasks[1].finish, 10.0);
+  EXPECT_DOUBLE_EQ(r.schedule.makespan, 25.0);
+}
+
+TEST(Faults, LinkDegradeStretchesTransfersOnTheLink) {
+  const TaskGraph g = chain3();
+  const DeviceNetwork n = two_devices();
+  const Placement p = alternating3();
+
+  // Degrade link 1 -> 0 by x2 from t = 0: edge 1 (16 bytes, nominal 9) takes
+  // 18, so task 2 starts at 9 + 18 = 27. Edge 0 -> 1 is unaffected.
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kLinkDegrade, .time = 0.0,
+                                   .link_src = 1, .link_dst = 0, .factor = 2.0});
+  const FaultSimResult r = simulate_with_faults(g, n, p, kLat, plan);
+  ASSERT_TRUE(r.completed());
+  EXPECT_DOUBLE_EQ(r.schedule.tasks[1].start, 7.0);
+  EXPECT_DOUBLE_EQ(r.schedule.tasks[2].start, 27.0);
+}
+
+TEST(Faults, LinkDegradeRescalesInFlightTransfer) {
+  const TaskGraph g = chain3();
+  const DeviceNetwork n = two_devices();
+  const Placement p = alternating3();
+
+  // Edge 1 flies 1 -> 0 during [9, 18]. Degrade x2 at t = 13.5: half the
+  // transfer remains (4.5 nominal), stretched to 9 - arrival 22.5, task 2
+  // runs [22.5, 28.5].
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kLinkDegrade, .time = 13.5,
+                                   .link_src = 1, .link_dst = 0, .factor = 2.0});
+  const FaultSimResult r = simulate_with_faults(g, n, p, kLat, plan);
+  ASSERT_TRUE(r.completed());
+  EXPECT_DOUBLE_EQ(r.schedule.edge_finish[1], 22.5);
+  EXPECT_DOUBLE_EQ(r.schedule.tasks[2].finish, 28.5);
+}
+
+TEST(Faults, ValidationRejectsBadPlans) {
+  const DeviceNetwork n = two_devices();
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kDeviceCrash, .time = 1.0,
+                                   .device = 9});
+  EXPECT_THROW(validate_fault_plan(plan, n), std::invalid_argument);
+
+  plan.events.clear();
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kSlowdown, .time = 1.0,
+                                   .device = 0, .factor = -2.0});
+  EXPECT_THROW(validate_fault_plan(plan, n), std::invalid_argument);
+
+  plan.events.clear();
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kLinkDegrade, .time = 1.0,
+                                   .link_src = 0, .link_dst = 0, .factor = 2.0});
+  EXPECT_THROW(validate_fault_plan(plan, n), std::invalid_argument);
+
+  plan.events.clear();
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kDeviceCrash, .time = -1.0,
+                                   .device = 0});
+  EXPECT_THROW(validate_fault_plan(plan, n), std::invalid_argument);
+
+  // A device joined earlier in time may be referenced by later events.
+  plan.events.clear();
+  FaultEvent join{.kind = FaultKind::kDeviceJoin, .time = 1.0};
+  join.joined.speed = 1.0;
+  plan.events.push_back(join);
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kDeviceCrash, .time = 2.0,
+                                   .device = 2});
+  EXPECT_NO_THROW(validate_fault_plan(plan, n));
+}
+
+TEST(Faults, NoiseWithoutRngThrows) {
+  const TaskGraph g = chain3();
+  const DeviceNetwork n = two_devices();
+  EXPECT_THROW(
+      simulate_with_faults(g, n, alternating3(), kLat, FaultPlan{}, SimOptions{0.5, nullptr}),
+      std::invalid_argument);
+}
+
+TEST(Faults, ParseFaultPlanRoundTrip) {
+  const FaultPlan plan =
+      parse_fault_plan("crash:2@30,leave:0@45,slow:1@10x3:60,link:0-3@20x4+5,join@50");
+  ASSERT_EQ(plan.events.size(), 5u);
+  // Events come back sorted by time.
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kSlowdown);
+  EXPECT_EQ(plan.events[0].device, 1);
+  EXPECT_DOUBLE_EQ(plan.events[0].factor, 3.0);
+  EXPECT_DOUBLE_EQ(plan.events[0].until, 60.0);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kLinkDegrade);
+  EXPECT_EQ(plan.events[1].link_src, 0);
+  EXPECT_EQ(plan.events[1].link_dst, 3);
+  EXPECT_DOUBLE_EQ(plan.events[1].factor, 4.0);
+  EXPECT_DOUBLE_EQ(plan.events[1].delay_add, 5.0);
+  EXPECT_EQ(plan.events[2].kind, FaultKind::kDeviceCrash);
+  EXPECT_EQ(plan.events[2].device, 2);
+  EXPECT_DOUBLE_EQ(plan.events[2].time, 30.0);
+  EXPECT_EQ(plan.events[3].kind, FaultKind::kDeviceLeave);
+  EXPECT_EQ(plan.events[4].kind, FaultKind::kDeviceJoin);
+
+  EXPECT_THROW(parse_fault_plan("crash:0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("crash@5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("slow:1@5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("explode:1@5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("link:1@5x2"), std::invalid_argument);
+}
+
+TEST(Faults, PostFaultNetworkRemovesCrashedAndAddsJoined) {
+  DeviceNetwork n = two_devices();
+  FaultPlan plan;
+  FaultEvent join{.kind = FaultKind::kDeviceJoin, .time = 1.0};
+  join.joined.speed = 4.0;
+  join.join_bandwidth = 8.0;
+  join.join_delay = 0.5;
+  plan.events.push_back(join);
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kDeviceCrash, .time = 2.0,
+                                   .device = 0});
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kSlowdown, .time = 3.0,
+                                   .device = 1, .factor = 2.0});  // permanent
+
+  const PostFaultNetwork pf = post_fault_network(n, plan);
+  ASSERT_EQ(pf.network.num_devices(), 2);  // device 1 + the joined device
+  EXPECT_EQ(pf.old_to_new, (std::vector<int>{-1, 0, 1}));
+  EXPECT_EQ(pf.new_to_old, (std::vector<int>{1, 2}));
+  // Permanent slowdown halves the surviving device's speed.
+  EXPECT_DOUBLE_EQ(pf.network.device(0).speed, 1.0);
+  EXPECT_DOUBLE_EQ(pf.network.device(1).speed, 4.0);
+  EXPECT_DOUBLE_EQ(pf.network.bandwidth(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(pf.network.delay(0, 1), 0.5);
+
+  Placement p(2);
+  p.set(0, 0);
+  p.set(1, 1);
+  const Placement remapped = remap_placement(p, pf.old_to_new);
+  EXPECT_EQ(remapped.device_of(0), -1);  // stranded
+  EXPECT_EQ(remapped.device_of(1), 0);
+}
+
+TEST(Faults, RemapPinnedLostDeviceBecomesInfeasible) {
+  TaskGraph g;
+  g.add_task(Task{.compute = 1.0, .pinned = 0});
+  g.add_task(Task{.compute = 1.0, .pinned = 1});
+  const std::vector<int> old_to_new{-1, 0};
+  const TaskGraph out = remap_pinned(g, old_to_new);
+  EXPECT_GT(out.task(0).pinned, 1'000'000);  // out of range: no feasible device
+  EXPECT_EQ(out.task(1).pinned, 0);
+
+  DeviceNetwork survivor;
+  survivor.add_device(Device{.speed = 1.0});
+  EXPECT_THROW(feasible_sets(out, survivor), std::runtime_error);
+}
+
+TEST(Faults, CrashAtTimeZeroStrandsEverythingOnDevice) {
+  const TaskGraph g = chain3();
+  const DeviceNetwork n = two_devices();
+  Placement p(3);
+  for (int v = 0; v < 3; ++v) p.set(v, 0);
+
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kDeviceCrash, .time = 0.0,
+                                   .device = 0});
+  const FaultSimResult r = simulate_with_faults(g, n, p, kLat, plan);
+  EXPECT_EQ(r.stranded, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(r.schedule.makespan, 0.0);
+}
+
+TEST(Faults, GeneratedPlanSparesOneDevice) {
+  std::mt19937_64 rng(11);
+  const NetworkParams np{.num_devices = 3};
+  const DeviceNetwork n = generate_device_network(np, rng);
+  FaultPlanParams fp;
+  fp.horizon = 10.0;
+  fp.crashes = 99;  // asks for more than available
+  const FaultPlan plan = generate_fault_plan(n, fp, rng);
+  int removals = 0;
+  for (const FaultEvent& e : plan.events) {
+    if (e.kind == FaultKind::kDeviceCrash || e.kind == FaultKind::kDeviceLeave) {
+      ++removals;
+    }
+  }
+  EXPECT_EQ(removals, 2);  // one device always survives
+}
+
+}  // namespace
+}  // namespace giph

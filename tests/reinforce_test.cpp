@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "baselines/random_policies.hpp"
 #include "core/giph_agent.hpp"
 #include "gen/dataset.hpp"
@@ -104,6 +107,91 @@ TEST(Reinforce, DeterministicGivenSeeds) {
   const TrainStats s2 = train_reinforce(a2, kLat, sampler, topt);
   EXPECT_EQ(s1.episode_best, s2.episode_best);
   EXPECT_EQ(s1.episode_final, s2.episode_final);
+}
+
+TEST(Reinforce, CheckpointResumeReproducesExactTrajectory) {
+  TwoTaskInstance inst;
+  InstanceSampler sampler = [&](std::mt19937_64&) {
+    return ProblemInstance{&inst.g, &inst.n};
+  };
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "giph_reinforce_ckpt.txt").string();
+  std::filesystem::remove(path);
+  constexpr int kCrashAt = 10, kTotal = 20;
+
+  GiPHOptions o;
+  o.seed = 4;
+
+  // Reference: an uninterrupted run.
+  TrainOptions straight;
+  straight.episodes = kTotal;
+  GiPHAgent ref(o);
+  const TrainStats expected = train_reinforce(ref, kLat, sampler, straight);
+
+  // Crashed run: train kCrashAt episodes with checkpointing, then "crash"
+  // (the agent object is simply abandoned).
+  TrainOptions part = straight;
+  part.episodes = kCrashAt;
+  part.checkpoint_every = 5;
+  part.checkpoint_path = path;
+  {
+    GiPHAgent crashed(o);
+    train_reinforce(crashed, kLat, sampler, part);
+  }
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // Resume into a fresh, identically-constructed agent and finish.
+  TrainOptions rest = part;
+  rest.episodes = kTotal;
+  rest.resume = true;
+  GiPHAgent resumed(o);
+  const TrainStats stats = train_reinforce(resumed, kLat, sampler, rest);
+
+  // Bitwise-identical loss trajectory: the checkpoint captured parameters,
+  // optimizer moments, and RNG state exactly.
+  EXPECT_EQ(stats.episode_initial, expected.episode_initial);
+  EXPECT_EQ(stats.episode_final, expected.episode_final);
+  EXPECT_EQ(stats.episode_best, expected.episode_best);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));  // atomic write cleaned up
+  std::filesystem::remove(path);
+}
+
+TEST(Reinforce, ResumeWithMissingCheckpointStartsFresh) {
+  TwoTaskInstance inst;
+  InstanceSampler sampler = [&](std::mt19937_64&) {
+    return ProblemInstance{&inst.g, &inst.n};
+  };
+  TrainOptions topt;
+  topt.episodes = 4;
+  topt.resume = true;
+  topt.checkpoint_path =
+      (std::filesystem::temp_directory_path() / "giph_reinforce_ckpt_absent.txt").string();
+  std::filesystem::remove(topt.checkpoint_path);
+  RandomWalkPolicy policy;
+  const TrainStats stats = train_reinforce(policy, kLat, sampler, topt);
+  EXPECT_EQ(stats.episode_best.size(), 4u);
+}
+
+TEST(Reinforce, CorruptCheckpointIsRejected) {
+  TwoTaskInstance inst;
+  InstanceSampler sampler = [&](std::mt19937_64&) {
+    return ProblemInstance{&inst.g, &inst.n};
+  };
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "giph_reinforce_ckpt_bad.txt").string();
+  {
+    std::ofstream out(path);
+    out << "not a checkpoint\n";
+  }
+  TrainOptions topt;
+  topt.episodes = 2;
+  topt.resume = true;
+  topt.checkpoint_path = path;
+  GiPHOptions o;
+  o.seed = 4;
+  GiPHAgent agent(o);
+  EXPECT_THROW(train_reinforce(agent, kLat, sampler, topt), std::runtime_error);
+  std::filesystem::remove(path);
 }
 
 TEST(RunSearch, BestSoFarIsMonotone) {

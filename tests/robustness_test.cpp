@@ -1,0 +1,146 @@
+#include "eval/robustness_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/random_policies.hpp"
+#include "gen/device_network_gen.hpp"
+#include "gen/task_graph_gen.hpp"
+#include "sim/faults.hpp"
+
+namespace giph {
+namespace {
+
+const DefaultLatencyModel kLat;
+
+struct Instance {
+  TaskGraph g;
+  DeviceNetwork n;
+};
+
+Instance make_instance(unsigned seed, int tasks = 12, int devices = 5) {
+  std::mt19937_64 rng(seed);
+  TaskGraphParams gp;
+  gp.num_tasks = tasks;
+  NetworkParams np;
+  np.num_devices = devices;
+  Instance inst{generate_task_graph(gp, rng), generate_device_network(np, rng)};
+  ensure_feasible(inst.g, inst.n, rng);
+  return inst;
+}
+
+TEST(Robustness, HeftRowAlwaysPresentAndDeterministic) {
+  const Instance inst = make_instance(3);
+  std::mt19937_64 plan_rng(21);
+  FaultPlanParams fp;
+  fp.horizon = 50.0;
+  fp.slowdowns = 1;
+  fp.crashes = 0;
+  const FaultPlan plan = generate_fault_plan(inst.n, fp, plan_rng);
+
+  RandomTaskEftPolicy policy;
+  eval::RobustnessOptions opt;
+  opt.seed = 5;
+  const eval::RobustnessReport a = eval::evaluate_robustness(
+      inst.g, inst.n, kLat, plan, {{policy.name(), &policy}}, opt);
+  const eval::RobustnessReport b = eval::evaluate_robustness(
+      inst.g, inst.n, kLat, plan, {{policy.name(), &policy}}, opt);
+
+  ASSERT_EQ(a.rows.size(), 2u);  // the policy + the implicit HEFT row
+  EXPECT_EQ(a.rows.back().placer, "HEFT");
+  // Bitwise-deterministic across calls for a fixed seed.
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].placer, b.rows[i].placer);
+    EXPECT_EQ(a.rows[i].recoverable, b.rows[i].recoverable);
+    EXPECT_EQ(a.rows[i].fault_free_makespan, b.rows[i].fault_free_makespan);
+    EXPECT_EQ(a.rows[i].faulted_makespan, b.rows[i].faulted_makespan);
+    EXPECT_EQ(a.rows[i].recovery_makespan, b.rows[i].recovery_makespan);
+    EXPECT_EQ(a.rows[i].degradation_ratio, b.rows[i].degradation_ratio);
+    EXPECT_EQ(a.rows[i].tasks_moved, b.rows[i].tasks_moved);
+    EXPECT_EQ(a.rows[i].repair_steps, b.rows[i].repair_steps);
+  }
+}
+
+TEST(Robustness, HeftRepairCostIsFullReschedule) {
+  const Instance inst = make_instance(4, 10, 4);
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kDeviceCrash, .time = 1.0,
+                                   .device = 0});
+
+  const eval::RobustnessReport r =
+      eval::evaluate_robustness(inst.g, inst.n, kLat, plan, {}, {});
+  ASSERT_EQ(r.rows.size(), 1u);
+  const eval::RepairOutcome& heft = r.rows[0];
+  EXPECT_EQ(heft.placer, "HEFT");
+  ASSERT_TRUE(heft.recoverable);
+  EXPECT_EQ(heft.repair_steps, inst.g.num_tasks());
+  EXPECT_DOUBLE_EQ(heft.repair_fraction, 1.0);
+  EXPECT_GT(heft.fault_free_makespan, 0.0);
+  EXPECT_GT(heft.recovery_makespan, 0.0);
+  EXPECT_DOUBLE_EQ(heft.degradation_ratio,
+                   heft.recovery_makespan / heft.fault_free_makespan);
+}
+
+TEST(Robustness, EmptyPlanIsZeroDamage) {
+  const Instance inst = make_instance(5);
+  RandomTaskEftPolicy policy;
+  const eval::RobustnessReport r = eval::evaluate_robustness(
+      inst.g, inst.n, kLat, FaultPlan{}, {{policy.name(), &policy}}, {});
+  for (const eval::RepairOutcome& row : r.rows) {
+    ASSERT_TRUE(row.recoverable) << row.placer;
+    // No fault fired: the replayed placement completes with its fault-free
+    // makespan and the repair cannot do worse.
+    EXPECT_EQ(row.faulted_makespan, row.fault_free_makespan) << row.placer;
+    EXPECT_EQ(row.stranded_tasks, 0) << row.placer;
+    EXPECT_LE(row.recovery_makespan, row.fault_free_makespan + 1e-12)
+        << row.placer;
+  }
+}
+
+TEST(Robustness, PinnedTaskOnCrashedDeviceIsUnrecoverable) {
+  // Two devices; task 1 pinned to device 1, which crashes.
+  TaskGraph g;
+  g.add_task(Task{.compute = 1.0});
+  g.add_task(Task{.compute = 1.0, .pinned = 1});
+  g.add_edge(0, 1, 1.0);
+  DeviceNetwork n;
+  n.add_device(Device{.speed = 1.0});
+  n.add_device(Device{.speed = 1.0});
+  n.set_symmetric_link(0, 1, 1.0, 0.0);
+
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kDeviceCrash, .time = 0.0,
+                                   .device = 1});
+  const eval::RobustnessReport r =
+      eval::evaluate_robustness(g, n, kLat, plan, {}, {});
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_FALSE(r.rows[0].recoverable);
+  EXPECT_TRUE(std::isinf(r.rows[0].recovery_makespan));
+  EXPECT_FALSE(format_report(r).empty());
+}
+
+TEST(Robustness, CrashForcesTasksOffFailedDevice) {
+  const Instance inst = make_instance(6, 14, 5);
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kDeviceCrash, .time = 0.0,
+                                   .device = 2});
+
+  RandomTaskEftPolicy policy;
+  eval::RobustnessOptions opt;
+  opt.seed = 9;
+  const eval::RobustnessReport r = eval::evaluate_robustness(
+      inst.g, inst.n, kLat, plan, {{policy.name(), &policy}}, opt);
+  for (const eval::RepairOutcome& row : r.rows) {
+    ASSERT_TRUE(row.recoverable) << row.placer;
+    // The recovered placement lives on the post-fault network, so the
+    // recovery makespan is finite and positive.
+    EXPECT_TRUE(std::isfinite(row.recovery_makespan)) << row.placer;
+    EXPECT_GT(row.recovery_makespan, 0.0) << row.placer;
+    EXPECT_GE(row.tasks_moved, 0) << row.placer;
+  }
+}
+
+}  // namespace
+}  // namespace giph

@@ -113,6 +113,58 @@ TEST(SearchEnv, ResetToInitialRestoresStateKeepsBest) {
   EXPECT_DOUBLE_EQ(env.best_objective(), 8.0);  // best survives the reset
 }
 
+TEST(SearchEnv, RebaseWarmStartsFromDamagedPlacement) {
+  Fixture f;
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), f.init);
+  env.apply(SearchAction{1, 0});  // best = 8 (co-located)
+  ASSERT_DOUBLE_EQ(env.best_objective(), 8.0);
+
+  // A fault forced task 0 onto device 1: rebase resumes from that placement.
+  Placement damaged(2);
+  damaged.set(0, 1);
+  damaged.set(1, 1);
+  env.rebase(damaged);
+  EXPECT_EQ(env.placement(), damaged);
+  EXPECT_DOUBLE_EQ(env.objective(), 8.0);  // co-located on device 1
+  EXPECT_EQ(env.steps_taken(), 0);
+  EXPECT_EQ(env.last_moved_task(), -1);
+  // Best is re-anchored to the new episode, not the pre-fault history.
+  EXPECT_DOUBLE_EQ(env.best_objective(), 8.0);
+  EXPECT_EQ(env.best_placement(), damaged);
+
+  // reset_to_initial now returns to the rebased placement.
+  env.apply(SearchAction{1, 0});  // split: 18
+  env.reset_to_initial();
+  EXPECT_EQ(env.placement(), damaged);
+}
+
+TEST(SearchEnv, RebaseOntoNewNetwork) {
+  Fixture f;
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), f.init);
+
+  // Post-fault network: one surviving, twice-as-fast device.
+  DeviceNetwork survivor;
+  survivor.add_device(Device{.speed = 2.0});
+  Placement all_on_0(2);
+  all_on_0.set(0, 0);
+  all_on_0.set(1, 0);
+  env.rebase(survivor, all_on_0);
+  EXPECT_DOUBLE_EQ(env.objective(), 4.0);  // (4 + 4) / speed 2
+  EXPECT_DOUBLE_EQ(env.best_objective(), 4.0);
+  // Device 1 no longer exists: moving there is infeasible.
+  EXPECT_THROW(env.apply(SearchAction{1, 1}), std::invalid_argument);
+}
+
+TEST(SearchEnv, RebaseRejectsInfeasiblePlacement) {
+  Fixture f;
+  PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), f.init);
+  Placement bad(2);
+  bad.set(0, 0);  // task 1 unplaced
+  EXPECT_THROW(env.rebase(bad), std::invalid_argument);
+  // A failed rebase leaves the env usable with its previous state.
+  EXPECT_DOUBLE_EQ(env.objective(), 18.0);
+}
+
 TEST(SearchEnv, ScheduleMatchesCurrentPlacement) {
   Fixture f;
   PlacementSearchEnv env(f.g, f.n, kLat, makespan_objective(kLat), f.init);

@@ -93,6 +93,81 @@ TEST(Serialization, TruncatedInputThrows) {
   EXPECT_THROW(read_task_graph(ss), std::runtime_error);
 }
 
+// The readers must reject hand-edited or hostile input with a message naming
+// the offending field, instead of letting NaN/Inf/bad indices poison the
+// simulator downstream.
+void expect_graph_error(const std::string& body, const std::string& needle) {
+  std::stringstream ss(body);
+  try {
+    read_task_graph(ss);
+    FAIL() << "expected rejection mentioning '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+void expect_network_error(const std::string& body, const std::string& needle) {
+  std::stringstream ss(body);
+  try {
+    read_device_network(ss);
+    FAIL() << "expected rejection mentioning '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+TEST(Serialization, RejectsNonFiniteTaskValues) {
+  expect_graph_error("task-graph v1\n1 0\nnan 0 -1 -\n", "task compute");
+  expect_graph_error("task-graph v1\n1 0\ninf 0 -1 -\n", "task compute");
+  expect_graph_error("task-graph v1\n1 0\n-2.0 0 -1 -\n", "task compute");
+  expect_graph_error("task-graph v1\n2 1\n1 0 -1 -\n1 0 -1 -\n0 1 inf\n",
+                     "edge bytes");
+  expect_graph_error("task-graph v1\n1 0\n1 0 -5 -\n", "pinned");
+}
+
+TEST(Serialization, RejectsBadEdges) {
+  expect_graph_error("task-graph v1\n2 1\n1 0 -1 -\n1 0 -1 -\n0 7 1.0\n",
+                     "edge endpoint out of range: 0 -> 7");
+  expect_graph_error("task-graph v1\n2 1\n1 0 -1 -\n1 0 -1 -\n-1 1 1.0\n",
+                     "edge endpoint out of range");
+  expect_graph_error("task-graph v1\n2 1\n1 0 -1 -\n1 0 -1 -\n1 1 1.0\n",
+                     "self-loop edge at task 1");
+  expect_graph_error(
+      "task-graph v1\n2 2\n1 0 -1 -\n1 0 -1 -\n0 1 1.0\n0 1 2.0\n",
+      "duplicate edge 0 -> 1");
+}
+
+TEST(Serialization, RejectsBadDeviceValues) {
+  // Device row: speed supports_hw type startup cores name.
+  expect_network_error("device-network v1\n1\nnan 0 0 0 1 -\n0\n0\n",
+                       "device speed");
+  expect_network_error("device-network v1\n1\n0 0 0 0 1 -\n0\n0\n",
+                       "device speed");  // zero speed divides by zero
+  expect_network_error("device-network v1\n1\n1 0 0 -1 1 -\n0\n0\n",
+                       "device startup");
+  expect_network_error("device-network v1\n1\n1 0 0 0 0 -\n0\n0\n",
+                       "device cores must be >= 1");
+  expect_network_error(
+      "device-network v1\n2\n1 0 0 0 1 -\n1 0 0 0 1 -\n0 -1\n-1 0\n0 0\n0 0\n",
+      "link bandwidth");
+  expect_network_error(
+      "device-network v1\n2\n1 0 0 0 1 -\n1 0 0 0 1 -\n0 1\n1 0\n0 nan\nnan 0\n",
+      "link delay");
+}
+
+TEST(Serialization, HardenedReaderStillAcceptsRoundTrips) {
+  // The validation must not reject anything the writer produces.
+  TaskGraph g;
+  g.add_task(Task{.compute = 0.0});  // zero compute is legal
+  g.add_task(Task{.compute = 2.5, .pinned = 0});
+  g.add_edge(0, 1, 0.0);  // zero bytes is legal
+  std::stringstream ss;
+  write_task_graph(ss, g);
+  const TaskGraph h = read_task_graph(ss);
+  EXPECT_EQ(h.num_edges(), 1);
+  EXPECT_EQ(h.task(1).pinned, 0);
+}
+
 TEST(Serialization, FileHelpersRoundTrip) {
   const std::string dir = testing::TempDir();
   std::mt19937_64 rng(7);

@@ -5,14 +5,29 @@
 //   giph_cli generate --out DIR [--graphs N] [--networks M] [--tasks T]
 //                     [--devices D] [--seed S]
 //   giph_cli train    --data DIR --model FILE [--episodes E] [--variant V]
-//                     [--noise X] [--seed S]
+//                     [--noise X] [--seed S] [--checkpoint FILE]
+//                     [--checkpoint-every K] [--resume]
 //   giph_cli evaluate --data DIR --model FILE [--variant V] [--cases N]
 //   giph_cli place    --graph FILE --network FILE [--model FILE] [--variant V]
 //                     [--steps N] [--gantt] [--csv FILE]
+//   giph_cli robustness [--seed S] [--tasks T] [--devices D]
+//                     [--graph FILE --network FILE] [--model FILE] [--variant V]
+//                     [--faults SPEC | --crashes N --leaves N --slowdowns N
+//                      --degrades N --joins N] [--repair-budget N]
+//
+// The robustness command measures fault recovery: each placer (the GiPH
+// agent, Random-task-eft, and HEFT) places a seeded synthetic instance, the
+// placement is replayed under an injected fault plan, and the placer repairs
+// it on the post-fault network - search policies warm-start from the damaged
+// placement while HEFT reschedules from scratch. --faults accepts a spec like
+// "crash:2@30,slow:1@10x3:60,link:0-3@20x4,join@50"; without it a plan is
+// generated from the --crashes/--slowdowns/... counts with event times seeded
+// inside the fault-free makespan horizon.
 //
 // Variants: giph (default), giph-3, giph-5, giph-ne, graphsage-ne, ne-pol,
 // task-eft.
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -20,12 +35,15 @@
 #include <map>
 #include <optional>
 
+#include "baselines/random_policies.hpp"
 #include "core/giph_agent.hpp"
 #include "core/reinforce.hpp"
+#include "eval/robustness_eval.hpp"
 #include "gen/dataset.hpp"
 #include "gen/params_io.hpp"
 #include "graph/serialization.hpp"
 #include "heft/heft.hpp"
+#include "sim/faults.hpp"
 #include "sim/trace.hpp"
 
 using namespace giph;
@@ -169,6 +187,12 @@ int cmd_train(const Args& args) {
   topt.discount_state_weight = false;
   topt.noise = args.get_double("noise", 0.0);
   topt.seed = args.get_int("seed", 1) + 1;
+  topt.checkpoint_path = args.get("checkpoint");
+  topt.checkpoint_every = args.get_int("checkpoint-every", topt.checkpoint_path.empty() ? 0 : 25);
+  topt.resume = args.has("resume");
+  if (topt.resume && topt.checkpoint_path.empty()) {
+    throw std::runtime_error("train: --resume requires --checkpoint FILE");
+  }
   int last_percent = -1;
   topt.on_episode = [&](int ep) {
     const int percent = 100 * (ep + 1) / topt.episodes;
@@ -246,6 +270,57 @@ int cmd_place(const Args& args) {
   return 0;
 }
 
+int cmd_robustness(const Args& args) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  std::mt19937_64 rng(seed);
+  TaskGraph g;
+  DeviceNetwork n;
+  if (args.has("graph") && args.has("network")) {
+    g = load_task_graph(args.get("graph"));
+    n = load_device_network(args.get("network"));
+  } else {
+    TaskGraphParams gp;
+    gp.num_tasks = args.get_int("tasks", 14);
+    NetworkParams np;
+    np.num_devices = args.get_int("devices", 8);
+    g = generate_task_graph(gp, rng);
+    n = generate_device_network(np, rng);
+    ensure_feasible(g, n, rng);
+  }
+  const DefaultLatencyModel lat;
+
+  GiPHAgent agent(variant_options(args.get("variant", "giph"), seed));
+  if (args.has("model")) agent.load(args.get("model"));
+  RandomTaskEftPolicy random_eft;
+
+  FaultPlan plan;
+  if (args.has("faults")) {
+    plan = parse_fault_plan(args.get("faults"));
+  } else {
+    // Seed event times inside the fault-free horizon so the plan perturbs
+    // the run regardless of the instance's time scale.
+    FaultPlanParams fp;
+    fp.horizon =
+        std::max(makespan(g, n, heft_schedule(g, n, lat).placement, lat), 1e-9);
+    fp.crashes = args.get_int("crashes", 1);
+    fp.leaves = args.get_int("leaves", 0);
+    fp.slowdowns = args.get_int("slowdowns", 1);
+    fp.link_degrades = args.get_int("degrades", 1);
+    fp.joins = args.get_int("joins", 0);
+    plan = generate_fault_plan(n, fp, rng);
+  }
+
+  eval::RobustnessOptions ropt;
+  ropt.seed = seed + 1;
+  ropt.repair_budget = args.get_int("repair-budget", 0);
+  const eval::RobustnessReport report = eval::evaluate_robustness(
+      g, n, lat, plan, {{agent.name(), &agent}, {random_eft.name(), &random_eft}}, ropt);
+  std::cout << "instance: " << g.num_tasks() << " tasks, " << n.num_devices()
+            << " devices (seed " << seed << ")\n\n"
+            << eval::format_report(report);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -255,7 +330,8 @@ int main(int argc, char** argv) {
     if (args.command == "train") return cmd_train(args);
     if (args.command == "evaluate") return cmd_evaluate(args);
     if (args.command == "place") return cmd_place(args);
-    std::cerr << "usage: giph_cli {generate|train|evaluate|place} [--options]\n"
+    if (args.command == "robustness") return cmd_robustness(args);
+    std::cerr << "usage: giph_cli {generate|train|evaluate|place|robustness} [--options]\n"
                  "see the header of tools/giph_cli.cpp for details\n";
     return args.command.empty() ? 0 : 1;
   } catch (const std::exception& e) {
