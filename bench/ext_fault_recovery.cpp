@@ -87,6 +87,7 @@ int main() {
 
       eval::RobustnessOptions ropt;
       ropt.seed = 100 + i;
+      ropt.threads = 0;  // fan repair rows out over all cores (bitwise identical)
       const eval::RobustnessReport report = eval::evaluate_robustness(
           *cases[i].graph, *cases[i].network, lat, plan,
           {{giph.name(), &giph}, {random_eft.name(), &random_eft}}, ropt);

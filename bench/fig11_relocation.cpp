@@ -102,8 +102,9 @@ int main() {
     for (const SensorFusionCase* c : train_cases) {
       by_graph[&c->graph] = c;
       std::mt19937_64 r(7);
-      norm[&c->graph] = energy_objective(*c, lat)(
-          c->graph, c->network, random_placement(c->graph, c->network, r));
+      norm[&c->graph] =
+          evaluate_objective(energy_objective(*c, lat), c->graph, c->network,
+                             random_placement(c->graph, c->network, r), lat);
     }
     TrainOptions et = topt;
     et.objective_factory = [&](const TaskGraph& g, const DeviceNetwork&,
@@ -120,15 +121,15 @@ int main() {
   double e_giph = 0.0, e_heft = 0.0, e_rand = 0.0;
   for (const SensorFusionCase* cp : test_cases) {
     const SensorFusionCase& c = *cp;
-    const Objective energy = energy_objective(c, lat);
+    const ScheduleObjective energy = energy_objective(c, lat);
     std::mt19937_64 rng(901);
     const Placement init = random_placement(c.graph, c.network, rng);
     PlacementSearchEnv env(c.graph, c.network, lat, energy, init, 1.0);
     run_search(giph_energy, env, 2 * c.graph.num_tasks(), rng);
     e_giph += env.best_objective();
-    e_heft += energy(c.graph, c.network,
-                     heft_schedule(c.graph, c.network, lat).placement);
-    e_rand += energy(c.graph, c.network, init);
+    e_heft += evaluate_objective(energy, c.graph, c.network,
+                                 heft_schedule(c.graph, c.network, lat).placement, lat);
+    e_rand += evaluate_objective(energy, c.graph, c.network, init, lat);
   }
   const double nc = static_cast<double>(test_cases.size());
   std::printf("%-12s%12.3f\n%-12s%12.3f\n%-12s%12.3f\n", "GiPH", e_giph / nc, "HEFT",

@@ -13,6 +13,7 @@
 #include "baselines/random_policies.hpp"
 #include "bench/common.hpp"
 #include "core/giph_agent.hpp"
+#include "util/parallel_for.hpp"
 
 using namespace giph;
 using namespace giph::bench;
@@ -77,12 +78,15 @@ void run_panel(bool multi_network, double noise, const Scale& scale) {
   RandomTaskEftPolicy random_task_eft;
   RandomSamplingPolicy random;
 
-  std::vector<Curve> curves;
+  // Each curve is evaluated serially (the policies are stateful, trained
+  // objects), but the five policies run concurrently; per-policy results are
+  // independent of the fan-out.
   std::vector<SearchPolicy*> policies{&giph, &giph_task_eft, &random_task_eft,
                                       &placeto, &random};
-  for (SearchPolicy* p : policies) {
-    curves.push_back(evaluate_policy_curve(*p, cases, lat, noise, 555));
-  }
+  std::vector<Curve> curves(policies.size());
+  util::parallel_for(static_cast<int>(policies.size()), /*threads=*/0, [&](int i) {
+    curves[i] = evaluate_policy_curve(*policies[i], cases, lat, noise, 555);
+  });
   char title[128];
   std::snprintf(title, sizeof(title), "Fig.4 %s, noise=%.1f (avg SLR vs search steps)",
                 multi_network ? "multiple-device-network" : "single-device-network",

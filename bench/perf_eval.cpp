@@ -1,0 +1,259 @@
+// Microbenchmark of the single-simulation evaluation core (not a paper
+// figure). Three measurements on one 50-task / 20-device instance:
+//
+//  1. sims/sec  - simulate() (allocating) vs simulate_into() with a reused
+//                 SimWorkspace;
+//  2. steps/sec - search steps through the refactored environment (one
+//                 simulation per step, indexed EST queries) vs a pre-refactor
+//                 cost emulation (legacy (g,n,p) makespan objective that
+//                 re-simulates inside the objective, plus unindexed O(V)-scan
+//                 EST queries). Measured for two policies: Random-task-eft
+//                 (D est queries per step) and a sweep policy that performs
+//                 the full per-(task, device) est sweep gpNet feature
+//                 construction performs, with the NN forward excluded — the
+//                 NN is untouched by the refactor and would only dilute the
+//                 measurement (it costs ~100x the evaluation core per step);
+//  3. parallel  - eval::policy_finals over a batch of cases, serial vs all
+//                 hardware threads, with a bitwise-equality check.
+//
+// Results go to BENCH_eval.json in the working directory. The refactor's
+// acceptance bar is steps/sec speedup >= 2x.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+
+#include "baselines/random_policies.hpp"
+#include "bench/common.hpp"
+#include "heft/heft.hpp"
+#include "util/parallel_for.hpp"
+
+using namespace giph;
+using namespace giph::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Pre-refactor cost model of Random-task-eft: identical decisions, but EFT
+/// device selection pays the unindexed O(V) est scan per candidate device.
+class UnindexedRandomTaskEft final : public SearchPolicy {
+ public:
+  ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng, bool) override {
+    std::uniform_int_distribution<int> pick(0, env.graph().num_tasks() - 1);
+    const int task = pick(rng);
+    const int device = eft_select_device(env.graph(), env.network(), env.placement(),
+                                         env.latency(), env.schedule(), task);
+    return ActionDecision{SearchAction{task, device}, nullptr, std::nullopt};
+  }
+  std::string name() const override { return "Random-task-eft(unindexed)"; }
+};
+
+/// The evaluation-core work of a GiPH search step with the NN excluded: per
+/// step, compute est(v, d) for every feasible (task, device) pair — the
+/// start-time-potential sweep gpNet feature construction performs — and move
+/// the pair minimizing est + compute time. `indexed` selects the refactored
+/// (ScheduleIndex) or pre-refactor (O(V) scan) est path.
+class GreedySweepPolicy final : public SearchPolicy {
+ public:
+  explicit GreedySweepPolicy(bool indexed) : indexed_(indexed) {}
+
+  ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64&, bool) override {
+    const TaskGraph& g = env.graph();
+    const DeviceNetwork& n = env.network();
+    const Placement& p = env.placement();
+    const LatencyModel& lat = env.latency();
+    const Schedule& sched = env.schedule();
+    SearchAction best{0, p.device_of(0)};
+    double best_eft = std::numeric_limits<double>::infinity();
+    for (int v = 0; v < g.num_tasks(); ++v) {
+      for (const int d : env.feasible()[v]) {
+        const double est =
+            indexed_ ? earliest_start_on_queued(sched, g, n, p, lat,
+                                                env.schedule_index(), v, d)
+                     : earliest_start_on_queued(sched, g, n, p, lat, v, d);
+        const double eft = est + lat.compute_time(g, n, v, d);
+        if (d != p.device_of(v) && eft < best_eft) {
+          best_eft = eft;
+          best = SearchAction{v, d};
+        }
+      }
+    }
+    return ActionDecision{best, nullptr, std::nullopt};
+  }
+  std::string name() const override { return indexed_ ? "sweep" : "sweep(unindexed)"; }
+
+ private:
+  bool indexed_;
+};
+
+/// Total search steps/sec of `policy` on fresh environments built with
+/// `objective`, `rounds` searches of 2|V| steps each.
+template <typename MakeEnv>
+double measure_steps_per_sec(SearchPolicy& policy, const TaskGraph& g,
+                             const MakeEnv& make_env, int rounds) {
+  const int steps = 2 * g.num_tasks();
+  // Warmup round: touch caches, size workspaces.
+  {
+    std::mt19937_64 rng(99);
+    PlacementSearchEnv env = make_env(rng);
+    run_search(policy, env, steps, rng);
+  }
+  const auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    std::mt19937_64 rng(100 + r);
+    PlacementSearchEnv env = make_env(rng);
+    run_search(policy, env, steps, rng);
+  }
+  return static_cast<double>(rounds) * steps / seconds_since(t0);
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = Scale::from_env();
+  const DefaultLatencyModel lat;
+  std::printf("Evaluation-core microbenchmark (scale: %s)\n",
+              scale.full ? "full" : "quick");
+
+  std::mt19937_64 gen_rng(4242);
+  TaskGraphParams gp;
+  gp.num_tasks = 50;
+  NetworkParams np;
+  np.num_devices = 20;
+  const Dataset single = generate_dataset({gp}, {np}, 1, 1, gen_rng);
+  const TaskGraph& g = single.graphs.front();
+  const DeviceNetwork& n = single.networks.front();
+  const double denom = slr_denominator(g, n, lat);
+
+  // ---- 1. raw simulator throughput ---------------------------------------
+  const int sim_reps = scale.full ? 40000 : 8000;
+  std::mt19937_64 prng(7);
+  const Placement p = random_placement(g, n, prng);
+  double guard = 0.0;  // keep the loops observable
+
+  for (int i = 0; i < 200; ++i) guard += simulate(g, n, p, lat).makespan;  // warmup
+  auto t0 = Clock::now();
+  for (int i = 0; i < sim_reps; ++i) guard += simulate(g, n, p, lat).makespan;
+  const double alloc_sps = sim_reps / seconds_since(t0);
+
+  SimWorkspace ws;
+  Schedule out;
+  for (int i = 0; i < 200; ++i) simulate_into(g, n, p, lat, ws, out);
+  t0 = Clock::now();
+  for (int i = 0; i < sim_reps; ++i) {
+    simulate_into(g, n, p, lat, ws, out);
+    guard += out.makespan;
+  }
+  const double ws_sps = sim_reps / seconds_since(t0);
+
+  print_header("simulator throughput (50 tasks, 20 devices)");
+  std::printf("%-32s %14.0f sims/sec\n", "simulate (allocating)", alloc_sps);
+  std::printf("%-32s %14.0f sims/sec\n", "simulate_into (workspace)", ws_sps);
+  std::printf("%-32s %13.2fx\n", "workspace speedup", ws_sps / alloc_sps);
+
+  // ---- 2. search steps/sec: refactored vs pre-refactor emulation ---------
+  const int rounds = scale.full ? 200 : 40;
+  const Objective legacy_makespan = [&lat](const TaskGraph& gg, const DeviceNetwork& nn,
+                                           const Placement& pp) {
+    return makespan(gg, nn, pp, lat);  // re-simulates: the pre-refactor cost
+  };
+  const auto make_new_env = [&](std::mt19937_64& rng) {
+    return PlacementSearchEnv(g, n, lat, makespan_objective(lat),
+                              random_placement(g, n, rng), denom);
+  };
+  const auto make_legacy_env = [&](std::mt19937_64& rng) {
+    return PlacementSearchEnv(g, n, lat, legacy_makespan,
+                              random_placement(g, n, rng), denom);
+  };
+  RandomTaskEftPolicy eft_policy;
+  UnindexedRandomTaskEft legacy_eft_policy;
+  const double eft_steps = measure_steps_per_sec(eft_policy, g, make_new_env, rounds);
+  const double legacy_eft_steps =
+      measure_steps_per_sec(legacy_eft_policy, g, make_legacy_env, rounds);
+
+  GreedySweepPolicy sweep_policy(/*indexed=*/true);
+  GreedySweepPolicy legacy_sweep_policy(/*indexed=*/false);
+  const double sweep_steps = measure_steps_per_sec(sweep_policy, g, make_new_env, rounds);
+  const double legacy_sweep_steps =
+      measure_steps_per_sec(legacy_sweep_policy, g, make_legacy_env, rounds);
+  const double step_speedup = sweep_steps / legacy_sweep_steps;
+  const double eft_speedup = eft_steps / legacy_eft_steps;
+
+  print_header("search steps/sec (2|V| steps per search)");
+  std::printf("%-34s %12.0f steps/sec\n", "Random-task-eft, pre-refactor", legacy_eft_steps);
+  std::printf("%-34s %12.0f steps/sec\n", "Random-task-eft, single-sim+index", eft_steps);
+  std::printf("%-34s %11.2fx\n", "  speedup", eft_speedup);
+  std::printf("%-34s %12.0f steps/sec\n", "feature sweep, pre-refactor", legacy_sweep_steps);
+  std::printf("%-34s %12.0f steps/sec\n", "feature sweep, single-sim+index", sweep_steps);
+  std::printf("%-34s %11.2fx %s\n", "  speedup", step_speedup,
+              step_speedup >= 2.0 ? "(>= 2x target met)" : "(BELOW 2x target)");
+
+  // ---- 3. parallel evaluation layer --------------------------------------
+  const Dataset batch = generate_dataset({gp}, {np}, scale.full ? 24 : 12, 2, gen_rng);
+  const std::vector<Case> cases = make_cases(batch, scale.full ? 32 : 16);
+  const eval::PolicyFactory factory = [] {
+    return std::make_unique<RandomTaskEftPolicy>();
+  };
+  t0 = Clock::now();
+  const std::vector<double> serial = eval::policy_finals(factory, cases, lat, 0.0, 555,
+                                                         /*threads=*/1);
+  const double serial_sec = seconds_since(t0);
+  t0 = Clock::now();
+  const std::vector<double> parallel = eval::policy_finals(factory, cases, lat, 0.0, 555,
+                                                           /*threads=*/0);
+  const double parallel_sec = seconds_since(t0);
+  bool bitwise = serial.size() == parallel.size();
+  for (std::size_t i = 0; bitwise && i < serial.size(); ++i) {
+    bitwise = serial[i] == parallel[i];
+  }
+  const int threads = util::resolve_threads(0);
+
+  print_header("parallel policy_finals");
+  std::printf("%-32s %14.3f s\n", "serial (1 thread)", serial_sec);
+  char label[64];
+  std::snprintf(label, sizeof(label), "parallel (%d threads)", threads);
+  std::printf("%-32s %14.3f s\n", label, parallel_sec);
+  std::printf("%-32s %13.2fx\n", "speedup", serial_sec / parallel_sec);
+  std::printf("%-32s %14s\n", "bitwise identical", bitwise ? "yes" : "NO");
+
+  std::FILE* f = std::fopen("BENCH_eval.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"case\": {\"tasks\": %d, \"devices\": %d},\n"
+                 "  \"simulate_sims_per_sec\": %.1f,\n"
+                 "  \"simulate_into_sims_per_sec\": %.1f,\n"
+                 "  \"workspace_speedup\": %.3f,\n"
+                 "  \"eft_legacy_steps_per_sec\": %.1f,\n"
+                 "  \"eft_steps_per_sec\": %.1f,\n"
+                 "  \"eft_steps_speedup\": %.3f,\n"
+                 "  \"legacy_steps_per_sec\": %.1f,\n"
+                 "  \"steps_per_sec\": %.1f,\n"
+                 "  \"steps_speedup\": %.3f,\n"
+                 "  \"parallel_finals\": {\n"
+                 "    \"cases\": %d,\n"
+                 "    \"threads\": %d,\n"
+                 "    \"serial_sec\": %.4f,\n"
+                 "    \"parallel_sec\": %.4f,\n"
+                 "    \"speedup\": %.3f,\n"
+                 "    \"bitwise_identical\": %s\n"
+                 "  }\n"
+                 "}\n",
+                 g.num_tasks(), n.num_devices(), alloc_sps, ws_sps, ws_sps / alloc_sps,
+                 legacy_eft_steps, eft_steps, eft_speedup,
+                 legacy_sweep_steps, sweep_steps, step_speedup,
+                 static_cast<int>(cases.size()), threads, serial_sec, parallel_sec,
+                 serial_sec / parallel_sec, bitwise ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_eval.json\n");
+  }
+  if (!std::isfinite(guard)) std::printf("guard %f\n", guard);
+  return bitwise && step_speedup >= 2.0 ? 0 : 1;
+}

@@ -12,7 +12,9 @@ ActionDecision HillClimbPolicy::decide(PlacementSearchEnv& env, std::mt19937_64&
   Placement trial = env.placement();
 
   SearchAction best{};
-  double best_obj = makespan(g, n, env.placement(), env.latency());
+  // env.schedule() is the noise-free schedule of the current placement, so
+  // the baseline makespan is already known.
+  double best_obj = env.schedule().makespan;
   bool found = false;
   for (int v = 0; v < g.num_tasks(); ++v) {
     const int original = trial.device_of(v);
@@ -21,7 +23,8 @@ ActionDecision HillClimbPolicy::decide(PlacementSearchEnv& env, std::mt19937_64&
       trial.set(v, d);
       // Evaluate with the expected (noise-free) latency model: the climber
       // needs a deterministic landscape even if the env objective is noisy.
-      const double obj = makespan(g, n, trial, env.latency());
+      simulate_into(g, n, trial, env.latency(), ws_, trial_sched_);
+      const double obj = trial_sched_.makespan;
       if (obj < best_obj) {
         best_obj = obj;
         best = SearchAction{v, d};
@@ -53,7 +56,7 @@ ActionDecision TabuSearchPolicy::decide(PlacementSearchEnv& env, std::mt19937_64
   if (static_cast<int>(tabu_until_.size()) != g.num_tasks()) {
     tabu_until_.assign(g.num_tasks(), std::vector<int>(n.num_devices(), -1));
   }
-  const double current = makespan(g, n, env.placement(), env.latency());
+  const double current = env.schedule().makespan;
   if (!has_best_ || current < best_seen_) {
     best_seen_ = current;
     has_best_ = true;
@@ -67,7 +70,8 @@ ActionDecision TabuSearchPolicy::decide(PlacementSearchEnv& env, std::mt19937_64
     for (int d : env.feasible()[v]) {
       if (d == original) continue;
       trial.set(v, d);
-      const double obj = makespan(g, n, trial, env.latency());
+      simulate_into(g, n, trial, env.latency(), ws_, trial_sched_);
+      const double obj = trial_sched_.makespan;
       const bool tabu = tabu_until_[v][d] > step_;
       // Aspiration: a tabu move that beats the best makespan ever seen is
       // always admissible.

@@ -15,6 +15,10 @@ class HillClimbPolicy final : public SearchPolicy {
   ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
                         bool greedy) override;
   std::string name() const override { return "HillClimb"; }
+
+ private:
+  SimWorkspace ws_;       ///< reused across the O(|V| |D|) neighbor sims
+  Schedule trial_sched_;  ///< scratch output of the neighbor sims
 };
 
 /// Simulated annealing over single-task relocations with a geometric
@@ -67,6 +71,8 @@ class TabuSearchPolicy final : public SearchPolicy {
   int step_ = 0;
   double best_seen_ = 0.0;
   bool has_best_ = false;
+  SimWorkspace ws_;       ///< reused across the O(|V| |D|) neighbor sims
+  Schedule trial_sched_;  ///< scratch output of the neighbor sims
 };
 
 }  // namespace giph

@@ -31,6 +31,7 @@ PlacetoPolicy::PlacetoPolicy(const PlacetoOptions& options) : options_(options) 
 void PlacetoPolicy::begin_episode() {
   cursor_ = 0;
   visited_.clear();
+  scales_graph_ = scales_net_ = nullptr;
 }
 
 nn::Matrix PlacetoPolicy::node_features(const PlacementSearchEnv& env) const {
@@ -56,7 +57,11 @@ ActionDecision PlacetoPolicy::decide(PlacementSearchEnv& env, std::mt19937_64& r
   const TaskGraph& g = env.graph();
   const int nv = g.num_tasks();
   if (static_cast<int>(visited_.size()) != nv) visited_.assign(nv, false);
-  scales_ = compute_feature_scales(env.graph(), env.network(), env.latency());
+  if (scales_graph_ != &env.graph() || scales_net_ != &env.network()) {
+    scales_ = compute_feature_scales(env.graph(), env.network(), env.latency());
+    scales_graph_ = &env.graph();
+    scales_net_ = &env.network();
+  }
   const int node = g.topological_order()[cursor_ % nv];
 
   // Devices Placeto can address: feasible devices with id below its fixed

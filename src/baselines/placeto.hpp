@@ -46,7 +46,12 @@ class PlacetoPolicy final : public SearchPolicy {
   std::unique_ptr<nn::MLP> head_;  ///< [2*embed*2, 32, num_devices]
   int cursor_ = 0;                 ///< position in the topological traversal
   std::vector<bool> visited_;      ///< "already placed in this episode" flag
-  FeatureScales scales_;           ///< per-decide normalization scales
+  /// Per-episode cache of normalization scales: they depend only on
+  /// (G, N, lat), fixed within an episode. begin_episode() and an instance
+  /// change invalidate.
+  FeatureScales scales_;
+  const void* scales_graph_ = nullptr;
+  const void* scales_net_ = nullptr;
 };
 
 }  // namespace giph

@@ -16,7 +16,8 @@ ActionDecision RandomTaskEftPolicy::decide(PlacementSearchEnv& env, std::mt19937
   std::uniform_int_distribution<int> pick(0, env.graph().num_tasks() - 1);
   const int task = pick(rng);
   const int device = eft_select_device(env.graph(), env.network(), env.placement(),
-                                       env.latency(), env.schedule(), task);
+                                       env.latency(), env.schedule(),
+                                       env.schedule_index(), task);
   return ActionDecision{SearchAction{task, device}, nullptr, std::nullopt};
 }
 

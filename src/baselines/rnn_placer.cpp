@@ -139,7 +139,8 @@ RnnPlacer::Rollout RnnPlacer::sample_placement(std::mt19937_64& rng) {
     rollout.placement.set(v, devs[idx]);
     rollout.log_probs.push_back(pick(logp, idx, 0));
   }
-  rollout.objective = makespan(g_, n_, rollout.placement, lat_) / denom_;
+  simulate_into(g_, n_, rollout.placement, lat_, ws_, rollout_sched_);
+  rollout.objective = rollout_sched_.makespan / denom_;
   return rollout;
 }
 

@@ -73,6 +73,8 @@ class RnnPlacer {
   double best_obj_ = 0.0;
   std::vector<double> trace_;
   std::mt19937_64 rng_;
+  SimWorkspace ws_;        ///< reused across per-rollout makespan sims
+  Schedule rollout_sched_;  ///< scratch output of the rollout sims
 };
 
 }  // namespace giph

@@ -232,8 +232,9 @@ double total_relocation_cost_ms(const SensorFusionCase& c, const Placement& from
   return cost;
 }
 
-Objective energy_objective(const SensorFusionCase& c, const LatencyModel& lat) {
-  return [&c, &lat](const TaskGraph& g, const DeviceNetwork& n, const Placement& p) {
+ScheduleObjective energy_objective(const SensorFusionCase& c, const LatencyModel& lat) {
+  return [&c, &lat](const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                    const Schedule&) {
     double joules = 0.0;
     for (int v = 0; v < g.num_tasks(); ++v) {
       const int d = p.device_of(v);
@@ -250,12 +251,16 @@ Objective energy_objective(const SensorFusionCase& c, const LatencyModel& lat) {
   };
 }
 
-Objective relocation_aware_objective(const SensorFusionCase& c, const LatencyModel& lat,
-                                     Placement reference, double amortization_window_s) {
+ScheduleObjective relocation_aware_objective(const SensorFusionCase& c,
+                                             const LatencyModel& lat, Placement reference,
+                                             double amortization_window_s) {
   const double runs = std::max(1.0, c.pipeline_hz * amortization_window_s);
-  return [&c, &lat, reference = std::move(reference), runs](
-             const TaskGraph& g, const DeviceNetwork& n, const Placement& p) {
-    return makespan(g, n, p, lat) + total_relocation_cost_ms(c, reference, p) / runs;
+  (void)lat;
+  return [&c, reference = std::move(reference), runs](
+             const TaskGraph& g, const DeviceNetwork&, const Placement& p,
+             const Schedule& sched) {
+    (void)g;
+    return sched.makespan + total_relocation_cost_ms(c, reference, p) / runs;
   };
 }
 

@@ -94,14 +94,16 @@ double total_relocation_cost_ms(const SensorFusionCase& c, const Placement& from
 
 /// Energy-cost objective (Fig. 11 right): sum of computation energy
 /// (time x device power) and communication energy (time x radio power), in
-/// joules.
-Objective energy_objective(const SensorFusionCase& c, const LatencyModel& lat);
+/// joules. Closed-form — the provided schedule is unused.
+ScheduleObjective energy_objective(const SensorFusionCase& c, const LatencyModel& lat);
 
 /// Makespan objective augmented with the amortized relocation cost relative
 /// to `reference` (the placement currently deployed): relocation cost is
 /// divided by the number of pipeline runs it benefits,
 /// runs = pipeline_hz * amortization_window_s (Section 5.3, Fig. 11 left).
-Objective relocation_aware_objective(const SensorFusionCase& c, const LatencyModel& lat,
-                                     Placement reference, double amortization_window_s);
+/// The makespan term reads the caller's schedule; no extra simulation.
+ScheduleObjective relocation_aware_objective(const SensorFusionCase& c,
+                                             const LatencyModel& lat, Placement reference,
+                                             double amortization_window_s);
 
 }  // namespace giph::casestudy

@@ -51,7 +51,13 @@ FeatureScales compute_feature_scales(const TaskGraph& g, const DeviceNetwork& n,
 GpNetFeatures build_gpnet_features(const GpNet& net, const TaskGraph& g,
                                    const DeviceNetwork& n, const Placement& placement,
                                    const LatencyModel& lat, const Schedule& sched,
-                                   const FeatureScales& scales, bool include_potential) {
+                                   const FeatureScales& scales, bool include_potential,
+                                   const ScheduleIndex* index) {
+  ScheduleIndex local;
+  if (include_potential && index == nullptr) {
+    local.build(sched, placement, n.num_devices());
+    index = &local;
+  }
   GpNetFeatures f;
   f.node = nn::Matrix(net.num_nodes(), kNodeFeatureDim);
   for (int u = 0; u < net.num_nodes(); ++u) {
@@ -61,7 +67,8 @@ GpNetFeatures build_gpnet_features(const GpNet& net, const TaskGraph& g,
     f.node(u, 1) = n.device(d).speed / scales.speed;
     f.node(u, 2) = lat.compute_time(g, n, v, d) / scales.w;
     if (include_potential) {
-      const double est = earliest_start_on_queued(sched, g, n, placement, lat, v, d);
+      const double est =
+          earliest_start_on_queued(sched, g, n, placement, lat, *index, v, d);
       f.node(u, 3) = (sched.tasks[v].start - est) / scales.w;
     }
   }
@@ -101,7 +108,13 @@ TaskGraphFeatures build_task_graph_features(const TaskGraph& g, const DeviceNetw
                                             const Placement& placement,
                                             const LatencyModel& lat, const Schedule& sched,
                                             const std::vector<std::vector<int>>& feasible,
-                                            const FeatureScales& scales) {
+                                            const FeatureScales& scales,
+                                            const ScheduleIndex* index) {
+  ScheduleIndex local;
+  if (index == nullptr) {
+    local.build(sched, placement, n.num_devices());
+    index = &local;
+  }
   TaskGraphFeatures f;
   f.node = nn::Matrix(g.num_tasks(), 4);
   for (int v = 0; v < g.num_tasks(); ++v) {
@@ -112,7 +125,8 @@ TaskGraphFeatures build_task_graph_features(const TaskGraph& g, const DeviceNetw
     // Best start-time improvement achievable by relocating v.
     double best = 0.0;
     for (int d : feasible[v]) {
-      const double est = earliest_start_on_queued(sched, g, n, placement, lat, v, d);
+      const double est =
+          earliest_start_on_queued(sched, g, n, placement, lat, *index, v, d);
       best = std::max(best, sched.tasks[v].start - est);
     }
     f.node(v, 3) = best / scales.w;

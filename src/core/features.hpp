@@ -2,6 +2,7 @@
 
 #include "core/gpnet.hpp"
 #include "nn/matrix.hpp"
+#include "sim/schedule_index.hpp"
 #include "sim/simulator.hpp"
 
 namespace giph {
@@ -38,12 +39,18 @@ inline constexpr int kEdgeFeatureDim = 4;
 
 /// `sched` must be the expected schedule of `placement` (it provides actual
 /// start times for the start-time potential). With include_potential = false
-/// the fourth node feature is zeroed (ablation of Fig. 15).
+/// the fourth node feature is zeroed (ablation of Fig. 15). When `index` is
+/// non-null it must be built from (`sched`, `placement`) — e.g.
+/// PlacementSearchEnv::schedule_index() — and the per-(task, device) EST
+/// sweep runs on it in O(log V) per query; when null a local index is built
+/// once for the call. Either way the values are exactly those of the
+/// unindexed scan.
 GpNetFeatures build_gpnet_features(const GpNet& net, const TaskGraph& g,
                                    const DeviceNetwork& n, const Placement& placement,
                                    const LatencyModel& lat, const Schedule& sched,
                                    const FeatureScales& scales,
-                                   bool include_potential = true);
+                                   bool include_potential = true,
+                                   const ScheduleIndex* index = nullptr);
 
 /// Node features with the mean of each node's outgoing edge features appended
 /// (8 dims), used by the edge-feature-free variants GiPH-NE / GraphSAGE-NE /
@@ -59,10 +66,13 @@ struct TaskGraphFeatures {
   nn::Matrix edge;  ///< |E| x 4
 };
 
+/// `index`, when non-null, must be built from (`sched`, `placement`); see
+/// build_gpnet_features.
 TaskGraphFeatures build_task_graph_features(const TaskGraph& g, const DeviceNetwork& n,
                                             const Placement& placement,
                                             const LatencyModel& lat, const Schedule& sched,
                                             const std::vector<std::vector<int>>& feasible,
-                                            const FeatureScales& scales);
+                                            const FeatureScales& scales,
+                                            const ScheduleIndex* index = nullptr);
 
 }  // namespace giph

@@ -48,16 +48,24 @@ ActionDecision GiPHAgent::decide(PlacementSearchEnv& env, std::mt19937_64& rng,
                             : decide_task_eft(env, rng, greedy);
 }
 
+const FeatureScales& GiPHAgent::scales_for(const PlacementSearchEnv& env) {
+  // Also invalidate on an instance change (rebase swaps the network without a
+  // begin_episode), so the cache can never serve stale scales.
+  if (scales_graph_ != &env.graph() || scales_net_ != &env.network()) {
+    scales_ = compute_feature_scales(env.graph(), env.network(), env.latency());
+    scales_graph_ = &env.graph();
+    scales_net_ = &env.network();
+  }
+  return scales_;
+}
+
 ActionDecision GiPHAgent::decide_gpnet(PlacementSearchEnv& env, std::mt19937_64& rng,
                                        bool greedy) {
   const GpNet net = build_gpnet(env.graph(), env.network(), env.placement(), env.feasible());
-  // Scales are O(|V||D|) to compute - negligible next to the GNN forward.
-  const FeatureScales scales =
-      compute_feature_scales(env.graph(), env.network(), env.latency());
   const GpNetFeatures feats =
       build_gpnet_features(net, env.graph(), env.network(), env.placement(),
-                           env.latency(), env.schedule(), scales,
-                           options_.include_potential);
+                           env.latency(), env.schedule(), scales_for(env),
+                           options_.include_potential, &env.schedule_index());
 
   std::vector<int> candidates;
   candidates.reserve(net.num_nodes());
@@ -94,7 +102,7 @@ ActionDecision GiPHAgent::decide_task_eft(PlacementSearchEnv& env, std::mt19937_
   const GraphView view = graph_view_of(g);
   const TaskGraphFeatures feats = build_task_graph_features(
       g, env.network(), env.placement(), env.latency(), env.schedule(),
-      env.feasible(), compute_feature_scales(g, env.network(), env.latency()));
+      env.feasible(), scales_for(env), &env.schedule_index());
 
   std::vector<int> candidates;
   for (int v = 0; v < g.num_tasks(); ++v) {
@@ -130,7 +138,7 @@ ActionDecision GiPHAgent::decide_task_eft(PlacementSearchEnv& env, std::mt19937_
   const ScorePolicy::Sample s = policy_->act(embeddings, candidates, rng, greedy);
   const int task = s.choice;
   const int device = eft_select_device(g, env.network(), env.placement(), env.latency(),
-                                       env.schedule(), task);
+                                       env.schedule(), env.schedule_index(), task);
   if (device < 0) throw std::logic_error("GiPHAgent: no feasible EFT device");
   ActionDecision d;
   d.action = SearchAction{task, device};

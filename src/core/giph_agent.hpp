@@ -35,6 +35,7 @@ class GiPHAgent final : public SearchPolicy {
   ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
                         bool greedy) override;
   std::vector<nn::Var> parameters() override { return reg_.params(); }
+  void begin_episode() override { scales_graph_ = scales_net_ = nullptr; }
   std::string name() const override;
 
   nn::ParamRegistry& registry() noexcept { return reg_; }
@@ -47,8 +48,14 @@ class GiPHAgent final : public SearchPolicy {
   ActionDecision decide_gpnet(PlacementSearchEnv& env, std::mt19937_64& rng, bool greedy);
   ActionDecision decide_task_eft(PlacementSearchEnv& env, std::mt19937_64& rng,
                                  bool greedy);
+  const FeatureScales& scales_for(const PlacementSearchEnv& env);
 
   GiPHOptions options_;
+  /// Per-episode cache: scales depend only on (G, N, lat), which are fixed
+  /// within an episode; begin_episode() and an instance change invalidate.
+  FeatureScales scales_;
+  const void* scales_graph_ = nullptr;
+  const void* scales_net_ = nullptr;
   nn::ParamRegistry reg_;
   std::unique_ptr<GraphEncoder> encoder_;
   std::unique_ptr<ScorePolicy> policy_;

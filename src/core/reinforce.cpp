@@ -121,7 +121,7 @@ TrainStats train_reinforce(SearchPolicy& policy, const LatencyModel& lat,
 
     const double denom =
         opt.normalizer ? opt.normalizer(g, n) : slr_denominator(g, n, lat);
-    Objective obj;
+    ScheduleObjective obj;
     if (opt.objective_factory) {
       obj = opt.objective_factory(g, n, rng);
     } else {

@@ -17,9 +17,12 @@ struct ProblemInstance {
 using InstanceSampler = std::function<ProblemInstance(std::mt19937_64&)>;
 
 /// Builds the per-episode objective for an instance (rng available for noisy
-/// objectives). Null = makespan (with TrainOptions::noise applied).
-using ObjectiveFactory =
-    std::function<Objective(const TaskGraph&, const DeviceNetwork&, std::mt19937_64&)>;
+/// objectives). Null = makespan (with TrainOptions::noise applied). The
+/// objective is schedule-aware: it receives the environment's noise-free
+/// schedule per evaluation; wrap a legacy (g, n, p) functor with
+/// schedule_objective() if needed.
+using ObjectiveFactory = std::function<ScheduleObjective(
+    const TaskGraph&, const DeviceNetwork&, std::mt19937_64&)>;
 
 /// Per-instance normalizer for the objective (rewards become scale-free
 /// across instances). Null = the SLR denominator.

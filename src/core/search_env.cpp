@@ -6,8 +6,9 @@
 namespace giph {
 
 PlacementSearchEnv::PlacementSearchEnv(const TaskGraph& g, const DeviceNetwork& n,
-                                       const LatencyModel& lat, Objective objective,
-                                       Placement initial, double normalizer)
+                                       const LatencyModel& lat,
+                                       ScheduleObjective objective, Placement initial,
+                                       double normalizer)
     : g_(&g),
       n_(&n),
       lat_(&lat),
@@ -25,8 +26,13 @@ PlacementSearchEnv::PlacementSearchEnv(const TaskGraph& g, const DeviceNetwork& 
 }
 
 void PlacementSearchEnv::refresh() {
-  sched_ = simulate(*g_, *n_, current_, *lat_);
-  obj_ = objective_(*g_, *n_, current_) / normalizer_;
+  // The single simulation per state transition: the objective consumes
+  // sched_ instead of re-simulating, and the workspace makes the call
+  // allocation-free in steady state.
+  simulate_into(*g_, *n_, current_, *lat_, ws_, sched_);
+  ++sims_;
+  index_.build(sched_, current_, n_->num_devices());
+  obj_ = objective_(*g_, *n_, current_, sched_) / normalizer_;
 }
 
 double PlacementSearchEnv::apply(const SearchAction& a) {

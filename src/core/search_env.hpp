@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <random>
 
 #include "sim/metrics.hpp"
+#include "sim/schedule_index.hpp"
 #include "sim/simulator.hpp"
 
 namespace giph {
@@ -29,7 +31,15 @@ struct SearchAction {
 class PlacementSearchEnv {
  public:
   PlacementSearchEnv(const TaskGraph& g, const DeviceNetwork& n, const LatencyModel& lat,
-                     Objective objective, Placement initial, double normalizer = 0.0);
+                     ScheduleObjective objective, Placement initial,
+                     double normalizer = 0.0);
+
+  /// Legacy-objective convenience: the (g, n, p) functor is adapted to the
+  /// schedule-aware signature (it keeps whatever simulation cost it carries).
+  PlacementSearchEnv(const TaskGraph& g, const DeviceNetwork& n, const LatencyModel& lat,
+                     Objective objective, Placement initial, double normalizer = 0.0)
+      : PlacementSearchEnv(g, n, lat, schedule_objective(std::move(objective)),
+                           std::move(initial), normalizer) {}
 
   const TaskGraph& graph() const noexcept { return *g_; }
   const DeviceNetwork& network() const noexcept { return *n_; }
@@ -38,7 +48,19 @@ class PlacementSearchEnv {
 
   const Placement& placement() const noexcept { return current_; }
   const Schedule& schedule() const noexcept { return sched_; }
+
+  /// Per-device EST index over schedule(); rebuilt on every refresh. Feeds the
+  /// O(log V) earliest_start_on_queued overload used by feature construction
+  /// and EFT device selection.
+  const ScheduleIndex& schedule_index() const noexcept { return index_; }
+
   double objective() const noexcept { return obj_; }
+
+  /// Number of noise-free simulations this environment has run (construction,
+  /// apply, reset, rebase). The core invariant is one per apply(); objectives
+  /// that deliberately re-simulate (noisy makespan) are not counted here —
+  /// use giph::simulation_count() for the process-wide total.
+  std::uint64_t simulations_run() const noexcept { return sims_; }
 
   const Placement& best_placement() const noexcept { return best_; }
   double best_objective() const noexcept { return best_obj_; }
@@ -83,13 +105,16 @@ class PlacementSearchEnv {
   const TaskGraph* g_;
   const DeviceNetwork* n_;
   const LatencyModel* lat_;
-  Objective objective_;
+  ScheduleObjective objective_;
   double normalizer_;
   std::vector<std::vector<int>> feasible_;
 
   Placement initial_;
   Placement current_;
+  SimWorkspace ws_;
   Schedule sched_;
+  ScheduleIndex index_;
+  std::uint64_t sims_ = 0;
   double obj_ = 0.0;
   Placement best_;
   double best_obj_ = 0.0;

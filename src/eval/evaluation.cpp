@@ -5,6 +5,7 @@
 #include <random>
 
 #include "heft/heft.hpp"
+#include "util/parallel_for.hpp"
 
 namespace giph::eval {
 
@@ -23,10 +24,26 @@ SearchTrace run_case(SearchPolicy& policy, const Case& c, const LatencyModel& la
   std::mt19937_64 rng(case_seed);
   const Placement init = random_placement(g, n, rng);
   const double denom = slr_denominator(g, n, lat);
-  Objective obj = noise > 0.0 ? noisy_makespan_objective(lat, noise, rng)
-                              : makespan_objective(lat);
+  ScheduleObjective obj = noise > 0.0 ? noisy_makespan_objective(lat, noise, rng)
+                                      : makespan_objective(lat);
   PlacementSearchEnv env(g, n, lat, std::move(obj), init, denom);
-  return run_search(policy, env, 2 * g.num_tasks(), rng);
+  SearchTrace trace = run_search(policy, env, 2 * g.num_tasks(), rng);
+  // A 0-step search (empty graph) leaves best_so_far empty; report the
+  // initial objective so downstream .back()/index lookups stay defined.
+  if (trace.best_so_far.empty()) trace.best_so_far.push_back(trace.initial);
+  return trace;
+}
+
+/// Sums per-case curve contributions into `values` (sized `points`).
+void add_curve_contribution(std::vector<double>& values, const SearchTrace& trace,
+                            const std::vector<double>& fractions) {
+  const int points = static_cast<int>(values.size());
+  const int steps = static_cast<int>(trace.best_so_far.size());
+  for (int i = 0; i < points; ++i) {
+    const int idx = std::clamp(
+        static_cast<int>(std::lround(fractions[i] * steps)) - 1, 0, steps - 1);
+    values[i] += trace.best_so_far[idx];
+  }
 }
 
 }  // namespace
@@ -39,15 +56,37 @@ Curve policy_curve(SearchPolicy& policy, const std::vector<Case>& cases,
   curve.values.assign(points, 0.0);
   const auto fractions = curve_fractions(points);
   for (std::size_t ci = 0; ci < cases.size(); ++ci) {
-    const SearchTrace trace = run_case(policy, cases[ci], lat, noise, seed + ci);
-    const int steps = static_cast<int>(trace.best_so_far.size());
-    for (int i = 0; i < points; ++i) {
-      const int idx = std::clamp(
-          static_cast<int>(std::lround(fractions[i] * steps)) - 1, 0, steps - 1);
-      curve.values[i] += trace.best_so_far[idx];
-    }
+    add_curve_contribution(curve.values,
+                           run_case(policy, cases[ci], lat, noise, seed + ci), fractions);
   }
   for (double& v : curve.values) v /= static_cast<double>(std::max<std::size_t>(1, cases.size()));
+  return curve;
+}
+
+Curve policy_curve(const PolicyFactory& make_policy, const std::vector<Case>& cases,
+                   const LatencyModel& lat, double noise, std::uint64_t seed,
+                   int points, int threads) {
+  Curve curve;
+  curve.values.assign(points, 0.0);
+  const auto fractions = curve_fractions(points);
+  // Per-case slots written concurrently, reduced sequentially in case order:
+  // the floating-point sum is the same for every thread count.
+  std::vector<std::vector<double>> slots(cases.size());
+  std::vector<std::string> names(cases.size());
+  util::parallel_for(static_cast<int>(cases.size()), threads, [&](int ci) {
+    auto policy = make_policy();
+    names[ci] = policy->name();
+    slots[ci].assign(points, 0.0);
+    add_curve_contribution(
+        slots[ci],
+        run_case(*policy, cases[ci], lat, noise, seed + static_cast<std::uint64_t>(ci)),
+        fractions);
+  });
+  for (const auto& slot : slots) {
+    for (int i = 0; i < points; ++i) curve.values[i] += slot[i];
+  }
+  for (double& v : curve.values) v /= static_cast<double>(std::max<std::size_t>(1, cases.size()));
+  curve.name = cases.empty() ? make_policy()->name() : names.front();
   return curve;
 }
 
@@ -62,14 +101,29 @@ std::vector<double> policy_finals(SearchPolicy& policy, const std::vector<Case>&
   return finals;
 }
 
-std::vector<double> heft_finals(const std::vector<Case>& cases, const LatencyModel& lat) {
-  std::vector<double> finals;
-  finals.reserve(cases.size());
-  for (const Case& c : cases) {
+std::vector<double> policy_finals(const PolicyFactory& make_policy,
+                                  const std::vector<Case>& cases,
+                                  const LatencyModel& lat, double noise,
+                                  std::uint64_t seed, int threads) {
+  std::vector<double> finals(cases.size(), 0.0);
+  util::parallel_for(static_cast<int>(cases.size()), threads, [&](int ci) {
+    auto policy = make_policy();
+    finals[ci] =
+        run_case(*policy, cases[ci], lat, noise, seed + static_cast<std::uint64_t>(ci))
+            .best_so_far.back();
+  });
+  return finals;
+}
+
+std::vector<double> heft_finals(const std::vector<Case>& cases, const LatencyModel& lat,
+                                int threads) {
+  std::vector<double> finals(cases.size(), 0.0);
+  util::parallel_for(static_cast<int>(cases.size()), threads, [&](int ci) {
+    const Case& c = cases[ci];
     const double denom = slr_denominator(*c.graph, *c.network, lat);
     const HeftResult r = heft_schedule(*c.graph, *c.network, lat);
-    finals.push_back(makespan(*c.graph, *c.network, r.placement, lat) / denom);
-  }
+    finals[ci] = makespan(*c.graph, *c.network, r.placement, lat) / denom;
+  });
   return finals;
 }
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,13 +33,40 @@ Curve policy_curve(SearchPolicy& policy, const std::vector<Case>& cases,
                    const LatencyModel& lat, double noise, std::uint64_t seed,
                    int points = 9);
 
-/// Final best SLR per case (same protocol as policy_curve).
+/// Creates a fresh, identically-configured policy instance. Parallel
+/// evaluation needs one policy object per case: most policies carry mutable
+/// per-episode state (Placeto's traversal cursor, Tabu lists, workspaces)
+/// that must not be shared across threads. For learned policies the factory
+/// must reproduce the trained parameters (e.g. save once, load per instance).
+using PolicyFactory = std::function<std::unique_ptr<SearchPolicy>()>;
+
+/// Parallel variant: cases fan out over `threads` worker threads (<= 0 = one
+/// per hardware thread), one factory-made policy per case. Per-case seeding
+/// (`seed + ci`) is unchanged and per-case results are reduced in case order,
+/// so the curve is bitwise identical for every thread count.
+Curve policy_curve(const PolicyFactory& make_policy, const std::vector<Case>& cases,
+                   const LatencyModel& lat, double noise, std::uint64_t seed,
+                   int points = 9, int threads = 0);
+
+/// Final best SLR per case (same protocol as policy_curve). A 0-step search
+/// (empty graph) reports the initial objective.
 std::vector<double> policy_finals(SearchPolicy& policy, const std::vector<Case>& cases,
                                   const LatencyModel& lat, double noise,
                                   std::uint64_t seed);
 
+/// Parallel variant; bitwise identical for every thread count (see
+/// policy_curve).
+std::vector<double> policy_finals(const PolicyFactory& make_policy,
+                                  const std::vector<Case>& cases,
+                                  const LatencyModel& lat, double noise,
+                                  std::uint64_t seed, int threads = 0);
+
 /// SLR of the HEFT placement per case, evaluated by the same simulator.
-std::vector<double> heft_finals(const std::vector<Case>& cases, const LatencyModel& lat);
+/// Cases fan out over `threads` worker threads (1 = serial, <= 0 = one per
+/// hardware thread); results are per-case, so thread count never changes
+/// them.
+std::vector<double> heft_finals(const std::vector<Case>& cases, const LatencyModel& lat,
+                                int threads = 1);
 
 // ---- statistics ------------------------------------------------------------
 

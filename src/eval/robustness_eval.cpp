@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "heft/heft.hpp"
+#include "util/parallel_for.hpp"
 
 namespace giph::eval {
 namespace {
@@ -108,8 +109,17 @@ RobustnessReport evaluate_robustness(
     }
   }
 
-  for (const auto& [name, policy] : placers) {
-    if (policy == nullptr) continue;
+  // One row per non-null placer, computed independently (each with its own
+  // environment and RNG) and collected in placer order, so the report is the
+  // same for every thread count. Policies must be distinct objects - they
+  // carry per-episode search state.
+  std::vector<int> active;
+  for (std::size_t i = 0; i < placers.size(); ++i) {
+    if (placers[i].second != nullptr) active.push_back(static_cast<int>(i));
+  }
+  std::vector<RepairOutcome> rows(active.size());
+  util::parallel_for(static_cast<int>(active.size()), opt.threads, [&](int ri) {
+    const auto& [name, policy] = placers[active[ri]];
     RepairOutcome row;
     row.placer = name;
 
@@ -157,8 +167,9 @@ RobustnessReport evaluate_robustness(
       }
     }
     finish_row(g, row);
-    report.rows.push_back(std::move(row));
-  }
+    rows[ri] = std::move(row);
+  });
+  for (RepairOutcome& row : rows) report.rows.push_back(std::move(row));
 
   // HEFT: schedule once fault-free, full reschedule on the damaged network.
   {

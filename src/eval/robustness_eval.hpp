@@ -19,6 +19,10 @@ struct RobustnessOptions {
   /// Search budget of the post-fault repair; 0 = 2 * (tasks forced to move),
   /// at least 2. HEFT always pays a full reschedule of |V| tasks instead.
   int repair_budget = 0;
+  /// Worker threads for the per-placer rows (1 = serial, <= 0 = one per
+  /// hardware thread). Each row already has its own policy object, RNG, and
+  /// environment, so the report is identical for every thread count.
+  int threads = 1;
 };
 
 /// One placer's journey through the fault scenario.

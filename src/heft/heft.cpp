@@ -124,4 +124,20 @@ int eft_select_device(const TaskGraph& g, const DeviceNetwork& n, const Placemen
   return best_dev;
 }
 
+int eft_select_device(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                      const LatencyModel& lat, const Schedule& sched,
+                      const ScheduleIndex& index, int v) {
+  double best_eft = std::numeric_limits<double>::infinity();
+  int best_dev = -1;
+  for (int d : feasible_devices(g, n, v)) {
+    const double est = earliest_start_on_queued(sched, g, n, p, lat, index, v, d);
+    const double eft = est + lat.compute_time(g, n, v, d);
+    if (eft < best_eft) {
+      best_eft = eft;
+      best_dev = d;
+    }
+  }
+  return best_dev;
+}
+
 }  // namespace giph

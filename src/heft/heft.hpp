@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "graph/placement.hpp"
+#include "sim/schedule_index.hpp"
 #include "sim/simulator.hpp"
 
 namespace giph {
@@ -33,5 +34,12 @@ std::vector<double> upward_ranks(const TaskGraph& g, const DeviceNetwork& n,
 /// est comes from the parents' finish times of the current FIFO schedule.
 int eft_select_device(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
                       const LatencyModel& lat, const Schedule& sched, int v);
+
+/// Indexed variant: answers each est query through `index` (which must be
+/// built from (`sched`, `p`), e.g. PlacementSearchEnv::schedule_index()).
+/// Selects exactly the same device as the unindexed overload.
+int eft_select_device(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                      const LatencyModel& lat, const Schedule& sched,
+                      const ScheduleIndex& index, int v);
 
 }  // namespace giph

@@ -352,13 +352,12 @@ std::string describe(const FaultEvent& e) {
 FaultSimResult simulate_with_faults(const TaskGraph& g, const DeviceNetwork& n,
                                     const Placement& p, const LatencyModel& lat,
                                     const FaultPlan& plan, const SimOptions& opt) {
-  if (opt.noise > 0.0 && opt.rng == nullptr) {
-    throw std::invalid_argument("simulate_with_faults: noise > 0 requires an rng");
-  }
+  validate_sim_options(opt, "simulate_with_faults");
   if (!is_feasible(g, n, p)) {
     throw std::invalid_argument("simulate_with_faults: infeasible placement");
   }
   validate_fault_plan(plan, n);
+  detail::bump_simulation_count();
   const int nv = g.num_tasks();
   const int ne = g.num_edges();
   const int m = n.num_devices();

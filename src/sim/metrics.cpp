@@ -1,7 +1,9 @@
 #include "sim/metrics.hpp"
 
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace giph {
 namespace {
@@ -47,24 +49,42 @@ double total_cost(const TaskGraph& g, const DeviceNetwork& n, const Placement& p
   return cost;
 }
 
-Objective makespan_objective(const LatencyModel& lat) {
-  return [&lat](const TaskGraph& g, const DeviceNetwork& n, const Placement& p) {
-    return makespan(g, n, p, lat);
+ScheduleObjective schedule_objective(Objective legacy) {
+  return [legacy = std::move(legacy)](const TaskGraph& g, const DeviceNetwork& n,
+                                      const Placement& p, const Schedule&) {
+    return legacy(g, n, p);
   };
 }
 
-Objective noisy_makespan_objective(const LatencyModel& lat, double sigma,
-                                   std::mt19937_64& rng) {
-  return [&lat, sigma, &rng](const TaskGraph& g, const DeviceNetwork& n,
-                             const Placement& p) {
-    return simulate(g, n, p, lat, SimOptions{sigma, &rng}).makespan;
+double evaluate_objective(const ScheduleObjective& obj, const TaskGraph& g,
+                          const DeviceNetwork& n, const Placement& p,
+                          const LatencyModel& lat) {
+  return obj(g, n, p, simulate(g, n, p, lat));
+}
+
+ScheduleObjective makespan_objective(const LatencyModel&) {
+  return [](const TaskGraph&, const DeviceNetwork&, const Placement&,
+            const Schedule& sched) { return sched.makespan; };
+}
+
+ScheduleObjective noisy_makespan_objective(const LatencyModel& lat, double sigma,
+                                           std::mt19937_64& rng) {
+  // Noise must be re-sampled per evaluation, so this objective keeps its own
+  // simulation; the workspace amortizes its allocations across calls. The
+  // objective is copyable, hence the shared workspace (single-threaded use,
+  // like the captured rng).
+  auto ws = std::make_shared<SimWorkspace>();
+  auto noisy = std::make_shared<Schedule>();
+  return [&lat, sigma, &rng, ws, noisy](const TaskGraph& g, const DeviceNetwork& n,
+                                        const Placement& p, const Schedule&) {
+    simulate_into(g, n, p, lat, *ws, *noisy, SimOptions{sigma, &rng});
+    return noisy->makespan;
   };
 }
 
-Objective total_cost_objective(const LatencyModel& lat) {
-  return [&lat](const TaskGraph& g, const DeviceNetwork& n, const Placement& p) {
-    return total_cost(g, n, p, lat);
-  };
+ScheduleObjective total_cost_objective(const LatencyModel& lat) {
+  return [&lat](const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                const Schedule&) { return total_cost(g, n, p, lat); };
 }
 
 }  // namespace giph

@@ -22,18 +22,44 @@ double total_cost(const TaskGraph& g, const DeviceNetwork& n, const Placement& p
 
 /// A performance criterion rho(M | G, N): smaller is better. The RL reward is
 /// rho(s_t) - rho(s_{t+1}).
+///
+/// Legacy form: evaluators that carry their own simulation (or need none).
+/// Hot paths use ScheduleObjective below, which receives the schedule the
+/// caller already computed instead of re-simulating.
 using Objective =
     std::function<double(const TaskGraph&, const DeviceNetwork&, const Placement&)>;
 
-/// Makespan objective bound to a latency model (expected, noise-free).
-Objective makespan_objective(const LatencyModel& lat);
+/// Schedule-aware performance criterion: receives the noise-free Schedule the
+/// search environment just simulated for placement p, so makespan-style
+/// objectives read it instead of paying a second simulation per step. Only
+/// objectives that deliberately re-sample (e.g. noisy makespan) simulate
+/// internally.
+using ScheduleObjective = std::function<double(
+    const TaskGraph&, const DeviceNetwork&, const Placement&, const Schedule&)>;
+
+/// Adapts a legacy (g, n, p) objective to the schedule-aware signature by
+/// ignoring the schedule. The wrapped objective keeps whatever simulation
+/// cost it had, so prefer native ScheduleObjective factories on hot paths.
+ScheduleObjective schedule_objective(Objective legacy);
+
+/// Evaluates a schedule-aware objective standalone (one noise-free simulation
+/// to produce the schedule it consumes). For callers outside a search
+/// environment, e.g. scoring a single placement.
+double evaluate_objective(const ScheduleObjective& obj, const TaskGraph& g,
+                          const DeviceNetwork& n, const Placement& p,
+                          const LatencyModel& lat);
+
+/// Makespan objective (expected, noise-free): reads the provided schedule,
+/// zero extra simulations.
+ScheduleObjective makespan_objective(const LatencyModel& lat);
 
 /// Noisy makespan objective: each evaluation simulates one realization with
-/// multiplicative uniform noise sigma using `rng`.
-Objective noisy_makespan_objective(const LatencyModel& lat, double sigma,
-                                   std::mt19937_64& rng);
+/// multiplicative uniform noise sigma using `rng` (ignoring the noise-free
+/// schedule by design — the noise must be re-sampled).
+ScheduleObjective noisy_makespan_objective(const LatencyModel& lat, double sigma,
+                                           std::mt19937_64& rng);
 
-/// Total-cost objective of Appendix B.8.
-Objective total_cost_objective(const LatencyModel& lat);
+/// Total-cost objective of Appendix B.8 (closed form; no simulation).
+ScheduleObjective total_cost_objective(const LatencyModel& lat);
 
 }  // namespace giph

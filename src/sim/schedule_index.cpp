@@ -1,0 +1,64 @@
+#include "sim/schedule_index.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace giph {
+
+void ScheduleIndex::build(const Schedule& sched, const Placement& p, int num_devices) {
+  const int nv = static_cast<int>(sched.tasks.size());
+  // Counting sort by device: offsets_[d+1] first holds the count for d, then
+  // the exclusive prefix sum, then the insertion cursor while filling.
+  offsets_.assign(num_devices + 1, 0);
+  for (int v = 0; v < nv; ++v) {
+    const int d = p.device_of(v);
+    if (d >= 0) ++offsets_[d + 1];
+  }
+  for (int d = 0; d < num_devices; ++d) offsets_[d + 1] += offsets_[d];
+  entries_.resize(offsets_[num_devices]);
+
+  cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  for (int v = 0; v < nv; ++v) {
+    const int d = p.device_of(v);
+    if (d < 0) continue;
+    entries_[cursor_[d]++] = Entry{sched.tasks[v].start, sched.tasks[v].finish};
+  }
+  for (int d = 0; d < num_devices; ++d) {
+    auto first = entries_.begin() + offsets_[d];
+    auto last = entries_.begin() + offsets_[d + 1];
+    std::sort(first, last,
+              [](const Entry& a, const Entry& b) { return a.start < b.start; });
+    // Turn finish into a prefix max so "max finish among starts < t" is a
+    // single lookup after the binary search.
+    double run = -std::numeric_limits<double>::infinity();
+    for (auto it = first; it != last; ++it) {
+      run = std::max(run, it->max_finish);
+      it->max_finish = run;
+    }
+  }
+}
+
+double ScheduleIndex::max_finish_before(int d, double start) const {
+  const auto first = entries_.begin() + offsets_[d];
+  const auto last = entries_.begin() + offsets_[d + 1];
+  // First entry with entry.start >= start; everything before it started
+  // strictly earlier.
+  const auto it = std::lower_bound(
+      first, last, start, [](const Entry& e, double t) { return e.start < t; });
+  if (it == first) return -std::numeric_limits<double>::infinity();
+  return (it - 1)->max_finish;
+}
+
+double earliest_start_on_queued(const Schedule& sched, const TaskGraph& g,
+                                const DeviceNetwork& n, const Placement& p,
+                                const LatencyModel& lat, const ScheduleIndex& index,
+                                int v, int d) {
+  double est = earliest_start_on(sched, g, n, p, lat, v, d);
+  // Same exclusion rule as the O(V) scan: only tasks starting strictly before
+  // v block it; v itself has start == start so strictness drops it too. The
+  // prefix max is order-independent, so the result is exactly equal.
+  const double busy = index.max_finish_before(d, sched.tasks[v].start);
+  return std::max(est, busy);
+}
+
+}  // namespace giph

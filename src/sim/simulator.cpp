@@ -1,24 +1,21 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <queue>
+#include <atomic>
+#include <cmath>
 #include <stdexcept>
 
 namespace giph {
 namespace {
 
-enum class EventKind { kTaskDone, kTransferDone };
+constexpr int kTaskDone = 0;
+constexpr int kTransferDone = 1;
 
-struct Event {
-  double time;
-  long seq;  // creation order, breaks time ties deterministically
-  EventKind kind;
-  int id;  // task id or edge id
-};
-
+// Later events sort before earlier ones so heap operations keep the earliest
+// event at the front; ties break by creation order, making pop order fully
+// deterministic (and identical to the std::priority_queue this replaced).
 struct EventLater {
-  bool operator()(const Event& a, const Event& b) const {
+  bool operator()(const detail::SimEvent& a, const detail::SimEvent& b) const {
     if (a.time != b.time) return a.time > b.time;
     return a.seq > b.seq;
   }
@@ -31,44 +28,83 @@ double realize(double expected, const SimOptions& opt) {
   return d(*opt.rng);
 }
 
+std::atomic<std::uint64_t> g_simulation_count{0};
+
 }  // namespace
 
-Schedule simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
-                  const LatencyModel& lat, const SimOptions& opt) {
+void detail::bump_simulation_count() noexcept {
+  g_simulation_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t simulation_count() noexcept {
+  return g_simulation_count.load(std::memory_order_relaxed);
+}
+
+void validate_sim_options(const SimOptions& opt, const char* caller) {
+  if (std::isnan(opt.noise)) {
+    throw std::invalid_argument(std::string(caller) + ": noise must not be NaN");
+  }
+  if (opt.noise >= 1.0) {
+    throw std::invalid_argument(std::string(caller) +
+                                ": noise must be < 1 (a multiplicative draw from "
+                                "[x(1-noise), x(1+noise)] could go negative)");
+  }
+  if (opt.noise > 0.0 && opt.rng == nullptr) {
+    throw std::invalid_argument(std::string(caller) + ": noise > 0 requires an rng");
+  }
+}
+
+void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                   const LatencyModel& lat, SimWorkspace& ws, Schedule& out,
+                   const SimOptions& opt) {
   // Validate options first: noise without an engine would dereference null
   // inside the event loop, far from the caller's mistake.
-  if (opt.noise > 0.0 && opt.rng == nullptr) {
-    throw std::invalid_argument("simulate: noise > 0 requires an rng");
-  }
+  validate_sim_options(opt, "simulate");
   if (!is_feasible(g, n, p)) {
     throw std::invalid_argument("simulate: infeasible placement");
   }
+  detail::bump_simulation_count();
   const int nv = g.num_tasks();
   const int ne = g.num_edges();
+  const int nd = n.num_devices();
 
-  Schedule sched;
-  sched.tasks.assign(nv, TaskTiming{-1.0, -1.0});
-  sched.edge_start.assign(ne, -1.0);
-  sched.edge_finish.assign(ne, -1.0);
-  if (nv == 0) return sched;
+  out.tasks.assign(nv, TaskTiming{-1.0, -1.0});
+  out.edge_start.assign(ne, -1.0);
+  out.edge_finish.assign(ne, -1.0);
+  out.makespan = 0.0;
+  if (nv == 0) return;
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> pq;
+  // All buffers are reset with assign()/clear(), which reuse existing
+  // capacity; fifo only grows so previously-sized deques are kept.
+  auto& heap = ws.heap;
+  heap.clear();
+  const EventLater later;
   long seq = 0;
 
-  std::vector<int> remaining_inputs(nv);
+  ws.remaining_inputs.assign(nv, 0);
+  auto& remaining_inputs = ws.remaining_inputs;
   for (int v = 0; v < nv; ++v) remaining_inputs[v] = g.in_degree(v);
 
-  std::vector<std::deque<int>> fifo(n.num_devices());
-  std::vector<int> running(n.num_devices(), 0);  // occupied cores per device
-  std::vector<double> nic_free(n.num_devices(), 0.0);  // serialize_transfers only
+  if (static_cast<int>(ws.fifo.size()) < nd) ws.fifo.resize(nd);
+  for (int d = 0; d < nd; ++d) ws.fifo[d].clear();
+  auto& fifo = ws.fifo;
+  ws.running.assign(nd, 0);  // occupied cores per device
+  auto& running = ws.running;
+  ws.nic_free.assign(nd, 0.0);  // serialize_transfers only
+  auto& nic_free = ws.nic_free;
   int completed = 0;
+
+  auto push_event = [&](double time, int kind, int id) {
+    heap.push_back(detail::SimEvent{time, seq++, kind, id});
+    std::push_heap(heap.begin(), heap.end(), later);
+  };
 
   auto start_task = [&](int v, double t) {
     const int d = p.device_of(v);
     ++running[d];
-    sched.tasks[v].start = t;
+    out.tasks[v].start = t;
     const double w = realize(lat.compute_time(g, n, v, d), opt);
-    pq.push(Event{t + w, seq++, EventKind::kTaskDone, v});
+    push_event(t + w, kTaskDone, v);
   };
 
   auto make_runnable = [&](int v, double t) {
@@ -88,12 +124,13 @@ Schedule simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p
   // graph cannot hang the event loop.
   (void)g.topological_order();
 
-  while (!pq.empty()) {
-    const Event ev = pq.top();
-    pq.pop();
-    if (ev.kind == EventKind::kTaskDone) {
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const detail::SimEvent ev = heap.back();
+    heap.pop_back();
+    if (ev.kind == kTaskDone) {
       const int v = ev.id;
-      sched.tasks[v].finish = ev.time;
+      out.tasks[v].finish = ev.time;
       ++completed;
       const int d = p.device_of(v);
       // Outputs start transmitting to every child's device - concurrently in
@@ -106,8 +143,8 @@ Schedule simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p
           start = std::max(start, nic_free[d]);
           nic_free[d] = start + c;
         }
-        sched.edge_start[e] = start;
-        pq.push(Event{start + c, seq++, EventKind::kTransferDone, e});
+        out.edge_start[e] = start;
+        push_event(start + c, kTransferDone, e);
       }
       --running[d];
       if (!fifo[d].empty() && running[d] < n.device(d).cores) {
@@ -117,7 +154,7 @@ Schedule simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p
       }
     } else {
       const int e = ev.id;
-      sched.edge_finish[e] = ev.time;
+      out.edge_finish[e] = ev.time;
       const int child = g.edge(e).dst;
       if (--remaining_inputs[child] == 0) make_runnable(child, ev.time);
     }
@@ -127,12 +164,19 @@ Schedule simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p
     throw std::logic_error("simulate: not all tasks completed (cyclic graph?)");
   }
 
-  double first_start = sched.tasks[0].start, last_finish = sched.tasks[0].finish;
-  for (const TaskTiming& t : sched.tasks) {
+  double first_start = out.tasks[0].start, last_finish = out.tasks[0].finish;
+  for (const TaskTiming& t : out.tasks) {
     first_start = std::min(first_start, t.start);
     last_finish = std::max(last_finish, t.finish);
   }
-  sched.makespan = last_finish - first_start;
+  out.makespan = last_finish - first_start;
+}
+
+Schedule simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                  const LatencyModel& lat, const SimOptions& opt) {
+  SimWorkspace ws;
+  Schedule sched;
+  simulate_into(g, n, p, lat, ws, sched, opt);
   return sched;
 }
 

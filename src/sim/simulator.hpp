@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <optional>
 #include <random>
 #include <vector>
@@ -26,6 +28,8 @@ struct Schedule {
 /// Simulation options. With noise sigma > 0, every realized computation /
 /// communication time is drawn uniformly from [x(1-sigma), x(1+sigma)] around
 /// the expected value x, using the provided engine (required when sigma > 0).
+/// sigma must be < 1: at sigma >= 1 the multiplicative draw could produce
+/// negative durations and corrupt the event queue.
 struct SimOptions {
   double noise = 0.0;
   std::mt19937_64* rng = nullptr;
@@ -33,6 +37,42 @@ struct SimOptions {
   /// single NIC (contention model) instead of the paper's contention-free
   /// concurrent sends. Local (same-device) transfers always bypass the NIC.
   bool serialize_transfers = false;
+};
+
+/// Throws std::invalid_argument when `opt` is unusable: noise is NaN or
+/// >= 1.0, or noise > 0 without an engine. Shared by every simulator entry
+/// point so the error surfaces at the caller's mistake, not inside the event
+/// loop.
+void validate_sim_options(const SimOptions& opt, const char* caller);
+
+namespace detail {
+
+/// One pending simulator event. Exposed only so SimWorkspace can own the
+/// event-heap storage; not part of the public API.
+struct SimEvent {
+  double time;
+  long seq;  // creation order, breaks time ties deterministically
+  int kind;  // 0 = task done, 1 = transfer done
+  int id;    // task id or edge id
+};
+
+}  // namespace detail
+
+/// Reusable simulation buffers. One workspace amortizes every per-call
+/// allocation of the discrete-event loop (event heap, dependency counters,
+/// FIFO queues, NIC timelines) across the millions of simulations a training
+/// or evaluation run performs: after the first call at a given problem size,
+/// simulate_into() performs no steady-state heap allocations.
+///
+/// A workspace carries no results and may be reused freely across different
+/// graphs, networks, and placements; it is NOT safe to share one workspace
+/// between concurrent simulations (use one per thread).
+struct SimWorkspace {
+  std::vector<detail::SimEvent> heap;
+  std::vector<int> remaining_inputs;
+  std::vector<std::deque<int>> fifo;
+  std::vector<int> running;
+  std::vector<double> nic_free;
 };
 
 /// Discrete-event runtime simulator (Appendix B.5).
@@ -47,6 +87,24 @@ struct SimOptions {
 /// for cyclic graphs.
 Schedule simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
                   const LatencyModel& lat, const SimOptions& opt = {});
+
+/// Allocation-free core of simulate(): writes the schedule into `out` reusing
+/// both the workspace buffers and `out`'s own vectors. Output is bitwise
+/// identical to simulate() for the same inputs, regardless of what the
+/// workspace or `out` previously held.
+void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                   const LatencyModel& lat, SimWorkspace& ws, Schedule& out,
+                   const SimOptions& opt = {});
+
+/// Process-wide count of simulator invocations (simulate, simulate_into, and
+/// simulate_with_faults all count). Monotonic, thread-safe; used by tests as a
+/// regression tripwire for the one-simulation-per-search-step invariant.
+std::uint64_t simulation_count() noexcept;
+
+namespace detail {
+/// Increments simulation_count(); for simulator implementations only.
+void bump_simulation_count() noexcept;
+}  // namespace detail
 
 /// Expected makespan (noise-free simulation). Convenience wrapper.
 double makespan(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
@@ -63,6 +121,8 @@ double earliest_start_on(const Schedule& sched, const TaskGraph& g,
 /// tasks that run before v in the current schedule (FIFO devices serve one
 /// task at a time). This mirrors HEFT's processor-ready term and is the est
 /// used by EFT device selection and the gpNet start-time-potential feature.
+/// O(V) per call; the ScheduleIndex overload (schedule_index.hpp) answers the
+/// same query in O(in_degree + log V).
 double earliest_start_on_queued(const Schedule& sched, const TaskGraph& g,
                                 const DeviceNetwork& n, const Placement& p,
                                 const LatencyModel& lat, int v, int d);

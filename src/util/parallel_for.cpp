@@ -1,0 +1,56 @@
+#include "util/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace giph::util {
+
+int resolve_threads(int threads) {
+  if (threads >= 1) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void parallel_for(int count, int threads, const std::function<void(int)>& body) {
+  if (count <= 0) return;
+  const int workers = std::min(resolve_threads(threads), count);
+  if (workers <= 1) {
+    for (int i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  int first_error_index = -1;
+
+  auto work = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error_index < 0 || i < first_error_index) {
+          first_error = std::current_exception();
+          first_error_index = i;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (int t = 1; t < workers; ++t) pool.emplace_back(work);
+  work();  // the caller's thread participates
+  for (std::thread& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace giph::util

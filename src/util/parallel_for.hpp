@@ -1,0 +1,23 @@
+#pragma once
+
+#include <functional>
+
+namespace giph::util {
+
+/// Number of worker threads a `threads` request resolves to: values >= 1 are
+/// taken as-is, and <= 0 means "one per hardware thread" (at least 1).
+int resolve_threads(int threads);
+
+/// Runs body(i) for i in [0, count) across up to `threads` worker threads
+/// (<= 0 = hardware concurrency). Indices are handed out dynamically (atomic
+/// counter), so the mapping of index to thread is nondeterministic — the body
+/// must write only to per-index state (e.g. slot i of a results vector) for
+/// the overall result to be independent of the thread count. With threads
+/// resolving to 1, or count <= 1, everything runs inline on the caller's
+/// thread.
+///
+/// Exceptions thrown by the body are captured; the first one (lowest index)
+/// is rethrown on the caller's thread after all workers have joined.
+void parallel_for(int count, int threads, const std::function<void(int)>& body);
+
+}  // namespace giph::util

@@ -235,29 +235,29 @@ TEST(Relocation, AmortizedObjectivePenalizesMovesLessAtHighFrequency) {
   Placement moved = random_placement(c.graph, c.network, rng);
 
   c.pipeline_hz = 1.0;
-  const double low = relocation_aware_objective(c, lat, ref, 10.0)(c.graph, c.network,
-                                                                   moved);
+  const double low = evaluate_objective(relocation_aware_objective(c, lat, ref, 10.0),
+                                        c.graph, c.network, moved, lat);
   c.pipeline_hz = 100.0;
-  const double high = relocation_aware_objective(c, lat, ref, 10.0)(c.graph, c.network,
-                                                                    moved);
+  const double high = evaluate_objective(relocation_aware_objective(c, lat, ref, 10.0),
+                                         c.graph, c.network, moved, lat);
   const double base = makespan(c.graph, c.network, moved, lat);
   EXPECT_GT(low, base);
   EXPECT_GT(high, base);
   EXPECT_LT(high, low);  // relocation amortizes better at high frequency
   // Reference placement itself has no relocation penalty.
-  EXPECT_DOUBLE_EQ(
-      relocation_aware_objective(c, lat, ref, 10.0)(c.graph, c.network, ref),
-      makespan(c.graph, c.network, ref, lat));
+  EXPECT_DOUBLE_EQ(evaluate_objective(relocation_aware_objective(c, lat, ref, 10.0),
+                                      c.graph, c.network, ref, lat),
+                   makespan(c.graph, c.network, ref, lat));
 }
 
 TEST(Energy, CheaperOnLowPowerDevices) {
   SensorFusionWorld world(CaseStudyParams{});
   const SensorFusionCase c = first_case(world);
   const DefaultLatencyModel lat;
-  const Objective energy = energy_objective(c, lat);
+  const ScheduleObjective energy = energy_objective(c, lat);
   std::mt19937_64 rng(7);
   const Placement p = random_placement(c.graph, c.network, rng);
-  const double e = energy(c.graph, c.network, p);
+  const double e = evaluate_objective(energy, c.graph, c.network, p, lat);
   EXPECT_GT(e, 0.0);
   EXPECT_TRUE(std::isfinite(e));
 }
@@ -274,13 +274,14 @@ TEST(Energy, CoLocationRemovesCommEnergy) {
   c.graph.add_edge(0, 1, 100.0);
   c.task_kind = {0, 0};
   const DefaultLatencyModel lat;
-  const Objective energy = energy_objective(c, lat);
+  const ScheduleObjective energy = energy_objective(c, lat);
   Placement together(2), apart(2);
   together.set(0, 0);
   together.set(1, 0);
   apart.set(0, 0);
   apart.set(1, 1);
-  EXPECT_LT(energy(c.graph, c.network, together), energy(c.graph, c.network, apart));
+  EXPECT_LT(evaluate_objective(energy, c.graph, c.network, together, lat),
+            evaluate_objective(energy, c.graph, c.network, apart, lat));
 }
 
 TEST(SensorFusionWorld, RemoteInfrastructureIsExcluded) {

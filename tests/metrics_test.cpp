@@ -59,8 +59,9 @@ TEST(Metrics, MakespanObjectiveMatchesSimulate) {
   Fixture f;
   Placement p(3);
   for (int v = 0; v < 3; ++v) p.set(v, 0);
-  const Objective obj = makespan_objective(kLat);
-  EXPECT_DOUBLE_EQ(obj(f.g, f.n, p), makespan(f.g, f.n, p, kLat));
+  const ScheduleObjective obj = makespan_objective(kLat);
+  EXPECT_DOUBLE_EQ(evaluate_objective(obj, f.g, f.n, p, kLat),
+                   makespan(f.g, f.n, p, kLat));
 }
 
 TEST(Metrics, NoisyObjectiveVariesButBounded) {
@@ -68,11 +69,12 @@ TEST(Metrics, NoisyObjectiveVariesButBounded) {
   Placement p(3);
   for (int v = 0; v < 3; ++v) p.set(v, 0);
   std::mt19937_64 rng(11);
-  const Objective obj = noisy_makespan_objective(kLat, 0.2, rng);
+  const ScheduleObjective obj = noisy_makespan_objective(kLat, 0.2, rng);
   const double expected = makespan(f.g, f.n, p, kLat);
+  const Schedule sched = simulate(f.g, f.n, p, kLat);
   double lo = 1e18, hi = -1e18;
   for (int i = 0; i < 100; ++i) {
-    const double m = obj(f.g, f.n, p);
+    const double m = obj(f.g, f.n, p, sched);
     lo = std::min(lo, m);
     hi = std::max(hi, m);
     EXPECT_GE(m, expected * 0.8 - 1e-9);
@@ -87,7 +89,7 @@ TEST(Metrics, TotalCostObjectiveMatchesTotalCost) {
   p.set(0, 0);
   p.set(1, 1);
   p.set(2, 0);
-  EXPECT_DOUBLE_EQ(total_cost_objective(kLat)(f.g, f.n, p),
+  EXPECT_DOUBLE_EQ(evaluate_objective(total_cost_objective(kLat), f.g, f.n, p, kLat),
                    total_cost(f.g, f.n, p, kLat));
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace giph {
 namespace {
 
@@ -281,6 +283,23 @@ TEST(Simulator, NoiseRequiresRng) {
   Placement p(1);
   p.set(0, 0);
   EXPECT_THROW(simulate(g, n, p, kLat, SimOptions{0.5, nullptr}), std::invalid_argument);
+}
+
+TEST(Simulator, NoiseAtLeastOneIsRejectedUpFront) {
+  TaskGraph g;
+  g.add_task(Task{.compute = 1.0});
+  DeviceNetwork n(1);
+  n.device(0).speed = 1.0;
+  Placement p(1);
+  p.set(0, 0);
+  std::mt19937_64 rng(5);
+  // A multiplicative draw from [x(1-noise), x(1+noise)] could go negative.
+  EXPECT_THROW(simulate(g, n, p, kLat, SimOptions{1.0, &rng}), std::invalid_argument);
+  EXPECT_THROW(simulate(g, n, p, kLat, SimOptions{1.5, &rng}), std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(simulate(g, n, p, kLat, SimOptions{nan, &rng}), std::invalid_argument);
+  // Just below the boundary is legal.
+  EXPECT_NO_THROW(simulate(g, n, p, kLat, SimOptions{0.999, &rng}));
 }
 
 TEST(Simulator, NoiseStaysWithinBounds) {
