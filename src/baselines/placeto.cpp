@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/optimizer.hpp"
+
 namespace giph {
 
 using nn::Var;
@@ -26,6 +28,12 @@ PlacetoPolicy::PlacetoPolicy(const PlacetoOptions& options) : options_(options) 
   head_ = std::make_unique<nn::MLP>(reg_, "placeto.head",
                                     std::vector<int>{summary, 32, options.num_devices},
                                     rng, nn::Activation::kRelu, nn::Activation::kNone);
+}
+
+std::unique_ptr<SearchPolicy> PlacetoPolicy::clone_for_rollout() const {
+  auto clone = std::make_unique<PlacetoPolicy>(options_);
+  nn::copy_values(reg_.params(), clone->reg_.params());
+  return clone;
 }
 
 void PlacetoPolicy::begin_episode() {

@@ -33,6 +33,9 @@ class PlacetoPolicy final : public SearchPolicy {
   void begin_episode() override;
   /// Placeto visits each node once: its natural episode is |V| steps.
   int episode_limit(const TaskGraph& g) const override { return g.num_tasks(); }
+  /// Same-architecture clone (private parameters, traversal cursor, caches)
+  /// with current parameter values copied over; enables parallel rollouts.
+  std::unique_ptr<SearchPolicy> clone_for_rollout() const override;
   std::string name() const override { return "Placeto"; }
 
   nn::ParamRegistry& registry() noexcept { return reg_; }

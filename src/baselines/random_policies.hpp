@@ -11,6 +11,9 @@ class RandomSamplingPolicy final : public SearchPolicy {
  public:
   ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
                         bool greedy) override;
+  std::unique_ptr<SearchPolicy> clone_for_rollout() const override {
+    return std::make_unique<RandomSamplingPolicy>();
+  }
   std::string name() const override { return "Random"; }
 };
 
@@ -21,6 +24,9 @@ class RandomTaskEftPolicy final : public SearchPolicy {
  public:
   ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
                         bool greedy) override;
+  std::unique_ptr<SearchPolicy> clone_for_rollout() const override {
+    return std::make_unique<RandomTaskEftPolicy>();
+  }
   std::string name() const override { return "Random-task-eft"; }
 };
 
@@ -30,6 +36,9 @@ class RandomWalkPolicy final : public SearchPolicy {
  public:
   ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
                         bool greedy) override;
+  std::unique_ptr<SearchPolicy> clone_for_rollout() const override {
+    return std::make_unique<RandomWalkPolicy>();
+  }
   std::string name() const override { return "RandomWalk"; }
 };
 

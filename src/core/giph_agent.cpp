@@ -29,6 +29,12 @@ GiPHAgent::GiPHAgent(const GiPHOptions& options) : options_(options) {
   }
 }
 
+std::unique_ptr<SearchPolicy> GiPHAgent::clone_for_rollout() const {
+  auto clone = std::make_unique<GiPHAgent>(options_);
+  nn::copy_values(reg_.params(), clone->reg_.params());
+  return clone;
+}
+
 std::string GiPHAgent::name() const {
   if (!options_.use_gpnet) return "GiPH-task-eft";
   switch (options_.gnn) {

@@ -36,6 +36,11 @@ class GiPHAgent final : public SearchPolicy {
                         bool greedy) override;
   std::vector<nn::Var> parameters() override { return reg_.params(); }
   void begin_episode() override { scales_graph_ = scales_net_ = nullptr; }
+  /// Same-architecture clone with private parameter leaves, feature-scale
+  /// cache, and network modules; current parameter values are copied over.
+  /// Registration order matches the original, so the trainer can broadcast
+  /// updated values index-by-index.
+  std::unique_ptr<SearchPolicy> clone_for_rollout() const override;
   std::string name() const override;
 
   nn::ParamRegistry& registry() noexcept { return reg_; }

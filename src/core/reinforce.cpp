@@ -5,8 +5,13 @@
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/parallel_for.hpp"
 
 namespace giph {
 namespace {
@@ -25,27 +30,42 @@ std::vector<double> read_doubles(std::istream& in) {
   return xs;
 }
 
+void write_matrix(std::ostream& out, const nn::Matrix& m) {
+  out << m.rows() << " " << m.cols() << "\n";
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) out << m(r, c) << (c + 1 == m.cols() ? '\n' : ' ');
+  }
+}
+
 /// Atomic checkpoint write: everything needed to resume with an identical
-/// trajectory - episode cursor, RNG state, stats, parameter values, Adam
-/// moments. Streamed as text at max_digits10, which round-trips exactly.
-void save_checkpoint(const std::string& path, int next_episode, std::mt19937_64& rng,
-                     const TrainStats& stats, const std::vector<nn::Var>& params,
-                     const nn::Adam* adam) {
+/// trajectory - episode cursor, stats, parameter values, the partially
+/// accumulated batch gradient, Adam moments. Streamed as text at
+/// max_digits10, which round-trips exactly. No RNG state is needed: every
+/// episode reseeds its private RNG from (seed + episode index).
+void save_checkpoint(const std::string& path, int next_episode, const TrainStats& stats,
+                     const std::vector<nn::Var>& params,
+                     const std::vector<nn::Matrix>& grad_accum, const nn::Adam* adam) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp);
     if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);
     out.precision(std::numeric_limits<double>::max_digits10);
-    out << "reinforce-checkpoint v1\n" << next_episode << "\n" << rng << "\n";
+    out << "reinforce-checkpoint v2\n" << next_episode << "\n";
     write_doubles(out, stats.episode_initial);
     write_doubles(out, stats.episode_final);
     write_doubles(out, stats.episode_best);
     out << params.size() << "\n";
-    for (const nn::Var& p : params) {
-      const nn::Matrix& m = p->value;
-      out << m.rows() << " " << m.cols() << "\n";
-      for (int r = 0; r < m.rows(); ++r) {
-        for (int c = 0; c < m.cols(); ++c) out << m(r, c) << (c + 1 == m.cols() ? '\n' : ' ');
+    for (const nn::Var& p : params) write_matrix(out, p->value);
+    // The gradient accumulated so far within the current batch (empty slots
+    // are parameters untouched since the last optimizer step); a checkpoint
+    // mid-batch must carry it or the resumed run would lose those episodes'
+    // contribution to the next update.
+    for (std::size_t k = 0; k < params.size(); ++k) {
+      if (k < grad_accum.size() && grad_accum[k].size() > 0) {
+        out << 1 << "\n";
+        write_matrix(out, grad_accum[k]);
+      } else {
+        out << 0 << "\n";
       }
     }
     out << (adam != nullptr ? 1 : 0) << "\n";
@@ -55,20 +75,32 @@ void save_checkpoint(const std::string& path, int next_episode, std::mt19937_64&
   std::filesystem::rename(tmp, path);  // atomic on POSIX: old file stays valid
 }
 
+void read_matrix_into(std::istream& in, nn::Matrix& m, const std::string& path) {
+  int rows = 0, cols = 0;
+  in >> rows >> cols;
+  if (!in || rows != m.rows() || cols != m.cols()) {
+    throw std::runtime_error("checkpoint: matrix shape mismatch in " + path);
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) in >> m(r, c);
+  }
+}
+
 /// Restores a checkpoint written by save_checkpoint; returns the episode to
 /// resume from. Throws std::runtime_error on malformed input or a parameter
 /// shape mismatch (e.g. resuming with a different model variant).
-int load_checkpoint(const std::string& path, std::mt19937_64& rng, TrainStats& stats,
-                    const std::vector<nn::Var>& params, nn::Adam* adam) {
+int load_checkpoint(const std::string& path, TrainStats& stats,
+                    const std::vector<nn::Var>& params,
+                    std::vector<nn::Matrix>& grad_accum, nn::Adam* adam) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
   std::string magic, version;
   in >> magic >> version;
-  if (!in || magic != "reinforce-checkpoint" || version != "v1") {
+  if (!in || magic != "reinforce-checkpoint" || version != "v2") {
     throw std::runtime_error("checkpoint: bad header in " + path);
   }
   int next_episode = 0;
-  in >> next_episode >> rng;
+  in >> next_episode;
   stats.episode_initial = read_doubles(in);
   stats.episode_final = read_doubles(in);
   stats.episode_best = read_doubles(in);
@@ -77,14 +109,15 @@ int load_checkpoint(const std::string& path, std::mt19937_64& rng, TrainStats& s
   if (!in || count != params.size()) {
     throw std::runtime_error("checkpoint: parameter count mismatch in " + path);
   }
-  for (const nn::Var& p : params) {
-    int rows = 0, cols = 0;
-    in >> rows >> cols;
-    if (!in || rows != p->value.rows() || cols != p->value.cols()) {
-      throw std::runtime_error("checkpoint: parameter shape mismatch in " + path);
-    }
-    for (int r = 0; r < rows; ++r) {
-      for (int c = 0; c < cols; ++c) in >> p->value(r, c);
+  for (const nn::Var& p : params) read_matrix_into(in, p->value, path);
+  grad_accum.assign(params.size(), nn::Matrix());
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    int present = 0;
+    in >> present;
+    if (!in) throw std::runtime_error("checkpoint: truncated file " + path);
+    if (present != 0) {
+      grad_accum[k] = nn::Matrix::zeros(params[k]->value.rows(), params[k]->value.cols());
+      read_matrix_into(in, grad_accum[k], path);
     }
   }
   int has_adam = 0;
@@ -99,125 +132,256 @@ int load_checkpoint(const std::string& path, std::mt19937_64& rng, TrainStats& s
   return next_episode;
 }
 
+/// Everything one episode hands back to the (ordered) reduction: the stats
+/// row and, for learned policies, this episode's parameter gradient.
+struct EpisodeOutcome {
+  double initial = 0.0;
+  double final_obj = 0.0;
+  double best = 0.0;
+  bool has_grads = false;
+  std::vector<nn::Matrix> grads;  ///< per-param; empty entries were untouched
+};
+
+/// One rollout worker's long-lived state. Worker 0 wraps the caller's policy;
+/// workers >= 1 own same-architecture clones whose parameter values are
+/// re-broadcast from the master before every batch. The environment is
+/// reused across episodes (reinit) so steady-state training allocates no
+/// fresh workspaces.
+struct RolloutWorker {
+  SearchPolicy* policy = nullptr;
+  std::unique_ptr<SearchPolicy> owned;
+  std::vector<nn::Var> params;
+  std::optional<PlacementSearchEnv> env;
+  std::mt19937_64 rng;
+};
+
+/// Rolls out episode `episode` on worker `w` and computes its REINFORCE (or
+/// actor-critic) gradient into the worker's private parameter buffers, which
+/// are then moved into the returned outcome. All randomness comes from the
+/// worker's RNG reseeded with (seed + episode), so the result depends only on
+/// (options, episode index, parameter values) — not on which worker ran it.
+EpisodeOutcome run_episode(RolloutWorker& w, const LatencyModel& lat,
+                           const InstanceSampler& sampler, const TrainOptions& opt,
+                           int episode) {
+  w.rng.seed(opt.seed + static_cast<std::uint64_t>(episode));
+  std::mt19937_64& rng = w.rng;
+  const ProblemInstance inst = sampler(rng);
+  const TaskGraph& g = *inst.graph;
+  const DeviceNetwork& n = *inst.network;
+
+  const double denom = opt.normalizer ? opt.normalizer(g, n) : slr_denominator(g, n, lat);
+  ScheduleObjective obj;
+  if (opt.objective_factory) {
+    obj = opt.objective_factory(g, n, rng);
+  } else {
+    obj = opt.noise > 0.0 ? noisy_makespan_objective(lat, opt.noise, rng)
+                          : makespan_objective(lat);
+  }
+  Placement initial = random_placement(g, n, rng);
+  if (w.env) {
+    w.env->reinit(g, n, std::move(obj), std::move(initial), denom);
+  } else {
+    w.env.emplace(g, n, lat, std::move(obj), std::move(initial), denom);
+  }
+  PlacementSearchEnv& env = *w.env;
+  SearchPolicy& policy = *w.policy;
+
+  const int limit = policy.episode_limit(g);
+  const int T = limit > 0 ? limit : opt.episode_len_factor * g.num_tasks();
+
+  policy.begin_episode();
+  std::vector<nn::Var> log_probs;
+  std::vector<nn::Var> values;
+  std::vector<double> rewards;
+  log_probs.reserve(T);
+  rewards.reserve(T);
+  EpisodeOutcome out;
+  out.initial = env.objective();
+
+  for (int t = 0; t < T; ++t) {
+    ActionDecision d = policy.decide(env, rng, /*greedy=*/false);
+    const double r = d.full ? env.apply_placement(*std::move(d.full)) : env.apply(d.action);
+    if (d.log_prob) {
+      log_probs.push_back(std::move(d.log_prob));
+      rewards.push_back(r);
+      if (d.value) values.push_back(std::move(d.value));
+    }
+  }
+  out.final_obj = env.objective();
+  out.best = env.best_objective();
+
+  if (!w.params.empty() && !log_probs.empty()) {
+    const int steps = static_cast<int>(rewards.size());
+    // Discounted returns G_t.
+    std::vector<double> returns(steps);
+    double acc = 0.0;
+    for (int t = steps - 1; t >= 0; --t) {
+      acc = rewards[t] + opt.gamma * acc;
+      returns[t] = acc;
+    }
+    // Baseline: the critic's state values when available (actor-critic
+    // extension), otherwise the average reward observed before step t
+    // within the episode (the paper's baseline).
+    const bool use_critic = static_cast<int>(values.size()) == steps && steps > 0;
+    std::vector<double> adv(steps);
+    double reward_sum = 0.0;
+    for (int t = 0; t < steps; ++t) {
+      const double baseline =
+          use_critic ? values[t]->value(0, 0) : (t > 0 ? reward_sum / t : 0.0);
+      adv[t] = returns[t] - baseline;
+      reward_sum += rewards[t];
+    }
+    if (opt.normalize_advantages && steps > 1) {
+      double mean = 0.0, sq = 0.0;
+      for (double a : adv) mean += a;
+      mean /= steps;
+      for (double a : adv) sq += (a - mean) * (a - mean);
+      const double sd = std::sqrt(sq / steps);
+      if (sd > 1e-9) {
+        for (double& a : adv) a = (a - mean) / sd;
+      }
+    }
+    std::vector<double> weights(steps);
+    for (int t = 0; t < steps; ++t) {
+      const double w_t = opt.discount_state_weight ? std::pow(opt.gamma, t) : 1.0;
+      weights[t] = -w_t * adv[t];
+    }
+    nn::Var loss = nn::weighted_sum(log_probs, weights);
+    if (use_critic) {
+      // Value regression towards the Monte-Carlo returns.
+      std::vector<nn::Var> sq_errors;
+      std::vector<double> vweights;
+      sq_errors.reserve(steps);
+      for (int t = 0; t < steps; ++t) {
+        const nn::Var diff =
+            nn::sub(values[t], nn::constant(nn::Matrix::scalar(returns[t])));
+        sq_errors.push_back(nn::mul(diff, diff));
+        vweights.push_back(opt.value_coef / steps);
+      }
+      loss = nn::add(loss, nn::weighted_sum(sq_errors, vweights));
+    }
+    // Backward accumulates into this worker's private parameter leaves
+    // (zeroed by the previous take_grads), yielding exactly this episode's
+    // gradient — the reduction adds it to the master accumulator in episode
+    // order.
+    nn::backward(loss);
+    out.grads = nn::take_grads(w.params);
+    out.has_grads = true;
+  }
+  return out;
+}
+
 }  // namespace
+
+void validate_train_options(const TrainOptions& opt) {
+  if (opt.rollout_workers < 1) {
+    throw std::invalid_argument("train_reinforce: rollout_workers must be >= 1, got " +
+                                std::to_string(opt.rollout_workers));
+  }
+  if (opt.batch_episodes < 1) {
+    throw std::invalid_argument("train_reinforce: batch_episodes must be >= 1, got " +
+                                std::to_string(opt.batch_episodes));
+  }
+  if (opt.checkpoint_every < 0) {
+    throw std::invalid_argument("train_reinforce: checkpoint_every must be >= 0, got " +
+                                std::to_string(opt.checkpoint_every));
+  }
+}
 
 TrainStats train_reinforce(SearchPolicy& policy, const LatencyModel& lat,
                            const InstanceSampler& sampler, const TrainOptions& opt) {
-  std::mt19937_64 rng(opt.seed);
+  validate_train_options(opt);
   const std::vector<nn::Var> params = policy.parameters();
   std::unique_ptr<nn::Adam> adam;
   if (!params.empty()) adam = std::make_unique<nn::Adam>(params, opt.lr);
+  // The per-batch gradient, reduced from per-episode gradients in episode
+  // order. Kept outside the parameter leaves so worker 0 (the master policy)
+  // can compute fresh per-episode gradients without disturbing it.
+  std::vector<nn::Matrix> grad_accum(params.size());
+  for (const nn::Var& p : params) p->grad = nn::Matrix();
 
   TrainStats stats;
   int start_episode = 0;
   if (opt.resume && !opt.checkpoint_path.empty() &&
       std::filesystem::exists(opt.checkpoint_path)) {
-    start_episode = load_checkpoint(opt.checkpoint_path, rng, stats, params, adam.get());
+    start_episode =
+        load_checkpoint(opt.checkpoint_path, stats, params, grad_accum, adam.get());
   }
-  for (int ep = start_episode; ep < opt.episodes; ++ep) {
-    const ProblemInstance inst = sampler(rng);
-    const TaskGraph& g = *inst.graph;
-    const DeviceNetwork& n = *inst.network;
 
-    const double denom =
-        opt.normalizer ? opt.normalizer(g, n) : slr_denominator(g, n, lat);
-    ScheduleObjective obj;
-    if (opt.objective_factory) {
-      obj = opt.objective_factory(g, n, rng);
+  // Rollout workers: worker 0 is the caller's policy; the rest are clones.
+  // A policy that cannot clone trains sequentially regardless of the
+  // requested worker count (the results are identical either way).
+  int workers = std::min(opt.rollout_workers, std::max(1, opt.batch_episodes));
+  std::vector<RolloutWorker> rollout(1);
+  rollout[0].policy = &policy;
+  rollout[0].params = params;
+  for (int w = 1; w < workers; ++w) {
+    std::unique_ptr<SearchPolicy> clone = policy.clone_for_rollout();
+    if (!clone) {
+      workers = 1;
+      rollout.resize(1);
+      break;
+    }
+    RolloutWorker worker;
+    worker.policy = clone.get();
+    worker.params = clone->parameters();
+    worker.owned = std::move(clone);
+    rollout.push_back(std::move(worker));
+  }
+  // The pool persists across batches: threads are spawned once, not per
+  // optimizer step.
+  std::unique_ptr<util::WorkerPool> pool;
+  if (workers > 1) pool = std::make_unique<util::WorkerPool>(workers);
+
+  const int batch = opt.batch_episodes;
+  int ep = start_episode;
+  while (ep < opt.episodes) {
+    // One gradient-accumulation group, aligned to absolute episode indices
+    // so a resumed run rejoins its batch mid-way.
+    const int group_end = std::min(opt.episodes, (ep / batch + 1) * batch);
+    const int count = group_end - ep;
+    std::vector<EpisodeOutcome> outcomes(count);
+    if (pool && count > 1) {
+      // Broadcast the post-update parameter values to every clone; within a
+      // batch all episodes see the same values, exactly as sequentially.
+      for (int w = 1; w < workers; ++w) nn::copy_values(params, rollout[w].params);
+      pool->run(count, [&](int i, int w) {
+        outcomes[i] = run_episode(rollout[w], lat, sampler, opt, ep + i);
+      });
     } else {
-      obj = opt.noise > 0.0 ? noisy_makespan_objective(lat, opt.noise, rng)
-                            : makespan_objective(lat);
-    }
-    PlacementSearchEnv env(g, n, lat, std::move(obj), random_placement(g, n, rng), denom);
-
-    const int limit = policy.episode_limit(g);
-    const int T = limit > 0 ? limit : opt.episode_len_factor * g.num_tasks();
-
-    policy.begin_episode();
-    std::vector<nn::Var> log_probs;
-    std::vector<nn::Var> values;
-    std::vector<double> rewards;
-    log_probs.reserve(T);
-    rewards.reserve(T);
-    stats.episode_initial.push_back(env.objective());
-
-    for (int t = 0; t < T; ++t) {
-      ActionDecision d = policy.decide(env, rng, /*greedy=*/false);
-      const double r = d.full ? env.apply_placement(*std::move(d.full)) : env.apply(d.action);
-      if (d.log_prob) {
-        log_probs.push_back(std::move(d.log_prob));
-        rewards.push_back(r);
-        if (d.value) values.push_back(std::move(d.value));
+      for (int i = 0; i < count; ++i) {
+        outcomes[i] = run_episode(rollout[0], lat, sampler, opt, ep + i);
       }
     }
-    stats.episode_final.push_back(env.objective());
-    stats.episode_best.push_back(env.best_objective());
 
-    if (adam && !log_probs.empty()) {
-      const int steps = static_cast<int>(rewards.size());
-      // Discounted returns G_t.
-      std::vector<double> returns(steps);
-      double acc = 0.0;
-      for (int t = steps - 1; t >= 0; --t) {
-        acc = rewards[t] + opt.gamma * acc;
-        returns[t] = acc;
-      }
-      // Baseline: the critic's state values when available (actor-critic
-      // extension), otherwise the average reward observed before step t
-      // within the episode (the paper's baseline).
-      const bool use_critic = static_cast<int>(values.size()) == steps && steps > 0;
-      std::vector<double> adv(steps);
-      double reward_sum = 0.0;
-      for (int t = 0; t < steps; ++t) {
-        const double baseline =
-            use_critic ? values[t]->value(0, 0) : (t > 0 ? reward_sum / t : 0.0);
-        adv[t] = returns[t] - baseline;
-        reward_sum += rewards[t];
-      }
-      if (opt.normalize_advantages && steps > 1) {
-        double mean = 0.0, sq = 0.0;
-        for (double a : adv) mean += a;
-        mean /= steps;
-        for (double a : adv) sq += (a - mean) * (a - mean);
-        const double sd = std::sqrt(sq / steps);
-        if (sd > 1e-9) {
-          for (double& a : adv) a = (a - mean) / sd;
-        }
-      }
-      std::vector<double> weights(steps);
-      for (int t = 0; t < steps; ++t) {
-        const double w = opt.discount_state_weight ? std::pow(opt.gamma, t) : 1.0;
-        weights[t] = -w * adv[t];
-      }
-      nn::Var loss = nn::weighted_sum(log_probs, weights);
-      if (use_critic) {
-        // Value regression towards the Monte-Carlo returns.
-        std::vector<nn::Var> sq_errors;
-        std::vector<double> vweights;
-        sq_errors.reserve(steps);
-        for (int t = 0; t < steps; ++t) {
-          const nn::Var diff =
-              nn::sub(values[t], nn::constant(nn::Matrix::scalar(returns[t])));
-          sq_errors.push_back(nn::mul(diff, diff));
-          vweights.push_back(opt.value_coef / steps);
-        }
-        loss = nn::add(loss, nn::weighted_sum(sq_errors, vweights));
-      }
-      nn::backward(loss);
-      if ((ep + 1) % std::max(1, opt.batch_episodes) == 0) {
+    // Ordered reduction: stats, gradient accumulation, optimizer step,
+    // callbacks, and checkpoints replay the episodes in index order, so the
+    // observable trajectory is the sequential one.
+    for (int i = 0; i < count; ++i) {
+      const int e = ep + i;
+      EpisodeOutcome& out = outcomes[i];
+      stats.episode_initial.push_back(out.initial);
+      stats.episode_final.push_back(out.final_obj);
+      stats.episode_best.push_back(out.best);
+      if (out.has_grads) nn::add_grads(grad_accum, std::move(out.grads));
+      if (adam && out.has_grads && (e + 1) % batch == 0) {
         if (opt.lr_final >= 0.0 && opt.lr_final < opt.lr && opt.episodes > 1) {
-          const double frac = static_cast<double>(ep) / (opt.episodes - 1);
+          const double frac = static_cast<double>(e) / (opt.episodes - 1);
           adam->set_learning_rate(opt.lr + frac * (opt.lr_final - opt.lr));
         }
+        nn::install_grads(params, std::move(grad_accum));
+        grad_accum.assign(params.size(), nn::Matrix());
         nn::clip_grad_norm(params, opt.grad_clip);
         adam->step();
       }
+      if (opt.on_episode) opt.on_episode(e);
+      if (opt.checkpoint_every > 0 && !opt.checkpoint_path.empty() &&
+          (e + 1) % opt.checkpoint_every == 0) {
+        save_checkpoint(opt.checkpoint_path, e + 1, stats, params, grad_accum,
+                        adam.get());
+      }
     }
-    if (opt.on_episode) opt.on_episode(ep);
-    if (opt.checkpoint_every > 0 && !opt.checkpoint_path.empty() &&
-        (ep + 1) % opt.checkpoint_every == 0) {
-      save_checkpoint(opt.checkpoint_path, ep + 1, rng, stats, params, adam.get());
-    }
+    ep = group_end;
   }
   return stats;
 }

@@ -50,6 +50,18 @@ struct TrainOptions {
   /// Accumulate gradients over this many episodes before each optimizer step
   /// (variance reduction; 1 = update every episode as in the paper).
   int batch_episodes = 1;
+  /// Number of parallel rollout workers. With > 1, the episodes of each
+  /// batch_episodes group run concurrently, one per worker, each on a private
+  /// policy clone (shared parameter values, per-worker activation/gradient
+  /// buffers), environment, workspace, and RNG; per-episode gradients are
+  /// reduced into the optimizer in episode order, so losses, checkpoints,
+  /// and final parameters are bitwise identical at any worker count.
+  /// Requires the policy to support clone_for_rollout() (non-cloneable
+  /// policies are trained sequentially regardless) and the sampler/factories
+  /// to be safe to call concurrently. Capped at batch_episodes: with
+  /// batch_episodes == 1 every update depends on the previous one, so there
+  /// is nothing to parallelize.
+  int rollout_workers = 1;
   /// Weight of the critic's value-regression loss when the policy provides
   /// state-value estimates (actor-critic extension).
   double value_coef = 0.25;
@@ -78,11 +90,23 @@ struct TrainStats {
   std::vector<double> episode_best;     ///< best objective within the episode
 };
 
+/// Rejects out-of-range training options up front with a clear error
+/// (std::invalid_argument): rollout_workers and batch_episodes must be >= 1,
+/// checkpoint_every >= 0. Called by train_reinforce; exposed for callers
+/// that validate configuration before committing to a long run.
+void validate_train_options(const TrainOptions& opt);
+
 /// Trains `policy` with the policy-gradient method REINFORCE: per-episode
 /// Monte-Carlo returns with discount gamma and a per-step baseline equal to
 /// the average reward observed before that step in the episode. Non-learned
 /// policies (no parameters) are simply rolled out, which measures their
 /// search behavior under identical conditions.
+///
+/// Episode e draws all its randomness (instance, objective noise, initial
+/// placement, action sampling) from a private RNG seeded with seed + e, and
+/// per-episode gradients are reduced into the optimizer in episode order, so
+/// the trajectory is a pure function of the options — independent of the
+/// rollout worker count and resumable mid-batch from a checkpoint.
 TrainStats train_reinforce(SearchPolicy& policy, const LatencyModel& lat,
                            const InstanceSampler& sampler, const TrainOptions& opt);
 

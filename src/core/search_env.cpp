@@ -9,17 +9,25 @@ PlacementSearchEnv::PlacementSearchEnv(const TaskGraph& g, const DeviceNetwork& 
                                        const LatencyModel& lat,
                                        ScheduleObjective objective, Placement initial,
                                        double normalizer)
-    : g_(&g),
-      n_(&n),
-      lat_(&lat),
-      objective_(std::move(objective)),
-      normalizer_(normalizer > 0.0 ? normalizer : 1.0),
-      feasible_(feasible_sets(g, n)),
-      initial_(std::move(initial)),
-      current_(initial_) {
-  if (!is_feasible(g, n, current_)) {
+    : g_(&g), n_(&n), lat_(&lat) {
+  reinit(g, n, std::move(objective), std::move(initial), normalizer);
+}
+
+void PlacementSearchEnv::reinit(const TaskGraph& g, const DeviceNetwork& n,
+                                ScheduleObjective objective, Placement initial,
+                                double normalizer) {
+  if (!is_feasible(g, n, initial)) {
     throw std::invalid_argument("PlacementSearchEnv: infeasible initial placement");
   }
+  g_ = &g;
+  n_ = &n;
+  objective_ = std::move(objective);
+  normalizer_ = normalizer > 0.0 ? normalizer : 1.0;
+  feasible_ = feasible_sets(g, n);
+  initial_ = std::move(initial);
+  current_ = initial_;
+  last_moved_ = -1;
+  steps_ = 0;
   refresh();
   best_ = current_;
   best_obj_ = obj_;

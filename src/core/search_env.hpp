@@ -99,6 +99,18 @@ class PlacementSearchEnv {
   /// Same-network warm start (slowdowns / link degrades only).
   void rebase(Placement p) { rebase(*n_, std::move(p)); }
 
+  /// Re-targets the environment at a new problem instance, reusing the
+  /// already-allocated simulation workspace, schedule, and index buffers:
+  /// the cheap per-episode reset that lets a long-lived environment (e.g. a
+  /// rollout worker's) avoid reallocating per episode. Equivalent to
+  /// constructing a fresh environment with the same arguments — simulation
+  /// results are bitwise identical either way — except that the latency
+  /// model is kept and simulations_run() keeps accumulating across reinits
+  /// (steps_taken() resets). `g` and `n` must outlive the environment;
+  /// throws std::invalid_argument when `initial` is infeasible.
+  void reinit(const TaskGraph& g, const DeviceNetwork& n, ScheduleObjective objective,
+              Placement initial, double normalizer = 0.0);
+
  private:
   void refresh();
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <random>
 #include <string>
@@ -37,6 +38,17 @@ class SearchPolicy {
 
   /// Trainable parameters (empty for heuristics).
   virtual std::vector<nn::Var> parameters() { return {}; }
+
+  /// A fresh policy of the same architecture for a parallel rollout worker,
+  /// or null when the policy does not support cloning. The clone carries its
+  /// own parameter leaves and per-episode state, so concurrent rollouts never
+  /// share mutable buffers; the trainer broadcasts the master parameter
+  /// *values* into each clone (nn::copy_values) before every batch, which is
+  /// why parameters() of a clone must enumerate parameters in the same order
+  /// as the original. Policies that return null are trained on the single
+  /// master instance (the sequential path) regardless of the requested
+  /// worker count.
+  virtual std::unique_ptr<SearchPolicy> clone_for_rollout() const { return nullptr; }
 
   /// Resets per-episode internal state (e.g. Placeto's traversal cursor).
   virtual void begin_episode() {}

@@ -43,6 +43,51 @@ double clip_grad_norm(const std::vector<Var>& params, double max_norm) {
   return norm;
 }
 
+void copy_values(const std::vector<Var>& src, const std::vector<Var>& dst) {
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("copy_values: parameter count mismatch");
+  }
+  for (std::size_t k = 0; k < src.size(); ++k) {
+    if (!src[k]->value.same_shape(dst[k]->value)) {
+      throw std::invalid_argument("copy_values: parameter shape mismatch");
+    }
+    dst[k]->value = src[k]->value;
+  }
+}
+
+std::vector<Matrix> take_grads(const std::vector<Var>& params) {
+  std::vector<Matrix> grads;
+  grads.reserve(params.size());
+  for (const Var& p : params) {
+    grads.push_back(std::move(p->grad));
+    p->grad = Matrix();
+  }
+  return grads;
+}
+
+void add_grads(std::vector<Matrix>& accum, std::vector<Matrix>&& grads) {
+  if (accum.empty()) accum.resize(grads.size());
+  if (accum.size() != grads.size()) {
+    throw std::invalid_argument("add_grads: buffer count mismatch");
+  }
+  for (std::size_t k = 0; k < grads.size(); ++k) {
+    if (grads[k].size() == 0) continue;
+    if (accum[k].size() == 0) {
+      accum[k] = std::move(grads[k]);
+    } else {
+      accum[k] += grads[k];
+    }
+  }
+}
+
+void install_grads(const std::vector<Var>& params, std::vector<Matrix>&& accum) {
+  if (params.size() != accum.size()) {
+    throw std::invalid_argument("install_grads: buffer count mismatch");
+  }
+  for (std::size_t k = 0; k < params.size(); ++k) params[k]->grad = std::move(accum[k]);
+  accum.clear();
+}
+
 Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2, double eps)
     : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
   m_.reserve(params_.size());

@@ -11,6 +11,32 @@ namespace giph::nn {
 /// Returns the pre-clip norm.
 double clip_grad_norm(const std::vector<Var>& params, double max_norm);
 
+// ---- per-worker gradient buffers ------------------------------------------
+//
+// Deterministic parallel rollouts keep one clone of the model per worker:
+// parameter *values* are broadcast to the clones, each rollout's backward
+// pass accumulates into the clone's private grads, and the per-episode
+// gradients are then reduced into one accumulator in a fixed episode order.
+// Because every reduction performs the same additions in the same order, the
+// result is bitwise independent of the worker count.
+
+/// Copies parameter values from `src` into `dst` (shapes must match
+/// pairwise). Used to broadcast the master parameters to per-worker clones.
+void copy_values(const std::vector<Var>& src, const std::vector<Var>& dst);
+
+/// Moves the accumulated gradients out of `params` and clears them. Entries
+/// of parameters untouched by the backward pass stay empty (0x0) matrices.
+std::vector<Matrix> take_grads(const std::vector<Var>& params);
+
+/// Elementwise-adds `grads` into `accum` (same layout as take_grads; empty
+/// entries are skipped, and an empty accumulator slot adopts the incoming
+/// matrix). The reduction order is exactly the caller's call order.
+void add_grads(std::vector<Matrix>& accum, std::vector<Matrix>&& grads);
+
+/// Installs `accum` as the parameters' gradients (consuming it) so the
+/// optimizer can consume them; empty slots leave the parameter's grad empty.
+void install_grads(const std::vector<Var>& params, std::vector<Matrix>&& accum);
+
 /// Adam optimizer (Kingma & Ba). step() consumes and zeroes the accumulated
 /// gradients of the registered parameters.
 class Adam {

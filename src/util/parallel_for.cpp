@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -51,6 +53,73 @@ void parallel_for(int count, int threads, const std::function<void(int)>& body) 
   for (std::thread& t : pool) t.join();
 
   if (first_error) std::rethrow_exception(first_error);
+}
+
+WorkerPool::WorkerPool(int threads) : threads_(resolve_threads(threads)) {
+  workers_.reserve(threads_ - 1);
+  for (int w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+/// Hands out indices of the current run to `worker` until none remain, then
+/// retires the worker from the run. Called with mu_ held; releases it around
+/// each body invocation.
+void WorkerPool::drain(int worker) {
+  for (;;) {
+    if (next_ >= count_) break;
+    const int i = next_++;
+    mu_.unlock();
+    std::exception_ptr err;
+    try {
+      (*body_)(i, worker);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    mu_.lock();
+    if (err && (first_error_index_ < 0 || i < first_error_index_)) {
+      first_error_ = err;
+      first_error_index_ = i;
+    }
+  }
+  if (--active_ == 0) done_cv_.notify_all();
+}
+
+void WorkerPool::worker_loop(int worker) {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    drain(worker);
+  }
+}
+
+void WorkerPool::run(int count, const std::function<void(int, int)>& body) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (body_ != nullptr) throw std::logic_error("WorkerPool::run: reentrant call");
+  count_ = count;
+  body_ = &body;
+  next_ = 0;
+  active_ = threads_;
+  first_error_ = nullptr;
+  first_error_index_ = -1;
+  ++generation_;
+  start_cv_.notify_all();
+  drain(0);  // the caller's thread participates as worker 0
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  body_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
 }
 
 }  // namespace giph::util

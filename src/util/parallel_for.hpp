@@ -1,6 +1,11 @@
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace giph::util {
 
@@ -19,5 +24,55 @@ int resolve_threads(int threads);
 /// Exceptions thrown by the body are captured; the first one (lowest index)
 /// is rethrown on the caller's thread after all workers have joined.
 void parallel_for(int count, int threads, const std::function<void(int)>& body);
+
+/// A pool of persistent worker threads for repeated fan-outs (e.g. one batch
+/// of training rollouts per optimizer step): the threads are spawned once and
+/// reused across run() calls, so a caller that fans out thousands of times
+/// does not pay thread creation/teardown per batch.
+///
+/// run(count, body) executes body(index, worker) for index in [0, count).
+/// Indices are handed out dynamically; `worker` identifies the executing
+/// worker slot (stable across the pool's lifetime, in [0, threads())), which
+/// lets callers attach per-worker state (scratch buffers, policy clones)
+/// without locking. The caller's thread participates as worker 0. As with
+/// parallel_for, the index->worker mapping is nondeterministic, so the body
+/// must write only per-index (or per-worker) state for results to be
+/// independent of the thread count.
+///
+/// Exceptions thrown by the body are captured and the one with the lowest
+/// index is rethrown on the caller's thread after the fan-out completes.
+/// run() must not be called concurrently or reentrantly.
+class WorkerPool {
+ public:
+  /// Spawns threads-1 persistent workers (<= 0 = hardware concurrency).
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int threads() const noexcept { return threads_; }
+
+  void run(int count, const std::function<void(int index, int worker)>& body);
+
+ private:
+  void worker_loop(int worker);
+  void drain(int worker);
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  ///< bumped per run(); wakes the workers
+  bool shutdown_ = false;
+  int count_ = 0;
+  const std::function<void(int, int)>* body_ = nullptr;
+  int next_ = 0;     ///< next index to hand out (under mu_)
+  int active_ = 0;   ///< workers still draining the current run
+  std::exception_ptr first_error_;
+  int first_error_index_ = -1;
+};
 
 }  // namespace giph::util

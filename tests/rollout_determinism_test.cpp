@@ -1,0 +1,261 @@
+// The rollout engine's determinism contract (reinforce.hpp): losses, stats,
+// checkpoints, and final parameters are bitwise identical at any
+// rollout_workers count, and a mid-batch checkpoint resumed under parallel
+// rollouts reproduces the sequential trajectory exactly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/random_policies.hpp"
+#include "core/giph_agent.hpp"
+#include "core/reinforce.hpp"
+#include "gen/dataset.hpp"
+#include "util/parallel_for.hpp"
+
+namespace giph {
+namespace {
+
+const DefaultLatencyModel kLat;
+
+Dataset small_dataset() {
+  std::mt19937_64 rng(321);
+  TaskGraphParams gp;
+  gp.num_tasks = 6;
+  NetworkParams np;
+  np.num_devices = 3;
+  return generate_dataset({gp}, {np}, 3, 2, rng);
+}
+
+InstanceSampler sampler_for(const Dataset& ds) {
+  return [&ds](std::mt19937_64& rng) {
+    std::uniform_int_distribution<std::size_t> gi(0, ds.graphs.size() - 1);
+    std::uniform_int_distribution<std::size_t> ni(0, ds.networks.size() - 1);
+    return ProblemInstance{&ds.graphs[gi(rng)], &ds.networks[ni(rng)]};
+  };
+}
+
+struct TrainResult {
+  TrainStats stats;
+  std::vector<nn::Matrix> params;
+};
+
+TrainResult train_giph(const Dataset& ds, TrainOptions topt, bool critic = false) {
+  GiPHOptions o;
+  o.seed = 11;
+  o.use_critic = critic;
+  GiPHAgent agent(o);
+  TrainResult r;
+  r.stats = train_reinforce(agent, kLat, sampler_for(ds), topt);
+  for (const nn::Var& p : agent.parameters()) r.params.push_back(p->value);
+  return r;
+}
+
+void expect_bitwise_equal(const TrainResult& a, const TrainResult& b) {
+  EXPECT_EQ(a.stats.episode_initial, b.stats.episode_initial);
+  EXPECT_EQ(a.stats.episode_final, b.stats.episode_final);
+  EXPECT_EQ(a.stats.episode_best, b.stats.episode_best);
+  ASSERT_EQ(a.params.size(), b.params.size());
+  for (std::size_t k = 0; k < a.params.size(); ++k) {
+    const nn::Matrix& ma = a.params[k];
+    const nn::Matrix& mb = b.params[k];
+    ASSERT_EQ(ma.rows(), mb.rows());
+    ASSERT_EQ(ma.cols(), mb.cols());
+    for (std::size_t i = 0; i < ma.size(); ++i) {
+      EXPECT_EQ(ma.data()[i], mb.data()[i]) << "param " << k << " scalar " << i;
+    }
+  }
+}
+
+TEST(RolloutDeterminism, WorkerCountsProduceBitwiseIdenticalTraining) {
+  const Dataset ds = small_dataset();
+  TrainOptions topt;
+  topt.episodes = 12;
+  topt.batch_episodes = 4;
+  topt.noise = 0.05;  // noisy objective draws from the per-episode RNG
+  topt.seed = 71;
+
+  topt.rollout_workers = 1;
+  const TrainResult sequential = train_giph(ds, topt);
+  for (const int workers : {2, 8}) {
+    topt.rollout_workers = workers;
+    const TrainResult parallel = train_giph(ds, topt);
+    SCOPED_TRACE("rollout_workers = " + std::to_string(workers));
+    expect_bitwise_equal(sequential, parallel);
+  }
+}
+
+TEST(RolloutDeterminism, CriticVariantIsWorkerCountInvariant) {
+  const Dataset ds = small_dataset();
+  TrainOptions topt;
+  topt.episodes = 8;
+  topt.batch_episodes = 4;
+  topt.seed = 72;
+
+  topt.rollout_workers = 1;
+  const TrainResult sequential = train_giph(ds, topt, /*critic=*/true);
+  topt.rollout_workers = 8;
+  const TrainResult parallel = train_giph(ds, topt, /*critic=*/true);
+  expect_bitwise_equal(sequential, parallel);
+}
+
+TEST(RolloutDeterminism, PartialFinalBatchIsWorkerCountInvariant) {
+  const Dataset ds = small_dataset();
+  TrainOptions topt;
+  topt.episodes = 10;  // 4 + 4 + a partial batch of 2, which never steps
+  topt.batch_episodes = 4;
+  topt.seed = 73;
+
+  topt.rollout_workers = 1;
+  const TrainResult sequential = train_giph(ds, topt);
+  topt.rollout_workers = 8;
+  const TrainResult parallel = train_giph(ds, topt);
+  expect_bitwise_equal(sequential, parallel);
+}
+
+TEST(RolloutDeterminism, MidBatchResumeUnderParallelRolloutsMatchesSequential) {
+  const Dataset ds = small_dataset();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "giph_rollout_ckpt.txt").string();
+  std::filesystem::remove(path);
+
+  // Reference: uninterrupted sequential run.
+  TrainOptions straight;
+  straight.episodes = 12;
+  straight.batch_episodes = 4;
+  straight.seed = 74;
+  straight.rollout_workers = 1;
+  const TrainResult expected = train_giph(ds, straight);
+
+  // Crash mid-batch: checkpoint_every = 3 is not a multiple of the batch
+  // size, so the episode-6 checkpoint carries a half-accumulated gradient.
+  TrainOptions part = straight;
+  part.episodes = 6;
+  part.checkpoint_every = 3;
+  part.checkpoint_path = path;
+  part.rollout_workers = 8;
+  train_giph(ds, part);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  TrainOptions rest = part;
+  rest.episodes = straight.episodes;
+  rest.resume = true;
+  const TrainResult resumed = train_giph(ds, rest);
+  expect_bitwise_equal(expected, resumed);
+  std::filesystem::remove(path);
+}
+
+TEST(RolloutDeterminism, NonCloneablePolicyTrainsSequentially) {
+  // A policy without clone_for_rollout support must still train (and
+  // identically) when workers are requested.
+  class NonCloneable final : public SearchPolicy {
+   public:
+    ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64& rng,
+                          bool) override {
+      std::uniform_int_distribution<int> pick(0, env.graph().num_tasks() - 1);
+      const int task = pick(rng);
+      const auto& devs = env.feasible()[task];
+      std::uniform_int_distribution<int> dpick(0, static_cast<int>(devs.size()) - 1);
+      return ActionDecision{SearchAction{task, devs[dpick(rng)]}, nullptr,
+                            std::nullopt};
+    }
+    std::string name() const override { return "noclone"; }
+  };
+
+  const Dataset ds = small_dataset();
+  TrainOptions topt;
+  topt.episodes = 6;
+  topt.batch_episodes = 3;
+  topt.seed = 75;
+
+  NonCloneable seq_policy;
+  topt.rollout_workers = 1;
+  const TrainStats s1 = train_reinforce(seq_policy, kLat, sampler_for(ds), topt);
+  NonCloneable par_policy;
+  topt.rollout_workers = 8;
+  const TrainStats s2 = train_reinforce(par_policy, kLat, sampler_for(ds), topt);
+  EXPECT_EQ(s1.episode_initial, s2.episode_initial);
+  EXPECT_EQ(s1.episode_final, s2.episode_final);
+  EXPECT_EQ(s1.episode_best, s2.episode_best);
+}
+
+TEST(TrainOptionsValidation, RejectsOutOfRangeValues) {
+  TrainOptions opt;
+  opt.rollout_workers = 0;
+  EXPECT_THROW(validate_train_options(opt), std::invalid_argument);
+  opt = TrainOptions{};
+  opt.batch_episodes = 0;
+  EXPECT_THROW(validate_train_options(opt), std::invalid_argument);
+  opt = TrainOptions{};
+  opt.checkpoint_every = -1;
+  EXPECT_THROW(validate_train_options(opt), std::invalid_argument);
+  EXPECT_NO_THROW(validate_train_options(TrainOptions{}));
+}
+
+TEST(TrainOptionsValidation, TrainReinforceRejectsBadOptions) {
+  const Dataset ds = small_dataset();
+  RandomWalkPolicy policy;
+  TrainOptions opt;
+  opt.rollout_workers = -2;
+  EXPECT_THROW(train_reinforce(policy, kLat, sampler_for(ds), opt),
+               std::invalid_argument);
+}
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  util::WorkerPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::vector<std::atomic<int>> hits(103);
+  pool.run(103, [&](int index, int worker) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, 4);
+    hits[index].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, ReusableAcrossRuns) {
+  util::WorkerPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int> out(8, -1);
+    pool.run(8, [&](int index, int) { out[index] = index * index; });
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(WorkerPool, SingleThreadRunsInline) {
+  util::WorkerPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  std::vector<int> workers;
+  pool.run(5, [&](int, int worker) { workers.push_back(worker); });
+  EXPECT_EQ(workers, std::vector<int>(5, 0));
+}
+
+TEST(WorkerPool, PropagatesLowestIndexException) {
+  util::WorkerPool pool(4);
+  try {
+    pool.run(32, [](int index, int) {
+      if (index % 7 == 3) throw std::runtime_error("boom " + std::to_string(index));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+  // The pool survives an exceptional run.
+  std::vector<std::atomic<int>> hits(16);
+  pool.run(16, [&](int index, int) { hits[index].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, HandlesZeroAndNegativeCounts) {
+  util::WorkerPool pool(2);
+  int calls = 0;
+  pool.run(0, [&](int, int) { ++calls; });
+  pool.run(-3, [&](int, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace giph

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Gate benchmark results against a committed baseline.
+
+Usage: check_bench.py BASELINE.json CURRENT.json [--tolerance 0.30]
+
+Compares every throughput metric (keys ending in ``_per_sec``, recursively)
+and fails when the current value has regressed more than ``tolerance``
+below the baseline. Also fails when any ``bitwise_identical`` flag that is
+true in the baseline turned false. Only stdlib is used, and absolute wall
+times are deliberately ignored: runner machines differ, so the gate is a
+relative one against numbers measured on comparable hardware.
+"""
+
+import argparse
+import json
+import sys
+
+
+def walk(obj, prefix=""):
+    """Yields (dotted_path, value) for every leaf of a nested dict."""
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            yield from walk(value, f"{prefix}{key}." if prefix else f"{key}.")
+    else:
+        yield prefix.rstrip("."), obj
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop below baseline (default 0.30)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = dict(walk(json.load(f)))
+    with open(args.current) as f:
+        current = dict(walk(json.load(f)))
+
+    failures = []
+    checked = 0
+    for path, base_value in baseline.items():
+        if path not in current:
+            failures.append(f"{path}: present in baseline but missing from current run")
+            continue
+        cur_value = current[path]
+        if path.endswith("_per_sec"):
+            checked += 1
+            floor = (1.0 - args.tolerance) * base_value
+            status = "ok" if cur_value >= floor else "REGRESSED"
+            print(f"{path}: {base_value:.1f} -> {cur_value:.1f} "
+                  f"(floor {floor:.1f}) {status}")
+            if cur_value < floor:
+                failures.append(
+                    f"{path}: {cur_value:.1f} is more than "
+                    f"{args.tolerance:.0%} below baseline {base_value:.1f}")
+        elif path.endswith("bitwise_identical") and base_value is True:
+            checked += 1
+            print(f"{path}: {cur_value}")
+            if cur_value is not True:
+                failures.append(f"{path}: determinism check failed (was true in baseline)")
+
+    if checked == 0:
+        print("error: no gated metrics found in baseline", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} regression(s) vs {args.baseline}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} gated metrics within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

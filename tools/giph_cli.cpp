@@ -7,6 +7,7 @@
 //   giph_cli train    --data DIR --model FILE [--episodes E] [--variant V]
 //                     [--noise X] [--seed S] [--checkpoint FILE]
 //                     [--checkpoint-every K] [--resume]
+//                     [--batch-episodes B] [--rollout-workers W]
 //   giph_cli evaluate --data DIR --model FILE [--variant V] [--cases N]
 //   giph_cli place    --graph FILE --network FILE [--model FILE] [--variant V]
 //                     [--steps N] [--gantt] [--csv FILE]
@@ -186,6 +187,8 @@ int cmd_train(const Args& args) {
   topt.gamma = args.get_double("gamma", 0.1);
   topt.discount_state_weight = false;
   topt.noise = args.get_double("noise", 0.0);
+  topt.batch_episodes = args.get_int("batch-episodes", 1);
+  topt.rollout_workers = args.get_int("rollout-workers", 1);
   topt.seed = args.get_int("seed", 1) + 1;
   topt.checkpoint_path = args.get("checkpoint");
   topt.checkpoint_every = args.get_int("checkpoint-every", topt.checkpoint_path.empty() ? 0 : 25);
