@@ -4,10 +4,13 @@
 // per-episode stats and the final parameters are bitwise identical, the
 // trainer's determinism contract (reinforce.hpp).
 //
-// Results go to BENCH_train.json in the working directory. The speedup target
-// (>= 2x with 8 workers) is only enforced when the machine actually has 8
-// hardware threads; the bitwise check is enforced everywhere. CI gates on
-// regressions of the JSON numbers via tools/ci/check_bench.py.
+// Results go to BENCH_train.json in the working directory. Parallel
+// throughput is gated *within-run* by the speedup ratio, which is
+// machine-shape-independent: >= 2x on 8+-thread hardware (the ISSUE target),
+// >= 1.3x on 4-7 threads (GitHub's standard runners have 4 vCPUs),
+// informational below that. The bitwise check is enforced everywhere. CI
+// additionally gates the sequential episodes/sec against the committed
+// baseline via tools/ci/check_bench.py.
 
 #include <chrono>
 #include <cstdio>
@@ -111,9 +114,10 @@ int main() {
   std::printf("%-32s %14.2f episodes/sec\n", "parallel (8 workers)", par_eps);
   std::printf("%-32s %13.2fx (%d hardware threads)\n", "speedup", speedup, threads);
   std::printf("%-32s %14s\n", "bitwise identical", bitwise ? "yes" : "NO");
-  const bool enforce_speedup = threads >= 8;
-  if (enforce_speedup && speedup < 2.0) {
-    std::printf("speedup BELOW the 2x target on %d-thread hardware\n", threads);
+  const double speedup_floor = threads >= 8 ? 2.0 : (threads >= 4 ? 1.3 : 0.0);
+  if (speedup_floor > 0.0 && speedup < speedup_floor) {
+    std::printf("speedup BELOW the %.1fx floor on %d-thread hardware\n",
+                speedup_floor, threads);
   }
 
   std::FILE* f = std::fopen("BENCH_train.json", "w");
@@ -133,5 +137,5 @@ int main() {
     std::fclose(f);
     std::printf("\nwrote BENCH_train.json\n");
   }
-  return bitwise && (!enforce_speedup || speedup >= 2.0) ? 0 : 1;
+  return bitwise && (speedup_floor == 0.0 || speedup >= speedup_floor) ? 0 : 1;
 }

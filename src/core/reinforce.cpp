@@ -1,6 +1,7 @@
 #include "core/reinforce.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -15,6 +16,17 @@
 
 namespace giph {
 namespace {
+
+/// splitmix64 finalizer. mt19937_64 seeded with adjacent integers can emit
+/// correlated early outputs across episodes; mixing (seed + episode) through
+/// a bijective avalanche first decorrelates the streams while keeping the
+/// per-episode seed a pure function of (seed, episode).
+std::uint64_t mix_seed(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 
 void write_doubles(std::ostream& out, const std::vector<double>& xs) {
   out << xs.size();
@@ -41,7 +53,7 @@ void write_matrix(std::ostream& out, const nn::Matrix& m) {
 /// trajectory - episode cursor, stats, parameter values, the partially
 /// accumulated batch gradient, Adam moments. Streamed as text at
 /// max_digits10, which round-trips exactly. No RNG state is needed: every
-/// episode reseeds its private RNG from (seed + episode index).
+/// episode reseeds its private RNG from mix_seed(seed + episode index).
 void save_checkpoint(const std::string& path, int next_episode, const TrainStats& stats,
                      const std::vector<nn::Var>& params,
                      const std::vector<nn::Matrix>& grad_accum, const nn::Adam* adam) {
@@ -96,8 +108,19 @@ int load_checkpoint(const std::string& path, TrainStats& stats,
   if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
   std::string magic, version;
   in >> magic >> version;
-  if (!in || magic != "reinforce-checkpoint" || version != "v2") {
+  if (!in || magic != "reinforce-checkpoint") {
     throw std::runtime_error("checkpoint: bad header in " + path);
+  }
+  if (version == "v1") {
+    throw std::runtime_error(
+        "checkpoint: " + path +
+        " uses the retired v1 format (pre-parallel-rollout trainer, carries "
+        "sequential RNG state that no longer exists); delete it and restart "
+        "training — v2 checkpoints are RNG-free and worker-count independent");
+  }
+  if (version != "v2") {
+    throw std::runtime_error("checkpoint: unknown format version '" + version +
+                             "' in " + path + " (this build reads v2)");
   }
   int next_episode = 0;
   in >> next_episode;
@@ -125,7 +148,8 @@ int load_checkpoint(const std::string& path, TrainStats& stats,
   if (!in) throw std::runtime_error("checkpoint: truncated file " + path);
   if (has_adam != 0) {
     if (adam == nullptr) {
-      throw std::runtime_error("checkpoint: optimizer state present but unused in " + path);
+      throw std::runtime_error("checkpoint: optimizer state present but unused in " +
+                               path);
     }
     adam->load(in);
   }
@@ -158,12 +182,13 @@ struct RolloutWorker {
 /// Rolls out episode `episode` on worker `w` and computes its REINFORCE (or
 /// actor-critic) gradient into the worker's private parameter buffers, which
 /// are then moved into the returned outcome. All randomness comes from the
-/// worker's RNG reseeded with (seed + episode), so the result depends only on
-/// (options, episode index, parameter values) — not on which worker ran it.
+/// worker's RNG reseeded with mix_seed(seed + episode), so the result depends
+/// only on (options, episode index, parameter values) — not on which worker
+/// ran it.
 EpisodeOutcome run_episode(RolloutWorker& w, const LatencyModel& lat,
                            const InstanceSampler& sampler, const TrainOptions& opt,
                            int episode) {
-  w.rng.seed(opt.seed + static_cast<std::uint64_t>(episode));
+  w.rng.seed(mix_seed(opt.seed + static_cast<std::uint64_t>(episode)));
   std::mt19937_64& rng = w.rng;
   const ProblemInstance inst = sampler(rng);
   const TaskGraph& g = *inst.graph;
@@ -200,7 +225,8 @@ EpisodeOutcome run_episode(RolloutWorker& w, const LatencyModel& lat,
 
   for (int t = 0; t < T; ++t) {
     ActionDecision d = policy.decide(env, rng, /*greedy=*/false);
-    const double r = d.full ? env.apply_placement(*std::move(d.full)) : env.apply(d.action);
+    const double r =
+        d.full ? env.apply_placement(*std::move(d.full)) : env.apply(d.action);
     if (d.log_prob) {
       log_probs.push_back(std::move(d.log_prob));
       rewards.push_back(r);

@@ -103,7 +103,9 @@ void validate_train_options(const TrainOptions& opt);
 /// search behavior under identical conditions.
 ///
 /// Episode e draws all its randomness (instance, objective noise, initial
-/// placement, action sampling) from a private RNG seeded with seed + e, and
+/// placement, action sampling) from a private RNG seeded with a splitmix64
+/// mix of (seed + e) — mixed so adjacent episodes get decorrelated streams —
+/// and
 /// per-episode gradients are reduced into the optimizer in episode order, so
 /// the trajectory is a pure function of the options — independent of the
 /// rollout worker count and resumable mid-batch from a checkpoint.

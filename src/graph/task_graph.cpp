@@ -3,8 +3,49 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace giph {
+
+// The mutex member deletes the defaulted copy/move operations, so they are
+// spelled out: structural data transfers as usual, and the cache comes along
+// when valid (locking the source excludes a concurrent build_order on it).
+// The destination is never visible to other threads mid-construction, so its
+// own flag can be stored relaxed.
+TaskGraph::TaskGraph(const TaskGraph& other) { *this = other; }
+
+TaskGraph::TaskGraph(TaskGraph&& other) noexcept { *this = std::move(other); }
+
+TaskGraph& TaskGraph::operator=(const TaskGraph& other) {
+  if (this == &other) return *this;
+  std::lock_guard<std::mutex> lock(other.cache_mutex_);
+  tasks_ = other.tasks_;
+  edges_ = other.edges_;
+  in_edges_ = other.in_edges_;
+  out_edges_ = other.out_edges_;
+  cyclic_ = other.cyclic_;
+  topo_ = other.topo_;
+  levels_ = other.levels_;
+  cache_valid_.store(other.cache_valid_.load(std::memory_order_acquire),
+                     std::memory_order_relaxed);
+  return *this;
+}
+
+TaskGraph& TaskGraph::operator=(TaskGraph&& other) noexcept {
+  if (this == &other) return *this;
+  std::lock_guard<std::mutex> lock(other.cache_mutex_);
+  tasks_ = std::move(other.tasks_);
+  edges_ = std::move(other.edges_);
+  in_edges_ = std::move(other.in_edges_);
+  out_edges_ = std::move(other.out_edges_);
+  cyclic_ = other.cyclic_;
+  topo_ = std::move(other.topo_);
+  levels_ = std::move(other.levels_);
+  cache_valid_.store(other.cache_valid_.load(std::memory_order_acquire),
+                     std::memory_order_relaxed);
+  other.cache_valid_.store(false, std::memory_order_relaxed);
+  return *this;
+}
 
 int TaskGraph::add_task(Task t) {
   tasks_.push_back(std::move(t));
@@ -71,10 +112,18 @@ std::vector<int> TaskGraph::exit_tasks() const {
   return out;
 }
 
-void TaskGraph::invalidate_cache() const { cache_valid_ = false; }
+void TaskGraph::invalidate_cache() const {
+  cache_valid_.store(false, std::memory_order_relaxed);
+}
 
 void TaskGraph::build_order() const {
-  if (cache_valid_) return;
+  // Double-checked lock: once a release store published the cache, readers
+  // take the lock-free fast path; a cold cache is built by exactly one
+  // thread while late arrivals wait on the mutex. This is what lets rollout
+  // and evaluation workers share const graphs without a warmup pass.
+  if (cache_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_valid_.load(std::memory_order_relaxed)) return;
   const int n = num_tasks();
   topo_.clear();
   topo_.reserve(n);
@@ -97,7 +146,7 @@ void TaskGraph::build_order() const {
     }
   }
   cyclic_ = static_cast<int>(topo_.size()) != n;
-  cache_valid_ = true;
+  cache_valid_.store(true, std::memory_order_release);
 }
 
 bool TaskGraph::is_dag() const {

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -31,9 +33,18 @@ struct DataLink {
 /// order with per-node incoming/outgoing adjacency (edge-index lists).
 /// Structural queries (topological order, depth, levels) are computed lazily
 /// and cached; any mutation invalidates the cache.
+///
+/// Thread safety: concurrent *const* access is safe, including the first
+/// access that builds the lazy cache (double-checked lock in build_order) —
+/// parallel evaluation and rollout workers share const graphs freely.
+/// Mutation is not synchronized and must not overlap any other access.
 class TaskGraph {
  public:
   TaskGraph() = default;
+  TaskGraph(const TaskGraph& other);
+  TaskGraph(TaskGraph&& other) noexcept;
+  TaskGraph& operator=(const TaskGraph& other);
+  TaskGraph& operator=(TaskGraph&& other) noexcept;
 
   /// Adds a task, returning its id.
   int add_task(Task t);
@@ -148,7 +159,11 @@ class TaskGraph {
   std::vector<std::vector<int>> in_edges_;
   std::vector<std::vector<int>> out_edges_;
 
-  mutable bool cache_valid_ = false;
+  // Lazy-cache state. cache_valid_ is the double-checked-lock flag: readers
+  // fast-path on an acquire load; the builder publishes topo_/levels_/cyclic_
+  // with a release store while holding cache_mutex_.
+  mutable std::mutex cache_mutex_;
+  mutable std::atomic<bool> cache_valid_{false};
   mutable bool cyclic_ = false;
   mutable std::vector<int> topo_;
   mutable std::vector<int> levels_;

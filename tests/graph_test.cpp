@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <random>
 #include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
 
 namespace giph {
 namespace {
@@ -132,6 +137,77 @@ TEST(TaskGraph, Totals) {
   const TaskGraph g = diamond();
   EXPECT_DOUBLE_EQ(g.total_compute(), 1.0 + 2.0 + 3.0 + 4.0);
   EXPECT_DOUBLE_EQ(g.total_bytes(), 100.0);
+}
+
+TEST(TaskGraph, CopyAndMovePreserveStructureAndCache) {
+  TaskGraph g = diamond();
+  const std::vector<int> topo = g.topological_order();  // warm the cache
+
+  TaskGraph copy = g;
+  EXPECT_EQ(copy.num_tasks(), g.num_tasks());
+  EXPECT_EQ(copy.num_edges(), g.num_edges());
+  EXPECT_EQ(copy.topological_order(), topo);
+  copy.add_edge(1, 2, 5.0);  // mutating the copy must not touch the original
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_EQ(g.topological_order(), topo);
+
+  TaskGraph moved = std::move(g);
+  EXPECT_EQ(moved.num_tasks(), 4);
+  EXPECT_EQ(moved.topological_order(), topo);
+
+  TaskGraph assigned;
+  assigned = moved;
+  EXPECT_EQ(assigned.topological_order(), topo);
+}
+
+// Regression test for the parallel-rollout data race: many threads hit the
+// lazy topo/levels cache of a *cold* const graph at once. build_order's
+// double-checked lock must let exactly one thread build while the rest see
+// either "not ready" (and wait) or the fully published vectors. Run under
+// the TSan CI leg, where the pre-fix race is a hard failure.
+TEST(TaskGraph, ConcurrentColdCacheReadsAreSafe) {
+  for (int round = 0; round < 25; ++round) {
+    // A layered random DAG, rebuilt each round so every round starts cold.
+    std::mt19937_64 rng(1000 + round);
+    TaskGraph g;
+    const int n = 40;
+    for (int v = 0; v < n; ++v) g.add_task(Task{.compute = 1.0});
+    std::uniform_int_distribution<int> src(0, n - 2);
+    for (int e = 0; e < 80; ++e) {
+      const int u = src(rng);
+      std::uniform_int_distribution<int> dst(u + 1, n - 1);
+      const int v = dst(rng);
+      if (!g.has_edge(u, v)) g.add_edge(u, v, 1.0);
+    }
+    const TaskGraph& cg = g;
+    const std::vector<int> expected_topo = [&] {
+      // Reference from an independent warmed copy, not from cg.
+      TaskGraph ref = cg;
+      return ref.topological_order();
+    }();
+
+    constexpr int kThreads = 8;
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        ready.fetch_add(1);
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        if (cg.topological_order() != expected_topo) mismatches.fetch_add(1);
+        if (static_cast<int>(cg.levels().size()) != n) mismatches.fetch_add(1);
+        if (!cg.is_dag()) mismatches.fetch_add(1);
+      });
+    }
+    while (ready.load() != kThreads) {
+    }
+    go.store(true, std::memory_order_release);
+    for (std::thread& t : threads) t.join();
+    ASSERT_EQ(mismatches.load(), 0) << "round " << round;
+  }
 }
 
 }  // namespace

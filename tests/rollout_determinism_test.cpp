@@ -7,7 +7,9 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "baselines/random_policies.hpp"
@@ -116,6 +118,26 @@ TEST(RolloutDeterminism, PartialFinalBatchIsWorkerCountInvariant) {
   expect_bitwise_equal(sequential, parallel);
 }
 
+TEST(RolloutDeterminism, ParallelFirstRunOnFreshDatasetIsSafeAndIdentical) {
+  // The first thing that ever touches these graphs is the 8-worker batch, so
+  // several workers race to build each graph's lazy topo/levels cache —
+  // exactly the cold-start path a user hits calling train_reinforce with
+  // rollout_workers > 1 on a fresh dataset. The TSan CI leg turns any race
+  // here into a failure; the bitwise check below guards the result.
+  const Dataset fresh_a = small_dataset();
+  TrainOptions topt;
+  topt.episodes = 8;
+  topt.batch_episodes = 8;  // one big batch: all episodes fan out at once
+  topt.seed = 76;
+  topt.rollout_workers = 8;
+  const TrainResult parallel = train_giph(fresh_a, topt);
+
+  const Dataset fresh_b = small_dataset();  // same seed -> identical dataset
+  topt.rollout_workers = 1;
+  const TrainResult sequential = train_giph(fresh_b, topt);
+  expect_bitwise_equal(sequential, parallel);
+}
+
 TEST(RolloutDeterminism, MidBatchResumeUnderParallelRolloutsMatchesSequential) {
   const Dataset ds = small_dataset();
   const std::string path =
@@ -180,6 +202,34 @@ TEST(RolloutDeterminism, NonCloneablePolicyTrainsSequentially) {
   EXPECT_EQ(s1.episode_initial, s2.episode_initial);
   EXPECT_EQ(s1.episode_final, s2.episode_final);
   EXPECT_EQ(s1.episode_best, s2.episode_best);
+}
+
+TEST(RolloutDeterminism, ResumeFromV1CheckpointExplainsFormatChange) {
+  // v1 checkpoints (pre-parallel-rollout trainer) carried sequential RNG
+  // state the v2 trainer cannot honor. Resuming against one must fail with a
+  // message that names the format change, not a generic "bad header".
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "giph_v1_ckpt.txt").string();
+  {
+    std::ofstream out(path);
+    out << "reinforce-checkpoint v1\n0\n";
+  }
+  const Dataset ds = small_dataset();
+  GiPHAgent agent(GiPHOptions{});
+  TrainOptions topt;
+  topt.episodes = 2;
+  topt.resume = true;
+  topt.checkpoint_path = path;
+  try {
+    train_reinforce(agent, kLat, sampler_for(ds), topt);
+    FAIL() << "expected a v1-format error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("v1 format"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("delete it"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
 }
 
 TEST(TrainOptionsValidation, RejectsOutOfRangeValues) {
