@@ -484,13 +484,18 @@ FaultSimResult simulate_with_faults(const TaskGraph& g, const DeviceNetwork& n,
         } else {
           eff = {eff.first / a.factor, eff.second - a.delay_add};
         }
-        // Rescale in-flight transfers on the degraded link.
+        // Rescale in-flight transfers on the degraded link. A transfer still
+        // queued behind the NIC (serialize_transfers: wire start in the
+        // future) has all of its duration ahead of it, so anchor the rescale
+        // at its wire start, not at `t` - otherwise a revert could move the
+        // finish before the start.
         for (int e = 0; e < ne; ++e) {
           if (!edge_inflight[e] || edge_src_dev[e] != a.src || edge_dst_dev[e] != a.dst) {
             continue;
           }
-          const double remaining = edge_finish_at[e] - t;
-          edge_finish_at[e] = t + remaining * (eff.first / old_factor);
+          const double begun = std::max(t, sched.edge_start[e]);
+          const double remaining = edge_finish_at[e] - begun;
+          edge_finish_at[e] = begun + remaining * (eff.first / old_factor);
           pq.push(Event{edge_finish_at[e], seq++, EventKind::kTransferDone, e,
                         ++edge_version[e]});
         }

@@ -1,6 +1,7 @@
 #include "sim/trace.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -8,6 +9,10 @@ namespace giph {
 
 void write_schedule_csv(std::ostream& out, const TaskGraph& g, const DeviceNetwork& n,
                         const Placement& p, const Schedule& sched) {
+  // max_digits10 makes every time round-trip to the exact double: the default
+  // ostream precision (6) truncates, which silently disqualified CSV traces
+  // as exact fixtures. Restored below so the caller's stream is unchanged.
+  const auto saved_precision = out.precision(std::numeric_limits<double>::max_digits10);
   out << "kind,id,name,device,peer_device,start,finish\n";
   for (int v = 0; v < g.num_tasks(); ++v) {
     out << "task," << v << "," << (g.task(v).name.empty() ? "t" + std::to_string(v)
@@ -21,6 +26,7 @@ void write_schedule_csv(std::ostream& out, const TaskGraph& g, const DeviceNetwo
         << p.device_of(link.src) << "," << p.device_of(link.dst) << ","
         << sched.edge_start[e] << "," << sched.edge_finish[e] << "\n";
   }
+  out.precision(saved_precision);
   (void)n;
 }
 

@@ -9,7 +9,10 @@ namespace giph {
 
 /// Writes the schedule as CSV: one `task` row per task (id, name, device,
 /// start, finish) followed by one `edge` row per data link (id, src, dst,
-/// from_device, to_device, start, finish). Suitable for external plotting.
+/// from_device, to_device, start, finish). Times are written with
+/// max_digits10 precision, so parsing them back recovers the exact doubles:
+/// traces double as exact fixtures, not just plotting input. The stream's
+/// precision is restored before returning.
 void write_schedule_csv(std::ostream& out, const TaskGraph& g, const DeviceNetwork& n,
                         const Placement& p, const Schedule& sched);
 

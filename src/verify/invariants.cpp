@@ -1,0 +1,329 @@
+#include "verify/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace giph {
+namespace {
+
+constexpr double kUnset = -1.0;
+
+/// Collects violations with printf-free formatting; every check funnels
+/// through fail() so the report carries all findings, not just the first.
+class Collector {
+ public:
+  explicit Collector(InvariantReport& report) : report_(report) {}
+
+  template <typename... Parts>
+  void fail(const Parts&... parts) {
+    std::ostringstream out;
+    out.precision(17);
+    (out << ... << parts);
+    report_.violations.push_back(out.str());
+  }
+
+ private:
+  InvariantReport& report_;
+};
+
+bool completed(const Schedule& s, int v) { return s.tasks[v].finish >= 0.0; }
+
+}  // namespace
+
+std::string InvariantReport::summary() const {
+  std::string out;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) out += '\n';
+    out += violations[i];
+  }
+  return out;
+}
+
+InvariantReport check_schedule(const TaskGraph& g, const DeviceNetwork& n,
+                               const Placement& p, const LatencyModel& lat,
+                               const Schedule& sched, const CheckOptions& opt) {
+  InvariantReport report;
+  Collector c(report);
+  const int nv = g.num_tasks();
+  const int ne = g.num_edges();
+
+  if (static_cast<int>(sched.tasks.size()) != nv ||
+      static_cast<int>(sched.edge_start.size()) != ne ||
+      static_cast<int>(sched.edge_finish.size()) != ne || p.num_tasks() != nv) {
+    c.fail("shape: schedule/placement arrays do not match the graph (",
+           sched.tasks.size(), " tasks, ", sched.edge_start.size(), " edges for a ", nv,
+           "-task ", ne, "-edge graph)");
+    return report;  // everything below indexes by task/edge id
+  }
+
+  // Placement feasibility: in-range device honoring pin and hw mask.
+  for (int v = 0; v < nv; ++v) {
+    const int d = p.device_of(v);
+    if (d < 0 || d >= n.num_devices()) {
+      c.fail("placement: task ", v, " on out-of-range device ", d);
+      return report;
+    }
+    const Task& t = g.task(v);
+    if (t.pinned >= 0 && d != t.pinned) {
+      c.fail("placement: task ", v, " pinned to device ", t.pinned, " but placed on ", d);
+    } else if (t.pinned < 0 &&
+               (t.requires_hw & n.device(d).supports_hw) != t.requires_hw) {
+      c.fail("placement: task ", v, " requires hw ", t.requires_hw,
+             " unsupported by device ", d);
+    }
+  }
+
+  // Per-task sanity. In complete mode every task ran; in incomplete (fault)
+  // mode unfinished tasks must be fully unset, never half-recorded.
+  for (int v = 0; v < nv; ++v) {
+    const TaskTiming& t = sched.tasks[v];
+    if (!completed(sched, v)) {
+      if (!opt.allow_incomplete) {
+        c.fail("task ", v, ": never completed (finish ", t.finish, ")");
+      } else if (t.start != kUnset || t.finish != kUnset) {
+        c.fail("task ", v, ": stranded but has recorded times (start ", t.start,
+               ", finish ", t.finish, ")");
+      }
+      continue;
+    }
+    if (!std::isfinite(t.start) || !std::isfinite(t.finish)) {
+      c.fail("task ", v, ": non-finite times (start ", t.start, ", finish ", t.finish,
+             ")");
+    }
+    if (t.start < 0.0) c.fail("task ", v, ": starts before t=0 (", t.start, ")");
+    if (t.finish < t.start) {
+      c.fail("task ", v, ": finish ", t.finish, " precedes start ", t.start);
+    }
+  }
+  if (!report.ok()) return report;  // timing checks below assume sane values
+
+  // Task durations against the latency model. Noise-free runs must reproduce
+  // finish == start + w with the exact same rounding; noisy runs must land in
+  // the draw interval (addition is monotone, so the bounds are exact too).
+  if (!opt.allow_incomplete) {
+    for (int v = 0; v < nv; ++v) {
+      const TaskTiming& t = sched.tasks[v];
+      const double w = lat.compute_time(g, n, v, p.device_of(v));
+      if (opt.noise <= 0.0) {
+        if (t.finish != t.start + w) {
+          c.fail("task ", v, ": duration mismatch, finish ", t.finish, " != start ",
+                 t.start, " + expected ", w);
+        }
+      } else if (t.finish < t.start + w * (1.0 - opt.noise) ||
+                 t.finish > t.start + w * (1.0 + opt.noise)) {
+        c.fail("task ", v, ": noisy duration outside [", w * (1.0 - opt.noise), ", ",
+               w * (1.0 + opt.noise), "]: start ", t.start, " finish ", t.finish);
+      }
+    }
+  }
+
+  // Edge checks: a transfer exists iff its producer finished, starts at the
+  // producer's finish (or later, behind the NIC, for remote sends under
+  // contention), and its consumer waits for it.
+  for (int e = 0; e < ne; ++e) {
+    const DataLink& link = g.edge(e);
+    const double es = sched.edge_start[e];
+    const double ef = sched.edge_finish[e];
+    if (!completed(sched, link.src)) {
+      if (es != kUnset || ef != kUnset) {
+        c.fail("edge ", e, ": producer ", link.src, " never finished but transfer has ",
+               "times (start ", es, ", finish ", ef, ")");
+      }
+      continue;
+    }
+    if (es < 0.0 || ef < 0.0 || !std::isfinite(es) || !std::isfinite(ef)) {
+      c.fail("edge ", e, ": producer finished but transfer times invalid (start ", es,
+             ", finish ", ef, ")");
+      continue;
+    }
+    if (ef < es) c.fail("edge ", e, ": finish ", ef, " precedes start ", es);
+    const double src_finish = sched.tasks[link.src].finish;
+    const int du = p.device_of(link.src);
+    const int dv = p.device_of(link.dst);
+    const bool nic_queued = opt.serialize_transfers && du != dv;
+    if (nic_queued ? es < src_finish : es != src_finish) {
+      c.fail("edge ", e, ": transfer starts at ", es, " but producer ", link.src,
+             " finishes at ", src_finish);
+    }
+    if (!opt.allow_incomplete) {
+      const double comm = lat.comm_time(g, n, e, du, dv);
+      if (opt.noise <= 0.0) {
+        if (ef != es + comm) {
+          c.fail("edge ", e, ": duration mismatch, finish ", ef, " != start ", es,
+                 " + expected ", comm);
+        }
+      } else if (ef < es + comm * (1.0 - opt.noise) ||
+                 ef > es + comm * (1.0 + opt.noise)) {
+        c.fail("edge ", e, ": noisy duration outside bounds: start ", es, " finish ", ef,
+               " expected ", comm, " sigma ", opt.noise);
+      }
+    }
+    if (completed(sched, link.dst) && sched.tasks[link.dst].start < ef) {
+      c.fail("edge ", e, ": consumer ", link.dst, " starts at ",
+             sched.tasks[link.dst].start, " before its input arrives at ", ef);
+    }
+  }
+
+  // Ready time of each completed task: the arrival of its last input (entry
+  // tasks are ready at 0). Unset when an input never arrived, which is itself
+  // a violation for a completed task.
+  std::vector<double> ready(nv, kUnset);
+  for (int v = 0; v < nv; ++v) {
+    if (!completed(sched, v)) continue;
+    double r = 0.0;
+    bool known = true;
+    for (int e : g.in_edges(v)) {
+      if (sched.edge_finish[e] < 0.0) {
+        known = false;
+        break;
+      }
+      r = std::max(r, sched.edge_finish[e]);
+    }
+    if (!known) {
+      c.fail("task ", v, ": completed but an input transfer never arrived");
+      continue;
+    }
+    ready[v] = r;
+    if (sched.tasks[v].start < r) {
+      c.fail("task ", v, ": starts at ", sched.tasks[v].start,
+             " before its last input arrives at ", r);
+    }
+  }
+
+  // Per-device checks: capacity, FIFO service order, start-time provenance,
+  // and NIC serialization.
+  for (int d = 0; d < n.num_devices(); ++d) {
+    std::vector<int> on_device;
+    for (int v = 0; v < nv; ++v) {
+      if (p.device_of(v) == d && completed(sched, v)) on_device.push_back(v);
+    }
+
+    // Capacity: sweep starts (+1) and finishes (-1); a finish and a start at
+    // the same instant do not overlap, so finishes sort first.
+    std::vector<std::pair<double, int>> sweep;
+    for (int v : on_device) {
+      sweep.emplace_back(sched.tasks[v].start, +1);
+      sweep.emplace_back(sched.tasks[v].finish, -1);
+    }
+    std::sort(sweep.begin(), sweep.end());
+    int concurrent = 0, peak = 0;
+    for (const auto& [time, delta] : sweep) {
+      concurrent += delta;
+      peak = std::max(peak, concurrent);
+    }
+    if (peak > n.device(d).cores) {
+      c.fail("device ", d, ": runs ", peak, " tasks concurrently but has ",
+             n.device(d).cores, " core(s)");
+    }
+
+    // FIFO: a strictly earlier ready time must not start later.
+    for (int u : on_device) {
+      for (int v : on_device) {
+        if (u == v || ready[u] == kUnset || ready[v] == kUnset) continue;
+        if (ready[u] < ready[v] && sched.tasks[u].start > sched.tasks[v].start) {
+          c.fail("device ", d, ": FIFO violated, task ", u, " ready at ", ready[u],
+                 " starts at ", sched.tasks[u].start, " after task ", v, " (ready ",
+                 ready[v], ", start ", sched.tasks[v].start, ")");
+        }
+      }
+    }
+
+    // Work conservation (complete runs): a task starts the moment it became
+    // ready, or the moment a task on its device finished and freed a core.
+    if (!opt.allow_incomplete) {
+      for (int v : on_device) {
+        const double s = sched.tasks[v].start;
+        if (s == ready[v]) continue;
+        bool freed = false;
+        for (int u : on_device) {
+          if (u != v && sched.tasks[u].finish == s) {
+            freed = true;
+            break;
+          }
+        }
+        if (!freed) {
+          c.fail("device ", d, ": task ", v, " starts at ", s, " though it was ready at ",
+                 ready[v], " and no task finished then (idle device, waiting task)");
+        }
+      }
+    }
+
+    // NIC serialization: remote sends of one device must not overlap. Only
+    // checkable for benign runs: a link degrade firing mid-transfer stretches
+    // sends that were already dispatched on the pre-fault NIC timeline.
+    if (opt.serialize_transfers && !opt.allow_incomplete) {
+      std::vector<std::pair<double, double>> sends;
+      for (int e = 0; e < ne; ++e) {
+        if (p.device_of(g.edge(e).src) != d || p.device_of(g.edge(e).dst) == d) continue;
+        if (sched.edge_start[e] < 0.0) continue;
+        sends.emplace_back(sched.edge_start[e], sched.edge_finish[e]);
+      }
+      std::sort(sends.begin(), sends.end());
+      for (std::size_t i = 1; i < sends.size(); ++i) {
+        if (sends[i].first < sends[i - 1].second) {
+          c.fail("device ", d, ": NIC overlap, remote send [", sends[i].first, ", ",
+                 sends[i].second, ") overlaps [", sends[i - 1].first, ", ",
+                 sends[i - 1].second, ")");
+        }
+      }
+    }
+  }
+
+  // Makespan spans (completed) tasks exactly.
+  double first_start = std::numeric_limits<double>::infinity();
+  double last_finish = -std::numeric_limits<double>::infinity();
+  for (int v = 0; v < nv; ++v) {
+    if (!completed(sched, v)) continue;
+    first_start = std::min(first_start, sched.tasks[v].start);
+    last_finish = std::max(last_finish, sched.tasks[v].finish);
+  }
+  const double expected_makespan =
+      last_finish >= first_start ? last_finish - first_start : 0.0;
+  if (sched.makespan != expected_makespan) {
+    c.fail("makespan ", sched.makespan, " != max finish - min start = ",
+           expected_makespan);
+  }
+
+  return report;
+}
+
+InvariantReport check_fault_result(const TaskGraph& g, const DeviceNetwork& n,
+                                   const Placement& p, const LatencyModel& lat,
+                                   const FaultSimResult& result,
+                                   const CheckOptions& opt) {
+  CheckOptions relaxed = opt;
+  relaxed.allow_incomplete = true;
+  InvariantReport report = check_schedule(g, n, p, lat, result.schedule, relaxed);
+  Collector c(report);
+  if (static_cast<int>(result.schedule.tasks.size()) != g.num_tasks()) {
+    return report;  // shape violation already recorded; the rest indexes by id
+  }
+
+  // `stranded` must list exactly the unfinished tasks, ascending.
+  std::vector<int> unfinished;
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    if (result.schedule.tasks[v].finish < 0.0) unfinished.push_back(v);
+  }
+  if (result.stranded != unfinished) {
+    c.fail("stranded list does not match unfinished tasks (", result.stranded.size(),
+           " listed, ", unfinished.size(), " unfinished)");
+  }
+
+  // A completed task implies completed parents with delivered transfers
+  // (check_schedule already flags missing arrivals; flag the parent relation
+  // explicitly for a better message).
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const DataLink& link = g.edge(e);
+    if (result.schedule.tasks[link.dst].finish >= 0.0 &&
+        result.schedule.tasks[link.src].finish < 0.0) {
+      c.fail("task ", link.dst, " completed though parent ", link.src, " is stranded");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace giph

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+
+namespace giph {
+
+/// Result of validating a Schedule against first principles. Empty violations
+/// means the schedule is consistent with the Appendix B.5 execution model.
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  bool ok() const noexcept { return violations.empty(); }
+  /// All violations joined into one newline-separated string ("" when ok).
+  std::string summary() const;
+};
+
+/// What check_schedule is allowed to assume about how the schedule was
+/// produced. Mirrors the SimOptions the simulation ran with.
+struct CheckOptions {
+  /// Noise sigma the run used. 0 demands exact Eq. 2-3 durations; sigma > 0
+  /// relaxes every duration to the draw interval [x(1-sigma), x(1+sigma)].
+  double noise = 0.0;
+  /// The run serialized remote sends through per-device NICs: transfers may
+  /// start after the producer finished, but a device's remote sends must not
+  /// overlap each other.
+  bool serialize_transfers = false;
+  /// Fault-injection runs: tasks with finish < 0 are stranded, not missing.
+  /// Completed tasks are still held to precedence / capacity / FIFO rules,
+  /// but duration checks and start-time provenance are skipped (faults
+  /// rescale in-flight work).
+  bool allow_incomplete = false;
+};
+
+/// Validates `sched` for (g, n, p, lat) against first principles, sharing no
+/// logic with the simulator:
+///   - shape: per-task and per-edge arrays sized to the graph;
+///   - placement: every task on an in-range device satisfying its pin and
+///     hardware-requirement mask;
+///   - sanity: starts/finishes finite, start <= finish, nothing before t = 0;
+///   - precedence: each transfer starts at (without contention: exactly at)
+///     its producer's finish, finishes after it starts, and its consumer
+///     starts no earlier than the arrival of every input;
+///   - durations: noise-free runs must reproduce the latency model exactly
+///     (finish == start + w bitwise, same for edges); noisy runs must stay
+///     inside the draw interval;
+///   - capacity: at no time does a device run more tasks than it has cores
+///     (a finish and a start at the same instant do not overlap);
+///   - FIFO: tasks on one device start in the order their inputs arrived
+///     (strictly earlier ready time implies no later start);
+///   - work conservation: a task starts either the moment it became ready or
+///     the moment another task on its device finished (complete runs only);
+///   - NIC: under serialize_transfers, a device's remote sends are pairwise
+///     non-overlapping;
+///   - makespan equals max finish - min start over (completed) tasks.
+///
+/// Reports every violation found, not just the first.
+InvariantReport check_schedule(const TaskGraph& g, const DeviceNetwork& n,
+                               const Placement& p, const LatencyModel& lat,
+                               const Schedule& sched, const CheckOptions& opt = {});
+
+/// Validates a fault-injection run: runs check_schedule in allow_incomplete
+/// mode (durations unchecked - faults rescale in-flight work) and additionally
+/// checks the stranded bookkeeping: `stranded` lists exactly the unfinished
+/// tasks in ascending order, stranded tasks have no recorded start, and every
+/// completed task's parents all completed with their transfers delivered.
+InvariantReport check_fault_result(const TaskGraph& g, const DeviceNetwork& n,
+                                   const Placement& p, const LatencyModel& lat,
+                                   const FaultSimResult& result,
+                                   const CheckOptions& opt = {});
+
+}  // namespace giph

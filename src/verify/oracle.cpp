@@ -1,0 +1,198 @@
+#include "verify/oracle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace giph {
+namespace {
+
+// One pending event in the oracle's flat event list. `order` is the creation
+// index; (time, order) totally orders events, so a linear scan for the
+// minimum reproduces exactly the pop sequence any correct priority queue
+// would produce.
+struct OracleEvent {
+  double time = 0.0;
+  long order = 0;
+  bool transfer = false;  // false = task completion, true = edge arrival
+  int id = -1;            // task id or edge id
+};
+
+double draw(double expected, const SimOptions& opt) {
+  if (opt.noise <= 0.0) return expected;
+  std::uniform_real_distribution<double> u(expected * (1.0 - opt.noise),
+                                           expected * (1.0 + opt.noise));
+  return u(*opt.rng);
+}
+
+// First-principles feasibility: every task sits on an in-range device that is
+// either its pinned device or supports its hardware-requirement mask.
+bool placement_feasible(const TaskGraph& g, const DeviceNetwork& n, const Placement& p) {
+  if (p.num_tasks() != g.num_tasks()) return false;
+  for (int v = 0; v < g.num_tasks(); ++v) {
+    const int d = p.device_of(v);
+    if (d < 0 || d >= n.num_devices()) return false;
+    const Task& t = g.task(v);
+    if (t.pinned >= 0) {
+      if (d != t.pinned) return false;
+    } else if ((t.requires_hw & n.device(d).supports_hw) != t.requires_hw) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Own acyclicity check (Kahn's algorithm on a scratch in-degree array), so the
+// oracle does not depend on TaskGraph's cached topological order.
+bool acyclic(const TaskGraph& g) {
+  const int nv = g.num_tasks();
+  std::vector<int> indeg(nv, 0);
+  for (const DataLink& e : g.edges()) ++indeg[e.dst];
+  std::vector<int> frontier;
+  for (int v = 0; v < nv; ++v) {
+    if (indeg[v] == 0) frontier.push_back(v);
+  }
+  int visited = 0;
+  while (!frontier.empty()) {
+    const int v = frontier.back();
+    frontier.pop_back();
+    ++visited;
+    for (int e : g.out_edges(v)) {
+      if (--indeg[g.edge(e).dst] == 0) frontier.push_back(g.edge(e).dst);
+    }
+  }
+  return visited == nv;
+}
+
+}  // namespace
+
+Schedule oracle_simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                         const LatencyModel& lat, const SimOptions& opt) {
+  validate_sim_options(opt, "oracle_simulate");
+  if (!placement_feasible(g, n, p)) {
+    throw std::invalid_argument("oracle_simulate: infeasible placement");
+  }
+  if (!acyclic(g)) {
+    throw std::logic_error("oracle_simulate: cyclic task graph");
+  }
+
+  const int nv = g.num_tasks();
+  const int ne = g.num_edges();
+  const int nd = n.num_devices();
+
+  Schedule out;
+  out.tasks.assign(nv, TaskTiming{-1.0, -1.0});
+  out.edge_start.assign(ne, -1.0);
+  out.edge_finish.assign(ne, -1.0);
+  out.makespan = 0.0;
+  if (nv == 0) return out;
+
+  std::vector<OracleEvent> pending;
+  long next_order = 0;
+  std::vector<std::vector<int>> waiting(nd);  // FIFO of runnable-but-queued tasks
+  std::vector<double> nic_busy_until(nd, 0.0);
+
+  // Occupancy is re-derived on demand instead of kept in a counter: a device
+  // is running exactly its placed tasks that have started but not finished.
+  auto tasks_running_on = [&](int d) {
+    int count = 0;
+    for (int v = 0; v < nv; ++v) {
+      if (p.device_of(v) == d && out.tasks[v].start >= 0.0 && out.tasks[v].finish < 0.0) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  auto begin_execution = [&](int v, double t) {
+    const int d = p.device_of(v);
+    out.tasks[v].start = t;
+    const double w = draw(lat.compute_time(g, n, v, d), opt);
+    pending.push_back(OracleEvent{t + w, next_order++, false, v});
+  };
+
+  // A task whose inputs have all arrived either begins immediately (free core,
+  // nobody queued ahead) or joins its device's FIFO.
+  auto on_runnable = [&](int v, double t) {
+    const int d = p.device_of(v);
+    if (waiting[d].empty() && tasks_running_on(d) < n.device(d).cores) {
+      begin_execution(v, t);
+    } else {
+      waiting[d].push_back(v);
+    }
+  };
+
+  // Entry tasks are runnable at t = 0 in task-id order.
+  for (int v = 0; v < nv; ++v) {
+    if (g.in_degree(v) == 0) on_runnable(v, 0.0);
+  }
+
+  while (!pending.empty()) {
+    // Earliest (time, creation order) event, found by plain linear scan.
+    std::size_t at = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+      if (pending[i].time < pending[at].time ||
+          (pending[i].time == pending[at].time && pending[i].order < pending[at].order)) {
+        at = i;
+      }
+    }
+    const OracleEvent ev = pending[at];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(at));
+
+    if (!ev.transfer) {
+      const int v = ev.id;
+      out.tasks[v].finish = ev.time;
+      const int d = p.device_of(v);
+      // Outputs go out to every child's device, in out-edge order:
+      // contention-free and concurrent in the paper's model, back-to-back
+      // through the sender's NIC when serialize_transfers is on.
+      for (int e : g.out_edges(v)) {
+        const int dst_dev = p.device_of(g.edge(e).dst);
+        const double c = draw(lat.comm_time(g, n, e, d, dst_dev), opt);
+        double start = ev.time;
+        if (opt.serialize_transfers && dst_dev != d) {
+          start = std::max(start, nic_busy_until[d]);
+          nic_busy_until[d] = start + c;
+        }
+        out.edge_start[e] = start;
+        pending.push_back(OracleEvent{start + c, next_order++, true, e});
+      }
+      // The freed core serves the next queued task, if any.
+      if (!waiting[d].empty() && tasks_running_on(d) < n.device(d).cores) {
+        const int next = waiting[d].front();
+        waiting[d].erase(waiting[d].begin());
+        begin_execution(next, ev.time);
+      }
+    } else {
+      const int e = ev.id;
+      out.edge_finish[e] = ev.time;
+      const int child = g.edge(e).dst;
+      // Re-scan the child's inputs from scratch: it becomes runnable exactly
+      // when its last input arrives.
+      bool all_arrived = true;
+      for (int in_e : g.in_edges(child)) {
+        if (out.edge_finish[in_e] < 0.0) {
+          all_arrived = false;
+          break;
+        }
+      }
+      if (all_arrived) on_runnable(child, ev.time);
+    }
+  }
+
+  for (int v = 0; v < nv; ++v) {
+    if (out.tasks[v].finish < 0.0) {
+      throw std::logic_error("oracle_simulate: not all tasks completed");
+    }
+  }
+
+  double first_start = out.tasks[0].start, last_finish = out.tasks[0].finish;
+  for (const TaskTiming& t : out.tasks) {
+    first_start = std::min(first_start, t.start);
+    last_finish = std::max(last_finish, t.finish);
+  }
+  out.makespan = last_finish - first_start;
+  return out;
+}
+
+}  // namespace giph

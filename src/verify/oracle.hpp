@@ -1,0 +1,37 @@
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace giph {
+
+/// Reference oracle simulator: an independent, deliberately naive
+/// re-implementation of the Appendix B.5 execution model, used only to
+/// cross-check the production simulator (differential testing).
+///
+/// Semantics implemented from first principles, sharing nothing with
+/// simulate() beyond the data types:
+///   - each device runs at most `cores` tasks at a time, non-preemptively,
+///     serving runnable tasks in the order they became runnable (FIFO);
+///   - a task is runnable once every parent output has arrived at its device;
+///     entry tasks are runnable at t = 0 in task-id order;
+///   - transfers are contention-free and overlap with computation
+///     (opt.serialize_transfers queues a device's remote sends at its NIC);
+///   - latencies follow the LatencyModel (Eqs. 2-3 for the default model);
+///   - with opt.noise > 0, every realized duration is drawn uniformly from
+///     [x(1-sigma), x(1+sigma)], one draw per task start and per transfer.
+///
+/// Implementation is a direct event-list interpretation: pending events live
+/// in a flat list scanned linearly for the earliest (time, creation order)
+/// entry; runnability is re-derived by scanning a task's in-edges; device
+/// occupancy is re-counted by scanning started-but-unfinished tasks. No event
+/// heap, no dependency counters, no workspace reuse, no index structures -
+/// O(V * E * D)-ish and proud of it. The output is bitwise identical to
+/// simulate() for every input, including the noise draw sequence.
+///
+/// Throws std::invalid_argument for bad options or infeasible placements and
+/// std::logic_error for cyclic graphs, like simulate(). Does not count toward
+/// simulation_count(): the oracle is a verifier, not a production code path.
+Schedule oracle_simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                         const LatencyModel& lat, const SimOptions& opt = {});
+
+}  // namespace giph

@@ -14,9 +14,12 @@
 #include "gen/dataset.hpp"
 #include "heft/heft.hpp"
 #include "sim/schedule_index.hpp"
+#include "testutil.hpp"
 
 namespace giph {
 namespace {
+
+using testutil::expect_schedules_bitwise_equal;
 
 const DefaultLatencyModel kLat;
 
@@ -31,21 +34,6 @@ Dataset varied_dataset(std::uint64_t seed) {
   NetworkParams wide;
   wide.num_devices = 8;
   return generate_dataset({small, big}, {tight, wide}, 6, 2, rng);
-}
-
-void expect_schedules_bitwise_equal(const Schedule& a, const Schedule& b) {
-  ASSERT_EQ(a.tasks.size(), b.tasks.size());
-  ASSERT_EQ(a.edge_start.size(), b.edge_start.size());
-  ASSERT_EQ(a.edge_finish.size(), b.edge_finish.size());
-  EXPECT_EQ(a.makespan, b.makespan);
-  for (std::size_t v = 0; v < a.tasks.size(); ++v) {
-    EXPECT_EQ(a.tasks[v].start, b.tasks[v].start);
-    EXPECT_EQ(a.tasks[v].finish, b.tasks[v].finish);
-  }
-  for (std::size_t e = 0; e < a.edge_start.size(); ++e) {
-    EXPECT_EQ(a.edge_start[e], b.edge_start[e]);
-    EXPECT_EQ(a.edge_finish[e], b.edge_finish[e]);
-  }
 }
 
 TEST(SimWorkspace, SimulateIntoMatchesSimulateBitwiseAcrossReuse) {

@@ -4,39 +4,17 @@
 
 #include "gen/device_network_gen.hpp"
 #include "gen/task_graph_gen.hpp"
+#include "testutil.hpp"
 
 namespace giph {
 namespace {
 
+using testutil::alternating3;
+using testutil::chain3;
+using testutil::expect_schedules_bitwise_equal;
+using testutil::two_devices;
+
 const DefaultLatencyModel kLat;
-
-DeviceNetwork two_devices() {
-  DeviceNetwork n;
-  n.add_device(Device{.speed = 1.0});
-  n.add_device(Device{.speed = 2.0});
-  n.set_symmetric_link(0, 1, 2.0, 1.0);  // bandwidth 2 bytes/time, delay 1
-  return n;
-}
-
-/// Chain 0 -> 1 -> 2 placed d0, d1, d0: hand-computed timings in
-/// simulator_test.cpp (t1 runs [7, 9] on device 1, makespan 24).
-TaskGraph chain3() {
-  TaskGraph g;
-  g.add_task(Task{.compute = 2.0});
-  g.add_task(Task{.compute = 4.0});
-  g.add_task(Task{.compute = 6.0});
-  g.add_edge(0, 1, 8.0);
-  g.add_edge(1, 2, 16.0);
-  return g;
-}
-
-Placement alternating3() {
-  Placement p(3);
-  p.set(0, 0);
-  p.set(1, 1);
-  p.set(2, 0);
-  return p;
-}
 
 TEST(Faults, EmptyPlanReducesToSimulateNoiseFree) {
   const TaskGraph g = chain3();
@@ -46,25 +24,11 @@ TEST(Faults, EmptyPlanReducesToSimulateNoiseFree) {
   const Schedule expected = simulate(g, n, p, kLat);
   const FaultSimResult r = simulate_with_faults(g, n, p, kLat, FaultPlan{});
   ASSERT_TRUE(r.completed());
-  EXPECT_EQ(r.schedule.makespan, expected.makespan);
-  for (int v = 0; v < g.num_tasks(); ++v) {
-    EXPECT_EQ(r.schedule.tasks[v].start, expected.tasks[v].start);
-    EXPECT_EQ(r.schedule.tasks[v].finish, expected.tasks[v].finish);
-  }
-  for (int e = 0; e < g.num_edges(); ++e) {
-    EXPECT_EQ(r.schedule.edge_start[e], expected.edge_start[e]);
-    EXPECT_EQ(r.schedule.edge_finish[e], expected.edge_finish[e]);
-  }
+  expect_schedules_bitwise_equal(r.schedule, expected);
 }
 
 TEST(Faults, EmptyPlanReducesToSimulateUnderNoise) {
-  std::mt19937_64 rng(99);
-  const TaskGraphParams gp{.num_tasks = 16};
-  const NetworkParams np{.num_devices = 5};
-  const TaskGraph g = generate_task_graph(gp, rng);
-  DeviceNetwork n = generate_device_network(np, rng);
-  ensure_feasible(g, n, rng);
-  const Placement p = random_placement(g, n, rng);
+  const auto [g, n, p] = testutil::random_case(99);
 
   // Identical noise draws require identical engine states and draw order.
   std::mt19937_64 rng_a(1234), rng_b(1234);
@@ -72,25 +36,11 @@ TEST(Faults, EmptyPlanReducesToSimulateUnderNoise) {
   const FaultSimResult r =
       simulate_with_faults(g, n, p, kLat, FaultPlan{}, SimOptions{0.3, &rng_b});
   ASSERT_TRUE(r.completed());
-  for (int v = 0; v < g.num_tasks(); ++v) {
-    EXPECT_EQ(r.schedule.tasks[v].start, expected.tasks[v].start);
-    EXPECT_EQ(r.schedule.tasks[v].finish, expected.tasks[v].finish);
-  }
-  for (int e = 0; e < g.num_edges(); ++e) {
-    EXPECT_EQ(r.schedule.edge_start[e], expected.edge_start[e]);
-    EXPECT_EQ(r.schedule.edge_finish[e], expected.edge_finish[e]);
-  }
-  EXPECT_EQ(r.schedule.makespan, expected.makespan);
+  expect_schedules_bitwise_equal(r.schedule, expected);
 }
 
 TEST(Faults, DeterministicAcrossRuns) {
-  std::mt19937_64 rng(7);
-  const TaskGraphParams gp{.num_tasks = 20};
-  const NetworkParams np{.num_devices = 6};
-  const TaskGraph g = generate_task_graph(gp, rng);
-  DeviceNetwork n = generate_device_network(np, rng);
-  ensure_feasible(g, n, rng);
-  const Placement p = random_placement(g, n, rng);
+  const auto [g, n, p] = testutil::random_case(7, 20, 6);
 
   std::mt19937_64 plan_rng_a(42), plan_rng_b(42);
   FaultPlanParams fp;
@@ -113,15 +63,7 @@ TEST(Faults, DeterministicAcrossRuns) {
       simulate_with_faults(g, n, p, kLat, plan_b, SimOptions{0.2, &sim_b});
   EXPECT_EQ(a.stranded, b.stranded);
   EXPECT_EQ(a.failed_devices, b.failed_devices);
-  EXPECT_EQ(a.schedule.makespan, b.schedule.makespan);
-  for (int v = 0; v < g.num_tasks(); ++v) {
-    EXPECT_EQ(a.schedule.tasks[v].start, b.schedule.tasks[v].start);
-    EXPECT_EQ(a.schedule.tasks[v].finish, b.schedule.tasks[v].finish);
-  }
-  for (int e = 0; e < g.num_edges(); ++e) {
-    EXPECT_EQ(a.schedule.edge_start[e], b.schedule.edge_start[e]);
-    EXPECT_EQ(a.schedule.edge_finish[e], b.schedule.edge_finish[e]);
-  }
+  expect_schedules_bitwise_equal(a.schedule, b.schedule);
 }
 
 TEST(Faults, CrashStrandsRunningAndDownstreamTasks) {

@@ -1,0 +1,131 @@
+// Golden-schedule regression corpus: each tests/data/golden/*.txt file holds
+// a hand-checkable (graph, network, placement) triple in the repo's v1 text
+// formats plus the exact expected task/edge start/finish times. The simulator
+// and the reference oracle must both reproduce every number bitwise; the
+// invariant checker must accept the result. A change in any of these numbers
+// is a semantic change to the cost model and must be deliberate.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/serialization.hpp"
+#include "sim/simulator.hpp"
+#include "verify/invariants.hpp"
+#include "verify/oracle.hpp"
+
+namespace giph {
+namespace {
+
+const DefaultLatencyModel kLat;
+
+struct GoldenCase {
+  std::string name;
+  TaskGraph graph;
+  DeviceNetwork network;
+  Placement placement;
+  Schedule expected;
+};
+
+// '#' lines are comments (the hand derivation); everything else feeds the v1
+// parsers followed by an "expected v1" block.
+GoldenCase load_golden(const std::filesystem::path& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open golden case: " + path.string());
+  std::stringstream clean;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    clean << line << '\n';
+  }
+
+  GoldenCase c;
+  c.name = path.filename().string();
+  c.graph = read_task_graph(clean);
+  c.network = read_device_network(clean);
+  c.placement = read_placement(clean);
+
+  std::string kind, version;
+  clean >> kind >> version;
+  if (kind != "expected" || version != "v1") {
+    throw std::runtime_error(c.name + ": expected 'expected v1' block");
+  }
+  int nv = 0, ne = 0;
+  clean >> nv >> ne;
+  if (!clean || nv != c.graph.num_tasks() || ne != c.graph.num_edges()) {
+    throw std::runtime_error(c.name + ": expected-block counts disagree with the graph");
+  }
+  c.expected.tasks.resize(nv);
+  for (int v = 0; v < nv; ++v) {
+    clean >> c.expected.tasks[v].start >> c.expected.tasks[v].finish;
+  }
+  c.expected.edge_start.resize(ne);
+  c.expected.edge_finish.resize(ne);
+  for (int e = 0; e < ne; ++e) {
+    clean >> c.expected.edge_start[e] >> c.expected.edge_finish[e];
+  }
+  clean >> c.expected.makespan;
+  if (!clean) throw std::runtime_error(c.name + ": truncated expected block");
+  return c;
+}
+
+std::vector<std::filesystem::path> golden_files() {
+  const std::filesystem::path dir =
+      std::filesystem::path(GIPH_SOURCE_DIR) / "tests" / "data" / "golden";
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".txt") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void expect_matches(const GoldenCase& c, const Schedule& got, const char* which) {
+  for (int v = 0; v < c.graph.num_tasks(); ++v) {
+    EXPECT_EQ(got.tasks[v].start, c.expected.tasks[v].start)
+        << c.name << " " << which << " task " << v;
+    EXPECT_EQ(got.tasks[v].finish, c.expected.tasks[v].finish)
+        << c.name << " " << which << " task " << v;
+  }
+  for (int e = 0; e < c.graph.num_edges(); ++e) {
+    EXPECT_EQ(got.edge_start[e], c.expected.edge_start[e])
+        << c.name << " " << which << " edge " << e;
+    EXPECT_EQ(got.edge_finish[e], c.expected.edge_finish[e])
+        << c.name << " " << which << " edge " << e;
+  }
+  EXPECT_EQ(got.makespan, c.expected.makespan) << c.name << " " << which << " makespan";
+}
+
+TEST(GoldenSchedules, CorpusIsNonTrivial) {
+  EXPECT_GE(golden_files().size(), 10u);
+}
+
+TEST(GoldenSchedules, SimulatorReproducesEveryCase) {
+  for (const auto& path : golden_files()) {
+    const GoldenCase c = load_golden(path);
+    expect_matches(c, simulate(c.graph, c.network, c.placement, kLat), "simulate");
+  }
+}
+
+TEST(GoldenSchedules, OracleReproducesEveryCase) {
+  for (const auto& path : golden_files()) {
+    const GoldenCase c = load_golden(path);
+    expect_matches(c, oracle_simulate(c.graph, c.network, c.placement, kLat), "oracle");
+  }
+}
+
+TEST(GoldenSchedules, InvariantCheckerAcceptsEveryCase) {
+  for (const auto& path : golden_files()) {
+    const GoldenCase c = load_golden(path);
+    const Schedule s = simulate(c.graph, c.network, c.placement, kLat);
+    const InvariantReport r = check_schedule(c.graph, c.network, c.placement, kLat, s);
+    EXPECT_TRUE(r.ok()) << c.name << ":\n" << r.summary();
+  }
+}
+
+}  // namespace
+}  // namespace giph

@@ -1,0 +1,138 @@
+// Differential tests of the reference oracle simulator: oracle_simulate must
+// agree bitwise with the production simulate()/simulate_into() on every
+// input, while being an independent derivation of the Appendix B.5 model.
+
+#include "verify/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace giph {
+namespace {
+
+using testutil::expect_schedules_bitwise_equal;
+
+const DefaultLatencyModel kLat;
+
+TEST(Oracle, MatchesHandComputedChain) {
+  const TaskGraph g = testutil::chain3();
+  const DeviceNetwork n = testutil::two_devices();
+  const Placement p = testutil::alternating3();
+  const Schedule s = oracle_simulate(g, n, p, kLat);
+  // Same derivation as Simulator.ChainAcrossDevicesHandComputed.
+  EXPECT_DOUBLE_EQ(s.tasks[0].finish, 2.0);
+  EXPECT_DOUBLE_EQ(s.edge_finish[0], 7.0);
+  EXPECT_DOUBLE_EQ(s.tasks[1].start, 7.0);
+  EXPECT_DOUBLE_EQ(s.tasks[2].start, 18.0);
+  EXPECT_DOUBLE_EQ(s.makespan, 24.0);
+  expect_schedules_bitwise_equal(s, simulate(g, n, p, kLat));
+}
+
+TEST(Oracle, MatchesSimulateOnRandomProblems) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const auto c = testutil::random_case(seed, 4 + static_cast<int>(seed) % 28,
+                                         1 + static_cast<int>(seed) % 7);
+    const Schedule prod = simulate(c.graph, c.network, c.placement, kLat);
+    const Schedule ref = oracle_simulate(c.graph, c.network, c.placement, kLat);
+    expect_schedules_bitwise_equal(ref, prod);
+  }
+}
+
+TEST(Oracle, MatchesSimulateUnderNoiseWithSameDrawSequence) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto c = testutil::random_case(seed * 31, 20, 5);
+    std::mt19937_64 rng_prod(seed), rng_ref(seed);
+    const Schedule prod =
+        simulate(c.graph, c.network, c.placement, kLat, SimOptions{0.3, &rng_prod});
+    const Schedule ref =
+        oracle_simulate(c.graph, c.network, c.placement, kLat, SimOptions{0.3, &rng_ref});
+    expect_schedules_bitwise_equal(ref, prod);
+    // Both consumed the same number of draws: engines stay in lockstep.
+    EXPECT_EQ(rng_prod(), rng_ref());
+  }
+}
+
+TEST(Oracle, MatchesSimulateUnderNicContention) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto c = testutil::random_case(seed * 77, 18, 4);
+    SimOptions opt;
+    opt.serialize_transfers = true;
+    expect_schedules_bitwise_equal(
+        oracle_simulate(c.graph, c.network, c.placement, kLat, opt),
+        simulate(c.graph, c.network, c.placement, kLat, opt));
+  }
+}
+
+TEST(Oracle, MatchesSimulateOnMultiCoreDevices) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    auto c = testutil::random_case(seed * 131, 24, 3);
+    std::mt19937_64 rng(seed);
+    for (int d = 0; d < c.network.num_devices(); ++d) {
+      c.network.device(d).cores = 1 + static_cast<int>(rng() % 4);
+    }
+    expect_schedules_bitwise_equal(
+        oracle_simulate(c.graph, c.network, c.placement, kLat),
+        simulate(c.graph, c.network, c.placement, kLat));
+  }
+}
+
+TEST(Oracle, MatchesSimulateIntoWithReusedWorkspace) {
+  SimWorkspace ws;
+  Schedule out;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto c = testutil::random_case(seed * 7, 6 + static_cast<int>(seed) * 3, 4);
+    simulate_into(c.graph, c.network, c.placement, kLat, ws, out);
+    expect_schedules_bitwise_equal(
+        oracle_simulate(c.graph, c.network, c.placement, kLat), out);
+  }
+}
+
+TEST(Oracle, EmptyGraphYieldsEmptySchedule) {
+  const TaskGraph g;
+  const DeviceNetwork n = testutil::two_devices();
+  const Schedule s = oracle_simulate(g, n, Placement(0), kLat);
+  EXPECT_TRUE(s.tasks.empty());
+  EXPECT_EQ(s.makespan, 0.0);
+}
+
+TEST(Oracle, ThrowsLikeSimulate) {
+  TaskGraph g;
+  g.add_task(Task{.compute = 1.0, .requires_hw = 0b1});
+  DeviceNetwork n;
+  n.add_device(Device{.supports_hw = 0});
+  Placement p(1);
+  p.set(0, 0);
+  EXPECT_THROW(oracle_simulate(g, n, p, kLat), std::invalid_argument);
+
+  TaskGraph cyclic;
+  cyclic.add_task(Task{.compute = 1.0});
+  cyclic.add_task(Task{.compute = 1.0});
+  cyclic.add_edge(0, 1, 1.0);
+  cyclic.add_edge(1, 0, 1.0);
+  Placement pc(2);
+  pc.set(0, 0);
+  pc.set(1, 0);
+  DeviceNetwork n1;
+  n1.add_device(Device{.speed = 1.0});
+  EXPECT_THROW(oracle_simulate(cyclic, n1, pc, kLat), std::logic_error);
+
+  TaskGraph ok;
+  ok.add_task(Task{.compute = 1.0});
+  Placement p1(1);
+  p1.set(0, 0);
+  EXPECT_THROW(oracle_simulate(ok, n1, p1, kLat, SimOptions{0.5, nullptr}),
+               std::invalid_argument);
+}
+
+TEST(Oracle, DoesNotCountAsProductionSimulation) {
+  const TaskGraph g = testutil::chain3();
+  const DeviceNetwork n = testutil::two_devices();
+  const Placement p = testutil::alternating3();
+  const std::uint64_t before = simulation_count();
+  (void)oracle_simulate(g, n, p, kLat);
+  EXPECT_EQ(simulation_count(), before);
+}
+
+}  // namespace
+}  // namespace giph

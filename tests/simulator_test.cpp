@@ -4,31 +4,21 @@
 
 #include <limits>
 
+#include "testutil.hpp"
+
 namespace giph {
 namespace {
 
-DeviceNetwork two_devices() {
-  DeviceNetwork n;
-  n.add_device(Device{.speed = 1.0});
-  n.add_device(Device{.speed = 2.0});
-  n.set_symmetric_link(0, 1, 2.0, 1.0);  // bandwidth 2 bytes/time, delay 1
-  return n;
-}
+using testutil::alternating3;
+using testutil::chain3;
+using testutil::two_devices;
 
 const DefaultLatencyModel kLat;
 
 TEST(Simulator, ChainAcrossDevicesHandComputed) {
-  TaskGraph g;
-  g.add_task(Task{.compute = 2.0});
-  g.add_task(Task{.compute = 4.0});
-  g.add_task(Task{.compute = 6.0});
-  g.add_edge(0, 1, 8.0);
-  g.add_edge(1, 2, 16.0);
+  const TaskGraph g = chain3();
   const DeviceNetwork n = two_devices();
-  Placement p(3);
-  p.set(0, 0);
-  p.set(1, 1);
-  p.set(2, 0);
+  const Placement p = alternating3();
 
   const Schedule s = simulate(g, n, p, kLat);
   // t0: [0, 2] on d0. Edge 0->1: 1 + 8/2 = 5, arrives 7.
@@ -46,12 +36,7 @@ TEST(Simulator, ChainAcrossDevicesHandComputed) {
 }
 
 TEST(Simulator, LocalCommunicationIsFree) {
-  TaskGraph g;
-  g.add_task(Task{.compute = 2.0});
-  g.add_task(Task{.compute = 4.0});
-  g.add_task(Task{.compute = 6.0});
-  g.add_edge(0, 1, 8.0);
-  g.add_edge(1, 2, 16.0);
+  const TaskGraph g = chain3();
   const DeviceNetwork n = two_devices();
   Placement p(3);
   for (int v = 0; v < 3; ++v) p.set(v, 0);

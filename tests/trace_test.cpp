@@ -82,6 +82,47 @@ TEST(Trace, GanttMarksTasksOnTheirDevices) {
   EXPECT_NE(row1.find('C'), std::string::npos);
 }
 
+TEST(Trace, CsvTimesRoundTripToExactDoubles) {
+  // Noisy runs produce non-representable times - exactly the values the old
+  // default (6-digit) precision truncated. Every start/finish parsed back
+  // from the CSV must equal the schedule's double bitwise.
+  Fixture f;
+  std::mt19937_64 rng(42);
+  const Schedule noisy = simulate(f.g, f.n, f.p, kLat, SimOptions{0.37, &rng});
+  std::stringstream out;
+  write_schedule_csv(out, f.g, f.n, f.p, noisy);
+
+  std::string line;
+  std::getline(out, line);  // header
+  int rows = 0;
+  while (std::getline(out, line)) {
+    // start and finish are the two last comma-separated fields.
+    const auto last = line.rfind(',');
+    const auto second_last = line.rfind(',', last - 1);
+    const double finish = std::stod(line.substr(last + 1));
+    const double start = std::stod(line.substr(second_last + 1, last - second_last - 1));
+    const bool is_task = line.rfind("task,", 0) == 0;
+    const int id = std::stoi(line.substr(5, line.find(',', 5) - 5));
+    if (is_task) {
+      EXPECT_EQ(start, noisy.tasks[id].start) << line;
+      EXPECT_EQ(finish, noisy.tasks[id].finish) << line;
+    } else {
+      EXPECT_EQ(start, noisy.edge_start[id]) << line;
+      EXPECT_EQ(finish, noisy.edge_finish[id]) << line;
+    }
+    ++rows;
+  }
+  EXPECT_EQ(rows, f.g.num_tasks() + f.g.num_edges());
+}
+
+TEST(Trace, CsvRestoresStreamPrecision) {
+  Fixture f;
+  std::stringstream out;
+  out.precision(3);
+  write_schedule_csv(out, f.g, f.n, f.p, f.sched);
+  EXPECT_EQ(out.precision(), 3);
+}
+
 TEST(Trace, GanttHandlesSingleTask) {
   TaskGraph g;
   g.add_task(Task{.compute = 1.0});

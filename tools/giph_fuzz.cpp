@@ -1,0 +1,296 @@
+// Deterministic differential fuzz harness for the simulator stack.
+//
+// Each case derives a seeded random (task graph, device network, placement)
+// triple from the existing generators, sweeping task counts, graph shape,
+// device counts, hardware-constraint density, multi-core devices, noise,
+// NIC contention, and fault plans. On every case it asserts:
+//   - simulate(), simulate_into() (with a reused workspace), and the
+//     independent oracle_simulate() agree bitwise on every time;
+//   - check_schedule() finds no invariant violation;
+//   - simulate_with_faults() with an empty plan reduces bitwise to
+//     simulate(), and with a generated plan is replay-deterministic and
+//     passes the fault-aware invariant check.
+//
+// Any failure prints the exact flags reproducing that single case. The CI
+// smoke job runs >= 10k cases; `ctest -L property` runs a quick subset.
+//
+// Usage: giph_fuzz [--cases N] [--seed S] [--start K] [--verbose]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+
+#include "gen/device_network_gen.hpp"
+#include "gen/task_graph_gen.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+#include "verify/invariants.hpp"
+#include "verify/oracle.hpp"
+
+namespace {
+
+using namespace giph;
+
+const DefaultLatencyModel kLat;
+
+// splitmix64: decorrelates the per-case mt19937_64 streams of adjacent case
+// indices (seeding mt19937_64 with nearby integers is not enough).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct FuzzCase {
+  TaskGraph graph;
+  DeviceNetwork network;
+  Placement placement;
+  double noise = 0.0;
+  bool serialize_transfers = false;
+  bool with_faults = false;
+  FaultPlan plan;
+  std::uint64_t sim_seed = 0;  // seeds the noise engine of every replay
+  std::string shape;           // one-line description for failure reports
+};
+
+double uniform(std::mt19937_64& rng, double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(rng);
+}
+
+int uniform_int(std::mt19937_64& rng, int lo, int hi) {
+  return std::uniform_int_distribution<int>(lo, hi)(rng);
+}
+
+FuzzCase build_case(std::uint64_t base_seed, std::uint64_t index) {
+  std::mt19937_64 rng(mix(base_seed ^ mix(index)));
+  FuzzCase c;
+
+  TaskGraphParams gp;
+  gp.num_tasks = uniform_int(rng, 2, 60);
+  gp.alpha = uniform(rng, 0.5, 2.0);
+  gp.p_connect = uniform(rng, 0.0, 0.6);
+  gp.mean_compute = uniform(rng, 10.0, 200.0);
+  gp.mean_bytes = uniform(rng, 10.0, 200.0);
+  gp.het_compute = uniform(rng, 0.0, 0.9);
+  gp.het_bytes = uniform(rng, 0.0, 0.9);
+  gp.num_hw_kinds = uniform_int(rng, 1, 6);
+  gp.p_task_requires = uniform(rng, 0.0, 0.6);
+
+  NetworkParams np;
+  np.num_devices = uniform_int(rng, 1, 12);
+  np.mean_speed = uniform(rng, 1.0, 20.0);
+  np.mean_bandwidth = uniform(rng, 5.0, 100.0);
+  np.mean_delay = uniform(rng, 0.0, 3.0);
+  np.het_speed = uniform(rng, 0.0, 0.9);
+  np.het_bandwidth = uniform(rng, 0.0, 0.9);
+  np.num_hw_kinds = gp.num_hw_kinds;
+  np.p_hw_support = uniform(rng, 0.3, 1.0);
+
+  c.graph = generate_task_graph(gp, rng);
+  c.network = generate_device_network(np, rng);
+  ensure_feasible(c.graph, c.network, rng);
+
+  // A third of the cases get multi-core servers.
+  if (uniform(rng, 0.0, 1.0) < 0.33) {
+    for (int d = 0; d < c.network.num_devices(); ++d) {
+      c.network.device(d).cores = uniform_int(rng, 1, 4);
+    }
+  }
+
+  c.placement = random_placement(c.graph, c.network, rng);
+  if (uniform(rng, 0.0, 1.0) < 0.5) c.noise = uniform(rng, 0.05, 0.5);
+  c.serialize_transfers = uniform(rng, 0.0, 1.0) < 0.25;
+  c.sim_seed = rng();
+
+  c.with_faults = uniform(rng, 0.0, 1.0) < 0.25;
+  if (c.with_faults) {
+    // Scale the fault window to this instance's actual noise-free makespan so
+    // events land inside the run instead of all firing after it ends.
+    const double span = simulate(c.graph, c.network, c.placement, kLat).makespan;
+    FaultPlanParams fp;
+    fp.horizon = std::max(1e-6, span * uniform(rng, 0.1, 1.2));
+    fp.crashes = uniform_int(rng, 0, 2);
+    fp.leaves = uniform_int(rng, 0, 1);
+    fp.slowdowns = uniform_int(rng, 0, 2);
+    fp.link_degrades = uniform_int(rng, 0, 2);
+    fp.joins = uniform_int(rng, 0, 1);
+    fp.slowdown_factor = uniform(rng, 1.5, 5.0);
+    fp.link_factor = uniform(rng, 1.5, 6.0);
+    fp.transient_fraction = uniform(rng, 0.0, 1.0);
+    c.plan = generate_fault_plan(c.network, fp, rng);
+  }
+
+  char shape[160];
+  std::snprintf(shape, sizeof(shape),
+                "tasks=%d edges=%d devices=%d noise=%.3f serialize=%d faults=%zu",
+                c.graph.num_tasks(), c.graph.num_edges(), c.network.num_devices(),
+                c.noise, c.serialize_transfers ? 1 : 0, c.plan.events.size());
+  c.shape = shape;
+  return c;
+}
+
+/// Exact comparison; returns a human-readable mismatch description or "".
+std::string diff_schedules(const Schedule& a, const Schedule& b, const char* what) {
+  char buf[160];
+  if (a.tasks.size() != b.tasks.size() || a.edge_start.size() != b.edge_start.size()) {
+    std::snprintf(buf, sizeof(buf), "%s: shape mismatch", what);
+    return buf;
+  }
+  for (std::size_t v = 0; v < a.tasks.size(); ++v) {
+    if (a.tasks[v].start != b.tasks[v].start || a.tasks[v].finish != b.tasks[v].finish) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s: task %zu differs ([%.17g, %.17g] vs [%.17g, %.17g])", what, v,
+                    a.tasks[v].start, a.tasks[v].finish, b.tasks[v].start,
+                    b.tasks[v].finish);
+      return buf;
+    }
+  }
+  for (std::size_t e = 0; e < a.edge_start.size(); ++e) {
+    if (a.edge_start[e] != b.edge_start[e] || a.edge_finish[e] != b.edge_finish[e]) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s: edge %zu differs ([%.17g, %.17g] vs [%.17g, %.17g])", what, e,
+                    a.edge_start[e], a.edge_finish[e], b.edge_start[e],
+                    b.edge_finish[e]);
+      return buf;
+    }
+  }
+  if (a.makespan != b.makespan) {
+    std::snprintf(buf, sizeof(buf), "%s: makespan differs (%.17g vs %.17g)", what,
+                  a.makespan, b.makespan);
+    return buf;
+  }
+  return "";
+}
+
+/// Runs all checks for one case; returns "" on success.
+std::string run_case(const FuzzCase& c, SimWorkspace& ws, Schedule& reused) {
+  SimOptions opt;
+  opt.noise = c.noise;
+  opt.serialize_transfers = c.serialize_transfers;
+  std::mt19937_64 rng_a(c.sim_seed), rng_b(c.sim_seed), rng_c(c.sim_seed),
+      rng_d(c.sim_seed);
+
+  if (!c.with_faults) {
+    opt.rng = &rng_a;
+    const Schedule prod = simulate(c.graph, c.network, c.placement, kLat, opt);
+    opt.rng = &rng_b;
+    simulate_into(c.graph, c.network, c.placement, kLat, ws, reused, opt);
+    opt.rng = &rng_c;
+    const Schedule ref = oracle_simulate(c.graph, c.network, c.placement, kLat, opt);
+
+    if (auto d = diff_schedules(prod, reused, "simulate vs simulate_into"); !d.empty()) {
+      return d;
+    }
+    if (auto d = diff_schedules(prod, ref, "simulate vs oracle"); !d.empty()) return d;
+
+    const CheckOptions check{.noise = c.noise,
+                             .serialize_transfers = c.serialize_transfers};
+    const InvariantReport report =
+        check_schedule(c.graph, c.network, c.placement, kLat, prod, check);
+    if (!report.ok()) return "invariant violation:\n" + report.summary();
+
+    // The fault path with an empty plan is a strict superset of simulate().
+    opt.rng = &rng_d;
+    const FaultSimResult empty =
+        simulate_with_faults(c.graph, c.network, c.placement, kLat, FaultPlan{}, opt);
+    if (!empty.completed()) return "empty fault plan stranded tasks";
+    if (auto d = diff_schedules(prod, empty.schedule, "simulate vs empty fault plan");
+        !d.empty()) {
+      return d;
+    }
+    return "";
+  }
+
+  // Fault cases: replay determinism plus fault-aware invariants.
+  opt.rng = &rng_a;
+  const FaultSimResult r1 =
+      simulate_with_faults(c.graph, c.network, c.placement, kLat, c.plan, opt);
+  opt.rng = &rng_b;
+  const FaultSimResult r2 =
+      simulate_with_faults(c.graph, c.network, c.placement, kLat, c.plan, opt);
+  if (auto d = diff_schedules(r1.schedule, r2.schedule, "fault replay"); !d.empty()) {
+    return d;
+  }
+  if (r1.stranded != r2.stranded || r1.failed_devices != r2.failed_devices) {
+    return "fault replay: stranded/failed bookkeeping differs";
+  }
+  const CheckOptions check{.noise = c.noise,
+                           .serialize_transfers = c.serialize_transfers};
+  const InvariantReport report =
+      check_fault_result(c.graph, c.network, c.placement, kLat, r1, check);
+  if (!report.ok()) return "fault invariant violation:\n" + report.summary();
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t cases = 1000;
+  std::uint64_t seed = 20260806;
+  std::uint64_t start = 0;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::uint64_t {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "giph_fuzz: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return std::strtoull(argv[++i], nullptr, 10);
+    };
+    if (arg == "--cases") {
+      cases = next();
+    } else if (arg == "--seed") {
+      seed = next();
+    } else if (arg == "--start") {
+      start = next();
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: giph_fuzz [--cases N] [--seed S] [--start K] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  SimWorkspace ws;
+  Schedule reused;
+  std::uint64_t fault_cases = 0, noisy_cases = 0;
+  for (std::uint64_t i = start; i < start + cases; ++i) {
+    FuzzCase c;
+    std::string failure;
+    try {
+      c = build_case(seed, i);
+      fault_cases += c.with_faults ? 1 : 0;
+      noisy_cases += c.noise > 0.0 ? 1 : 0;
+      failure = run_case(c, ws, reused);
+    } catch (const std::exception& e) {
+      failure = std::string("exception: ") + e.what();
+    }
+    if (!failure.empty()) {
+      std::fprintf(stderr,
+                   "FUZZ FAILURE at case %llu (base seed %llu)\n  %s\n  %s\n"
+                   "  reproduce: giph_fuzz --seed %llu --start %llu --cases 1\n",
+                   static_cast<unsigned long long>(i),
+                   static_cast<unsigned long long>(seed), c.shape.c_str(),
+                   failure.c_str(), static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(i));
+      return 1;
+    }
+    if (verbose && (i - start + 1) % 1000 == 0) {
+      std::printf("giph_fuzz: %llu/%llu cases ok\n",
+                  static_cast<unsigned long long>(i - start + 1),
+                  static_cast<unsigned long long>(cases));
+    }
+  }
+  std::printf(
+      "giph_fuzz: %llu cases ok (seed %llu, %llu noisy, %llu with fault plans): "
+      "simulate == simulate_into == oracle, all invariants hold\n",
+      static_cast<unsigned long long>(cases), static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(noisy_cases),
+      static_cast<unsigned long long>(fault_cases));
+  return 0;
+}
