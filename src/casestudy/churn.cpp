@@ -1,0 +1,94 @@
+#include "casestudy/churn.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "casestudy/sensor_fusion.hpp"
+
+namespace giph::casestudy {
+
+eval::ChurnScript generate_churn_script(const ChurnScriptParams& params) {
+  if (params.base_devices < 1) {
+    throw std::invalid_argument("generate_churn_script: base_devices must be >= 1 (got " +
+                                std::to_string(params.base_devices) +
+                                "); an epoch with every vehicle out of range would "
+                                "otherwise have no device up");
+  }
+  if (params.epochs < 1) {
+    throw std::invalid_argument("generate_churn_script: epochs must be >= 1 (got " +
+                                std::to_string(params.epochs) + ")");
+  }
+
+  GridMobility mobility(params.mobility);
+  const int nb = params.base_devices;
+  const int nv = mobility.num_vehicles();
+  const int m = nb + nv;
+
+  // The fixed universe: heterogeneity is drawn once, up front, so every
+  // epoch's network differs only in membership and link quality.
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> jitter(1.0 - params.speed_jitter,
+                                                1.0 + params.speed_jitter);
+  DeviceNetwork universe;
+  std::vector<Vec2> base_pos;
+  for (int b = 0; b < nb; ++b) {
+    Device d;
+    d.speed = params.base_speed * jitter(rng);
+    d.cores = params.base_cores;
+    d.name = "base" + std::to_string(b);
+    universe.add_device(d);
+    base_pos.push_back(mobility.intersection(b % mobility.num_intersections()));
+  }
+  for (int v = 0; v < nv; ++v) {
+    Device d;
+    d.speed = params.mobile_speed * jitter(rng);
+    d.name = "cav" + std::to_string(v);
+    universe.add_device(d);
+  }
+
+  const double wired_bw = params.wired_bw_mbps * kMbpsToBytesPerMs;
+  const auto wireless_bw = [&](const Vec2& a, const Vec2& b) {
+    const double mbps = std::max(
+        params.min_bw_mbps, params.bw0_mbps * std::exp(-distance_m(a, b) / params.bw_decay_m));
+    return mbps * kMbpsToBytesPerMs;
+  };
+
+  eval::ChurnScript script;
+  for (int t = 0; t < params.epochs; ++t) {
+    if (t > 0) mobility.advance(params.epoch_s);
+    eval::ChurnEpoch epoch;
+    epoch.time = t * params.epoch_s;
+    epoch.network = universe;
+    epoch.up.assign(m, 0);
+    for (int b = 0; b < nb; ++b) epoch.up[b] = 1;
+    const std::vector<Vec2>& pos = mobility.positions();
+    for (int v = 0; v < nv; ++v) {
+      for (const Vec2& bp : base_pos) {
+        if (distance_m(pos[v], bp) <= params.range_m) {
+          epoch.up[nb + v] = 1;
+          break;
+        }
+      }
+    }
+    // Links over the whole universe (compaction ignores down devices):
+    // base <-> base is wired backhaul, anything touching a vehicle is
+    // wireless with the distance model at this epoch's positions.
+    const auto pos_of = [&](int k) { return k < nb ? base_pos[k] : pos[k - nb]; };
+    for (int k = 0; k < m; ++k) {
+      for (int l = k + 1; l < m; ++l) {
+        if (k < nb && l < nb) {
+          epoch.network.set_symmetric_link(k, l, wired_bw, params.wired_delay_ms);
+        } else {
+          epoch.network.set_symmetric_link(k, l, wireless_bw(pos_of(k), pos_of(l)),
+                                           params.wireless_delay_ms);
+        }
+      }
+    }
+    script.epochs.push_back(std::move(epoch));
+  }
+  return script;
+}
+
+}  // namespace giph::casestudy

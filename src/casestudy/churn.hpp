@@ -1,0 +1,44 @@
+#pragma once
+
+#include "casestudy/mobility.hpp"
+#include "eval/robustness_eval.hpp"
+
+namespace giph::casestudy {
+
+/// Parameters of the mobility-driven churn scenario (Section 5.3 flavor):
+/// base stations sit at grid intersections and are always up; vehicles carry
+/// mobile devices that join the network when they drive within `range_m` of a
+/// base station and leave when they drive out. Links drift every epoch with
+/// the Appendix B.4 distance model, BW = bw0 * exp(-d / bw_decay) Mbps.
+struct ChurnScriptParams {
+  MobilityParams mobility{};
+  /// Base (always-up) devices, placed round-robin over the intersections.
+  int base_devices = 3;
+  /// A vehicle's device is up iff it is within range_m of some base device.
+  double range_m = 250.0;
+  double epoch_s = 10.0;  ///< mobility time between epochs
+  int epochs = 12;
+  double base_speed = 2.0;    ///< compute speed of base devices
+  double mobile_speed = 1.0;  ///< mean compute speed of vehicle devices
+  /// Per-device multiplicative speed jitter, uniform in [1-j, 1+j], drawn
+  /// once from `seed` (heterogeneity, not noise).
+  double speed_jitter = 0.25;
+  int base_cores = 2;  ///< base devices are small servers
+  double bw0_mbps = 60.0;  ///< wireless BW = max(min_bw, bw0 * exp(-d/decay))
+  double bw_decay_m = 100.0;
+  double min_bw_mbps = 2.0;
+  double wireless_delay_ms = 2.0;
+  double wired_bw_mbps = 100.0;  ///< base <-> base backhaul
+  double wired_delay_ms = 0.1;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a deterministic churn scenario from grid mobility: one epoch every
+/// epoch_s seconds over a fixed universe of base_devices + num_vehicles
+/// devices. Base devices are always up with wired links among themselves;
+/// vehicle devices are up while in range, with wireless links (to every other
+/// up device) whose bandwidth follows the distance model of the epoch's
+/// positions. The same params always yield the same script.
+eval::ChurnScript generate_churn_script(const ChurnScriptParams& params);
+
+}  // namespace giph::casestudy

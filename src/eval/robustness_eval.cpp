@@ -192,6 +192,330 @@ RobustnessReport evaluate_robustness(
   return report;
 }
 
+namespace {
+
+/// One churn epoch compacted to its surviving devices: the network the
+/// placers actually see, the universe <-> compact id maps, the pin-remapped
+/// graph, and whether the epoch can host the graph at all.
+struct CompactEpoch {
+  DeviceNetwork net;
+  std::vector<int> old_to_new;
+  std::vector<int> new_to_old;
+  TaskGraph remapped_g;
+  bool can_rebase = true;  ///< pins keep their ids under the compaction
+  bool hosts = false;
+};
+
+CompactEpoch compact_epoch(const TaskGraph& g, const ChurnEpoch& e) {
+  CompactEpoch c;
+  const int m = e.network.num_devices();
+  c.old_to_new.assign(m, -1);
+  for (int k = 0; k < m; ++k) {
+    if (!e.up[k]) continue;
+    c.old_to_new[k] = c.net.add_device(e.network.device(k));
+    c.new_to_old.push_back(k);
+  }
+  for (int a = 0; a < static_cast<int>(c.new_to_old.size()); ++a) {
+    for (int b = 0; b < static_cast<int>(c.new_to_old.size()); ++b) {
+      if (a == b) continue;
+      c.net.set_link(a, b, e.network.bandwidth(c.new_to_old[a], c.new_to_old[b]),
+                     e.network.delay(c.new_to_old[a], c.new_to_old[b]));
+    }
+  }
+  c.remapped_g = remap_pinned(g, c.old_to_new);
+  c.can_rebase = pins_unchanged(g, c.old_to_new);
+  c.hosts = c.net.num_devices() > 0;
+  if (c.hosts) {
+    try {
+      (void)feasible_sets(c.remapped_g, c.net);
+    } catch (const std::runtime_error&) {
+      c.hosts = false;
+    }
+  }
+  return c;
+}
+
+void mark_unrecoverable(ChurnCell& cell) {
+  cell.recoverable = false;
+  cell.makespan_before = kInf;
+  cell.makespan_after = kInf;
+}
+
+void summarize_row(ChurnRow& row) {
+  double sum = 0.0;
+  int finite = 0;
+  long step_sum = 0;
+  for (std::size_t t = 0; t < row.cells.size(); ++t) {
+    const ChurnCell& cell = row.cells[t];
+    if (cell.recoverable && cell.makespan_after < kInf) {
+      sum += cell.makespan_after;
+      ++finite;
+    }
+    row.total_stranded += cell.stranded;
+    if (t >= 1 && cell.stranded > 0) {
+      ++row.disruptions;
+      step_sum += cell.repair_steps;
+    }
+  }
+  row.mean_makespan = finite > 0 ? sum / finite : kInf;
+  row.mean_recovery_steps =
+      row.disruptions > 0 ? static_cast<double>(step_sum) / row.disruptions : 0.0;
+}
+
+/// The inherited universe placement mapped onto an epoch; cell.stranded is
+/// filled with the tasks whose device is gone.
+Placement inherit(const Placement& universe_p, const CompactEpoch& c, ChurnCell& cell) {
+  Placement p = remap_placement(universe_p, c.old_to_new);
+  for (int v = 0; v < p.num_tasks(); ++v) {
+    if (p.device_of(v) < 0) ++cell.stranded;
+  }
+  return p;
+}
+
+}  // namespace
+
+void validate_churn_script(const ChurnScript& script) {
+  if (script.epochs.empty()) {
+    throw std::invalid_argument("churn script: no epochs");
+  }
+  const int m = script.epochs.front().network.num_devices();
+  double prev_time = -kInf;
+  for (std::size_t t = 0; t < script.epochs.size(); ++t) {
+    const ChurnEpoch& e = script.epochs[t];
+    const std::string where = "churn script epoch " + std::to_string(t) + ": ";
+    if (!std::isfinite(e.time)) {
+      throw std::invalid_argument(where + "time must be finite");
+    }
+    if (e.time < prev_time) {
+      throw std::invalid_argument(where + "time " + std::to_string(e.time) +
+                                  " precedes epoch " + std::to_string(t - 1));
+    }
+    prev_time = e.time;
+    if (e.network.num_devices() != m) {
+      throw std::invalid_argument(
+          where + "universe changed size (" + std::to_string(e.network.num_devices()) +
+          " devices, epoch 0 has " + std::to_string(m) +
+          "); model churn with the up mask, not by resizing the network");
+    }
+    if (static_cast<int>(e.up.size()) != m) {
+      throw std::invalid_argument(where + "up mask has " + std::to_string(e.up.size()) +
+                                  " entries for " + std::to_string(m) + " devices");
+    }
+    if (std::find(e.up.begin(), e.up.end(), char(1)) == e.up.end()) {
+      throw std::invalid_argument(where + "no device is up");
+    }
+  }
+}
+
+ChurnReport evaluate_churn(
+    const TaskGraph& g, const ChurnScript& script, const LatencyModel& lat,
+    const std::vector<std::pair<std::string, SearchPolicy*>>& placers,
+    const ChurnOptions& opt) {
+  validate_churn_script(script);
+  const int nv = g.num_tasks();
+  const int T = static_cast<int>(script.epochs.size());
+  ChurnReport report;
+  report.num_epochs = T;
+
+  // Compact every epoch once, up front; the epochs outlive every environment
+  // rebased onto them (rebase() keeps a pointer to the network).
+  std::vector<CompactEpoch> eps;
+  eps.reserve(script.epochs.size());
+  for (const ChurnEpoch& e : script.epochs) eps.push_back(compact_epoch(g, e));
+  bool all_rebase = true;
+  for (const CompactEpoch& c : eps) all_rebase = all_rebase && c.can_rebase;
+
+  const int baseline_budget = std::max(2, opt.baseline_steps_factor * nv);
+  const int drift_budget = opt.drift_budget > 0 ? opt.drift_budget : std::max(2, nv / 2);
+
+  // Search-policy rows, computed independently (own policy object, RNG, and
+  // environment chain) and collected in placer order: the report is the same
+  // for every thread count.
+  std::vector<int> active;
+  for (std::size_t i = 0; i < placers.size(); ++i) {
+    if (placers[i].second != nullptr) active.push_back(static_cast<int>(i));
+  }
+  std::vector<ChurnRow> rows(active.size());
+  util::parallel_for(static_cast<int>(active.size()), opt.threads, [&](int ri) {
+    const auto& [name, policy] = placers[active[ri]];
+    ChurnRow row;
+    row.placer = name;
+    row.cells.resize(T);
+    std::mt19937_64 rng(opt.seed);
+    Placement universe_p(nv);  // all -1 until first placement
+    bool placed = false;
+    std::optional<PlacementSearchEnv> env;
+
+    for (int t = 0; t < T; ++t) {
+      const CompactEpoch& c = eps[t];
+      ChurnCell& cell = row.cells[t];
+      if (!c.hosts) {
+        mark_unrecoverable(cell);
+        continue;  // carry the previous placement into the next epoch
+      }
+      const TaskGraph& eg = all_rebase ? g : c.remapped_g;
+      if (!placed) {
+        // First hostable epoch (normally epoch 0): seeded fresh placement
+        // plus the fault-free baseline budget.
+        const Placement initial = random_placement(eg, c.net, rng);
+        cell.makespan_before = t == 0 ? makespan(eg, c.net, initial, lat) : kInf;
+        env.emplace(eg, c.net, lat, makespan_objective(lat), initial);
+        run_search(*policy, *env, baseline_budget, rng);
+        cell.repair_steps = baseline_budget;
+        placed = true;
+      } else {
+        const Placement damaged = inherit(universe_p, c, cell);
+        cell.makespan_before =
+            cell.stranded == 0 ? makespan(eg, c.net, damaged, lat) : kInf;
+        Placement patched = damaged;
+        if (!patch_damaged(eg, c.net, lat, patched)) {
+          mark_unrecoverable(cell);
+          continue;
+        }
+        const int budget =
+            cell.stranded > 0
+                ? (opt.repair_budget > 0 ? opt.repair_budget
+                                         : std::max(2, 2 * cell.stranded))
+                : drift_budget;
+        if (all_rebase) {
+          env->rebase(c.net, patched);
+        } else {
+          env.emplace(eg, c.net, lat, makespan_objective(lat), patched);
+        }
+        run_search(*policy, *env, budget, rng);
+        cell.repair_steps = budget;
+        cell.moved = count_moves(damaged, env->best_placement());
+      }
+      cell.makespan_after = env->best_objective();
+      const Placement best = env->best_placement();
+      universe_p = Placement(nv);
+      for (int v = 0; v < nv; ++v) universe_p.set(v, c.new_to_old[best.device_of(v)]);
+    }
+    summarize_row(row);
+    rows[ri] = std::move(row);
+  });
+  for (ChurnRow& row : rows) report.rows.push_back(std::move(row));
+
+  // "static": the epoch-0 HEFT placement frozen forever - what not adapting
+  // costs. "HEFT": a full reschedule every epoch - what adapting by brute
+  // force costs.
+  Placement static_universe(nv);
+  bool static_placed = false;
+  {
+    ChurnRow row;
+    row.placer = "static";
+    row.cells.resize(T);
+    for (int t = 0; t < T; ++t) {
+      const CompactEpoch& c = eps[t];
+      ChurnCell& cell = row.cells[t];
+      if (!c.hosts) {
+        mark_unrecoverable(cell);
+        continue;
+      }
+      if (!static_placed) {
+        const Placement p = heft_schedule(c.remapped_g, c.net, lat).placement;
+        cell.makespan_before = cell.makespan_after = makespan(c.remapped_g, c.net, p, lat);
+        cell.repair_steps = nv;
+        static_universe = Placement(nv);
+        for (int v = 0; v < nv; ++v) {
+          static_universe.set(v, c.new_to_old[p.device_of(v)]);
+        }
+        static_placed = true;
+        continue;
+      }
+      const Placement frozen = inherit(static_universe, c, cell);
+      cell.makespan_before = cell.makespan_after =
+          cell.stranded == 0 ? makespan(c.remapped_g, c.net, frozen, lat) : kInf;
+    }
+    summarize_row(row);
+    report.rows.push_back(std::move(row));
+  }
+  {
+    ChurnRow row;
+    row.placer = "HEFT";
+    row.cells.resize(T);
+    Placement universe_p(nv);
+    bool placed = false;
+    for (int t = 0; t < T; ++t) {
+      const CompactEpoch& c = eps[t];
+      ChurnCell& cell = row.cells[t];
+      if (!c.hosts) {
+        mark_unrecoverable(cell);
+        continue;
+      }
+      Placement damaged(nv);
+      if (placed) {
+        damaged = inherit(universe_p, c, cell);
+        cell.makespan_before =
+            cell.stranded == 0 ? makespan(c.remapped_g, c.net, damaged, lat) : kInf;
+      } else {
+        cell.makespan_before = kInf;
+      }
+      const Placement p = heft_schedule(c.remapped_g, c.net, lat).placement;
+      cell.makespan_after = makespan(c.remapped_g, c.net, p, lat);
+      cell.repair_steps = nv;
+      if (placed) cell.moved = count_moves(damaged, p);
+      universe_p = Placement(nv);
+      for (int v = 0; v < nv; ++v) universe_p.set(v, c.new_to_old[p.device_of(v)]);
+      placed = true;
+    }
+    if (placed && T > 0 && eps[0].hosts) {
+      row.cells[0].makespan_before = row.cells[0].makespan_after;
+    }
+    summarize_row(row);
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string format_churn_report(const ChurnReport& report) {
+  std::ostringstream out;
+  char line[256];
+  out << "makespan over time (one column per placer; * = stranded tasks that "
+         "epoch, x = unrecoverable):\n";
+  std::snprintf(line, sizeof(line), "%-7s", "epoch");
+  out << line;
+  for (const ChurnRow& r : report.rows) {
+    std::snprintf(line, sizeof(line), " %14s", r.placer.c_str());
+    out << line;
+  }
+  out << "\n";
+  for (int t = 0; t < report.num_epochs; ++t) {
+    std::snprintf(line, sizeof(line), "%-7d", t);
+    out << line;
+    for (const ChurnRow& r : report.rows) {
+      const ChurnCell& cell = r.cells[t];
+      char value[32];
+      if (!cell.recoverable) {
+        std::snprintf(value, sizeof(value), "%13s", "x");
+      } else if (cell.makespan_after == kInf) {
+        std::snprintf(value, sizeof(value), "%13s", "stranded");
+      } else {
+        std::snprintf(value, sizeof(value), "%13.4g", cell.makespan_after);
+      }
+      std::snprintf(line, sizeof(line), " %s%c", value, cell.stranded > 0 ? '*' : ' ');
+      out << line;
+    }
+    out << "\n";
+  }
+  out << "\n";
+  std::snprintf(line, sizeof(line), "%-16s %13s %11s %9s %15s\n", "placer",
+                "mean makespan", "disruptions", "stranded", "recovery steps");
+  out << line;
+  for (const ChurnRow& r : report.rows) {
+    char mean[32];
+    if (r.mean_makespan == kInf) {
+      std::snprintf(mean, sizeof(mean), "%13s", "-");
+    } else {
+      std::snprintf(mean, sizeof(mean), "%13.4g", r.mean_makespan);
+    }
+    std::snprintf(line, sizeof(line), "%-16s %s %11d %9d %15.1f\n", r.placer.c_str(),
+                  mean, r.disruptions, r.total_stranded, r.mean_recovery_steps);
+    out << line;
+  }
+  return out.str();
+}
+
 std::string format_report(const RobustnessReport& report) {
   std::ostringstream out;
   out << "injected faults:\n";

@@ -4,20 +4,38 @@
 #include <stdexcept>
 
 namespace giph {
+namespace {
 
-void apply_topology(DeviceNetwork& n, const std::vector<PhysicalLink>& links,
-                    double unreachable_bw, double unreachable_delay) {
-  const int m = n.num_devices();
+/// Shared Floyd-Warshall core: minimum-total-delay routes with ties broken
+/// toward higher bottleneck bandwidth. Tracked per ordered pair: projected
+/// delay/bandwidth, the physical link id of the winning direct edge, and the
+/// intermediate device of the last relaxation (-1 = direct). apply_topology
+/// and build_shared_link_map both derive from these tables, so the projected
+/// link values and the contention routes can never disagree.
+struct RouteTables {
+  int m = 0;
+  std::vector<double> delay;
+  std::vector<double> bw;
+  std::vector<int> direct_link;  ///< physical link id of the direct edge, -1 none
+  std::vector<int> via;          ///< intermediate device of the route, -1 direct
+
+  std::size_t at(int i, int j) const { return static_cast<std::size_t>(i) * m + j; }
+};
+
+RouteTables compute_routes(int m, const std::vector<PhysicalLink>& links) {
   const double inf = std::numeric_limits<double>::infinity();
-  std::vector<double> delay(static_cast<std::size_t>(m) * m, inf);
-  std::vector<double> bw(static_cast<std::size_t>(m) * m, 0.0);
-  auto at = [m](int i, int j) { return static_cast<std::size_t>(i) * m + j; };
+  RouteTables t;
+  t.m = m;
+  t.delay.assign(static_cast<std::size_t>(m) * m, inf);
+  t.bw.assign(static_cast<std::size_t>(m) * m, 0.0);
+  t.direct_link.assign(static_cast<std::size_t>(m) * m, -1);
+  t.via.assign(static_cast<std::size_t>(m) * m, -1);
 
   for (int k = 0; k < m; ++k) {
-    delay[at(k, k)] = 0.0;
-    bw[at(k, k)] = inf;
+    t.delay[t.at(k, k)] = 0.0;
+    t.bw[t.at(k, k)] = inf;
   }
-  auto add_dir = [&](int a, int b, double link_bw, double link_dl) {
+  auto add_dir = [&](int a, int b, double link_bw, double link_dl, int id) {
     if (a < 0 || a >= m || b < 0 || b >= m || a == b) {
       throw std::invalid_argument("apply_topology: bad link endpoints");
     }
@@ -25,44 +43,85 @@ void apply_topology(DeviceNetwork& n, const std::vector<PhysicalLink>& links,
       throw std::invalid_argument("apply_topology: bad link parameters");
     }
     // Keep the better (lower-delay, then higher-bandwidth) parallel link.
-    if (link_dl < delay[at(a, b)] ||
-        (link_dl == delay[at(a, b)] && link_bw > bw[at(a, b)])) {
-      delay[at(a, b)] = link_dl;
-      bw[at(a, b)] = link_bw;
+    if (link_dl < t.delay[t.at(a, b)] ||
+        (link_dl == t.delay[t.at(a, b)] && link_bw > t.bw[t.at(a, b)])) {
+      t.delay[t.at(a, b)] = link_dl;
+      t.bw[t.at(a, b)] = link_bw;
+      t.direct_link[t.at(a, b)] = id;
+      t.via[t.at(a, b)] = -1;
     }
   };
-  for (const PhysicalLink& l : links) {
-    add_dir(l.a, l.b, l.bandwidth, l.delay);
-    if (l.bidirectional) add_dir(l.b, l.a, l.bandwidth, l.delay);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const PhysicalLink& l = links[i];
+    add_dir(l.a, l.b, l.bandwidth, l.delay, static_cast<int>(i));
+    if (l.bidirectional) add_dir(l.b, l.a, l.bandwidth, l.delay, static_cast<int>(i));
   }
 
   // Floyd-Warshall on total delay; the path bandwidth is the bottleneck.
   for (int k = 0; k < m; ++k) {
     for (int i = 0; i < m; ++i) {
-      if (delay[at(i, k)] == inf) continue;
+      if (t.delay[t.at(i, k)] == inf) continue;
       for (int j = 0; j < m; ++j) {
-        if (delay[at(k, j)] == inf) continue;
-        const double via = delay[at(i, k)] + delay[at(k, j)];
-        const double via_bw = std::min(bw[at(i, k)], bw[at(k, j)]);
-        if (via < delay[at(i, j)] ||
-            (via == delay[at(i, j)] && via_bw > bw[at(i, j)])) {
-          delay[at(i, j)] = via;
-          bw[at(i, j)] = via_bw;
+        if (t.delay[t.at(k, j)] == inf) continue;
+        const double via = t.delay[t.at(i, k)] + t.delay[t.at(k, j)];
+        const double via_bw = std::min(t.bw[t.at(i, k)], t.bw[t.at(k, j)]);
+        if (via < t.delay[t.at(i, j)] ||
+            (via == t.delay[t.at(i, j)] && via_bw > t.bw[t.at(i, j)])) {
+          t.delay[t.at(i, j)] = via;
+          t.bw[t.at(i, j)] = via_bw;
+          t.via[t.at(i, j)] = k;
         }
       }
     }
   }
+  return t;
+}
 
+void append_route(const RouteTables& t, int i, int j, std::vector<int>& out) {
+  if (i == j) return;
+  const int k = t.via[t.at(i, j)];
+  if (k < 0) {
+    out.push_back(t.direct_link[t.at(i, j)]);
+    return;
+  }
+  append_route(t, i, k, out);
+  append_route(t, k, j, out);
+}
+
+}  // namespace
+
+void apply_topology(DeviceNetwork& n, const std::vector<PhysicalLink>& links,
+                    double unreachable_bw, double unreachable_delay) {
+  const int m = n.num_devices();
+  const double inf = std::numeric_limits<double>::infinity();
+  const RouteTables t = compute_routes(m, links);
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < m; ++j) {
       if (i == j) continue;
-      if (delay[at(i, j)] == inf) {
+      if (t.delay[t.at(i, j)] == inf) {
         n.set_link(i, j, unreachable_bw, unreachable_delay);
       } else {
-        n.set_link(i, j, bw[at(i, j)], delay[at(i, j)]);
+        n.set_link(i, j, t.bw[t.at(i, j)], t.delay[t.at(i, j)]);
       }
     }
   }
+}
+
+SharedLinkMap build_shared_link_map(int num_devices,
+                                    const std::vector<PhysicalLink>& links) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const RouteTables t = compute_routes(num_devices, links);
+  SharedLinkMap map;
+  map.num_devices = num_devices;
+  map.num_links = static_cast<int>(links.size());
+  map.routes.assign(static_cast<std::size_t>(num_devices) * num_devices, {});
+  for (int i = 0; i < num_devices; ++i) {
+    for (int j = 0; j < num_devices; ++j) {
+      if (i == j || t.delay[t.at(i, j)] == inf) continue;
+      append_route(t, i, j, map.routes[t.at(i, j)]);
+    }
+  }
+  return map;
 }
 
 }  // namespace giph

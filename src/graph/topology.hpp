@@ -25,4 +25,31 @@ struct PhysicalLink {
 void apply_topology(DeviceNetwork& n, const std::vector<PhysicalLink>& links,
                     double unreachable_bw = 1e-6, double unreachable_delay = 1e9);
 
+/// Which physical links each device pair's traffic crosses, for the same
+/// routes apply_topology projects (minimum total delay, ties broken toward
+/// higher bottleneck bandwidth). Feed to SimOptions::shared_links so
+/// concurrent flows crossing the same physical link queue on it instead of
+/// magically sharing infinite capacity.
+struct SharedLinkMap {
+  int num_devices = 0;
+  int num_links = 0;  ///< physical link count == links.size() passed at build
+  /// routes[k * num_devices + l]: ids (indices into the build links vector) of
+  /// the physical links the k -> l route crosses, in path order. Empty for
+  /// k == l and for unreachable pairs (which apply_topology punishes with
+  /// near-zero bandwidth instead). A bidirectional physical link keeps one id
+  /// for both directions, so opposing flows contend for it too.
+  std::vector<std::vector<int>> routes;
+
+  const std::vector<int>& links_on(int k, int l) const {
+    return routes[static_cast<std::size_t>(k) * num_devices + l];
+  }
+};
+
+/// Builds the route map matching apply_topology's projection over the same
+/// `links` vector (same tie-breaking, so the projected delay/bandwidth of
+/// every pair equals the sum/bottleneck over its mapped route). Throws
+/// std::invalid_argument on the same malformed links apply_topology rejects.
+SharedLinkMap build_shared_link_map(int num_devices,
+                                    const std::vector<PhysicalLink>& links);
+
 }  // namespace giph

@@ -8,6 +8,7 @@
 #include <queue>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace giph {
 namespace {
@@ -97,53 +98,94 @@ double realize(double expected, const SimOptions& opt) {
 
 }  // namespace
 
+namespace {
+
+/// Error prefix naming the event so the caller can find and fix it:
+/// "fault plan event 3 (crash of device 9 at t=30): ...".
+[[noreturn]] void reject_event(const FaultEvent& e, std::size_t index,
+                               const std::string& what) {
+  std::ostringstream out;
+  out << "fault plan event " << index << " (" << describe(e) << "): " << what;
+  throw std::invalid_argument(out.str());
+}
+
+}  // namespace
+
 void validate_fault_plan(const FaultPlan& plan, const DeviceNetwork& n) {
   // Device ids may reference devices added by earlier (time-ordered) joins.
   int devices = n.num_devices();
-  std::vector<const FaultEvent*> by_time;
-  by_time.reserve(plan.events.size());
-  for (const FaultEvent& e : plan.events) by_time.push_back(&e);
-  std::stable_sort(by_time.begin(), by_time.end(),
-                   [](const FaultEvent* a, const FaultEvent* b) { return a->time < b->time; });
-  for (const FaultEvent* ep : by_time) {
-    const FaultEvent& e = *ep;
+  std::vector<std::size_t> by_time(plan.events.size());
+  for (std::size_t i = 0; i < by_time.size(); ++i) by_time[i] = i;
+  std::stable_sort(by_time.begin(), by_time.end(), [&](std::size_t a, std::size_t b) {
+    return plan.events[a].time < plan.events[b].time;
+  });
+  auto device_range = [&](int d) {
+    std::ostringstream out;
+    out << "device id " << d << " out of range [0, " << devices
+        << ") (network has " << n.num_devices() << " devices";
+    if (devices > n.num_devices()) {
+      out << " plus " << devices - n.num_devices() << " joined by earlier events";
+    }
+    out << ")";
+    return out.str();
+  };
+  for (const std::size_t i : by_time) {
+    const FaultEvent& e = plan.events[i];
     if (!finite_nonneg(e.time)) {
-      throw std::invalid_argument("fault plan: event time must be finite and >= 0");
+      reject_event(e, i, "event time must be finite and >= 0");
     }
     if (e.until < e.time) {
-      throw std::invalid_argument("fault plan: transient end precedes start");
+      std::ostringstream out;
+      out << "transient end until=" << e.until << " precedes start time=" << e.time;
+      reject_event(e, i, out.str());
     }
     switch (e.kind) {
       case FaultKind::kDeviceCrash:
       case FaultKind::kDeviceLeave:
         if (e.device < 0 || e.device >= devices) {
-          throw std::invalid_argument("fault plan: crash/leave device id out of range");
+          reject_event(e, i, device_range(e.device));
         }
         break;
       case FaultKind::kSlowdown:
         if (e.device < 0 || e.device >= devices) {
-          throw std::invalid_argument("fault plan: slowdown device id out of range");
+          reject_event(e, i, device_range(e.device));
         }
         if (!std::isfinite(e.factor) || e.factor <= 0.0) {
-          throw std::invalid_argument("fault plan: slowdown factor must be finite and > 0");
+          reject_event(e, i, "slowdown factor must be finite and > 0, got " +
+                                 std::to_string(e.factor));
         }
         break;
       case FaultKind::kLinkDegrade:
-        if (e.link_src < 0 || e.link_src >= devices || e.link_dst < 0 ||
-            e.link_dst >= devices || e.link_src == e.link_dst) {
-          throw std::invalid_argument("fault plan: degraded link endpoints out of range");
+        if (e.link_src < 0 || e.link_src >= devices) {
+          reject_event(e, i, "link source: " + device_range(e.link_src));
         }
-        if (!std::isfinite(e.factor) || e.factor <= 0.0 || !finite_nonneg(e.delay_add)) {
-          throw std::invalid_argument("fault plan: link degrade factor/delay invalid");
+        if (e.link_dst < 0 || e.link_dst >= devices) {
+          reject_event(e, i, "link destination: " + device_range(e.link_dst));
+        }
+        if (e.link_src == e.link_dst) {
+          reject_event(e, i, "a device has no link to itself");
+        }
+        if (!std::isfinite(e.factor) || e.factor <= 0.0) {
+          reject_event(e, i, "link degrade factor must be finite and > 0, got " +
+                                 std::to_string(e.factor));
+        }
+        if (!finite_nonneg(e.delay_add)) {
+          reject_event(e, i, "link degrade delay_add must be finite and >= 0, got " +
+                                 std::to_string(e.delay_add));
         }
         break;
       case FaultKind::kDeviceJoin:
         if (!std::isfinite(e.joined.speed) || e.joined.speed <= 0.0) {
-          throw std::invalid_argument("fault plan: joined device speed must be > 0");
+          reject_event(e, i, "joined device speed must be finite and > 0, got " +
+                                 std::to_string(e.joined.speed));
         }
-        if (!std::isfinite(e.join_bandwidth) || e.join_bandwidth <= 0.0 ||
-            !finite_nonneg(e.join_delay)) {
-          throw std::invalid_argument("fault plan: joined device link invalid");
+        if (!std::isfinite(e.join_bandwidth) || e.join_bandwidth <= 0.0) {
+          reject_event(e, i, "join link bandwidth must be finite and > 0, got " +
+                                 std::to_string(e.join_bandwidth));
+        }
+        if (!finite_nonneg(e.join_delay)) {
+          reject_event(e, i, "join link delay must be finite and >= 0, got " +
+                                 std::to_string(e.join_delay));
         }
         ++devices;
         break;
@@ -210,6 +252,9 @@ FaultPlan generate_fault_plan(const DeviceNetwork& n, const FaultPlanParams& par
   }
   std::stable_sort(plan.events.begin(), plan.events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+  // Self-check: a generator bug should surface here, at the source, rather
+  // than as a confusing rejection inside whatever later consumes the plan.
+  validate_fault_plan(plan, n);
   return plan;
 }
 
@@ -353,6 +398,17 @@ FaultSimResult simulate_with_faults(const TaskGraph& g, const DeviceNetwork& n,
                                     const Placement& p, const LatencyModel& lat,
                                     const FaultPlan& plan, const SimOptions& opt) {
   validate_sim_options(opt, "simulate_with_faults");
+  if (opt.trace != nullptr && !opt.trace->empty()) {
+    throw std::invalid_argument(
+        "simulate_with_faults: NetworkTrace is not supported on the fault path; "
+        "encode time-varying link conditions as kLinkDegrade events instead");
+  }
+  if (opt.shared_links != nullptr) {
+    throw std::invalid_argument(
+        "simulate_with_faults: shared-link contention is not supported on the "
+        "fault path; project the topology with apply_topology and use per-link "
+        "kLinkDegrade events instead");
+  }
   if (!is_feasible(g, n, p)) {
     throw std::invalid_argument("simulate_with_faults: infeasible placement");
   }
@@ -396,6 +452,7 @@ FaultSimResult simulate_with_faults(const TaskGraph& g, const DeviceNetwork& n,
   std::vector<char> stranded(nv, 0);
   std::vector<int> edge_version(ne, 0);
   std::vector<double> edge_finish_at(ne, -1.0);
+  std::vector<double> edge_wire_begin(ne, 0.0);  // when the wire portion starts
   std::vector<int> edge_src_dev(ne, -1), edge_dst_dev(ne, -1);
   std::vector<char> edge_inflight(ne, 0);
 
@@ -484,17 +541,19 @@ FaultSimResult simulate_with_faults(const TaskGraph& g, const DeviceNetwork& n,
         } else {
           eff = {eff.first / a.factor, eff.second - a.delay_add};
         }
-        // Rescale in-flight transfers on the degraded link. A transfer still
-        // queued behind the NIC (serialize_transfers: wire start in the
-        // future) has all of its duration ahead of it, so anchor the rescale
-        // at its wire start, not at `t` - otherwise a revert could move the
-        // finish before the start.
+        // Rescale in-flight transfers on the degraded link. Only the
+        // remaining *wire* time rescales: the startup-delay portion (over by
+        // edge_wire_begin, which also covers NIC queueing under
+        // serialize_transfers) is bandwidth-independent and already
+        // committed, so anchoring at max(t, wire_begin) leaves it exempt -
+        // and keeps a revert from moving the finish before the start.
         for (int e = 0; e < ne; ++e) {
           if (!edge_inflight[e] || edge_src_dev[e] != a.src || edge_dst_dev[e] != a.dst) {
             continue;
           }
-          const double begun = std::max(t, sched.edge_start[e]);
+          const double begun = std::max(t, edge_wire_begin[e]);
           const double remaining = edge_finish_at[e] - begun;
+          if (remaining <= 0.0) continue;  // zero wire time: nothing to rescale
           edge_finish_at[e] = begun + remaining * (eff.first / old_factor);
           pq.push(Event{edge_finish_at[e], seq++, EventKind::kTransferDone, e,
                         ++edge_version[e]});
@@ -535,13 +594,22 @@ FaultSimResult simulate_with_faults(const TaskGraph& g, const DeviceNetwork& n,
       for (int e : g.out_edges(v)) {
         const int dl = p.device_of(g.edge(e).dst);
         const auto [lf, ld] = link_terms(d, dl);
-        const double c = realize(lat.comm_time(g, n, e, d, dl), opt) * lf +
-                         (dl != d ? ld : 0.0);
+        const double cr = realize(lat.comm_time(g, n, e, d, dl), opt);
+        const double c = cr * lf + (dl != d ? ld : 0.0);
         double start = ev.time;
         if (opt.serialize_transfers && dl != d) {
           start = std::max(start, nic_free[d]);
           nic_free[d] = start + c;
         }
+        // Where the wire (bandwidth-proportional) portion begins: after the
+        // realized startup delay, stretched like the rest of the transfer by
+        // the active link factor, plus the degrade's extra delay. Noise is
+        // multiplicative, so the realized startup keeps the expected startup
+        // fraction of the realized total.
+        const double ce = lat.comm_time(g, n, e, d, dl);
+        const double de = lat.comm_startup(g, n, e, d, dl);
+        const double dr = ce > 0.0 ? de * (cr / ce) : 0.0;
+        edge_wire_begin[e] = start + dr * lf + (dl != d ? ld : 0.0);
         sched.edge_start[e] = start;
         edge_src_dev[e] = d;
         edge_dst_dev[e] = dl;

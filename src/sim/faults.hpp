@@ -28,8 +28,9 @@ enum class FaultKind {
   kSlowdown,
   /// Link degradation: from `time` until `until`, transfers on the directed
   /// link (src -> dst) take `factor` times as long and incur an extra
-  /// `delay_add` at start. The remaining time of an in-flight transfer is
-  /// rescaled by `factor` (startup-delay portion approximated as bandwidth).
+  /// `delay_add` at start. For an in-flight transfer only the remaining
+  /// *wire* time is rescaled by `factor`: the startup-delay portion
+  /// (LatencyModel::comm_startup, already committed at dispatch) is exempt.
   kLinkDegrade,
   /// Churn join at `time`: device `joined` becomes available with symmetric
   /// links of `join_bandwidth` / `join_delay` to every existing device. A
@@ -63,8 +64,12 @@ struct FaultPlan {
 };
 
 /// Validates `plan` against `n` (device ids may also reference devices joined
-/// by *earlier* join events of the plan, in time order). Throws
-/// std::invalid_argument with a specific message on the first bad event.
+/// by *earlier* join events of the plan, in time order; events need not be
+/// pre-sorted - every consumer sorts stably by time). Throws
+/// std::invalid_argument naming the offending event (its describe() rendering
+/// and position in the plan), the bad field, and the accepted range. Called
+/// by simulate_with_faults, post_fault_network, the robustness harness, and
+/// generate_fault_plan itself.
 void validate_fault_plan(const FaultPlan& plan, const DeviceNetwork& n);
 
 /// Parameters of the seeded random fault-plan generator. Event times are

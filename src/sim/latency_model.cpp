@@ -1,0 +1,24 @@
+#include "sim/latency_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace giph {
+
+void LossAwareLatencyModel::set_drop(int k, int l, double p) {
+  if (k < 0 || k >= m_ || l < 0 || l >= m_ || k == l) {
+    throw std::invalid_argument("LossAwareLatencyModel::set_drop: link " +
+                                std::to_string(k) + " -> " + std::to_string(l) +
+                                " is not a valid directed link of a " +
+                                std::to_string(m_) + "-device network");
+  }
+  if (!std::isfinite(p) || p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument(
+        "LossAwareLatencyModel::set_drop: drop probability must be in [0, 1), got " +
+        std::to_string(p));
+  }
+  drop_[static_cast<std::size_t>(k) * m_ + l] = p;
+}
+
+}  // namespace giph

@@ -24,6 +24,18 @@ class LatencyModel {
   /// destination on device l. Must be 0 when k == l.
   virtual double comm_time(const TaskGraph& g, const DeviceNetwork& n, int e, int k,
                            int l) const = 0;
+
+  /// The startup (bandwidth-independent) portion of comm_time: the part that
+  /// does NOT scale when the link's bandwidth changes. Must be 0 when k == l
+  /// and must never exceed comm_time for the same arguments. The simulator's
+  /// dynamic-network machinery (NetworkTrace, kLinkDegrade) uses this to
+  /// rescale only the wire time of in-flight transfers. The default matches
+  /// Eq. 3's DL_kl term.
+  virtual double comm_startup(const TaskGraph&, const DeviceNetwork& n, int,
+                              int k, int l) const {
+    if (k == l) return 0.0;
+    return n.delay(k, l);
+  }
 };
 
 /// The paper's latency model (Eqs. 2-3), extended with the case-study affine
@@ -68,6 +80,60 @@ class TableLatencyModel final : public LatencyModel {
  private:
   std::vector<int> task_kind_;
   std::map<std::pair<int, int>, double> table_;
+};
+
+/// Decorator inflating a base model's comm time by the expected retransmit
+/// count of a lossy link (the paper's §3 "very high communication losses"
+/// scenario). With static per-link drop probability p, each wire transmission
+/// succeeds independently with probability 1 - p, so the expected number of
+/// transmissions is the geometric mean 1 / (1 - p); only the wire
+/// (bandwidth-proportional) portion of Eq. 3 is retransmitted - the startup
+/// delay is paid once:
+///
+///   c_loss = DL_kl + (B_e / BW_kl) / (1 - p_kl)
+///
+/// Links with p <= 0 return the base model's comm_time value *unchanged*
+/// (same expression, bitwise), so an all-zero drop table reduces exactly to
+/// the base model. The base model must outlive this decorator.
+///
+/// For time-varying loss use NetworkTrace::drop_prob instead, which applies
+/// the same 1/(1-p) wire inflation piecewise inside the event core.
+class LossAwareLatencyModel final : public LatencyModel {
+ public:
+  LossAwareLatencyModel(const LatencyModel& base, int num_devices)
+      : base_(&base), m_(num_devices),
+        drop_(static_cast<std::size_t>(num_devices) * num_devices, 0.0) {}
+
+  /// Sets the drop probability of directed link k -> l. Throws
+  /// std::invalid_argument unless 0 <= p < 1 and k != l are in range.
+  void set_drop(int k, int l, double p);
+
+  double drop(int k, int l) const { return drop_[static_cast<std::size_t>(k) * m_ + l]; }
+
+  double compute_time(const TaskGraph& g, const DeviceNetwork& n, int v,
+                      int k) const override {
+    return base_->compute_time(g, n, v, k);
+  }
+
+  double comm_time(const TaskGraph& g, const DeviceNetwork& n, int e, int k,
+                   int l) const override {
+    const double c = base_->comm_time(g, n, e, k, l);
+    if (k == l) return c;
+    const double p = drop(k, l);
+    if (p <= 0.0) return c;
+    const double s = base_->comm_startup(g, n, e, k, l);
+    return s + (c - s) / (1.0 - p);
+  }
+
+  double comm_startup(const TaskGraph& g, const DeviceNetwork& n, int e, int k,
+                      int l) const override {
+    return base_->comm_startup(g, n, e, k, l);
+  }
+
+ private:
+  const LatencyModel* base_;
+  int m_;
+  std::vector<double> drop_;
 };
 
 }  // namespace giph

@@ -1,0 +1,68 @@
+#include "sim/network_trace.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace giph {
+namespace {
+
+[[noreturn]] void fail(const char* caller, int src, int dst, const std::string& what) {
+  std::ostringstream os;
+  os << caller << ": link " << src << " -> " << dst << ": " << what;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace
+
+void validate_network_trace(const NetworkTrace& trace, const DeviceNetwork& n,
+                            const char* caller) {
+  const int m = n.num_devices();
+  for (std::size_t i = 0; i < trace.links.size(); ++i) {
+    const LinkSchedule& l = trace.links[i];
+    if (l.src < 0 || l.src >= m || l.dst < 0 || l.dst >= m) {
+      fail(caller, l.src, l.dst,
+           "endpoint out of range [0, " + std::to_string(m) + ")");
+    }
+    if (l.src == l.dst) {
+      fail(caller, l.src, l.dst, "self-links carry no transfers and cannot be traced");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (trace.links[j].src == l.src && trace.links[j].dst == l.dst) {
+        fail(caller, l.src, l.dst, "duplicate schedule for this link");
+      }
+    }
+    double prev = -1.0;
+    for (std::size_t s = 0; s < l.segments.size(); ++s) {
+      const TraceSegment& seg = l.segments[s];
+      std::ostringstream os;
+      os << "segment " << s << " (time " << seg.time << "): ";
+      if (!std::isfinite(seg.time) || seg.time < 0.0) {
+        fail(caller, l.src, l.dst, os.str() + "time must be finite and >= 0");
+      }
+      if (s > 0 && seg.time <= prev) {
+        fail(caller, l.src, l.dst,
+             os.str() + "segment times must be strictly increasing (previous is " +
+                 std::to_string(prev) + ")");
+      }
+      prev = seg.time;
+      if (!std::isfinite(seg.bandwidth_factor) || !(seg.bandwidth_factor > 0.0)) {
+        fail(caller, l.src, l.dst,
+             os.str() + "bandwidth_factor must be finite and > 0 (got " +
+                 std::to_string(seg.bandwidth_factor) + ")");
+      }
+      if (!std::isfinite(seg.delay_add) || seg.delay_add < 0.0) {
+        fail(caller, l.src, l.dst,
+             os.str() + "delay_add must be finite and >= 0 (got " +
+                 std::to_string(seg.delay_add) + ")");
+      }
+      if (!std::isfinite(seg.drop_prob) || seg.drop_prob < 0.0 || seg.drop_prob >= 1.0) {
+        fail(caller, l.src, l.dst,
+             os.str() + "drop_prob must be in [0, 1) (got " +
+                 std::to_string(seg.drop_prob) + ")");
+      }
+    }
+  }
+}
+
+}  // namespace giph

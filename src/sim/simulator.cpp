@@ -4,12 +4,15 @@
 #include <atomic>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace giph {
 namespace {
 
 constexpr int kTaskDone = 0;
 constexpr int kTransferDone = 1;
+constexpr int kBreakpoint = 2;
 
 // Later events sort before earlier ones so heap operations keep the earliest
 // event at the front; ties break by creation order, making pop order fully
@@ -68,6 +71,20 @@ void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& 
   const int ne = g.num_edges();
   const int nd = n.num_devices();
 
+  // Dynamic-network configuration. Null / empty configurations collapse to
+  // null pointers here so the static-network path below is the exact legacy
+  // code path (bitwise-identical output, no extra buffers touched).
+  const NetworkTrace* trace =
+      (opt.trace != nullptr && !opt.trace->empty()) ? opt.trace : nullptr;
+  if (trace != nullptr) validate_network_trace(*trace, n, "simulate");
+  const SharedLinkMap* shared = opt.shared_links;
+  if (shared != nullptr && shared->num_devices != nd) {
+    throw std::invalid_argument(
+        "simulate: shared_links was built for " +
+        std::to_string(shared->num_devices) + " devices but the network has " +
+        std::to_string(nd));
+  }
+
   out.tasks.assign(nv, TaskTiming{-1.0, -1.0});
   out.edge_start.assign(ne, -1.0);
   out.edge_finish.assign(ne, -1.0);
@@ -94,10 +111,44 @@ void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& 
   auto& nic_free = ws.nic_free;
   int completed = 0;
 
-  auto push_event = [&](double time, int kind, int id) {
-    heap.push_back(detail::SimEvent{time, seq++, kind, id});
+  auto push_event = [&](double time, int kind, int id, int version = 0) {
+    heap.push_back(detail::SimEvent{time, seq++, kind, id, version});
     std::push_heap(heap.begin(), heap.end(), later);
   };
+
+  // Dynamic-network state. Breakpoints are pushed before any sim event so
+  // they consume seq 0..B-1: a breakpoint takes effect *before* same-time sim
+  // events (a transfer dispatched at the breakpoint instant already sees the
+  // new conditions; one finishing at that instant is still rescaled).
+  std::vector<std::pair<int, int>> breakpoints;  // (trace link, segment)
+  if (shared != nullptr) ws.link_free.assign(shared->num_links, 0.0);
+  if (trace != nullptr) {
+    const int nl = static_cast<int>(trace->links.size());
+    ws.trace_link.assign(static_cast<std::size_t>(nd) * nd, -1);
+    ws.trace_cur.assign(nl, TraceSegment{});
+    ws.trace_factor.assign(nl, 1.0);
+    ws.edge_version.assign(ne, 0);
+    ws.edge_finish_at.assign(ne, -1.0);
+    ws.edge_wire_begin.assign(ne, 0.0);
+    ws.edge_wire_factor.assign(ne, 1.0);
+    ws.edge_inflight.assign(ne, 0);
+    for (int li = 0; li < nl; ++li) {
+      const LinkSchedule& ls = trace->links[li];
+      if (ls.segments.empty()) continue;  // no conditions: stays a plain link
+      ws.trace_link[static_cast<std::size_t>(ls.src) * nd + ls.dst] = li;
+      for (int si = 0; si < static_cast<int>(ls.segments.size()); ++si) {
+        if (ls.segments[si].time <= 0.0) {
+          // Active from the start: seed the state, no event needed.
+          ws.trace_cur[li] = ls.segments[si];
+          ws.trace_factor[li] = wire_factor(ls.segments[si]);
+        } else {
+          push_event(ls.segments[si].time, kBreakpoint,
+                     static_cast<int>(breakpoints.size()));
+          breakpoints.emplace_back(li, si);
+        }
+      }
+    }
+  }
 
   auto start_task = [&](int v, double t) {
     const int d = p.device_of(v);
@@ -139,12 +190,52 @@ void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& 
         const int dl = p.device_of(g.edge(e).dst);
         const double c = realize(lat.comm_time(g, n, e, d, dl), opt);
         double start = ev.time;
-        if (opt.serialize_transfers && dl != d) {
-          start = std::max(start, nic_free[d]);
-          nic_free[d] = start + c;
+        if (dl != d) {
+          if (opt.serialize_transfers) start = std::max(start, nic_free[d]);
+          if (shared != nullptr) {
+            for (const int li : shared->links_on(d, dl)) {
+              start = std::max(start, ws.link_free[li]);
+            }
+          }
+        }
+        double dur = c;
+        const int tl =
+            trace != nullptr ? ws.trace_link[static_cast<std::size_t>(d) * nd + dl]
+                             : -1;
+        if (tl >= 0) {
+          // Split the realized time into startup (delay) and wire (bandwidth)
+          // portions; only the wire portion scales with the link conditions.
+          // Noise is multiplicative, so the realized startup keeps the
+          // expected startup fraction de / ce of the realized total.
+          const double ce = lat.comm_time(g, n, e, d, dl);
+          const double de = lat.comm_startup(g, n, e, d, dl);
+          const double dr = ce > 0.0 ? de * (c / ce) : 0.0;
+          const TraceSegment& seg = ws.trace_cur[tl];
+          const double startup = dr + seg.delay_add;
+          dur = startup + (c - dr) * ws.trace_factor[tl];
+          ws.edge_wire_begin[e] = start + startup;
+          ws.edge_wire_factor[e] = ws.trace_factor[tl];
+        } else if (trace != nullptr) {
+          ws.edge_wire_begin[e] = start;
+          ws.edge_wire_factor[e] = 1.0;
+        }
+        if (dl != d) {
+          if (opt.serialize_transfers) nic_free[d] = start + dur;
+          if (shared != nullptr) {
+            // Reserve every physical link on the route for the whole transfer
+            // (store-and-forward is not modeled; the route is one pipe).
+            for (const int li : shared->links_on(d, dl)) {
+              ws.link_free[li] = start + dur;
+            }
+          }
+        }
+        if (trace != nullptr) {
+          ws.edge_inflight[e] = 1;
+          ws.edge_finish_at[e] = start + dur;
         }
         out.edge_start[e] = start;
-        push_event(start + c, kTransferDone, e);
+        push_event(start + dur, kTransferDone, e,
+                   trace != nullptr ? ws.edge_version[e] : 0);
       }
       --running[d];
       if (!fifo[d].empty() && running[d] < n.device(d).cores) {
@@ -152,11 +243,45 @@ void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& 
         fifo[d].pop_front();
         start_task(next, ev.time);
       }
-    } else {
+    } else if (ev.kind == kTransferDone) {
       const int e = ev.id;
+      if (trace != nullptr) {
+        if (ev.version != ws.edge_version[e]) continue;  // stale: rescaled
+        ws.edge_inflight[e] = 0;
+      }
       out.edge_finish[e] = ev.time;
       const int child = g.edge(e).dst;
       if (--remaining_inputs[child] == 0) make_runnable(child, ev.time);
+    } else {  // kBreakpoint
+      const auto [li, si] = breakpoints[ev.id];
+      const TraceSegment& seg = trace->links[li].segments[si];
+      ws.trace_cur[li] = seg;
+      const double f_new = wire_factor(seg);
+      ws.trace_factor[li] = f_new;
+      const int k = trace->links[li].src;
+      const int l = trace->links[li].dst;
+      // Rescale the remaining wire time of every in-flight transfer on this
+      // link, in ascending edge-id order (the oracle mirrors this order).
+      // delay_add changes never affect in-flight transfers: their startup was
+      // committed at dispatch.
+      for (int e = 0; e < ne; ++e) {
+        if (ws.edge_inflight[e] == 0) continue;
+        if (p.device_of(g.edge(e).src) != k || p.device_of(g.edge(e).dst) != l) {
+          continue;
+        }
+        if (ws.edge_wire_factor[e] == f_new) continue;
+        const double anchor = std::max(ev.time, ws.edge_wire_begin[e]);
+        const double remaining = ws.edge_finish_at[e] - anchor;
+        if (remaining <= 0.0) {
+          // Wire already done (finishing this instant, or still in startup
+          // with zero wire time): keep the pending event and its seq.
+          ws.edge_wire_factor[e] = f_new;
+          continue;
+        }
+        ws.edge_finish_at[e] = anchor + remaining * (f_new / ws.edge_wire_factor[e]);
+        ws.edge_wire_factor[e] = f_new;
+        push_event(ws.edge_finish_at[e], kTransferDone, e, ++ws.edge_version[e]);
+      }
     }
   }
 

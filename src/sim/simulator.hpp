@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "graph/placement.hpp"
+#include "graph/topology.hpp"
 #include "sim/latency_model.hpp"
+#include "sim/network_trace.hpp"
 
 namespace giph {
 
@@ -37,6 +39,19 @@ struct SimOptions {
   /// single NIC (contention model) instead of the paper's contention-free
   /// concurrent sends. Local (same-device) transfers always bypass the NIC.
   bool serialize_transfers = false;
+  /// Optional piecewise-constant per-link conditions (bandwidth factor,
+  /// added startup delay, drop probability). A transfer in flight when a
+  /// segment boundary passes has its remaining wire time rescaled at the
+  /// breakpoint; breakpoints take effect *before* same-time sim events.
+  /// nullptr or an empty trace leaves output bitwise identical to today's
+  /// simulator. Must outlive the call; validated against the network.
+  const NetworkTrace* trace = nullptr;
+  /// Optional shared-link contention: transfers whose projected route crosses
+  /// a busy physical link wait for it (sweep-line reservation per physical
+  /// link, the NIC machinery generalized from devices to links). nullptr, or
+  /// a map with only empty routes, leaves output bitwise identical. Must
+  /// outlive the call; num_devices must match the network.
+  const SharedLinkMap* shared_links = nullptr;
 };
 
 /// Throws std::invalid_argument when `opt` is unusable: noise is NaN or
@@ -51,9 +66,10 @@ namespace detail {
 /// event-heap storage; not part of the public API.
 struct SimEvent {
   double time;
-  long seq;  // creation order, breaks time ties deterministically
-  int kind;  // 0 = task done, 1 = transfer done
-  int id;    // task id or edge id
+  long seq;     // creation order, breaks time ties deterministically
+  int kind;     // 0 = task done, 1 = transfer done, 2 = trace breakpoint
+  int id;       // task id, edge id, or breakpoint index
+  int version;  // transfer events only: stale when != the edge's version
 };
 
 }  // namespace detail
@@ -73,6 +89,17 @@ struct SimWorkspace {
   std::vector<std::deque<int>> fifo;
   std::vector<int> running;
   std::vector<double> nic_free;
+  // Dynamic-network buffers, touched only when SimOptions::trace /
+  // shared_links are active (the static-network fast path never sizes them).
+  std::vector<double> link_free;        ///< per physical link (shared_links)
+  std::vector<int> trace_link;          ///< device pair -> trace link idx or -1
+  std::vector<TraceSegment> trace_cur;  ///< per trace link: active segment
+  std::vector<double> trace_factor;     ///< per trace link: current wire factor
+  std::vector<int> edge_version;        ///< per edge: invalidates stale events
+  std::vector<double> edge_finish_at;   ///< per edge: current predicted finish
+  std::vector<double> edge_wire_begin;  ///< per edge: when wire time starts
+  std::vector<double> edge_wire_factor; ///< per edge: factor baked into finish
+  std::vector<char> edge_inflight;
 };
 
 /// Discrete-event runtime simulator (Appendix B.5).
@@ -82,6 +109,9 @@ struct SimWorkspace {
 /// they became runnable; inter-device transfers are contention-free and
 /// overlap with computation; a task becomes runnable once all parent outputs
 /// have arrived at its device. Entry tasks are runnable at t = 0.
+/// SimOptions::serialize_transfers / shared_links add NIC / physical-link
+/// contention, and SimOptions::trace adds time-varying link conditions; all
+/// three default off, reproducing the paper's model bitwise.
 ///
 /// Throws std::invalid_argument for infeasible placements and std::logic_error
 /// for cyclic graphs.

@@ -50,6 +50,24 @@ InvariantReport check_schedule(const TaskGraph& g, const DeviceNetwork& n,
   const int nv = g.num_tasks();
   const int ne = g.num_edges();
 
+  // Dynamic-network context: an empty trace is no trace. traced_pair() says
+  // whether a directed device pair has time-varying conditions (its durations
+  // are then unpredictable from the latency model alone); routed_pair() says
+  // whether the pair's transfers queue on shared physical links.
+  const NetworkTrace* trace =
+      (opt.trace != nullptr && !opt.trace->empty()) ? opt.trace : nullptr;
+  auto traced_pair = [&](int k, int l) {
+    if (trace == nullptr) return false;
+    for (const LinkSchedule& ls : trace->links) {
+      if (ls.src == k && ls.dst == l && !ls.segments.empty()) return true;
+    }
+    return false;
+  };
+  auto routed_pair = [&](int k, int l) {
+    return opt.shared_links != nullptr && k != l &&
+           !opt.shared_links->links_on(k, l).empty();
+  };
+
   if (static_cast<int>(sched.tasks.size()) != nv ||
       static_cast<int>(sched.edge_start.size()) != ne ||
       static_cast<int>(sched.edge_finish.size()) != ne || p.num_tasks() != nv) {
@@ -143,12 +161,12 @@ InvariantReport check_schedule(const TaskGraph& g, const DeviceNetwork& n,
     const double src_finish = sched.tasks[link.src].finish;
     const int du = p.device_of(link.src);
     const int dv = p.device_of(link.dst);
-    const bool nic_queued = opt.serialize_transfers && du != dv;
-    if (nic_queued ? es < src_finish : es != src_finish) {
+    const bool queued = (opt.serialize_transfers && du != dv) || routed_pair(du, dv);
+    if (queued ? es < src_finish : es != src_finish) {
       c.fail("edge ", e, ": transfer starts at ", es, " but producer ", link.src,
              " finishes at ", src_finish);
     }
-    if (!opt.allow_incomplete) {
+    if (!opt.allow_incomplete && !traced_pair(du, dv)) {
       const double comm = lat.comm_time(g, n, e, du, dv);
       if (opt.noise <= 0.0) {
         if (ef != es + comm) {
@@ -252,9 +270,10 @@ InvariantReport check_schedule(const TaskGraph& g, const DeviceNetwork& n,
     }
 
     // NIC serialization: remote sends of one device must not overlap. Only
-    // checkable for benign runs: a link degrade firing mid-transfer stretches
-    // sends that were already dispatched on the pre-fault NIC timeline.
-    if (opt.serialize_transfers && !opt.allow_incomplete) {
+    // checkable for benign runs without a trace: a link degrade or trace
+    // breakpoint firing mid-transfer stretches sends that were already
+    // dispatched on the pre-change NIC timeline.
+    if (opt.serialize_transfers && !opt.allow_incomplete && trace == nullptr) {
       std::vector<std::pair<double, double>> sends;
       for (int e = 0; e < ne; ++e) {
         if (p.device_of(g.edge(e).src) != d || p.device_of(g.edge(e).dst) == d) continue;
@@ -267,6 +286,33 @@ InvariantReport check_schedule(const TaskGraph& g, const DeviceNetwork& n,
           c.fail("device ", d, ": NIC overlap, remote send [", sends[i].first, ", ",
                  sends[i].second, ") overlaps [", sends[i - 1].first, ", ",
                  sends[i - 1].second, ")");
+        }
+      }
+    }
+  }
+
+  // Shared-link contention: transfers whose routes cross a common physical
+  // link must not overlap on it (each reserves its whole route for its whole
+  // duration). Like the NIC check, only meaningful when no trace / fault
+  // stretched transfers past their dispatch-time reservations.
+  if (opt.shared_links != nullptr && !opt.allow_incomplete && trace == nullptr) {
+    for (int li = 0; li < opt.shared_links->num_links; ++li) {
+      std::vector<std::pair<double, double>> uses;
+      for (int e = 0; e < ne; ++e) {
+        if (sched.edge_start[e] < 0.0) continue;
+        const int du = p.device_of(g.edge(e).src);
+        const int dv = p.device_of(g.edge(e).dst);
+        if (du == dv) continue;
+        const std::vector<int>& route = opt.shared_links->links_on(du, dv);
+        if (std::find(route.begin(), route.end(), li) == route.end()) continue;
+        uses.emplace_back(sched.edge_start[e], sched.edge_finish[e]);
+      }
+      std::sort(uses.begin(), uses.end());
+      for (std::size_t i = 1; i < uses.size(); ++i) {
+        if (uses[i].first < uses[i - 1].second) {
+          c.fail("physical link ", li, ": transfer [", uses[i].first, ", ",
+                 uses[i].second, ") overlaps [", uses[i - 1].first, ", ",
+                 uses[i - 1].second, ")");
         }
       }
     }

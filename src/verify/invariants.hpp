@@ -33,6 +33,18 @@ struct CheckOptions {
   /// but duration checks and start-time provenance are skipped (faults
   /// rescale in-flight work).
   bool allow_incomplete = false;
+  /// The run used this NetworkTrace (SimOptions::trace). Duration checks are
+  /// skipped for edges on traced links (breakpoints rescale in-flight wire
+  /// time), and NIC / shared-link non-overlap checks are skipped entirely (a
+  /// rescale can stretch a transfer past its dispatch-time reservation).
+  /// Everything else - precedence, capacity, FIFO, makespan - still holds.
+  const NetworkTrace* trace = nullptr;
+  /// The run used shared-link contention (SimOptions::shared_links):
+  /// transfers whose route is non-empty may start after their producer
+  /// finishes (queued behind a busy physical link), and transfers crossing a
+  /// common physical link must not overlap (checked unless a trace or
+  /// allow_incomplete forbids it).
+  const SharedLinkMap* shared_links = nullptr;
 };
 
 /// Validates `sched` for (g, n, p, lat) against first principles, sharing no

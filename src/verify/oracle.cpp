@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace giph {
@@ -14,9 +16,13 @@ namespace {
 struct OracleEvent {
   double time = 0.0;
   long order = 0;
-  bool transfer = false;  // false = task completion, true = edge arrival
-  int id = -1;            // task id or edge id
+  int kind = 0;  // 0 = task completion, 1 = edge arrival, 2 = trace breakpoint
+  int id = -1;   // task id, edge id, or breakpoint index
 };
+
+constexpr int kTaskEvent = 0;
+constexpr int kTransferEvent = 1;
+constexpr int kBreakpointEvent = 2;
 
 double draw(double expected, const SimOptions& opt) {
   if (opt.noise <= 0.0) return expected;
@@ -80,6 +86,20 @@ Schedule oracle_simulate(const TaskGraph& g, const DeviceNetwork& n, const Place
   const int ne = g.num_edges();
   const int nd = n.num_devices();
 
+  // Dynamic-network configuration, interpreted independently of the
+  // production simulator: only the NetworkTrace / SharedLinkMap *data* is
+  // shared. An empty trace is no trace at all.
+  const NetworkTrace* trace =
+      (opt.trace != nullptr && !opt.trace->empty()) ? opt.trace : nullptr;
+  if (trace != nullptr) validate_network_trace(*trace, n, "oracle_simulate");
+  const SharedLinkMap* shared = opt.shared_links;
+  if (shared != nullptr && shared->num_devices != nd) {
+    throw std::invalid_argument(
+        "oracle_simulate: shared_links was built for " +
+        std::to_string(shared->num_devices) + " devices but the network has " +
+        std::to_string(nd));
+  }
+
   Schedule out;
   out.tasks.assign(nv, TaskTiming{-1.0, -1.0});
   out.edge_start.assign(ne, -1.0);
@@ -91,6 +111,51 @@ Schedule oracle_simulate(const TaskGraph& g, const DeviceNetwork& n, const Place
   long next_order = 0;
   std::vector<std::vector<int>> waiting(nd);  // FIFO of runnable-but-queued tasks
   std::vector<double> nic_busy_until(nd, 0.0);
+  std::vector<double> link_busy_until(shared != nullptr ? shared->num_links : 0, 0.0);
+
+  // Per traced link: the segment currently in force (identity before the
+  // first segment) and its wire-time factor. Breakpoint entries are created
+  // before anything else, so a breakpoint sorts before same-time sim events.
+  const int ntl = trace != nullptr ? static_cast<int>(trace->links.size()) : 0;
+  std::vector<TraceSegment> link_state(ntl);
+  std::vector<double> link_factor(ntl, 1.0);
+  std::vector<std::pair<int, int>> breakpoints;  // (trace link, segment)
+  if (trace != nullptr) {
+    for (int li = 0; li < ntl; ++li) {
+      const LinkSchedule& ls = trace->links[li];
+      for (int si = 0; si < static_cast<int>(ls.segments.size()); ++si) {
+        if (ls.segments[si].time <= 0.0) {
+          link_state[li] = ls.segments[si];
+          link_factor[li] = (1.0 / ls.segments[si].bandwidth_factor) /
+                            (1.0 - ls.segments[si].drop_prob);
+        } else {
+          pending.push_back(OracleEvent{ls.segments[si].time, next_order++,
+                                        kBreakpointEvent,
+                                        static_cast<int>(breakpoints.size())});
+          breakpoints.emplace_back(li, si);
+        }
+      }
+    }
+  }
+
+  // The traced-link index of a device pair, found by scanning the trace
+  // (links with no segments are plain links).
+  auto traced_link_of = [&](int src, int dst) {
+    if (trace == nullptr) return -1;
+    for (int li = 0; li < ntl; ++li) {
+      if (trace->links[li].src == src && trace->links[li].dst == dst &&
+          !trace->links[li].segments.empty()) {
+        return li;
+      }
+    }
+    return -1;
+  };
+
+  // Per edge: when its wire (bandwidth-proportional) portion starts and the
+  // factor its current finish time was computed with. An edge is in flight
+  // exactly when it has started but not finished.
+  std::vector<double> wire_begin(ne, 0.0);
+  std::vector<double> wire_factor_of(ne, 1.0);
 
   // Occupancy is re-derived on demand instead of kept in a counter: a device
   // is running exactly its placed tasks that have started but not finished.
@@ -108,7 +173,7 @@ Schedule oracle_simulate(const TaskGraph& g, const DeviceNetwork& n, const Place
     const int d = p.device_of(v);
     out.tasks[v].start = t;
     const double w = draw(lat.compute_time(g, n, v, d), opt);
-    pending.push_back(OracleEvent{t + w, next_order++, false, v});
+    pending.push_back(OracleEvent{t + w, next_order++, kTaskEvent, v});
   };
 
   // A task whose inputs have all arrived either begins immediately (free core,
@@ -139,23 +204,53 @@ Schedule oracle_simulate(const TaskGraph& g, const DeviceNetwork& n, const Place
     const OracleEvent ev = pending[at];
     pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(at));
 
-    if (!ev.transfer) {
+    if (ev.kind == kTaskEvent) {
       const int v = ev.id;
       out.tasks[v].finish = ev.time;
       const int d = p.device_of(v);
       // Outputs go out to every child's device, in out-edge order:
       // contention-free and concurrent in the paper's model, back-to-back
-      // through the sender's NIC when serialize_transfers is on.
+      // through the sender's NIC when serialize_transfers is on, and behind
+      // every busy physical link of the route under shared-link contention.
       for (int e : g.out_edges(v)) {
         const int dst_dev = p.device_of(g.edge(e).dst);
         const double c = draw(lat.comm_time(g, n, e, d, dst_dev), opt);
         double start = ev.time;
-        if (opt.serialize_transfers && dst_dev != d) {
-          start = std::max(start, nic_busy_until[d]);
-          nic_busy_until[d] = start + c;
+        if (dst_dev != d) {
+          if (opt.serialize_transfers) start = std::max(start, nic_busy_until[d]);
+          if (shared != nullptr) {
+            for (const int li : shared->links_on(d, dst_dev)) {
+              start = std::max(start, link_busy_until[li]);
+            }
+          }
+        }
+        double dur = c;
+        const int tl = traced_link_of(d, dst_dev);
+        if (tl >= 0) {
+          // Startup (delay) portion of the realized time keeps the expected
+          // startup fraction; only the wire remainder scales with the link
+          // conditions in force at dispatch.
+          const double ce = lat.comm_time(g, n, e, d, dst_dev);
+          const double de = lat.comm_startup(g, n, e, d, dst_dev);
+          const double dr = ce > 0.0 ? de * (c / ce) : 0.0;
+          const double startup = dr + link_state[tl].delay_add;
+          dur = startup + (c - dr) * link_factor[tl];
+          wire_begin[e] = start + startup;
+          wire_factor_of[e] = link_factor[tl];
+        } else if (trace != nullptr) {
+          wire_begin[e] = start;
+          wire_factor_of[e] = 1.0;
+        }
+        if (dst_dev != d) {
+          if (opt.serialize_transfers) nic_busy_until[d] = start + dur;
+          if (shared != nullptr) {
+            for (const int li : shared->links_on(d, dst_dev)) {
+              link_busy_until[li] = start + dur;
+            }
+          }
         }
         out.edge_start[e] = start;
-        pending.push_back(OracleEvent{start + c, next_order++, true, e});
+        pending.push_back(OracleEvent{start + dur, next_order++, kTransferEvent, e});
       }
       // The freed core serves the next queued task, if any.
       if (!waiting[d].empty() && tasks_running_on(d) < n.device(d).cores) {
@@ -163,7 +258,7 @@ Schedule oracle_simulate(const TaskGraph& g, const DeviceNetwork& n, const Place
         waiting[d].erase(waiting[d].begin());
         begin_execution(next, ev.time);
       }
-    } else {
+    } else if (ev.kind == kTransferEvent) {
       const int e = ev.id;
       out.edge_finish[e] = ev.time;
       const int child = g.edge(e).dst;
@@ -177,6 +272,46 @@ Schedule oracle_simulate(const TaskGraph& g, const DeviceNetwork& n, const Place
         }
       }
       if (all_arrived) on_runnable(child, ev.time);
+    } else {  // kBreakpointEvent
+      const int li = breakpoints[ev.id].first;
+      const TraceSegment& seg = trace->links[li].segments[breakpoints[ev.id].second];
+      link_state[li] = seg;
+      const double f_new = (1.0 / seg.bandwidth_factor) / (1.0 - seg.drop_prob);
+      link_factor[li] = f_new;
+      const int src = trace->links[li].src;
+      const int dst = trace->links[li].dst;
+      // Rescale the remaining wire time of every transfer in flight on this
+      // link, in ascending edge-id order: remove its pending arrival and
+      // append the rescaled one (matching the simulator's fresh event).
+      for (int e = 0; e < ne; ++e) {
+        if (out.edge_start[e] < 0.0 || out.edge_finish[e] >= 0.0) continue;
+        if (p.device_of(g.edge(e).src) != src || p.device_of(g.edge(e).dst) != dst) {
+          continue;
+        }
+        if (wire_factor_of[e] == f_new) continue;
+        std::size_t slot = pending.size();
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+          if (pending[i].kind == kTransferEvent && pending[i].id == e) {
+            slot = i;
+            break;
+          }
+        }
+        if (slot == pending.size()) {
+          throw std::logic_error("oracle_simulate: in-flight edge has no pending event");
+        }
+        const double anchor = std::max(ev.time, wire_begin[e]);
+        const double remaining = pending[slot].time - anchor;
+        if (remaining <= 0.0) {
+          // Wire already done (zero wire time, or finishing this instant):
+          // keep the pending arrival as-is.
+          wire_factor_of[e] = f_new;
+          continue;
+        }
+        const double finish = anchor + remaining * (f_new / wire_factor_of[e]);
+        wire_factor_of[e] = f_new;
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(slot));
+        pending.push_back(OracleEvent{finish, next_order++, kTransferEvent, e});
+      }
     }
   }
 

@@ -18,7 +18,12 @@ namespace giph {
 ///     (opt.serialize_transfers queues a device's remote sends at its NIC);
 ///   - latencies follow the LatencyModel (Eqs. 2-3 for the default model);
 ///   - with opt.noise > 0, every realized duration is drawn uniformly from
-///     [x(1-sigma), x(1+sigma)], one draw per task start and per transfer.
+///     [x(1-sigma), x(1+sigma)], one draw per task start and per transfer;
+///   - opt.trace applies piecewise-constant link conditions: breakpoints act
+///     before same-time sim events and rescale the remaining wire time of
+///     in-flight transfers (startup exempt), exactly like the simulator;
+///   - opt.shared_links queues transfers behind every busy physical link of
+///     their projected route.
 ///
 /// Implementation is a direct event-list interpretation: pending events live
 /// in a flat list scanned linearly for the earliest (time, creation order)

@@ -197,6 +197,42 @@ TEST(Faults, LinkDegradeRescalesInFlightTransfer) {
   EXPECT_DOUBLE_EQ(r.schedule.tasks[2].finish, 28.5);
 }
 
+TEST(Faults, LinkDegradeDuringStartupRescalesOnlyWireTime) {
+  const TaskGraph g = chain3();
+  const DeviceNetwork n = two_devices();
+  const Placement p = alternating3();
+
+  // Edge 1 (16 bytes) flies 1 -> 0 during [9, 18]: startup delay 1 commits
+  // the window [9, 10], the wire phase runs [10, 18]. Degrade x2 at t = 9.5,
+  // *inside* the startup window: only the wire time may stretch, so the
+  // rescale anchors at the wire begin t = 10 and doubles the full 8 units of
+  // wire time - arrival 10 + 16 = 26, task 2 runs [26, 32]. (Anchoring at
+  // the event time 9.5 would stretch 8.5 units, a spurious 26.5.)
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kLinkDegrade, .time = 9.5,
+                                   .link_src = 1, .link_dst = 0, .factor = 2.0});
+  const FaultSimResult r = simulate_with_faults(g, n, p, kLat, plan);
+  ASSERT_TRUE(r.completed());
+  EXPECT_DOUBLE_EQ(r.schedule.edge_finish[1], 26.0);
+  EXPECT_DOUBLE_EQ(r.schedule.tasks[2].start, 26.0);
+  EXPECT_DOUBLE_EQ(r.schedule.tasks[2].finish, 32.0);
+}
+
+TEST(Faults, ValidationErrorsNameTheEventAndField) {
+  const DeviceNetwork n = two_devices();
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{.kind = FaultKind::kDeviceCrash, .time = 1.0,
+                                   .device = 9});
+  try {
+    validate_fault_plan(plan, n);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fault plan event 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("9"), std::string::npos) << what;
+  }
+}
+
 TEST(Faults, ValidationRejectsBadPlans) {
   const DeviceNetwork n = two_devices();
   FaultPlan plan;

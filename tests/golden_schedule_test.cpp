@@ -9,11 +9,16 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "graph/serialization.hpp"
+#include "graph/topology.hpp"
+#include "sim/latency_model.hpp"
+#include "sim/network_trace.hpp"
 #include "sim/simulator.hpp"
 #include "verify/invariants.hpp"
 #include "verify/oracle.hpp"
@@ -29,10 +34,41 @@ struct GoldenCase {
   DeviceNetwork network;
   Placement placement;
   Schedule expected;
+  // Optional dynamic-conditions blocks between "placement v1" and
+  // "expected v1" (see load_golden): a network trace, a sparse physical
+  // topology (the loader projects it onto the network and builds the
+  // shared-link map), and per-link drop probabilities.
+  NetworkTrace trace;
+  bool has_trace = false;
+  SharedLinkMap shared;
+  bool has_shared = false;
+  std::vector<std::tuple<int, int, double>> drops;
+
+  SimOptions sim_options() const {
+    SimOptions opt;
+    if (has_trace) opt.trace = &trace;
+    if (has_shared) opt.shared_links = &shared;
+    return opt;
+  }
+  /// The latency model of this case: lossy when a "loss v1" block is present.
+  std::unique_ptr<LatencyModel> latency() const {
+    auto loss = std::make_unique<LossAwareLatencyModel>(kLat, network.num_devices());
+    for (const auto& [src, dst, p] : drops) loss->set_drop(src, dst, p);
+    return loss;
+  }
 };
 
 // '#' lines are comments (the hand derivation); everything else feeds the v1
-// parsers followed by an "expected v1" block.
+// parsers, then optional "trace v1" / "shared-links v1" / "loss v1" blocks,
+// followed by the mandatory "expected v1" block.
+//
+//   trace v1         <num schedules>, per schedule "src dst nseg" then nseg
+//                    lines of "time bandwidth_factor delay_add drop_prob";
+//   shared-links v1  <num links>, per link "a b bandwidth delay bidirectional"
+//                    (the loader runs apply_topology + build_shared_link_map,
+//                    so the network matrices in the file are overwritten by
+//                    the projection);
+//   loss v1          <num entries>, per entry "src dst drop_prob".
 GoldenCase load_golden(const std::filesystem::path& path) {
   std::ifstream file(path);
   if (!file) throw std::runtime_error("cannot open golden case: " + path.string());
@@ -51,6 +87,47 @@ GoldenCase load_golden(const std::filesystem::path& path) {
 
   std::string kind, version;
   clean >> kind >> version;
+  while (kind != "expected") {
+    if (version != "v1") {
+      throw std::runtime_error(c.name + ": unknown block '" + kind + " " + version + "'");
+    }
+    int count = 0;
+    clean >> count;
+    if (kind == "trace") {
+      c.has_trace = true;
+      for (int i = 0; i < count; ++i) {
+        int src = 0, dst = 0, nseg = 0;
+        clean >> src >> dst >> nseg;
+        LinkSchedule& ls = c.trace.link(src, dst);
+        for (int s = 0; s < nseg; ++s) {
+          TraceSegment seg;
+          clean >> seg.time >> seg.bandwidth_factor >> seg.delay_add >> seg.drop_prob;
+          ls.segments.push_back(seg);
+        }
+      }
+    } else if (kind == "shared-links") {
+      c.has_shared = true;
+      std::vector<PhysicalLink> links(count);
+      for (PhysicalLink& l : links) {
+        int bidir = 1;
+        clean >> l.a >> l.b >> l.bandwidth >> l.delay >> bidir;
+        l.bidirectional = bidir != 0;
+      }
+      apply_topology(c.network, links);
+      c.shared = build_shared_link_map(c.network.num_devices(), links);
+    } else if (kind == "loss") {
+      for (int i = 0; i < count; ++i) {
+        int src = 0, dst = 0;
+        double p = 0.0;
+        clean >> src >> dst >> p;
+        c.drops.emplace_back(src, dst, p);
+      }
+    } else {
+      throw std::runtime_error(c.name + ": unknown block '" + kind + "'");
+    }
+    if (!clean) throw std::runtime_error(c.name + ": truncated '" + kind + "' block");
+    clean >> kind >> version;
+  }
   if (kind != "expected" || version != "v1") {
     throw std::runtime_error(c.name + ": expected 'expected v1' block");
   }
@@ -101,28 +178,39 @@ void expect_matches(const GoldenCase& c, const Schedule& got, const char* which)
 }
 
 TEST(GoldenSchedules, CorpusIsNonTrivial) {
-  EXPECT_GE(golden_files().size(), 10u);
+  EXPECT_GE(golden_files().size(), 13u);
 }
 
 TEST(GoldenSchedules, SimulatorReproducesEveryCase) {
   for (const auto& path : golden_files()) {
     const GoldenCase c = load_golden(path);
-    expect_matches(c, simulate(c.graph, c.network, c.placement, kLat), "simulate");
+    const auto lat = c.latency();
+    expect_matches(c, simulate(c.graph, c.network, c.placement, *lat, c.sim_options()),
+                   "simulate");
   }
 }
 
 TEST(GoldenSchedules, OracleReproducesEveryCase) {
   for (const auto& path : golden_files()) {
     const GoldenCase c = load_golden(path);
-    expect_matches(c, oracle_simulate(c.graph, c.network, c.placement, kLat), "oracle");
+    const auto lat = c.latency();
+    expect_matches(
+        c, oracle_simulate(c.graph, c.network, c.placement, *lat, c.sim_options()),
+        "oracle");
   }
 }
 
 TEST(GoldenSchedules, InvariantCheckerAcceptsEveryCase) {
   for (const auto& path : golden_files()) {
     const GoldenCase c = load_golden(path);
-    const Schedule s = simulate(c.graph, c.network, c.placement, kLat);
-    const InvariantReport r = check_schedule(c.graph, c.network, c.placement, kLat, s);
+    const auto lat = c.latency();
+    const SimOptions opt = c.sim_options();
+    const Schedule s = simulate(c.graph, c.network, c.placement, *lat, opt);
+    CheckOptions check;
+    check.trace = opt.trace;
+    check.shared_links = opt.shared_links;
+    const InvariantReport r =
+        check_schedule(c.graph, c.network, c.placement, *lat, s, check);
     EXPECT_TRUE(r.ok()) << c.name << ":\n" << r.summary();
   }
 }

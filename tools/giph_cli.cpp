@@ -15,6 +15,10 @@
 //                     [--graph FILE --network FILE] [--model FILE] [--variant V]
 //                     [--faults SPEC | --crashes N --leaves N --slowdowns N
 //                      --degrades N --joins N] [--repair-budget N]
+//   giph_cli dynamic  [--seed S] [--tasks T] [--graph FILE] [--model FILE]
+//                     [--variant V] [--epochs N] [--vehicles N] [--bases N]
+//                     [--range M] [--epoch-seconds S] [--repair-budget N]
+//                     [--drift-budget N] [--threads N]
 //
 // The robustness command measures fault recovery: each placer (the GiPH
 // agent, Random-task-eft, and HEFT) places a seeded synthetic instance, the
@@ -24,6 +28,14 @@
 // "crash:2@30,slow:1@10x3:60,link:0-3@20x4,join@50"; without it a plan is
 // generated from the --crashes/--slowdowns/... counts with event times seeded
 // inside the fault-free makespan horizon.
+//
+// The dynamic command runs the continuous-churn protocol: grid mobility
+// (casestudy/churn.hpp) turns vehicle movement into a stream of epochs -
+// devices joining and leaving coverage, link bandwidths drifting with
+// distance - and every placer re-places online after each epoch
+// (PlacementSearchEnv::rebase) against the frozen epoch-0 placement and a
+// full HEFT reschedule per epoch. The report is seed-reproducible and
+// identical for every --threads value.
 //
 // Variants: giph (default), giph-3, giph-5, giph-ne, graphsage-ne, ne-pol,
 // task-eft.
@@ -37,6 +49,7 @@
 #include <optional>
 
 #include "baselines/random_policies.hpp"
+#include "casestudy/churn.hpp"
 #include "core/giph_agent.hpp"
 #include "core/reinforce.hpp"
 #include "eval/robustness_eval.hpp"
@@ -324,6 +337,56 @@ int cmd_robustness(const Args& args) {
   return 0;
 }
 
+int cmd_dynamic(const Args& args) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  std::mt19937_64 rng(seed);
+  TaskGraph g;
+  if (args.has("graph")) {
+    g = load_task_graph(args.get("graph"));
+  } else {
+    TaskGraphParams gp;
+    gp.num_tasks = args.get_int("tasks", 12);
+    g = generate_task_graph(gp, rng);
+  }
+
+  casestudy::ChurnScriptParams cp;
+  cp.mobility.num_vehicles = args.get_int("vehicles", 6);
+  cp.mobility.seed = seed;
+  cp.base_devices = args.get_int("bases", 3);
+  cp.range_m = args.get_double("range", 250.0);
+  cp.epoch_s = args.get_double("epoch-seconds", 10.0);
+  cp.epochs = args.get_int("epochs", 12);
+  cp.seed = seed;
+  const eval::ChurnScript script = casestudy::generate_churn_script(cp);
+  int joins = 0, leaves = 0;
+  for (std::size_t t = 1; t < script.epochs.size(); ++t) {
+    for (std::size_t k = 0; k < script.epochs[t].up.size(); ++k) {
+      if (script.epochs[t].up[k] && !script.epochs[t - 1].up[k]) ++joins;
+      if (!script.epochs[t].up[k] && script.epochs[t - 1].up[k]) ++leaves;
+    }
+  }
+
+  const DefaultLatencyModel lat;
+  GiPHAgent agent(variant_options(args.get("variant", "giph"), seed));
+  if (args.has("model")) agent.load(args.get("model"));
+  RandomTaskEftPolicy random_eft;
+
+  eval::ChurnOptions copt;
+  copt.seed = seed + 1;
+  copt.repair_budget = args.get_int("repair-budget", 0);
+  copt.drift_budget = args.get_int("drift-budget", 0);
+  copt.threads = args.get_int("threads", 1);
+  const eval::ChurnReport report = eval::evaluate_churn(
+      g, script, lat, {{agent.name(), &agent}, {random_eft.name(), &random_eft}}, copt);
+  std::cout << "instance: " << g.num_tasks() << " tasks over a universe of "
+            << script.epochs.front().network.num_devices() << " devices ("
+            << cp.base_devices << " base + " << cp.mobility.num_vehicles
+            << " mobile), " << report.num_epochs << " epochs, " << joins
+            << " joins / " << leaves << " leaves (seed " << seed << ")\n\n"
+            << eval::format_churn_report(report);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,7 +397,8 @@ int main(int argc, char** argv) {
     if (args.command == "evaluate") return cmd_evaluate(args);
     if (args.command == "place") return cmd_place(args);
     if (args.command == "robustness") return cmd_robustness(args);
-    std::cerr << "usage: giph_cli {generate|train|evaluate|place|robustness} [--options]\n"
+    if (args.command == "dynamic") return cmd_dynamic(args);
+    std::cerr << "usage: giph_cli {generate|train|evaluate|place|robustness|dynamic} [--options]\n"
                  "see the header of tools/giph_cli.cpp for details\n";
     return args.command.empty() ? 0 : 1;
   } catch (const std::exception& e) {

@@ -3,28 +3,41 @@
 // Each case derives a seeded random (task graph, device network, placement)
 // triple from the existing generators, sweeping task counts, graph shape,
 // device counts, hardware-constraint density, multi-core devices, noise,
-// NIC contention, and fault plans. On every case it asserts:
+// NIC contention, fault plans, and the dynamic-conditions stack: network
+// traces (piecewise-constant bandwidth / delay / drop breakpoints), lossy
+// links (LossAwareLatencyModel), and shared-link contention over random
+// sparse topologies. On every case it asserts:
 //   - simulate(), simulate_into() (with a reused workspace), and the
 //     independent oracle_simulate() agree bitwise on every time;
 //   - check_schedule() finds no invariant violation;
 //   - simulate_with_faults() with an empty plan reduces bitwise to
 //     simulate(), and with a generated plan is replay-deterministic and
-//     passes the fault-aware invariant check.
+//     passes the fault-aware invariant check;
+//   - on a sampled subset, the inactive-config reductions: an empty
+//     NetworkTrace and a zero-drop LossAwareLatencyModel must leave the
+//     output bitwise identical to the plain run.
+//
+// Fault cases never carry a trace or shared links (simulate_with_faults
+// rejects the combination by design); lossy links compose with everything.
 //
 // Any failure prints the exact flags reproducing that single case. The CI
-// smoke job runs >= 10k cases; `ctest -L property` runs a quick subset.
+// smoke job runs >= 12k cases; `ctest -L property` runs a quick subset.
 //
 // Usage: giph_fuzz [--cases N] [--seed S] [--start K] [--verbose]
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "gen/device_network_gen.hpp"
 #include "gen/task_graph_gen.hpp"
+#include "graph/topology.hpp"
 #include "sim/faults.hpp"
+#include "sim/network_trace.hpp"
 #include "sim/simulator.hpp"
 #include "verify/invariants.hpp"
 #include "verify/oracle.hpp"
@@ -52,6 +65,13 @@ struct FuzzCase {
   bool serialize_transfers = false;
   bool with_faults = false;
   FaultPlan plan;
+  bool with_trace = false;
+  NetworkTrace trace;
+  bool with_shared = false;
+  SharedLinkMap shared;
+  bool with_loss = false;
+  std::vector<std::pair<std::pair<int, int>, double>> drops;  // ((src, dst), p)
+  bool check_reductions = false;  // sampled: verify inactive-config reductions
   std::uint64_t sim_seed = 0;  // seeds the noise engine of every replay
   std::string shape;           // one-line description for failure reports
 };
@@ -123,11 +143,76 @@ FuzzCase build_case(std::uint64_t base_seed, std::uint64_t index) {
     c.plan = generate_fault_plan(c.network, fp, rng);
   }
 
-  char shape[160];
+  // Dynamic conditions. Fault cases never get a trace or shared links
+  // (simulate_with_faults rejects the combination); lossy links compose with
+  // everything.
+  const int m = c.network.num_devices();
+  if (!c.with_faults && m >= 2 && uniform(rng, 0.0, 1.0) < 0.35) {
+    c.with_shared = true;
+    // Random spanning tree (mostly bidirectional) plus a few chords, so most
+    // pairs route through shared physical links and some may be one-way
+    // unreachable (apply_topology punishes those with near-zero bandwidth).
+    std::vector<PhysicalLink> phys;
+    std::vector<int> order(m);
+    for (int k = 0; k < m; ++k) order[k] = k;
+    std::shuffle(order.begin(), order.end(), rng);
+    for (int k = 1; k < m; ++k) {
+      phys.push_back({order[uniform_int(rng, 0, k - 1)], order[k],
+                      uniform(rng, 5.0, 100.0), uniform(rng, 0.0, 2.0),
+                      uniform(rng, 0.0, 1.0) < 0.8});
+    }
+    for (int x = uniform_int(rng, 0, 2); x > 0; --x) {
+      const int a = uniform_int(rng, 0, m - 1);
+      const int b = uniform_int(rng, 0, m - 1);
+      if (a == b) continue;
+      phys.push_back({a, b, uniform(rng, 5.0, 100.0), uniform(rng, 0.0, 2.0), true});
+    }
+    apply_topology(c.network, phys);
+    c.shared = build_shared_link_map(m, phys);
+  }
+  if (!c.with_faults && m >= 2 && uniform(rng, 0.0, 1.0) < 0.4) {
+    c.with_trace = true;
+    // Breakpoint times scaled to the instance's noise-free span so segments
+    // land inside the run, not all after it.
+    const double span =
+        std::max(1e-6, simulate(c.graph, c.network, c.placement, kLat).makespan);
+    const int nlinks = uniform_int(rng, 1, 3);
+    for (int x = 0; x < nlinks; ++x) {
+      const int src = uniform_int(rng, 0, m - 1);
+      int dst = uniform_int(rng, 0, m - 2);
+      if (dst >= src) ++dst;
+      LinkSchedule& ls = c.trace.link(src, dst);
+      if (!ls.segments.empty()) continue;  // pair drawn twice
+      double t = uniform(rng, 0.0, span * 0.5);
+      for (int s = uniform_int(rng, 1, 3); s > 0; --s) {
+        TraceSegment seg;
+        seg.time = t;
+        seg.bandwidth_factor = uniform(rng, 0.3, 2.5);
+        if (uniform(rng, 0.0, 1.0) < 0.5) seg.delay_add = uniform(rng, 0.0, 2.0);
+        if (uniform(rng, 0.0, 1.0) < 0.5) seg.drop_prob = uniform(rng, 0.0, 0.6);
+        ls.segments.push_back(seg);
+        t += uniform(rng, span * 0.05, span * 0.5);
+      }
+    }
+  }
+  if (m >= 2 && uniform(rng, 0.0, 1.0) < 0.3) {
+    c.with_loss = true;
+    for (int x = uniform_int(rng, 1, 3); x > 0; --x) {
+      const int src = uniform_int(rng, 0, m - 1);
+      int dst = uniform_int(rng, 0, m - 2);
+      if (dst >= src) ++dst;
+      c.drops.push_back({{src, dst}, uniform(rng, 0.05, 0.7)});
+    }
+  }
+  c.check_reductions = uniform(rng, 0.0, 1.0) < 0.125;
+
+  char shape[200];
   std::snprintf(shape, sizeof(shape),
-                "tasks=%d edges=%d devices=%d noise=%.3f serialize=%d faults=%zu",
+                "tasks=%d edges=%d devices=%d noise=%.3f serialize=%d faults=%zu "
+                "trace=%d shared=%d loss=%zu",
                 c.graph.num_tasks(), c.graph.num_edges(), c.network.num_devices(),
-                c.noise, c.serialize_transfers ? 1 : 0, c.plan.events.size());
+                c.noise, c.serialize_transfers ? 1 : 0, c.plan.events.size(),
+                c.with_trace ? 1 : 0, c.with_shared ? 1 : 0, c.drops.size());
   c.shape = shape;
   return c;
 }
@@ -165,21 +250,62 @@ std::string diff_schedules(const Schedule& a, const Schedule& b, const char* wha
   return "";
 }
 
+/// The inactive-config reductions: configurations that encode "no dynamics"
+/// explicitly (an empty trace, a zero-drop loss model, a shared map with no
+/// physical links) must leave the output bitwise identical to the plain run.
+std::string check_reductions(const FuzzCase& c) {
+  SimOptions base;
+  base.noise = c.noise;
+  base.serialize_transfers = c.serialize_transfers;
+  std::mt19937_64 r0(c.sim_seed), r1(c.sim_seed), r2(c.sim_seed), r3(c.sim_seed);
+  base.rng = &r0;
+  const Schedule plain = simulate(c.graph, c.network, c.placement, kLat, base);
+
+  NetworkTrace empty_trace;
+  SimOptions opt = base;
+  opt.trace = &empty_trace;
+  opt.rng = &r1;
+  const Schedule et = simulate(c.graph, c.network, c.placement, kLat, opt);
+  if (auto d = diff_schedules(plain, et, "empty-trace reduction"); !d.empty()) return d;
+
+  const LossAwareLatencyModel zero(kLat, c.network.num_devices());
+  base.rng = &r2;
+  const Schedule zl = simulate(c.graph, c.network, c.placement, zero, base);
+  if (auto d = diff_schedules(plain, zl, "zero-drop reduction"); !d.empty()) return d;
+
+  const SharedLinkMap no_links =
+      build_shared_link_map(c.network.num_devices(), {});
+  opt = base;
+  opt.shared_links = &no_links;
+  opt.rng = &r3;
+  const Schedule ns = simulate(c.graph, c.network, c.placement, kLat, opt);
+  if (auto d = diff_schedules(plain, ns, "no-links shared reduction"); !d.empty()) {
+    return d;
+  }
+  return "";
+}
+
 /// Runs all checks for one case; returns "" on success.
 std::string run_case(const FuzzCase& c, SimWorkspace& ws, Schedule& reused) {
+  LossAwareLatencyModel loss(kLat, c.network.num_devices());
+  for (const auto& [link, p] : c.drops) loss.set_drop(link.first, link.second, p);
+  const LatencyModel& lat = c.with_loss ? static_cast<const LatencyModel&>(loss) : kLat;
+
   SimOptions opt;
   opt.noise = c.noise;
   opt.serialize_transfers = c.serialize_transfers;
+  if (c.with_trace) opt.trace = &c.trace;
+  if (c.with_shared) opt.shared_links = &c.shared;
   std::mt19937_64 rng_a(c.sim_seed), rng_b(c.sim_seed), rng_c(c.sim_seed),
       rng_d(c.sim_seed);
 
   if (!c.with_faults) {
     opt.rng = &rng_a;
-    const Schedule prod = simulate(c.graph, c.network, c.placement, kLat, opt);
+    const Schedule prod = simulate(c.graph, c.network, c.placement, lat, opt);
     opt.rng = &rng_b;
-    simulate_into(c.graph, c.network, c.placement, kLat, ws, reused, opt);
+    simulate_into(c.graph, c.network, c.placement, lat, ws, reused, opt);
     opt.rng = &rng_c;
-    const Schedule ref = oracle_simulate(c.graph, c.network, c.placement, kLat, opt);
+    const Schedule ref = oracle_simulate(c.graph, c.network, c.placement, lat, opt);
 
     if (auto d = diff_schedules(prod, reused, "simulate vs simulate_into"); !d.empty()) {
       return d;
@@ -187,19 +313,27 @@ std::string run_case(const FuzzCase& c, SimWorkspace& ws, Schedule& reused) {
     if (auto d = diff_schedules(prod, ref, "simulate vs oracle"); !d.empty()) return d;
 
     const CheckOptions check{.noise = c.noise,
-                             .serialize_transfers = c.serialize_transfers};
+                             .serialize_transfers = c.serialize_transfers,
+                             .trace = opt.trace,
+                             .shared_links = opt.shared_links};
     const InvariantReport report =
-        check_schedule(c.graph, c.network, c.placement, kLat, prod, check);
+        check_schedule(c.graph, c.network, c.placement, lat, prod, check);
     if (!report.ok()) return "invariant violation:\n" + report.summary();
 
-    // The fault path with an empty plan is a strict superset of simulate().
-    opt.rng = &rng_d;
-    const FaultSimResult empty =
-        simulate_with_faults(c.graph, c.network, c.placement, kLat, FaultPlan{}, opt);
-    if (!empty.completed()) return "empty fault plan stranded tasks";
-    if (auto d = diff_schedules(prod, empty.schedule, "simulate vs empty fault plan");
-        !d.empty()) {
-      return d;
+    // The fault path with an empty plan is a strict superset of simulate()
+    // (it rejects traces and shared links, so compare without them).
+    if (!c.with_trace && !c.with_shared) {
+      opt.rng = &rng_d;
+      const FaultSimResult empty =
+          simulate_with_faults(c.graph, c.network, c.placement, lat, FaultPlan{}, opt);
+      if (!empty.completed()) return "empty fault plan stranded tasks";
+      if (auto d = diff_schedules(prod, empty.schedule, "simulate vs empty fault plan");
+          !d.empty()) {
+        return d;
+      }
+    }
+    if (c.check_reductions) {
+      if (auto d = check_reductions(c); !d.empty()) return d;
     }
     return "";
   }
@@ -207,10 +341,10 @@ std::string run_case(const FuzzCase& c, SimWorkspace& ws, Schedule& reused) {
   // Fault cases: replay determinism plus fault-aware invariants.
   opt.rng = &rng_a;
   const FaultSimResult r1 =
-      simulate_with_faults(c.graph, c.network, c.placement, kLat, c.plan, opt);
+      simulate_with_faults(c.graph, c.network, c.placement, lat, c.plan, opt);
   opt.rng = &rng_b;
   const FaultSimResult r2 =
-      simulate_with_faults(c.graph, c.network, c.placement, kLat, c.plan, opt);
+      simulate_with_faults(c.graph, c.network, c.placement, lat, c.plan, opt);
   if (auto d = diff_schedules(r1.schedule, r2.schedule, "fault replay"); !d.empty()) {
     return d;
   }
@@ -220,8 +354,11 @@ std::string run_case(const FuzzCase& c, SimWorkspace& ws, Schedule& reused) {
   const CheckOptions check{.noise = c.noise,
                            .serialize_transfers = c.serialize_transfers};
   const InvariantReport report =
-      check_fault_result(c.graph, c.network, c.placement, kLat, r1, check);
+      check_fault_result(c.graph, c.network, c.placement, lat, r1, check);
   if (!report.ok()) return "fault invariant violation:\n" + report.summary();
+  if (c.check_reductions) {
+    if (auto d = check_reductions(c); !d.empty()) return d;
+  }
   return "";
 }
 
@@ -258,7 +395,8 @@ int main(int argc, char** argv) {
 
   SimWorkspace ws;
   Schedule reused;
-  std::uint64_t fault_cases = 0, noisy_cases = 0;
+  std::uint64_t fault_cases = 0, noisy_cases = 0, trace_cases = 0, shared_cases = 0,
+                loss_cases = 0;
   for (std::uint64_t i = start; i < start + cases; ++i) {
     FuzzCase c;
     std::string failure;
@@ -266,6 +404,9 @@ int main(int argc, char** argv) {
       c = build_case(seed, i);
       fault_cases += c.with_faults ? 1 : 0;
       noisy_cases += c.noise > 0.0 ? 1 : 0;
+      trace_cases += c.with_trace ? 1 : 0;
+      shared_cases += c.with_shared ? 1 : 0;
+      loss_cases += c.with_loss ? 1 : 0;
       failure = run_case(c, ws, reused);
     } catch (const std::exception& e) {
       failure = std::string("exception: ") + e.what();
@@ -287,10 +428,14 @@ int main(int argc, char** argv) {
     }
   }
   std::printf(
-      "giph_fuzz: %llu cases ok (seed %llu, %llu noisy, %llu with fault plans): "
+      "giph_fuzz: %llu cases ok (seed %llu, %llu noisy, %llu with fault plans, "
+      "%llu traced, %llu shared-topology, %llu lossy): "
       "simulate == simulate_into == oracle, all invariants hold\n",
       static_cast<unsigned long long>(cases), static_cast<unsigned long long>(seed),
       static_cast<unsigned long long>(noisy_cases),
-      static_cast<unsigned long long>(fault_cases));
+      static_cast<unsigned long long>(fault_cases),
+      static_cast<unsigned long long>(trace_cases),
+      static_cast<unsigned long long>(shared_cases),
+      static_cast<unsigned long long>(loss_cases));
   return 0;
 }
