@@ -2,17 +2,19 @@
 // figure). Three measurements on one 50-task / 20-device instance:
 //
 //  1. sims/sec  - simulate() (allocating) vs simulate_into() with a reused
-//                 SimWorkspace;
+//                 SimWorkspace, plus simulate_delta() over chained random
+//                 one-task moves (the incremental search hot path, with its
+//                 replay hit rate and a bitwise spot check);
 //  2. steps/sec - search steps through the refactored environment (one
-//                 simulation per step, indexed EST queries) vs a pre-refactor
-//                 cost emulation (legacy (g,n,p) makespan objective that
-//                 re-simulates inside the objective, plus unindexed O(V)-scan
-//                 EST queries). Measured for two policies: Random-task-eft
-//                 (D est queries per step) and a sweep policy that performs
-//                 the full per-(task, device) est sweep gpNet feature
-//                 construction performs, with the NN forward excluded — the
-//                 NN is untouched by the refactor and would only dilute the
-//                 measurement (it costs ~100x the evaluation core per step);
+//                 incremental re-simulation per step, batched est_sweep) vs a
+//                 pre-refactor cost emulation (legacy (g,n,p) makespan
+//                 objective that re-simulates inside the objective, plus
+//                 unindexed O(V)-scan EST queries). Measured for two
+//                 policies: Random-task-eft (D est queries per step) and a
+//                 sweep policy that performs the full per-(task, device) est
+//                 sweep gpNet feature construction performs, with the NN
+//                 forward excluded — the NN is untouched by the refactor and
+//                 would only dilute the measurement;
 //  3. parallel  - eval::policy_finals over a batch of cases, serial vs all
 //                 hardware threads, with a bitwise-equality check.
 //
@@ -58,11 +60,12 @@ class UnindexedRandomTaskEft final : public SearchPolicy {
 /// The evaluation-core work of a GiPH search step with the NN excluded: per
 /// step, compute est(v, d) for every feasible (task, device) pair — the
 /// start-time-potential sweep gpNet feature construction performs — and move
-/// the pair minimizing est + compute time. `indexed` selects the refactored
-/// (ScheduleIndex) or pre-refactor (O(V) scan) est path.
+/// the pair minimizing est + compute time. `batched` selects the refactored
+/// (est_sweep, one batched pass per step) or pre-refactor (per-pair O(V)
+/// scan) est path.
 class GreedySweepPolicy final : public SearchPolicy {
  public:
-  explicit GreedySweepPolicy(bool indexed) : indexed_(indexed) {}
+  explicit GreedySweepPolicy(bool batched) : batched_(batched) {}
 
   ActionDecision decide(PlacementSearchEnv& env, std::mt19937_64&, bool) override {
     const TaskGraph& g = env.graph();
@@ -70,15 +73,23 @@ class GreedySweepPolicy final : public SearchPolicy {
     const Placement& p = env.placement();
     const LatencyModel& lat = env.latency();
     const Schedule& sched = env.schedule();
+    const int nd = n.num_devices();
+    const double* compute_tbl = nullptr;
+    if (batched_) {
+      est_sweep(sched, g, n, p, lat, sweep_);
+      compute_tbl = compute_sweep(g, n, lat, sweep_).data();
+    }
     SearchAction best{0, p.device_of(0)};
     double best_eft = std::numeric_limits<double>::infinity();
     for (int v = 0; v < g.num_tasks(); ++v) {
+      const std::size_t off = static_cast<std::size_t>(v) * nd;
+      const double* est_row = batched_ ? sweep_.est.data() + off : nullptr;
       for (const int d : env.feasible()[v]) {
-        const double est =
-            indexed_ ? earliest_start_on_queued(sched, g, n, p, lat,
-                                                env.schedule_index(), v, d)
-                     : earliest_start_on_queued(sched, g, n, p, lat, v, d);
-        const double eft = est + lat.compute_time(g, n, v, d);
+        const double est = batched_ ? est_row[d]
+                                    : earliest_start_on_queued(sched, g, n, p,
+                                                               lat, v, d);
+        const double eft =
+            est + (batched_ ? compute_tbl[off + d] : lat.compute_time(g, n, v, d));
         if (d != p.device_of(v) && eft < best_eft) {
           best_eft = eft;
           best = SearchAction{v, d};
@@ -87,17 +98,27 @@ class GreedySweepPolicy final : public SearchPolicy {
     }
     return ActionDecision{best, nullptr, std::nullopt};
   }
-  std::string name() const override { return indexed_ ? "sweep" : "sweep(unindexed)"; }
+  std::string name() const override { return batched_ ? "sweep" : "sweep(unindexed)"; }
 
  private:
-  bool indexed_;
+  bool batched_;
+  EstSweepWorkspace sweep_;
 };
 
 /// Total search steps/sec of `policy` on fresh environments built with
-/// `objective`, `rounds` searches of 2|V| steps each.
+/// `objective`, `rounds` searches of 2|V| steps each. When `delta_hits` /
+/// `delta_total` are non-null they accumulate the environments' incremental
+/// re-simulation counters (replayed applies / all applies).
+///
+/// The rounds are split into a few equal repetitions and the fastest one is
+/// reported: scheduler preemptions and frequency dips are strictly additive
+/// noise, so the minimum-time repetition is the stable estimate of what the
+/// code actually costs (same convention as timeit's min-of-repeats).
 template <typename MakeEnv>
 double measure_steps_per_sec(SearchPolicy& policy, const TaskGraph& g,
-                             const MakeEnv& make_env, int rounds) {
+                             const MakeEnv& make_env, int rounds,
+                             std::uint64_t* delta_hits = nullptr,
+                             std::uint64_t* delta_total = nullptr) {
   const int steps = 2 * g.num_tasks();
   // Warmup round: touch caches, size workspaces.
   {
@@ -105,13 +126,24 @@ double measure_steps_per_sec(SearchPolicy& policy, const TaskGraph& g,
     PlacementSearchEnv env = make_env(rng);
     run_search(policy, env, steps, rng);
   }
-  const auto t0 = Clock::now();
-  for (int r = 0; r < rounds; ++r) {
-    std::mt19937_64 rng(100 + r);
-    PlacementSearchEnv env = make_env(rng);
-    run_search(policy, env, steps, rng);
+  const int reps = std::min(40, rounds);
+  const int per_rep = rounds / reps;
+  double best = 0.0;
+  int r = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = Clock::now();
+    for (int k = 0; k < per_rep; ++k, ++r) {
+      std::mt19937_64 rng(100 + r);
+      PlacementSearchEnv env = make_env(rng);
+      run_search(policy, env, steps, rng);
+      if (delta_hits != nullptr) *delta_hits += env.delta_simulations_run();
+      if (delta_total != nullptr) {
+        *delta_total += env.delta_simulations_run() + env.delta_fallbacks();
+      }
+    }
+    best = std::max(best, static_cast<double>(per_rep) * steps / seconds_since(t0));
   }
-  return static_cast<double>(rounds) * steps / seconds_since(t0);
+  return best;
 }
 
 }  // namespace
@@ -138,25 +170,87 @@ int main() {
   const Placement p = random_placement(g, n, prng);
   double guard = 0.0;  // keep the loops observable
 
+  // Fastest of a few equal repetitions (noise is additive; see
+  // measure_steps_per_sec).
+  const auto best_of = [](int total, auto&& body) {
+    const int reps = 5;
+    const int per = total / reps;
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto start = Clock::now();
+      body(per);
+      best = std::max(best, per / seconds_since(start));
+    }
+    return best;
+  };
+
   for (int i = 0; i < 200; ++i) guard += simulate(g, n, p, lat).makespan;  // warmup
-  auto t0 = Clock::now();
-  for (int i = 0; i < sim_reps; ++i) guard += simulate(g, n, p, lat).makespan;
-  const double alloc_sps = sim_reps / seconds_since(t0);
+  const double alloc_sps = best_of(sim_reps, [&](int per) {
+    for (int i = 0; i < per; ++i) guard += simulate(g, n, p, lat).makespan;
+  });
 
   SimWorkspace ws;
   Schedule out;
   for (int i = 0; i < 200; ++i) simulate_into(g, n, p, lat, ws, out);
-  t0 = Clock::now();
-  for (int i = 0; i < sim_reps; ++i) {
-    simulate_into(g, n, p, lat, ws, out);
-    guard += out.makespan;
-  }
-  const double ws_sps = sim_reps / seconds_since(t0);
+  const double ws_sps = best_of(sim_reps, [&](int per) {
+    for (int i = 0; i < per; ++i) {
+      simulate_into(g, n, p, lat, ws, out);
+      guard += out.makespan;
+    }
+  });
+
+  // Incremental path: chained random one-task moves, each re-simulated with
+  // simulate_delta against the previous schedule (the search hot path of
+  // PlacementSearchEnv::apply). A spot check every 64 moves keeps the run
+  // honest about bitwise equality with the full path.
+  const auto run_delta_moves = [&](Placement& pd, Schedule& prev, Schedule& next,
+                                   DeltaSimState& dstate, std::mt19937_64& mrng,
+                                   int reps, std::uint64_t* hits, bool* bitwise) {
+    const std::vector<std::vector<int>> feas = feasible_sets(g, n);
+    SimWorkspace check_ws;
+    Schedule check;
+    for (int i = 0; i < reps; ++i) {
+      const int v = static_cast<int>(mrng() % g.num_tasks());
+      const int d = feas[v][mrng() % feas[v].size()];
+      pd.set(v, d);
+      if (simulate_delta(g, n, pd, v, lat, ws, prev, dstate, next) ==
+              DeltaSimResult::kReplayed &&
+          hits != nullptr) {
+        ++*hits;
+      }
+      guard += next.makespan;
+      if (bitwise != nullptr && i % 64 == 0) {
+        simulate_into(g, n, pd, lat, check_ws, check, {});
+        for (std::size_t t = 0; t < check.tasks.size(); ++t) {
+          *bitwise = *bitwise && next.tasks[t].start == check.tasks[t].start &&
+                     next.tasks[t].finish == check.tasks[t].finish;
+        }
+      }
+      std::swap(prev, next);
+    }
+  };
+  Placement pd = p;
+  Schedule prev, next;
+  DeltaSimState dstate;
+  std::mt19937_64 mrng(11);
+  simulate_into(g, n, pd, lat, ws, prev, {}, &dstate);
+  run_delta_moves(pd, prev, next, dstate, mrng, 200, nullptr, nullptr);  // warmup
+  std::uint64_t delta_hits = 0;
+  bool delta_bitwise = true;
+  const double delta_sps = best_of(sim_reps, [&](int per) {
+    run_delta_moves(pd, prev, next, dstate, mrng, per, &delta_hits, &delta_bitwise);
+  });
+  const double delta_hit_rate =
+      static_cast<double>(delta_hits) / (5 * (sim_reps / 5));
 
   print_header("simulator throughput (50 tasks, 20 devices)");
   std::printf("%-32s %14.0f sims/sec\n", "simulate (allocating)", alloc_sps);
   std::printf("%-32s %14.0f sims/sec\n", "simulate_into (workspace)", ws_sps);
   std::printf("%-32s %13.2fx\n", "workspace speedup", ws_sps / alloc_sps);
+  std::printf("%-32s %14.0f moves/sec\n", "simulate_delta (incremental)", delta_sps);
+  std::printf("%-32s %13.2fx\n", "delta speedup vs simulate_into", delta_sps / ws_sps);
+  std::printf("%-32s %14.3f\n", "delta hit rate", delta_hit_rate);
+  std::printf("%-32s %14s\n", "delta bitwise identical", delta_bitwise ? "yes" : "NO");
 
   // ---- 2. search steps/sec: refactored vs pre-refactor emulation ---------
   const int rounds = scale.full ? 200 : 40;
@@ -178,22 +272,31 @@ int main() {
   const double legacy_eft_steps =
       measure_steps_per_sec(legacy_eft_policy, g, make_legacy_env, rounds);
 
-  GreedySweepPolicy sweep_policy(/*indexed=*/true);
-  GreedySweepPolicy legacy_sweep_policy(/*indexed=*/false);
-  const double sweep_steps = measure_steps_per_sec(sweep_policy, g, make_new_env, rounds);
+  GreedySweepPolicy sweep_policy(/*batched=*/true);
+  GreedySweepPolicy legacy_sweep_policy(/*batched=*/false);
+  std::uint64_t env_delta_hits = 0, env_delta_total = 0;
+  const double sweep_steps = measure_steps_per_sec(sweep_policy, g, make_new_env,
+                                                   rounds, &env_delta_hits,
+                                                   &env_delta_total);
   const double legacy_sweep_steps =
       measure_steps_per_sec(legacy_sweep_policy, g, make_legacy_env, rounds);
   const double step_speedup = sweep_steps / legacy_sweep_steps;
   const double eft_speedup = eft_steps / legacy_eft_steps;
+  const double env_hit_rate =
+      env_delta_total > 0
+          ? static_cast<double>(env_delta_hits) / static_cast<double>(env_delta_total)
+          : 0.0;
 
   print_header("search steps/sec (2|V| steps per search)");
   std::printf("%-34s %12.0f steps/sec\n", "Random-task-eft, pre-refactor", legacy_eft_steps);
   std::printf("%-34s %12.0f steps/sec\n", "Random-task-eft, single-sim+index", eft_steps);
   std::printf("%-34s %11.2fx\n", "  speedup", eft_speedup);
   std::printf("%-34s %12.0f steps/sec\n", "feature sweep, pre-refactor", legacy_sweep_steps);
-  std::printf("%-34s %12.0f steps/sec\n", "feature sweep, single-sim+index", sweep_steps);
+  std::printf("%-34s %12.0f steps/sec\n", "feature sweep, delta+batched-est", sweep_steps);
   std::printf("%-34s %11.2fx %s\n", "  speedup", step_speedup,
               step_speedup >= 2.0 ? "(>= 2x target met)" : "(BELOW 2x target)");
+  std::printf("%-34s %12.3f (env applies taking the delta path)\n",
+              "  delta hit rate", env_hit_rate);
 
   // ---- 3. parallel evaluation layer --------------------------------------
   const Dataset batch = generate_dataset({gp}, {np}, scale.full ? 24 : 12, 2, gen_rng);
@@ -201,7 +304,11 @@ int main() {
   const eval::PolicyFactory factory = [] {
     return std::make_unique<RandomTaskEftPolicy>();
   };
-  t0 = Clock::now();
+  // Warmup: size every worker's buffers and fault in the case data before
+  // either timed run (first-touch costs otherwise land on the serial leg).
+  eval::policy_finals(factory, cases, lat, 0.0, 555, /*threads=*/1);
+  eval::policy_finals(factory, cases, lat, 0.0, 555, /*threads=*/0);
+  auto t0 = Clock::now();
   const std::vector<double> serial = eval::policy_finals(factory, cases, lat, 0.0, 555,
                                                          /*threads=*/1);
   const double serial_sec = seconds_since(t0);
@@ -231,6 +338,10 @@ int main() {
                  "  \"simulate_sims_per_sec\": %.1f,\n"
                  "  \"simulate_into_sims_per_sec\": %.1f,\n"
                  "  \"workspace_speedup\": %.3f,\n"
+                 "  \"delta_steps_per_sec\": %.1f,\n"
+                 "  \"delta_hit_rate\": %.4f,\n"
+                 "  \"delta_bitwise_identical\": %s,\n"
+                 "  \"env_delta_hit_rate\": %.4f,\n"
                  "  \"eft_legacy_steps_per_sec\": %.1f,\n"
                  "  \"eft_steps_per_sec\": %.1f,\n"
                  "  \"eft_steps_speedup\": %.3f,\n"
@@ -247,7 +358,8 @@ int main() {
                  "  }\n"
                  "}\n",
                  g.num_tasks(), n.num_devices(), alloc_sps, ws_sps, ws_sps / alloc_sps,
-                 legacy_eft_steps, eft_steps, eft_speedup,
+                 delta_sps, delta_hit_rate, delta_bitwise ? "true" : "false",
+                 env_hit_rate, legacy_eft_steps, eft_steps, eft_speedup,
                  legacy_sweep_steps, sweep_steps, step_speedup,
                  static_cast<int>(cases.size()), threads, serial_sec, parallel_sec,
                  serial_sec / parallel_sec, bitwise ? "true" : "false");
@@ -255,5 +367,5 @@ int main() {
     std::printf("\nwrote BENCH_eval.json\n");
   }
   if (!std::isfinite(guard)) std::printf("guard %f\n", guard);
-  return bitwise && step_speedup >= 2.0 ? 0 : 1;
+  return bitwise && delta_bitwise && step_speedup >= 2.0 ? 0 : 1;
 }

@@ -52,12 +52,14 @@ GpNetFeatures build_gpnet_features(const GpNet& net, const TaskGraph& g,
                                    const DeviceNetwork& n, const Placement& placement,
                                    const LatencyModel& lat, const Schedule& sched,
                                    const FeatureScales& scales, bool include_potential,
-                                   const ScheduleIndex* index) {
-  ScheduleIndex local;
-  if (include_potential && index == nullptr) {
-    local.build(sched, placement, n.num_devices());
-    index = &local;
-  }
+                                   const ScheduleIndex* /*index*/) {
+  // The start-time-potential feature needs the EST of every (task, device)
+  // candidate — exactly what one est_sweep batch computes, bitwise equal to
+  // the per-node indexed queries it replaces (the ScheduleIndex parameter is
+  // kept for API compatibility but no longer consulted).
+  thread_local EstSweepWorkspace sweep;
+  const int nd = n.num_devices();
+  if (include_potential) est_sweep(sched, g, n, placement, lat, sweep);
   GpNetFeatures f;
   f.node = nn::Matrix(net.num_nodes(), kNodeFeatureDim);
   for (int u = 0; u < net.num_nodes(); ++u) {
@@ -67,8 +69,7 @@ GpNetFeatures build_gpnet_features(const GpNet& net, const TaskGraph& g,
     f.node(u, 1) = n.device(d).speed / scales.speed;
     f.node(u, 2) = lat.compute_time(g, n, v, d) / scales.w;
     if (include_potential) {
-      const double est =
-          earliest_start_on_queued(sched, g, n, placement, lat, *index, v, d);
+      const double est = sweep.est[static_cast<std::size_t>(v) * nd + d];
       f.node(u, 3) = (sched.tasks[v].start - est) / scales.w;
     }
   }
@@ -109,12 +110,12 @@ TaskGraphFeatures build_task_graph_features(const TaskGraph& g, const DeviceNetw
                                             const LatencyModel& lat, const Schedule& sched,
                                             const std::vector<std::vector<int>>& feasible,
                                             const FeatureScales& scales,
-                                            const ScheduleIndex* index) {
-  ScheduleIndex local;
-  if (index == nullptr) {
-    local.build(sched, placement, n.num_devices());
-    index = &local;
-  }
+                                            const ScheduleIndex* /*index*/) {
+  // One batched EST sweep replaces the per-(task, device) indexed queries;
+  // see build_gpnet_features.
+  thread_local EstSweepWorkspace sweep;
+  const int nd = n.num_devices();
+  est_sweep(sched, g, n, placement, lat, sweep);
   TaskGraphFeatures f;
   f.node = nn::Matrix(g.num_tasks(), 4);
   for (int v = 0; v < g.num_tasks(); ++v) {
@@ -124,10 +125,9 @@ TaskGraphFeatures build_task_graph_features(const TaskGraph& g, const DeviceNetw
     f.node(v, 2) = lat.compute_time(g, n, v, cur) / scales.w;
     // Best start-time improvement achievable by relocating v.
     double best = 0.0;
+    const double* row = sweep.est.data() + static_cast<std::size_t>(v) * nd;
     for (int d : feasible[v]) {
-      const double est =
-          earliest_start_on_queued(sched, g, n, placement, lat, *index, v, d);
-      best = std::max(best, sched.tasks[v].start - est);
+      best = std::max(best, sched.tasks[v].start - row[d]);
     }
     f.node(v, 3) = best / scales.w;
   }

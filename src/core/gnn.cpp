@@ -1,5 +1,6 @@
 #include "core/gnn.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace giph {
@@ -64,65 +65,104 @@ std::vector<Var> GraphEncoder::pass_sequential(const GraphView& view, const Var&
                                                const Direction& dir, bool forward) const {
   const bool use_edges = cfg_.edge_dim > 0;
   std::vector<Var> emb(view.num_nodes);
-  auto process = [&](int u) {
+
+  // Group nodes into dependency levels of the processing direction: every
+  // message source of level L was finalized in a level < L, so one
+  // matrix-matrix matmul per level replaces a matrix-vector op per node.
+  // matmul, Linear, relu and the segment mean are all row-independent, which
+  // keeps each node's row bitwise identical to the per-node pass.
+  std::vector<int> level(view.num_nodes, 0);
+  std::vector<std::vector<int>> buckets;
+  auto assign_level = [&](int u) {
     const auto& incoming = forward ? view.in_edges[u] : view.out_edges[u];
-    const Var self = row(pre, u);
-    if (incoming.empty()) {
-      emb[u] = self;
-      return;
-    }
-    std::vector<Var> msgs;
-    msgs.reserve(incoming.size());
+    int lv = 0;
     for (int e : incoming) {
       const int v = forward ? view.edges[e].first : view.edges[e].second;
-      if (use_edges) {
-        msgs.push_back(concat_cols({emb[v], row(edge_feats, e)}));
-      } else {
-        msgs.push_back(emb[v]);
-      }
+      lv = std::max(lv, level[v] + 1);
     }
-    const Var stacked = msgs.size() == 1 ? msgs[0] : concat_rows(msgs);
-    const Var aggregated = mean_rows(relu(dir.message(stacked)));
-    emb[u] = add(relu(dir.aggregate(aggregated)), self);
+    level[u] = lv;
+    if (lv >= static_cast<int>(buckets.size())) buckets.resize(lv + 1);
+    buckets[lv].push_back(u);
   };
   if (forward) {
-    for (int u : view.topo) process(u);
+    for (int u : view.topo) assign_level(u);
   } else {
-    for (auto it = view.topo.rbegin(); it != view.topo.rend(); ++it) process(*it);
+    for (auto it = view.topo.rbegin(); it != view.topo.rend(); ++it) assign_level(*it);
+  }
+
+  for (const std::vector<int>& bucket : buckets) {
+    std::vector<int> inc_nodes;   // bucket members that receive messages
+    std::vector<Var> src_rows;    // their source rows, grouped per node
+    std::vector<int> eidx;        // matching edge ids
+    std::vector<int> offsets{0};  // group boundaries into src_rows
+    for (int u : bucket) {
+      const auto& incoming = forward ? view.in_edges[u] : view.out_edges[u];
+      if (incoming.empty()) {
+        emb[u] = row(pre, u);
+        continue;
+      }
+      for (int e : incoming) {
+        src_rows.push_back(emb[forward ? view.edges[e].first : view.edges[e].second]);
+        eidx.push_back(e);
+      }
+      inc_nodes.push_back(u);
+      offsets.push_back(static_cast<int>(src_rows.size()));
+    }
+    if (inc_nodes.empty()) continue;
+    Var stacked = concat_rows(src_rows);
+    if (use_edges) stacked = concat_cols({stacked, gather_rows(edge_feats, eidx)});
+    const Var aggregated =
+        segment_mean_rows(relu(dir.message(stacked)), std::move(offsets));
+    const Var nxt = add(relu(dir.aggregate(aggregated)), gather_rows(pre, inc_nodes));
+    for (int i = 0; i < static_cast<int>(inc_nodes.size()); ++i) {
+      emb[inc_nodes[i]] = row(nxt, i);
+    }
   }
   return emb;
 }
 
-std::vector<Var> GraphEncoder::pass_k_steps(const GraphView& view, const Var& pre,
-                                            const Var& edge_feats, const Direction& dir,
-                                            bool forward) const {
+Var GraphEncoder::pass_k_steps(const GraphView& view, const Var& pre,
+                               const Var& edge_feats, const Direction& dir,
+                               bool forward) const {
   const bool use_edges = cfg_.edge_dim > 0;
-  std::vector<Var> emb(view.num_nodes);
-  for (int u = 0; u < view.num_nodes; ++u) emb[u] = row(pre, u);
-  for (int step = 0; step < cfg_.k_steps; ++step) {
-    std::vector<Var> next(view.num_nodes);
-    for (int u = 0; u < view.num_nodes; ++u) {
-      const auto& incoming = forward ? view.in_edges[u] : view.out_edges[u];
-      const Var self = row(pre, u);
-      if (incoming.empty()) {
-        next[u] = self;
-        continue;
-      }
-      std::vector<Var> msgs;
-      msgs.reserve(incoming.size());
-      for (int e : incoming) {
-        const int v = forward ? view.edges[e].first : view.edges[e].second;
-        if (use_edges) {
-          msgs.push_back(concat_cols({emb[v], row(edge_feats, e)}));
-        } else {
-          msgs.push_back(emb[v]);
-        }
-      }
-      const Var stacked = msgs.size() == 1 ? msgs[0] : concat_rows(msgs);
-      const Var aggregated = mean_rows(relu(dir.message(stacked)));
-      next[u] = add(relu(dir.aggregate(aggregated)), self);
+
+  // The synchronous update reads only the previous step's embeddings, so the
+  // gather plan is static: for every node with incoming edges (ascending
+  // node id), its message sources and edge ids in incoming-list order.
+  std::vector<int> inc_nodes, srcs, eidx;
+  std::vector<int> offsets{0};
+  for (int u = 0; u < view.num_nodes; ++u) {
+    const auto& incoming = forward ? view.in_edges[u] : view.out_edges[u];
+    if (incoming.empty()) continue;
+    for (int e : incoming) {
+      srcs.push_back(forward ? view.edges[e].first : view.edges[e].second);
+      eidx.push_back(e);
     }
-    emb = std::move(next);
+    inc_nodes.push_back(u);
+    offsets.push_back(static_cast<int>(srcs.size()));
+  }
+  // No messages anywhere: every node keeps its self row at every step.
+  if (inc_nodes.empty() || cfg_.k_steps <= 0) return pre;
+
+  // scatter[u]: row of concat_rows({nxt, pre}) holding u's updated
+  // embedding — its slot in nxt when it receives messages, its pre row (the
+  // per-step "self" of message-less nodes) otherwise.
+  std::vector<int> scatter(view.num_nodes);
+  {
+    std::vector<int> pos(view.num_nodes, -1);
+    for (int i = 0; i < static_cast<int>(inc_nodes.size()); ++i) pos[inc_nodes[i]] = i;
+    for (int u = 0; u < view.num_nodes; ++u) {
+      scatter[u] = pos[u] >= 0 ? pos[u] : static_cast<int>(inc_nodes.size()) + u;
+    }
+  }
+
+  Var emb = pre;
+  for (int step = 0; step < cfg_.k_steps; ++step) {
+    Var stacked = gather_rows(emb, srcs);
+    if (use_edges) stacked = concat_cols({stacked, gather_rows(edge_feats, eidx)});
+    const Var aggregated = segment_mean_rows(relu(dir.message(stacked)), offsets);
+    const Var nxt = add(relu(dir.aggregate(aggregated)), gather_rows(pre, inc_nodes));
+    emb = gather_rows(concat_rows({nxt, pre}), scatter);
   }
   return emb;
 }
@@ -138,39 +178,31 @@ Var GraphEncoder::encode(const GraphView& view, const nn::Matrix& node_features,
   const Var edges = nn::constant(edge_features);
 
   if (cfg_.kind == GnnKind::kGraphSAGE) {
-    std::vector<Var> emb(view.num_nodes);
-    {
-      const Var h0 = relu(sage_transform_(nodes));
-      for (int u = 0; u < view.num_nodes; ++u) emb[u] = row(h0, u);
+    // One gather plan over all nodes: an empty group mean-pools to a zero
+    // row, matching the old explicit zeros for parentless nodes, and a lone
+    // parent copies through unscaled (identity_single) as before.
+    std::vector<int> srcs;
+    std::vector<int> offsets{0};
+    for (int u = 0; u < view.num_nodes; ++u) {
+      for (int e : view.in_edges[u]) srcs.push_back(view.edges[e].first);
+      offsets.push_back(static_cast<int>(srcs.size()));
     }
+    Var h = relu(sage_transform_(nodes));
     for (const nn::Linear& layer : sage_layers_) {
-      std::vector<Var> next(view.num_nodes);
-      for (int u = 0; u < view.num_nodes; ++u) {
-        Var neigh;
-        if (view.in_edges[u].empty()) {
-          neigh = nn::constant(nn::Matrix::zeros(1, emb[u]->value.cols()));
-        } else {
-          std::vector<Var> ms;
-          ms.reserve(view.in_edges[u].size());
-          for (int e : view.in_edges[u]) ms.push_back(emb[view.edges[e].first]);
-          neigh = ms.size() == 1 ? ms[0] : mean_rows(concat_rows(ms));
-        }
-        next[u] = relu(layer(concat_cols({emb[u], neigh})));
-      }
-      emb = std::move(next);
+      const Var neigh = segment_mean_rows(gather_rows(h, srcs), offsets,
+                                          /*identity_single=*/true);
+      h = relu(layer(concat_cols({h, neigh})));
     }
-    return concat_rows(emb);
+    return h;
   }
 
   const Var pre = pre_embed_(nodes);
-  std::vector<Var> fwd, bwd;
   if (cfg_.kind == GnnKind::kGiPHK) {
-    fwd = pass_k_steps(view, pre, edges, fwd_, true);
-    bwd = pass_k_steps(view, pre, edges, bwd_, false);
-  } else {
-    fwd = pass_sequential(view, pre, edges, fwd_, true);
-    bwd = pass_sequential(view, pre, edges, bwd_, false);
+    return concat_cols({pass_k_steps(view, pre, edges, fwd_, true),
+                        pass_k_steps(view, pre, edges, bwd_, false)});
   }
+  const std::vector<Var> fwd = pass_sequential(view, pre, edges, fwd_, true);
+  const std::vector<Var> bwd = pass_sequential(view, pre, edges, bwd_, false);
   return concat_cols({concat_rows(fwd), concat_rows(bwd)});
 }
 

@@ -49,15 +49,18 @@ class GraphEncoder {
     nn::Linear aggregate;  ///< h2
   };
 
-  /// One direction of sequential (full-depth) message passing; `order` is the
-  /// node order, `edge_ends` selects parent/child endpoints per edge.
+  /// One direction of sequential (full-depth) message passing, batched per
+  /// dependency level: all of a level's message/aggregate transforms run as
+  /// one matrix-matrix matmul (bitwise equal per row to the per-node
+  /// matrix-vector pass this replaced). Returns one 1 x dim_o row per node.
   std::vector<nn::Var> pass_sequential(const GraphView& view, const nn::Var& pre,
                                        const nn::Var& edge_feats, const Direction& dir,
                                        bool forward) const;
-  /// One direction of k-step synchronous message passing (Eq. 4).
-  std::vector<nn::Var> pass_k_steps(const GraphView& view, const nn::Var& pre,
-                                    const nn::Var& edge_feats, const Direction& dir,
-                                    bool forward) const;
+  /// One direction of k-step synchronous message passing (Eq. 4), every step
+  /// batched over the whole graph. Returns the num_nodes x dim_o matrix.
+  nn::Var pass_k_steps(const GraphView& view, const nn::Var& pre,
+                       const nn::Var& edge_feats, const Direction& dir,
+                       bool forward) const;
 
   GnnConfig cfg_;
   int out_dim_ = 0;

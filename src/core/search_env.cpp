@@ -36,10 +36,11 @@ void PlacementSearchEnv::reinit(const TaskGraph& g, const DeviceNetwork& n,
 void PlacementSearchEnv::refresh() {
   // The single simulation per state transition: the objective consumes
   // sched_ instead of re-simulating, and the workspace makes the call
-  // allocation-free in steady state.
-  simulate_into(*g_, *n_, current_, *lat_, ws_, sched_);
+  // allocation-free in steady state. Recording delta_ lets the next one-task
+  // move (apply) take the incremental path.
+  simulate_into(*g_, *n_, current_, *lat_, ws_, sched_, {}, &delta_);
   ++sims_;
-  index_.build(sched_, current_, n_->num_devices());
+  index_dirty_ = true;
   obj_ = objective_(*g_, *n_, current_, sched_) / normalizer_;
 }
 
@@ -53,7 +54,20 @@ double PlacementSearchEnv::apply(const SearchAction& a) {
   }
   const double before = obj_;
   current_.set(a.task, a.device);
-  refresh();
+  // One-task move: re-simulate incrementally against the previous schedule
+  // (bitwise identical to a full refresh; swap keeps sched_ valid as the
+  // delta's baseline without copying).
+  std::swap(sched_, sched_prev_);
+  const DeltaSimResult dr = simulate_delta(*g_, *n_, current_, a.task, *lat_, ws_,
+                                           sched_prev_, delta_, sched_);
+  ++sims_;
+  if (dr == DeltaSimResult::kReplayed) {
+    ++delta_sims_;
+  } else {
+    ++delta_fallbacks_;
+  }
+  index_dirty_ = true;
+  obj_ = objective_(*g_, *n_, current_, sched_) / normalizer_;
   last_moved_ = a.task;
   ++steps_;
   if (obj_ < best_obj_) {

@@ -49,10 +49,17 @@ class PlacementSearchEnv {
   const Placement& placement() const noexcept { return current_; }
   const Schedule& schedule() const noexcept { return sched_; }
 
-  /// Per-device EST index over schedule(); rebuilt on every refresh. Feeds the
-  /// O(log V) earliest_start_on_queued overload used by feature construction
-  /// and EFT device selection.
-  const ScheduleIndex& schedule_index() const noexcept { return index_; }
+  /// Per-device EST index over schedule(), built lazily on first access after
+  /// each state change (feature construction batches ESTs through est_sweep
+  /// and never asks; EFT device selection still does). Feeds the O(log V)
+  /// earliest_start_on_queued overload.
+  const ScheduleIndex& schedule_index() const {
+    if (index_dirty_) {
+      index_.build(sched_, current_, n_->num_devices());
+      index_dirty_ = false;
+    }
+    return index_;
+  }
 
   double objective() const noexcept { return obj_; }
 
@@ -61,6 +68,19 @@ class PlacementSearchEnv {
   /// that deliberately re-simulate (noisy makespan) are not counted here —
   /// use giph::simulation_count() for the process-wide total.
   std::uint64_t simulations_run() const noexcept { return sims_; }
+
+  /// Of simulations_run(), how many were incremental delta replays (apply()
+  /// routes one-task moves through simulate_delta). The remainder ran the
+  /// full event loop: construction / reset / rebase / apply_placement
+  /// refreshes plus delta fallbacks.
+  std::uint64_t delta_simulations_run() const noexcept { return delta_sims_; }
+
+  /// apply() calls whose simulate_delta fell back to a full simulation.
+  std::uint64_t delta_fallbacks() const noexcept { return delta_fallbacks_; }
+
+  /// Tuning knob forwarded to simulate_delta (see
+  /// DeltaSimState::min_prefix_fraction); mainly for tests and benchmarks.
+  void set_delta_min_prefix_fraction(double f) { delta_.min_prefix_fraction = f; }
 
   const Placement& best_placement() const noexcept { return best_; }
   double best_objective() const noexcept { return best_obj_; }
@@ -125,8 +145,13 @@ class PlacementSearchEnv {
   Placement current_;
   SimWorkspace ws_;
   Schedule sched_;
-  ScheduleIndex index_;
+  Schedule sched_prev_;  ///< double buffer: previous schedule, feeds the delta
+  DeltaSimState delta_;
+  mutable ScheduleIndex index_;
+  mutable bool index_dirty_ = true;
   std::uint64_t sims_ = 0;
+  std::uint64_t delta_sims_ = 0;
+  std::uint64_t delta_fallbacks_ = 0;
   double obj_ = 0.0;
   Placement best_;
   double best_obj_ = 0.0;

@@ -5,6 +5,7 @@
 namespace giph {
 
 void DeviceNetwork::resize(int m) {
+  bump();
   devices_.resize(m);
   bw_.assign(static_cast<std::size_t>(m) * m, 1.0);
   dl_.assign(static_cast<std::size_t>(m) * m, 0.0);
@@ -20,6 +21,7 @@ int DeviceNetwork::add_device(Device d) {
       dl[static_cast<std::size_t>(k) * (m + 1) + l] = dl_[idx(k, l)];
     }
   }
+  bump();
   devices_.push_back(std::move(d));
   bw_ = std::move(bw);
   dl_ = std::move(dl);
@@ -41,6 +43,7 @@ void DeviceNetwork::remove_device(int k) {
     }
     ++na;
   }
+  bump();
   devices_.erase(devices_.begin() + k);
   bw_ = std::move(bw);
   dl_ = std::move(dl);
@@ -56,6 +59,7 @@ void DeviceNetwork::set_link(int k, int l, double bandwidth, double delay) {
   if (delay < 0.0) {
     throw std::invalid_argument("DeviceNetwork::set_link: delay must be non-negative");
   }
+  bump();
   bw_[idx(k, l)] = bandwidth;
   dl_[idx(k, l)] = delay;
 }
@@ -104,10 +108,8 @@ double DeviceNetwork::mean_speed() const {
   return s / static_cast<double>(devices_.size());
 }
 
-void DeviceNetwork::check(int k) const {
-  if (k < 0 || k >= num_devices()) {
-    throw std::out_of_range("DeviceNetwork: device id out of range");
-  }
+void DeviceNetwork::throw_bad_device() {
+  throw std::out_of_range("DeviceNetwork: device id out of range");
 }
 
 }  // namespace giph

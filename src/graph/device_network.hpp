@@ -1,10 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "graph/hardware.hpp"
+#include "graph/stamp.hpp"
 
 namespace giph {
 
@@ -43,7 +45,18 @@ class DeviceNetwork {
   int num_devices() const noexcept { return static_cast<int>(devices_.size()); }
 
   const Device& device(int k) const { return devices_.at(k); }
-  Device& device(int k) { return devices_.at(k); }
+  Device& device(int k) {
+    bump();  // mutable access: assume the caller writes through the reference
+    return devices_.at(k);
+  }
+
+  /// Modification stamp: changes on every mutating call (set_link,
+  /// add/remove_device, non-const device()), never repeats process-wide, and
+  /// is shared by copies. Caches keyed on it (see EstSweepWorkspace) stay
+  /// exact as long as mutation goes through the class interface — holding a
+  /// non-const Device& across other calls and writing it later is not
+  /// tracked.
+  std::uint64_t stamp() const noexcept { return stamp_; }
 
   /// Bandwidth of the (k -> l) link; infinity when k == l.
   double bandwidth(int k, int l) const {
@@ -58,6 +71,15 @@ class DeviceNetwork {
     if (k == l) return 0.0;
     return dl_[idx(k, l)];
   }
+
+  /// Raw row-major bandwidth / delay rows for source device k, for batched
+  /// sweeps that touch every destination (LatencyModel::comm_time_row). The
+  /// diagonal slot holds a placeholder (1.0 / 0.0), NOT the implicit
+  /// infinite-bandwidth self link — callers must overwrite the l == k result
+  /// themselves. Off-diagonal entries are the exact stored doubles that
+  /// bandwidth() / delay() return.
+  const double* bandwidth_row(int k) const { check(k); return bw_.data() + idx(k, 0); }
+  const double* delay_row(int k) const { check(k); return dl_.data() + idx(k, 0); }
 
   /// Sets the directed link k -> l. Throws on k == l or non-positive bandwidth.
   void set_link(int k, int l, double bandwidth, double delay);
@@ -78,11 +100,18 @@ class DeviceNetwork {
   std::size_t idx(int k, int l) const {
     return static_cast<std::size_t>(k) * devices_.size() + static_cast<std::size_t>(l);
   }
-  void check(int k) const;
+  // Hot path inline; the throw stays out of line so the compare is all the
+  // per-element accessors pay.
+  void check(int k) const {
+    if (k < 0 || k >= num_devices()) throw_bad_device();
+  }
+  [[noreturn]] static void throw_bad_device();
+  void bump() noexcept { stamp_ = detail::next_structure_stamp(); }
 
   std::vector<Device> devices_;
   std::vector<double> bw_;  // row-major m x m, diagonal unused
   std::vector<double> dl_;
+  std::uint64_t stamp_ = detail::next_structure_stamp();
 };
 
 }  // namespace giph

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace giph::detail {
+
+/// Process-unique, monotonically increasing modification stamps.
+///
+/// TaskGraph, DeviceNetwork, and LatencyModel carry one of these and draw a
+/// fresh value on every mutation, so a cache keyed on an object's stamp can
+/// prove "nothing I depend on changed" with one integer compare — without
+/// risking the ABA problem of pointer identity (a freed object's address can
+/// be reused, its stamp never is). Copies keep the source's stamp: equal
+/// content validates the same cache entries. Never returns 0, so 0 is a safe
+/// "no cache yet" sentinel.
+inline std::uint64_t next_structure_stamp() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace giph::detail

@@ -19,6 +19,7 @@ TaskGraph::TaskGraph(TaskGraph&& other) noexcept { *this = std::move(other); }
 TaskGraph& TaskGraph::operator=(const TaskGraph& other) {
   if (this == &other) return *this;
   std::lock_guard<std::mutex> lock(other.cache_mutex_);
+  stamp_ = other.stamp_;  // equal content: copies validate the same caches
   tasks_ = other.tasks_;
   edges_ = other.edges_;
   in_edges_ = other.in_edges_;
@@ -34,6 +35,8 @@ TaskGraph& TaskGraph::operator=(const TaskGraph& other) {
 TaskGraph& TaskGraph::operator=(TaskGraph&& other) noexcept {
   if (this == &other) return *this;
   std::lock_guard<std::mutex> lock(other.cache_mutex_);
+  stamp_ = other.stamp_;
+  other.bump();  // moved-from content changed
   tasks_ = std::move(other.tasks_);
   edges_ = std::move(other.edges_);
   in_edges_ = std::move(other.in_edges_);
@@ -48,6 +51,7 @@ TaskGraph& TaskGraph::operator=(TaskGraph&& other) noexcept {
 }
 
 int TaskGraph::add_task(Task t) {
+  bump();
   tasks_.push_back(std::move(t));
   in_edges_.emplace_back();
   out_edges_.emplace_back();
@@ -65,6 +69,7 @@ int TaskGraph::add_edge(int u, int v, double bytes) {
   if (has_edge(u, v)) {
     throw std::invalid_argument("TaskGraph::add_edge: duplicate edge");
   }
+  bump();
   const int e = static_cast<int>(edges_.size());
   edges_.push_back(DataLink{u, v, bytes});
   out_edges_[u].push_back(e);

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "graph/hardware.hpp"
+#include "graph/stamp.hpp"
 
 namespace giph {
 
@@ -57,10 +59,22 @@ class TaskGraph {
   int num_edges() const noexcept { return static_cast<int>(edges_.size()); }
 
   const Task& task(int v) const { return tasks_.at(v); }
-  Task& task(int v) { return tasks_.at(v); }
+  Task& task(int v) {
+    bump();  // mutable access: assume the caller writes through the reference
+    return tasks_.at(v);
+  }
   const DataLink& edge(int e) const { return edges_.at(e); }
-  DataLink& edge(int e) { return edges_.at(e); }
+  DataLink& edge(int e) {
+    bump();
+    return edges_.at(e);
+  }
   std::span<const DataLink> edges() const noexcept { return edges_; }
+
+  /// Modification stamp: changes on every mutating call (add_task, add_edge,
+  /// non-const task()/edge()), never repeats process-wide, shared by copies.
+  /// Same caveat as DeviceNetwork::stamp(): writes through a retained
+  /// non-const reference after other calls are not tracked.
+  std::uint64_t stamp() const noexcept { return stamp_; }
 
   /// Edge ids entering / leaving node v.
   std::span<const int> in_edges(int v) const { return in_edges_.at(v); }
@@ -153,7 +167,9 @@ class TaskGraph {
  private:
   void invalidate_cache() const;
   void build_order() const;
+  void bump() noexcept { stamp_ = detail::next_structure_stamp(); }
 
+  std::uint64_t stamp_ = detail::next_structure_stamp();
   std::vector<Task> tasks_;
   std::vector<DataLink> edges_;
   std::vector<std::vector<int>> in_edges_;

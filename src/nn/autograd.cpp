@@ -344,6 +344,50 @@ Var mean_rows(const Var& a) {
   return scale(sum_rows(a), inv);
 }
 
+Var segment_mean_rows(const Var& a, std::vector<int> offsets, bool identity_single) {
+  const int rows = a->value.rows();
+  const int cols = a->value.cols();
+  if (offsets.size() < 2 || offsets.front() != 0 || offsets.back() != rows) {
+    throw std::invalid_argument("segment_mean_rows: bad offsets");
+  }
+  for (std::size_t g = 1; g < offsets.size(); ++g) {
+    if (offsets[g] < offsets[g - 1]) {
+      throw std::invalid_argument("segment_mean_rows: offsets not ascending");
+    }
+  }
+  const int groups = static_cast<int>(offsets.size()) - 1;
+  Matrix v(groups, cols);
+  for (int g = 0; g < groups; ++g) {
+    const int r0 = offsets[g];
+    const int r1 = offsets[g + 1];
+    if (identity_single && r1 - r0 == 1) {
+      for (int j = 0; j < cols; ++j) v(g, j) = a->value(r0, j);
+      continue;
+    }
+    // Mirrors mean_rows exactly: zero-initialized ascending accumulation,
+    // then one multiply by the inverse count.
+    const double inv = 1.0 / std::max(1, r1 - r0);
+    for (int i = r0; i < r1; ++i) {
+      for (int j = 0; j < cols; ++j) v(g, j) += a->value(i, j);
+    }
+    for (int j = 0; j < cols; ++j) v(g, j) *= inv;
+  }
+  return make_node(std::move(v), {a},
+                   [offsets = std::move(offsets), identity_single](const Node& n) {
+    Matrix& g = n.inputs[0]->ensure_grad();
+    const int groups = static_cast<int>(offsets.size()) - 1;
+    for (int s = 0; s < groups; ++s) {
+      const int r0 = offsets[s];
+      const int r1 = offsets[s + 1];
+      const double inv =
+          identity_single && r1 - r0 == 1 ? 1.0 : 1.0 / std::max(1, r1 - r0);
+      for (int i = r0; i < r1; ++i) {
+        for (int j = 0; j < g.cols(); ++j) g(i, j) += n.grad(s, j) * inv;
+      }
+    }
+  });
+}
+
 Var sum_all(const Var& a) {
   double s = 0.0;
   for (int i = 0; i < a->value.rows(); ++i) {

@@ -67,6 +67,18 @@ Var sum_rows(const Var& a);   // (r x c) -> (1 x c)
 Var mean_rows(const Var& a);
 Var sum_all(const Var& a);    // -> 1 x 1
 
+/// Grouped row mean: out row g = mean of a's rows [offsets[g], offsets[g+1]).
+/// offsets must be ascending with offsets.front() == 0 and offsets.back() ==
+/// rows(a). The batched equivalent of calling mean_rows on each contiguous
+/// slice — same zero-initialized ascending-row accumulation, same
+/// 1.0 / max(1, k) scale factor, so each output row is bitwise identical to
+/// the per-group mean_rows result. An empty group yields a zero row. With
+/// identity_single, size-1 groups copy their row unscaled instead — matching
+/// callers that skip the mean entirely for a lone row (GraphSAGE), which
+/// preserves -0.0 where (0.0 + x) * 1.0 would not.
+Var segment_mean_rows(const Var& a, std::vector<int> offsets,
+                      bool identity_single = false);
+
 /// Column-vector softmax / log-softmax (k x 1), numerically stabilized.
 Var softmax_col(const Var& a);
 Var log_softmax_col(const Var& a);

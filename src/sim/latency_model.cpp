@@ -18,6 +18,7 @@ void LossAwareLatencyModel::set_drop(int k, int l, double p) {
         "LossAwareLatencyModel::set_drop: drop probability must be in [0, 1), got " +
         std::to_string(p));
   }
+  bump_stamp();
   drop_[static_cast<std::size_t>(k) * m_ + l] = p;
 }
 

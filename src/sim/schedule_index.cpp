@@ -61,4 +61,109 @@ double earliest_start_on_queued(const Schedule& sched, const TaskGraph& g,
   return std::max(est, busy);
 }
 
+namespace {
+
+// Revalidates the workspace's model caches against the current (g, n, lat)
+// stamps, dropping them when anything changed. Returns true when the stamps
+// matched (individual rows may still be invalid — comm_src tracks that).
+bool revalidate_cache(const TaskGraph& g, const DeviceNetwork& n,
+                      const LatencyModel& lat, EstSweepWorkspace& ws) {
+  if (ws.g_stamp == g.stamp() && ws.n_stamp == n.stamp() &&
+      ws.lat_stamp == lat.stamp()) {
+    return true;
+  }
+  ws.g_stamp = g.stamp();
+  ws.n_stamp = n.stamp();
+  ws.lat_stamp = lat.stamp();
+  ws.comm_src.clear();
+  ws.compute_tbl.clear();
+  return false;
+}
+
+}  // namespace
+
+const std::vector<double>& compute_sweep(const TaskGraph& g, const DeviceNetwork& n,
+                                         const LatencyModel& lat,
+                                         EstSweepWorkspace& ws) {
+  const int nv = g.num_tasks();
+  const int nd = n.num_devices();
+  const std::size_t want = static_cast<std::size_t>(nv) * nd;
+  if (revalidate_cache(g, n, lat, ws) && ws.compute_tbl.size() == want) {
+    return ws.compute_tbl;
+  }
+  ws.compute_tbl.resize(want);
+  for (int v = 0; v < nv; ++v) {
+    lat.compute_time_row(g, n, v, ws.compute_tbl.data() + static_cast<std::size_t>(v) * nd);
+  }
+  return ws.compute_tbl;
+}
+
+void est_sweep(const Schedule& sched, const TaskGraph& g, const DeviceNetwork& n,
+               const Placement& p, const LatencyModel& lat, EstSweepWorkspace& ws) {
+  const int nv = g.num_tasks();
+  const int nd = n.num_devices();
+  const int ne = g.num_edges();
+  ws.est.assign(static_cast<std::size_t>(nv) * nd, 0.0);
+
+  // Comm-row cache: a row depends only on (edge, source device, model), so
+  // between consecutive sweeps of a search — where one task moved — almost
+  // every row (and its nd divisions) is reusable as-is. Rows are validated
+  // per edge through comm_src; the stamps guard everything else.
+  if (!revalidate_cache(g, n, lat, ws) ||
+      ws.comm_rows.size() != static_cast<std::size_t>(ne) * nd ||
+      ws.comm_src.size() != static_cast<std::size_t>(ne)) {
+    ws.comm_rows.assign(static_cast<std::size_t>(ne) * nd, 0.0);
+    ws.comm_src.assign(static_cast<std::size_t>(ne), -1);
+  }
+
+  // Parent-arrival terms: one comm-time row per edge, accumulated into the
+  // destination task's row. Max over doubles is exact, so accumulation order
+  // (here: per task in in-edge order, matching the per-query loop anyway)
+  // cannot perturb the result.
+  for (int v = 0; v < nv; ++v) {
+    double* row = ws.est.data() + static_cast<std::size_t>(v) * nd;
+    for (int e : g.in_edges(v)) {
+      const int parent = g.edge(e).src;
+      const double pf = sched.tasks[parent].finish;
+      const int k = p.device_of(parent);
+      double* crow = ws.comm_rows.data() + static_cast<std::size_t>(e) * nd;
+      if (ws.comm_src[e] != k) {
+        lat.comm_time_row(g, n, e, k, crow);
+        ws.comm_src[e] = k;
+      }
+      for (int d = 0; d < nd; ++d) {
+        row[d] = std::max(row[d], pf + crow[d]);
+      }
+    }
+  }
+
+  // Device-busy terms: walk tasks in ascending start order keeping a running
+  // max finish per device. Every member of a group of equal starts reads the
+  // maxes before any member's finish is folded in, which is exactly the
+  // per-query "tasks starting strictly before v" rule (v never blocks
+  // itself: its own start is never strictly before itself).
+  ws.order.resize(nv);
+  for (int v = 0; v < nv; ++v) ws.order[v] = v;
+  std::sort(ws.order.begin(), ws.order.end(), [&sched](int a, int b) {
+    return sched.tasks[a].start < sched.tasks[b].start;
+  });
+  ws.dev_max.assign(nd, -std::numeric_limits<double>::infinity());
+  int i = 0;
+  while (i < nv) {
+    int j = i;
+    const double start = sched.tasks[ws.order[i]].start;
+    while (j < nv && sched.tasks[ws.order[j]].start == start) ++j;
+    for (int k = i; k < j; ++k) {
+      double* row = ws.est.data() + static_cast<std::size_t>(ws.order[k]) * nd;
+      for (int d = 0; d < nd; ++d) row[d] = std::max(row[d], ws.dev_max[d]);
+    }
+    for (int k = i; k < j; ++k) {
+      const int v = ws.order[k];
+      const int d = p.device_of(v);
+      if (d >= 0) ws.dev_max[d] = std::max(ws.dev_max[d], sched.tasks[v].finish);
+    }
+    i = j;
+  }
+}
+
 }  // namespace giph

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -46,5 +47,53 @@ double earliest_start_on_queued(const Schedule& sched, const TaskGraph& g,
                                 const DeviceNetwork& n, const Placement& p,
                                 const LatencyModel& lat, const ScheduleIndex& index,
                                 int v, int d);
+
+/// Buffers for est_sweep() / compute_sweep(); reuse one across calls to stay
+/// allocation-free in steady state (same discipline as SimWorkspace).
+///
+/// Besides scratch space, the workspace caches the expensive model
+/// evaluations across calls: the per-edge comm-time rows (valid while the
+/// edge's source device is unchanged — a one-task move invalidates only that
+/// task's out-edges) and the placement-independent compute-time table. Both
+/// are keyed on the (graph, network, latency model) modification stamps, so
+/// one workspace can serve many problem instances (thread_local in feature
+/// construction) and stale reuse is impossible as long as mutation goes
+/// through the owning class interfaces. Cached values are the exact doubles a
+/// fresh comm_time_row / compute_time_row call would produce — reuse is
+/// bitwise-invisible.
+struct EstSweepWorkspace {
+  std::vector<double> est;       ///< result: nv x nd, row-major per task
+  std::vector<double> dev_max;   ///< per device: running max finish
+  std::vector<int> order;        ///< task ids sorted by schedule start
+
+  std::uint64_t g_stamp = 0;     ///< cache key (0 = nothing cached yet)
+  std::uint64_t n_stamp = 0;
+  std::uint64_t lat_stamp = 0;
+  std::vector<double> comm_rows;   ///< ne x nd cached comm-time rows
+  std::vector<int> comm_src;       ///< source device each row was built for (-1 = invalid)
+  std::vector<double> compute_tbl; ///< nv x nd cached compute-time table
+};
+
+/// Fills (and caches) ws.compute_tbl[v * nd + k] = lat.compute_time(g, n, v,
+/// k) for every pair, returning the table. Placement-independent, so repeat
+/// calls under the same stamps are free.
+const std::vector<double>& compute_sweep(const TaskGraph& g, const DeviceNetwork& n,
+                                         const LatencyModel& lat,
+                                         EstSweepWorkspace& ws);
+
+/// Batched earliest_start_on_queued: fills ws.est with the EST of EVERY
+/// (task, device) pair in one O(V D + E D) sweep — the candidate-scoring hot
+/// path of feature construction and greedy device selection, which otherwise
+/// pays one O(in_degree + log V) indexed query (and one virtual comm_time
+/// call per in-edge) per pair.
+///
+/// ws.est[v * nd + d] is bitwise identical to earliest_start_on_queued(sched,
+/// g, n, p, lat, v, d): the parent terms use comm_time_row (bitwise equal to
+/// comm_time by contract), the device-busy term walks tasks in ascending
+/// start order with a per-device running max (exactly the "started strictly
+/// before v" set — groups of equal start update after every member reads),
+/// and max-accumulation is exact so ordering differences cannot change it.
+void est_sweep(const Schedule& sched, const TaskGraph& g, const DeviceNetwork& n,
+               const Placement& p, const LatencyModel& lat, EstSweepWorkspace& ws);
 
 }  // namespace giph

@@ -1,0 +1,256 @@
+// simulate_delta(): incremental re-simulation of a single-task move.
+//
+// Correctness rests on one structural fact about the event core: a task that
+// is runnable but not yet started is inert. It displaces nothing — pops ahead
+// of it in the FIFO are unaffected, and a device never sits idle with a
+// non-empty queue outside event processing — so moving task m changes nothing
+// observable before
+//
+//   T0 = min(prev start of m, min over in-edges of prev parent finish)
+//
+// (every input transfer of m dispatches at a parent finish >= T0, and m
+// itself starts at >= T0 on either device). The previous run and the new run
+// are therefore identical, event for event, strictly before T0; this file
+// rebuilds the simulator state at T0 directly from the previous schedule plus
+// the DeltaSimState bookkeeping and replays only the suffix through the same
+// SimEngine that full runs use.
+//
+// Determinism: events tie-break on creation seq. Pending events that cross T0
+// are re-seeded with their original recorded seqs, and replay-created events
+// number from the previous run's final seq — every pending seq sorts below
+// every replay seq, and replay creation order matches the true full run's
+// suffix creation order, so tie-breaking is order-isomorphic to the full run
+// (and stays so across chained replays; runnable ranks follow the same
+// scheme). Anything this argument does not cover falls back to a full run.
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sim/sim_engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace giph {
+
+DeltaSimResult simulate_delta(const TaskGraph& g, const DeviceNetwork& n,
+                              const Placement& p, int moved_task,
+                              const LatencyModel& lat, SimWorkspace& ws,
+                              const Schedule& prev, DeltaSimState& ds, Schedule& out,
+                              const SimOptions& opt) {
+  validate_sim_options(opt, "simulate_delta");
+  const int nv = g.num_tasks();
+  const int ne = g.num_edges();
+  const int nd = n.num_devices();
+  if (moved_task < 0 || moved_task >= nv) {
+    throw std::invalid_argument("simulate_delta: moved_task out of range");
+  }
+  if (&prev == &out) {
+    throw std::invalid_argument("simulate_delta: prev must not alias out");
+  }
+  // Only the moved task can have changed device; the rest of the placement
+  // was validated by the run that produced `prev`.
+  if (!device_feasible(g, n, moved_task, p.device_of(moved_task))) {
+    throw std::invalid_argument("simulate: infeasible placement");
+  }
+  const SharedLinkMap* shared = opt.shared_links;
+  if (shared != nullptr && shared->num_devices != nd) {
+    throw std::invalid_argument(
+        "simulate: shared_links was built for " +
+        std::to_string(shared->num_devices) + " devices but the network has " +
+        std::to_string(nd));
+  }
+
+  const auto fall_back = [&]() {
+    detail::bump_delta_fallback_count();
+    simulate_into(g, n, p, lat, ws, out, opt, &ds);
+    return DeltaSimResult::kFellBack;
+  };
+
+  // With noise, realized durations are drawn in event order from one stream:
+  // a replay cannot reposition the stream, so only the full path reproduces
+  // the draw order.
+  if (!ds.valid || opt.noise > 0.0) return fall_back();
+  if (static_cast<int>(prev.tasks.size()) != nv ||
+      static_cast<int>(prev.edge_start.size()) != ne ||
+      static_cast<int>(prev.edge_finish.size()) != ne ||
+      static_cast<int>(ds.runnable_order.size()) != nv ||
+      static_cast<int>(ds.task_event_seq.size()) != nv ||
+      static_cast<int>(ds.edge_event_seq.size()) != ne) {
+    return fall_back();
+  }
+  // A moved entry task is runnable at t = 0 on its new device: dirty from the
+  // start, nothing to reuse.
+  if (g.in_degree(moved_task) == 0) return fall_back();
+
+  double t0 = prev.tasks[moved_task].start;
+  for (int e : g.in_edges(moved_task)) {
+    t0 = std::min(t0, prev.tasks[g.edge(e).src].finish);
+  }
+  if (!(t0 > 0.0)) return fall_back();
+
+  const NetworkTrace* trace =
+      (opt.trace != nullptr && !opt.trace->empty()) ? opt.trace : nullptr;
+  if (trace != nullptr) {
+    validate_network_trace(*trace, n, "simulate_delta");
+    if (!ds.trace_recorded ||
+        static_cast<int>(ds.edge_final_version.size()) != ne) {
+      return fall_back();
+    }
+    // Breakpoint rescales do not move the NIC / link reservations made at
+    // dispatch, so those timelines cannot be rebuilt from finish times once a
+    // trace is active alongside a contention model.
+    if (opt.serialize_transfers || shared != nullptr) return fall_back();
+    // A breakpoint inside the replayed window would have to re-fire with its
+    // original seq against a partially replayed in-flight set; not worth
+    // modeling. (Segments at time <= 0 seed state and never become events.)
+    for (const LinkSchedule& ls : trace->links) {
+      for (const TraceSegment& seg : ls.segments) {
+        if (seg.time > 0.0 && seg.time >= t0) return fall_back();
+      }
+    }
+  } else if (ds.trace_recorded) {
+    return fall_back();  // options changed mid-chain; ds cannot be trusted
+  }
+
+  // Count the unaffected prefix; a tiny one is not worth the O(V + E)
+  // reconstruction below.
+  int completed = 0;
+  for (const TaskTiming& t : prev.tasks) {
+    if (t.finish < t0) ++completed;
+  }
+  if (completed < ds.min_prefix_fraction * nv) return fall_back();
+
+  detail::bump_delta_simulation_count();
+  ds.valid = false;  // a mid-replay throw leaves ds unusable
+
+  // ---- reconstruct the simulator state at T0 -----------------------------
+  // The prefix of the previous schedule is the prefix of the new one; replay
+  // overwrites every suffix value.
+  out.tasks.assign(prev.tasks.begin(), prev.tasks.end());
+  out.edge_start.assign(prev.edge_start.begin(), prev.edge_start.end());
+  out.edge_finish.assign(prev.edge_finish.begin(), prev.edge_finish.end());
+  out.makespan = 0.0;
+
+  // An input counts as arrived iff its transfer finished strictly before T0
+  // (a transfer-done event at exactly T0 is replayed).
+  ws.remaining_inputs.assign(nv, 0);
+  for (int e = 0; e < ne; ++e) {
+    if (prev.edge_finish[e] >= t0) ++ws.remaining_inputs[g.edge(e).dst];
+  }
+
+  if (static_cast<int>(ws.fifo.size()) < nd) ws.fifo.resize(nd);
+  for (int d = 0; d < nd; ++d) ws.fifo[d].clear();
+  ws.running.assign(nd, 0);
+  ws.heap.clear();
+
+  // Tasks mid-execution at T0 keep their recorded task-done events. The moved
+  // task never lands here: its previous start is >= T0 by construction, so
+  // its (possibly changed) device assignment is never consulted for the
+  // prefix.
+  int running_total = 0;
+  for (int v = 0; v < nv; ++v) {
+    const TaskTiming& t = prev.tasks[v];
+    if (t.start < t0 && t.finish >= t0) {
+      ++ws.running[p.device_of(v)];
+      ++running_total;
+      ws.heap.push_back(detail::SimEvent{t.finish, ds.task_event_seq[v],
+                                         detail::kTaskDone, v, 0});
+    }
+  }
+
+  // Queued-but-unstarted tasks: runnable before T0 (all inputs arrived, i.e.
+  // remaining_inputs == 0) yet scheduled to start at or after it. Re-queue
+  // them in recorded runnable order; the moved task is excluded automatically
+  // (its inputs all arrive >= T0).
+  auto& seed = ds.runnable_scratch;
+  seed.clear();
+  for (int v = 0; v < nv; ++v) {
+    if (prev.tasks[v].start >= t0 && ws.remaining_inputs[v] == 0) {
+      seed.emplace_back(ds.runnable_order[v], v);
+    }
+  }
+  std::sort(seed.begin(), seed.end());
+  for (const auto& [rank, v] : seed) ws.fifo[p.device_of(v)].push_back(v);
+
+  // NIC / shared-link reservations: each dispatch reserves until start + dur
+  // == the transfer's finish (no trace here, so finishes never move), and
+  // reservations only grow, so the running max over prefix-dispatched
+  // transfers is the exact timeline state. A transfer is prefix-dispatched
+  // iff its producer finished before T0.
+  ws.nic_free.assign(nd, 0.0);
+  if (shared != nullptr) ws.link_free.assign(shared->num_links, 0.0);
+  if (opt.serialize_transfers || shared != nullptr) {
+    for (int e = 0; e < ne; ++e) {
+      if (prev.tasks[g.edge(e).src].finish >= t0) continue;
+      const int k = p.device_of(g.edge(e).src);
+      const int l = p.device_of(g.edge(e).dst);
+      if (k == l) continue;
+      if (opt.serialize_transfers) {
+        ws.nic_free[k] = std::max(ws.nic_free[k], prev.edge_finish[e]);
+      }
+      if (shared != nullptr) {
+        for (const int li : shared->links_on(k, l)) {
+          ws.link_free[li] = std::max(ws.link_free[li], prev.edge_finish[e]);
+        }
+      }
+    }
+  }
+
+  if (trace != nullptr) {
+    const int nl = static_cast<int>(trace->links.size());
+    ws.trace_link.assign(static_cast<std::size_t>(nd) * nd, -1);
+    ws.trace_cur.assign(nl, TraceSegment{});
+    ws.trace_factor.assign(nl, 1.0);
+    // Every breakpoint fired in the prefix (checked above), so each link's
+    // state is simply its last segment, and the recorded end-of-run versions
+    // are the versions at T0.
+    ws.edge_version.assign(ds.edge_final_version.begin(),
+                           ds.edge_final_version.end());
+    ws.edge_finish_at.assign(ne, -1.0);
+    ws.edge_wire_begin.assign(ne, 0.0);
+    ws.edge_wire_factor.assign(ne, 1.0);
+    ws.edge_inflight.assign(ne, 0);
+    for (int li = 0; li < nl; ++li) {
+      const LinkSchedule& ls = trace->links[li];
+      if (ls.segments.empty()) continue;
+      ws.trace_link[static_cast<std::size_t>(ls.src) * nd + ls.dst] = li;
+      for (const TraceSegment& seg : ls.segments) {
+        ws.trace_cur[li] = seg;
+        ws.trace_factor[li] = wire_factor(seg);
+      }
+    }
+  }
+
+  // Transfers in flight at T0: dispatched in the prefix, arriving in the
+  // suffix. Their transfer-done events cross the boundary with their recorded
+  // seqs (and, under a trace, their surviving versions; superseded stale
+  // events are dropped — popping one is a no-op anyway).
+  for (int e = 0; e < ne; ++e) {
+    if (prev.tasks[g.edge(e).src].finish < t0 && prev.edge_finish[e] >= t0) {
+      if (trace != nullptr) {
+        ws.edge_inflight[e] = 1;
+        ws.edge_finish_at[e] = prev.edge_finish[e];
+        // wire_begin / wire_factor are only read at breakpoints, none of
+        // which remain; keep them deterministic regardless.
+        ws.edge_wire_begin[e] = prev.edge_start[e];
+      }
+      ws.heap.push_back(detail::SimEvent{
+          prev.edge_finish[e], ds.edge_event_seq[e], detail::kTransferDone, e,
+          trace != nullptr ? ws.edge_version[e] : 0});
+    }
+  }
+  std::make_heap(ws.heap.begin(), ws.heap.end(), detail::EventLater{});
+
+  // ---- replay the suffix --------------------------------------------------
+  detail::SimEngine eng{g,     n,      p,       lat, ws, out, opt,
+                        trace, shared, nullptr, &ds, nd};
+  eng.seq = ds.total_seq;
+  eng.completed = completed;
+  eng.runnable_rank = ds.next_runnable_rank;
+  eng.run();
+  eng.finalize("simulate_delta");
+  return DeltaSimResult::kReplayed;
+}
+
+}  // namespace giph

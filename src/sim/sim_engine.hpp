@@ -1,0 +1,233 @@
+#pragma once
+
+// Shared discrete-event core behind simulate_into() and simulate_delta().
+// Both entry points reconstruct a (possibly mid-run) simulator state into the
+// SimWorkspace, then drive this engine; having exactly one copy of the event
+// semantics is what makes the incremental path bitwise-identical to the full
+// one by construction. Internal header: not part of the public API.
+
+#include <algorithm>
+#include <random>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace giph::detail {
+
+constexpr int kTaskDone = 0;
+constexpr int kTransferDone = 1;
+constexpr int kBreakpoint = 2;
+
+// Later events sort before earlier ones so heap operations keep the earliest
+// event at the front; ties break by creation order, making pop order fully
+// deterministic (and identical to the std::priority_queue this replaced).
+struct EventLater {
+  bool operator()(const SimEvent& a, const SimEvent& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+inline double realize(double expected, const SimOptions& opt) {
+  if (opt.noise <= 0.0) return expected;
+  std::uniform_real_distribution<double> d(expected * (1.0 - opt.noise),
+                                           expected * (1.0 + opt.noise));
+  return d(*opt.rng);
+}
+
+/// The event loop of Appendix B.5 over externally prepared state. The caller
+/// owns initialization: workspace buffers sized and seeded, `out` prefilled,
+/// `seq` / `completed` / `runnable_rank` positioned, and the heap holding the
+/// pending events (a fresh heap plus entry tasks for a full run; the events
+/// crossing the dirty-time boundary for a delta replay).
+struct SimEngine {
+  const TaskGraph& g;
+  const DeviceNetwork& n;
+  const Placement& p;
+  const LatencyModel& lat;
+  SimWorkspace& ws;
+  Schedule& out;
+  const SimOptions& opt;
+  const NetworkTrace* trace;    ///< collapsed: nullptr when absent or empty
+  const SharedLinkMap* shared;  ///< nullptr when absent
+  /// (trace link, segment) per kBreakpoint event id. Full runs only: a delta
+  /// replay refuses windows containing breakpoints, so it passes nullptr.
+  const std::vector<std::pair<int, int>>* breakpoints;
+  /// Optional bookkeeping for simulate_delta(): event seqs, runnable ranks,
+  /// and edge versions recorded as the run unfolds. May be null.
+  DeltaSimState* rec;
+  int nd = 0;
+
+  long seq = 0;
+  int completed = 0;
+  long runnable_rank = 0;
+
+  void push_event(double time, int kind, int id, int version = 0) {
+    ws.heap.push_back(SimEvent{time, seq++, kind, id, version});
+    std::push_heap(ws.heap.begin(), ws.heap.end(), EventLater{});
+  }
+
+  void start_task(int v, double t) {
+    const int d = p.device_of(v);
+    ++ws.running[d];
+    out.tasks[v].start = t;
+    const double w = realize(lat.compute_time(g, n, v, d), opt);
+    if (rec != nullptr) rec->task_event_seq[v] = seq;
+    push_event(t + w, kTaskDone, v);
+  }
+
+  void make_runnable(int v, double t) {
+    if (rec != nullptr) rec->runnable_order[v] = runnable_rank;
+    ++runnable_rank;
+    const int d = p.device_of(v);
+    if (ws.running[d] < n.device(d).cores && ws.fifo[d].empty()) {
+      start_task(v, t);
+    } else {
+      ws.fifo[d].push_back(v);
+    }
+  }
+
+  void run() {
+    auto& heap = ws.heap;
+    const EventLater later;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), later);
+      const SimEvent ev = heap.back();
+      heap.pop_back();
+      if (ev.kind == kTaskDone) {
+        const int v = ev.id;
+        out.tasks[v].finish = ev.time;
+        ++completed;
+        const int d = p.device_of(v);
+        // Outputs start transmitting to every child's device - concurrently in
+        // the paper's model, back-to-back through the NIC under contention.
+        for (int e : g.out_edges(v)) {
+          const int dl = p.device_of(g.edge(e).dst);
+          const double c = realize(lat.comm_time(g, n, e, d, dl), opt);
+          double start = ev.time;
+          if (dl != d) {
+            if (opt.serialize_transfers) start = std::max(start, ws.nic_free[d]);
+            if (shared != nullptr) {
+              for (const int li : shared->links_on(d, dl)) {
+                start = std::max(start, ws.link_free[li]);
+              }
+            }
+          }
+          double dur = c;
+          const int tl =
+              trace != nullptr ? ws.trace_link[static_cast<std::size_t>(d) * nd + dl]
+                               : -1;
+          if (tl >= 0) {
+            // Split the realized time into startup (delay) and wire (bandwidth)
+            // portions; only the wire portion scales with the link conditions.
+            // Noise is multiplicative, so the realized startup keeps the
+            // expected startup fraction de / ce of the realized total.
+            const double ce = lat.comm_time(g, n, e, d, dl);
+            const double de = lat.comm_startup(g, n, e, d, dl);
+            const double dr = ce > 0.0 ? de * (c / ce) : 0.0;
+            const TraceSegment& seg = ws.trace_cur[tl];
+            const double startup = dr + seg.delay_add;
+            dur = startup + (c - dr) * ws.trace_factor[tl];
+            ws.edge_wire_begin[e] = start + startup;
+            ws.edge_wire_factor[e] = ws.trace_factor[tl];
+          } else if (trace != nullptr) {
+            ws.edge_wire_begin[e] = start;
+            ws.edge_wire_factor[e] = 1.0;
+          }
+          if (dl != d) {
+            if (opt.serialize_transfers) ws.nic_free[d] = start + dur;
+            if (shared != nullptr) {
+              // Reserve every physical link on the route for the whole transfer
+              // (store-and-forward is not modeled; the route is one pipe).
+              for (const int li : shared->links_on(d, dl)) {
+                ws.link_free[li] = start + dur;
+              }
+            }
+          }
+          if (trace != nullptr) {
+            ws.edge_inflight[e] = 1;
+            ws.edge_finish_at[e] = start + dur;
+          }
+          out.edge_start[e] = start;
+          if (rec != nullptr) rec->edge_event_seq[e] = seq;
+          push_event(start + dur, kTransferDone, e,
+                     trace != nullptr ? ws.edge_version[e] : 0);
+        }
+        --ws.running[d];
+        if (!ws.fifo[d].empty() && ws.running[d] < n.device(d).cores) {
+          const int next = ws.fifo[d].front();
+          ws.fifo[d].pop_front();
+          start_task(next, ev.time);
+        }
+      } else if (ev.kind == kTransferDone) {
+        const int e = ev.id;
+        if (trace != nullptr) {
+          if (ev.version != ws.edge_version[e]) continue;  // stale: rescaled
+          ws.edge_inflight[e] = 0;
+        }
+        out.edge_finish[e] = ev.time;
+        const int child = g.edge(e).dst;
+        if (--ws.remaining_inputs[child] == 0) make_runnable(child, ev.time);
+      } else {  // kBreakpoint
+        const auto [li, si] = (*breakpoints)[ev.id];
+        const TraceSegment& seg = trace->links[li].segments[si];
+        ws.trace_cur[li] = seg;
+        const double f_new = wire_factor(seg);
+        ws.trace_factor[li] = f_new;
+        const int k = trace->links[li].src;
+        const int l = trace->links[li].dst;
+        // Rescale the remaining wire time of every in-flight transfer on this
+        // link, in ascending edge-id order (the oracle mirrors this order).
+        // delay_add changes never affect in-flight transfers: their startup was
+        // committed at dispatch.
+        const int ne = g.num_edges();
+        for (int e = 0; e < ne; ++e) {
+          if (ws.edge_inflight[e] == 0) continue;
+          if (p.device_of(g.edge(e).src) != k || p.device_of(g.edge(e).dst) != l) {
+            continue;
+          }
+          if (ws.edge_wire_factor[e] == f_new) continue;
+          const double anchor = std::max(ev.time, ws.edge_wire_begin[e]);
+          const double remaining = ws.edge_finish_at[e] - anchor;
+          if (remaining <= 0.0) {
+            // Wire already done (finishing this instant, or still in startup
+            // with zero wire time): keep the pending event and its seq.
+            ws.edge_wire_factor[e] = f_new;
+            continue;
+          }
+          ws.edge_finish_at[e] = anchor + remaining * (f_new / ws.edge_wire_factor[e]);
+          ws.edge_wire_factor[e] = f_new;
+          if (rec != nullptr) rec->edge_event_seq[e] = seq;
+          push_event(ws.edge_finish_at[e], kTransferDone, e, ++ws.edge_version[e]);
+        }
+      }
+    }
+  }
+
+  /// Completion check, makespan, and the recorded-state epilogue.
+  void finalize(const char* caller) {
+    const int nv = g.num_tasks();
+    if (completed != nv) {
+      throw std::logic_error(std::string(caller) +
+                             ": not all tasks completed (cyclic graph?)");
+    }
+    double first_start = out.tasks[0].start, last_finish = out.tasks[0].finish;
+    for (const TaskTiming& t : out.tasks) {
+      first_start = std::min(first_start, t.start);
+      last_finish = std::max(last_finish, t.finish);
+    }
+    out.makespan = last_finish - first_start;
+    if (rec != nullptr) {
+      rec->total_seq = seq;
+      rec->next_runnable_rank = runnable_rank;
+      rec->trace_recorded = trace != nullptr;
+      if (trace != nullptr) {
+        rec->edge_final_version.assign(ws.edge_version.begin(),
+                                       ws.edge_version.begin() + g.num_edges());
+      }
+      rec->valid = true;
+    }
+  }
+};
+
+}  // namespace giph::detail

@@ -7,40 +7,43 @@
 #include <string>
 #include <utility>
 
+#include "sim/sim_engine.hpp"
+
 namespace giph {
 namespace {
 
-constexpr int kTaskDone = 0;
-constexpr int kTransferDone = 1;
-constexpr int kBreakpoint = 2;
-
-// Later events sort before earlier ones so heap operations keep the earliest
-// event at the front; ties break by creation order, making pop order fully
-// deterministic (and identical to the std::priority_queue this replaced).
-struct EventLater {
-  bool operator()(const detail::SimEvent& a, const detail::SimEvent& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-};
-
-double realize(double expected, const SimOptions& opt) {
-  if (opt.noise <= 0.0) return expected;
-  std::uniform_real_distribution<double> d(expected * (1.0 - opt.noise),
-                                           expected * (1.0 + opt.noise));
-  return d(*opt.rng);
-}
-
-std::atomic<std::uint64_t> g_simulation_count{0};
+std::atomic<std::uint64_t> g_full_simulation_count{0};
+std::atomic<std::uint64_t> g_delta_simulation_count{0};
+std::atomic<std::uint64_t> g_delta_fallback_count{0};
 
 }  // namespace
 
 void detail::bump_simulation_count() noexcept {
-  g_simulation_count.fetch_add(1, std::memory_order_relaxed);
+  g_full_simulation_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void detail::bump_delta_simulation_count() noexcept {
+  g_delta_simulation_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void detail::bump_delta_fallback_count() noexcept {
+  g_delta_fallback_count.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t simulation_count() noexcept {
-  return g_simulation_count.load(std::memory_order_relaxed);
+  return full_simulation_count() + delta_simulation_count();
+}
+
+std::uint64_t full_simulation_count() noexcept {
+  return g_full_simulation_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t delta_simulation_count() noexcept {
+  return g_delta_simulation_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t delta_fallback_count() noexcept {
+  return g_delta_fallback_count.load(std::memory_order_relaxed);
 }
 
 void validate_sim_options(const SimOptions& opt, const char* caller) {
@@ -59,7 +62,7 @@ void validate_sim_options(const SimOptions& opt, const char* caller) {
 
 void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
                    const LatencyModel& lat, SimWorkspace& ws, Schedule& out,
-                   const SimOptions& opt) {
+                   const SimOptions& opt, DeltaSimState* record) {
   // Validate options first: noise without an engine would dereference null
   // inside the event loop, far from the caller's mistake.
   validate_sim_options(opt, "simulate");
@@ -67,6 +70,7 @@ void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& 
     throw std::invalid_argument("simulate: infeasible placement");
   }
   detail::bump_simulation_count();
+  if (record != nullptr) record->valid = false;
   const int nv = g.num_tasks();
   const int ne = g.num_edges();
   const int nd = n.num_devices();
@@ -93,28 +97,19 @@ void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& 
 
   // All buffers are reset with assign()/clear(), which reuse existing
   // capacity; fifo only grows so previously-sized deques are kept.
-  auto& heap = ws.heap;
-  heap.clear();
-  const EventLater later;
-  long seq = 0;
-
+  ws.heap.clear();
   ws.remaining_inputs.assign(nv, 0);
-  auto& remaining_inputs = ws.remaining_inputs;
-  for (int v = 0; v < nv; ++v) remaining_inputs[v] = g.in_degree(v);
-
+  for (int v = 0; v < nv; ++v) ws.remaining_inputs[v] = g.in_degree(v);
   if (static_cast<int>(ws.fifo.size()) < nd) ws.fifo.resize(nd);
   for (int d = 0; d < nd; ++d) ws.fifo[d].clear();
-  auto& fifo = ws.fifo;
-  ws.running.assign(nd, 0);  // occupied cores per device
-  auto& running = ws.running;
+  ws.running.assign(nd, 0);     // occupied cores per device
   ws.nic_free.assign(nd, 0.0);  // serialize_transfers only
-  auto& nic_free = ws.nic_free;
-  int completed = 0;
 
-  auto push_event = [&](double time, int kind, int id, int version = 0) {
-    heap.push_back(detail::SimEvent{time, seq++, kind, id, version});
-    std::push_heap(heap.begin(), heap.end(), later);
-  };
+  if (record != nullptr) {
+    record->runnable_order.assign(nv, -1);
+    record->task_event_seq.assign(nv, -1);
+    record->edge_event_seq.assign(ne, -1);
+  }
 
   // Dynamic-network state. Breakpoints are pushed before any sim event so
   // they consume seq 0..B-1: a breakpoint takes effect *before* same-time sim
@@ -122,6 +117,10 @@ void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& 
   // new conditions; one finishing at that instant is still rescaled).
   std::vector<std::pair<int, int>> breakpoints;  // (trace link, segment)
   if (shared != nullptr) ws.link_free.assign(shared->num_links, 0.0);
+
+  detail::SimEngine eng{g,      n,      p,            lat, ws, out, opt,
+                        trace,  shared, &breakpoints, record, nd};
+
   if (trace != nullptr) {
     const int nl = static_cast<int>(trace->links.size());
     ws.trace_link.assign(static_cast<std::size_t>(nd) * nd, -1);
@@ -142,159 +141,24 @@ void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& 
           ws.trace_cur[li] = ls.segments[si];
           ws.trace_factor[li] = wire_factor(ls.segments[si]);
         } else {
-          push_event(ls.segments[si].time, kBreakpoint,
-                     static_cast<int>(breakpoints.size()));
+          eng.push_event(ls.segments[si].time, detail::kBreakpoint,
+                         static_cast<int>(breakpoints.size()));
           breakpoints.emplace_back(li, si);
         }
       }
     }
   }
 
-  auto start_task = [&](int v, double t) {
-    const int d = p.device_of(v);
-    ++running[d];
-    out.tasks[v].start = t;
-    const double w = realize(lat.compute_time(g, n, v, d), opt);
-    push_event(t + w, kTaskDone, v);
-  };
-
-  auto make_runnable = [&](int v, double t) {
-    const int d = p.device_of(v);
-    if (running[d] < n.device(d).cores && fifo[d].empty()) {
-      start_task(v, t);
-    } else {
-      fifo[d].push_back(v);
-    }
-  };
-
   // Entry tasks become runnable at t = 0 in task-id order.
   for (int v = 0; v < nv; ++v) {
-    if (remaining_inputs[v] == 0) make_runnable(v, 0.0);
+    if (ws.remaining_inputs[v] == 0) eng.make_runnable(v, 0.0);
   }
   // topological_order() throws on cyclic input; check up-front so a cyclic
   // graph cannot hang the event loop.
   (void)g.topological_order();
 
-  while (!heap.empty()) {
-    std::pop_heap(heap.begin(), heap.end(), later);
-    const detail::SimEvent ev = heap.back();
-    heap.pop_back();
-    if (ev.kind == kTaskDone) {
-      const int v = ev.id;
-      out.tasks[v].finish = ev.time;
-      ++completed;
-      const int d = p.device_of(v);
-      // Outputs start transmitting to every child's device - concurrently in
-      // the paper's model, back-to-back through the NIC under contention.
-      for (int e : g.out_edges(v)) {
-        const int dl = p.device_of(g.edge(e).dst);
-        const double c = realize(lat.comm_time(g, n, e, d, dl), opt);
-        double start = ev.time;
-        if (dl != d) {
-          if (opt.serialize_transfers) start = std::max(start, nic_free[d]);
-          if (shared != nullptr) {
-            for (const int li : shared->links_on(d, dl)) {
-              start = std::max(start, ws.link_free[li]);
-            }
-          }
-        }
-        double dur = c;
-        const int tl =
-            trace != nullptr ? ws.trace_link[static_cast<std::size_t>(d) * nd + dl]
-                             : -1;
-        if (tl >= 0) {
-          // Split the realized time into startup (delay) and wire (bandwidth)
-          // portions; only the wire portion scales with the link conditions.
-          // Noise is multiplicative, so the realized startup keeps the
-          // expected startup fraction de / ce of the realized total.
-          const double ce = lat.comm_time(g, n, e, d, dl);
-          const double de = lat.comm_startup(g, n, e, d, dl);
-          const double dr = ce > 0.0 ? de * (c / ce) : 0.0;
-          const TraceSegment& seg = ws.trace_cur[tl];
-          const double startup = dr + seg.delay_add;
-          dur = startup + (c - dr) * ws.trace_factor[tl];
-          ws.edge_wire_begin[e] = start + startup;
-          ws.edge_wire_factor[e] = ws.trace_factor[tl];
-        } else if (trace != nullptr) {
-          ws.edge_wire_begin[e] = start;
-          ws.edge_wire_factor[e] = 1.0;
-        }
-        if (dl != d) {
-          if (opt.serialize_transfers) nic_free[d] = start + dur;
-          if (shared != nullptr) {
-            // Reserve every physical link on the route for the whole transfer
-            // (store-and-forward is not modeled; the route is one pipe).
-            for (const int li : shared->links_on(d, dl)) {
-              ws.link_free[li] = start + dur;
-            }
-          }
-        }
-        if (trace != nullptr) {
-          ws.edge_inflight[e] = 1;
-          ws.edge_finish_at[e] = start + dur;
-        }
-        out.edge_start[e] = start;
-        push_event(start + dur, kTransferDone, e,
-                   trace != nullptr ? ws.edge_version[e] : 0);
-      }
-      --running[d];
-      if (!fifo[d].empty() && running[d] < n.device(d).cores) {
-        const int next = fifo[d].front();
-        fifo[d].pop_front();
-        start_task(next, ev.time);
-      }
-    } else if (ev.kind == kTransferDone) {
-      const int e = ev.id;
-      if (trace != nullptr) {
-        if (ev.version != ws.edge_version[e]) continue;  // stale: rescaled
-        ws.edge_inflight[e] = 0;
-      }
-      out.edge_finish[e] = ev.time;
-      const int child = g.edge(e).dst;
-      if (--remaining_inputs[child] == 0) make_runnable(child, ev.time);
-    } else {  // kBreakpoint
-      const auto [li, si] = breakpoints[ev.id];
-      const TraceSegment& seg = trace->links[li].segments[si];
-      ws.trace_cur[li] = seg;
-      const double f_new = wire_factor(seg);
-      ws.trace_factor[li] = f_new;
-      const int k = trace->links[li].src;
-      const int l = trace->links[li].dst;
-      // Rescale the remaining wire time of every in-flight transfer on this
-      // link, in ascending edge-id order (the oracle mirrors this order).
-      // delay_add changes never affect in-flight transfers: their startup was
-      // committed at dispatch.
-      for (int e = 0; e < ne; ++e) {
-        if (ws.edge_inflight[e] == 0) continue;
-        if (p.device_of(g.edge(e).src) != k || p.device_of(g.edge(e).dst) != l) {
-          continue;
-        }
-        if (ws.edge_wire_factor[e] == f_new) continue;
-        const double anchor = std::max(ev.time, ws.edge_wire_begin[e]);
-        const double remaining = ws.edge_finish_at[e] - anchor;
-        if (remaining <= 0.0) {
-          // Wire already done (finishing this instant, or still in startup
-          // with zero wire time): keep the pending event and its seq.
-          ws.edge_wire_factor[e] = f_new;
-          continue;
-        }
-        ws.edge_finish_at[e] = anchor + remaining * (f_new / ws.edge_wire_factor[e]);
-        ws.edge_wire_factor[e] = f_new;
-        push_event(ws.edge_finish_at[e], kTransferDone, e, ++ws.edge_version[e]);
-      }
-    }
-  }
-
-  if (completed != nv) {
-    throw std::logic_error("simulate: not all tasks completed (cyclic graph?)");
-  }
-
-  double first_start = out.tasks[0].start, last_finish = out.tasks[0].finish;
-  for (const TaskTiming& t : out.tasks) {
-    first_start = std::min(first_start, t.start);
-    last_finish = std::max(last_finish, t.finish);
-  }
-  out.makespan = last_finish - first_start;
+  eng.run();
+  eng.finalize("simulate");
 }
 
 Schedule simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,

@@ -4,6 +4,7 @@
 #include <deque>
 #include <optional>
 #include <random>
+#include <utility>
 #include <vector>
 
 #include "graph/placement.hpp"
@@ -102,6 +103,41 @@ struct SimWorkspace {
   std::vector<char> edge_inflight;
 };
 
+/// Bookkeeping recorded by a full simulation (and kept current by delta
+/// replays) that lets simulate_delta() reconstruct the exact mid-run simulator
+/// state at the dirty-time boundary of a one-task move. The recorded event
+/// seqs and runnable ranks preserve the full run's deterministic tie-breaking,
+/// which is what makes the incremental path bitwise-identical.
+///
+/// One state belongs to one (graph, network, options) chain of schedules: a
+/// full recording run seeds it, and each simulate_delta() call both consumes
+/// and refreshes it, so single-move steps chain indefinitely.
+struct DeltaSimState {
+  bool valid = false;  ///< false until a recording run completes
+  /// Per task: position in the run's make_runnable() order. Strictly
+  /// monotone in runnable time; replays hand out fresh ranks above every
+  /// recorded one, so relative order stays exact across chained deltas.
+  std::vector<long> runnable_order;
+  std::vector<long> task_event_seq;  ///< per task: seq of its task-done event
+  std::vector<long> edge_event_seq;  ///< per edge: seq of its live transfer event
+  std::vector<int> edge_final_version;  ///< per edge: version at run end (trace only)
+  long total_seq = 0;            ///< seq counter at run end
+  long next_runnable_rank = 0;   ///< rank counter at run end
+  bool trace_recorded = false;  ///< the recording run had an active trace
+  /// Replays whose unaffected prefix covers less than this fraction of tasks
+  /// fall back to a full simulation (a tiny prefix saves nothing over the
+  /// full run and the reconstruction itself costs O(V + E)).
+  double min_prefix_fraction = 0.05;
+  /// Reconstruction scratch (sorted (rank, task) pairs); not part of the
+  /// recorded state.
+  std::vector<std::pair<long, int>> runnable_scratch;
+};
+
+/// Outcome of simulate_delta(): whether the incremental replay ran or the
+/// call fell back to a full simulation (either way `out` holds the exact
+/// full-simulation schedule).
+enum class DeltaSimResult { kReplayed, kFellBack };
+
 /// Discrete-event runtime simulator (Appendix B.5).
 ///
 /// Execution model: each device runs at most one task at a time,
@@ -121,19 +157,65 @@ Schedule simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p
 /// Allocation-free core of simulate(): writes the schedule into `out` reusing
 /// both the workspace buffers and `out`'s own vectors. Output is bitwise
 /// identical to simulate() for the same inputs, regardless of what the
-/// workspace or `out` previously held.
+/// workspace or `out` previously held. When `record` is non-null the run
+/// additionally fills it with the bookkeeping simulate_delta() needs (a few
+/// percent of extra work; the output schedule is unaffected).
 void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
                    const LatencyModel& lat, SimWorkspace& ws, Schedule& out,
-                   const SimOptions& opt = {});
+                   const SimOptions& opt = {}, DeltaSimState* record = nullptr);
 
-/// Process-wide count of simulator invocations (simulate, simulate_into, and
-/// simulate_with_faults all count). Monotonic, thread-safe; used by tests as a
-/// regression tripwire for the one-simulation-per-search-step invariant.
+/// Incremental re-simulation of a one-task move: `p` must differ from the
+/// placement that produced `prev` at most at `moved_task`, `prev` must be the
+/// schedule of a run that recorded (or refreshed) `ds` under the same graph,
+/// network, latency model, and options, and `out` must not alias `prev`.
+///
+/// Computes the earliest dirty time T0 = min(previous start of the moved
+/// task, earliest previous finish among its parents): before T0 the two runs
+/// are provably identical (the moved task is inert until its first input
+/// transfer dispatches, and queued-but-unstarted work displaces nothing), so
+/// the call reconstructs the simulator state at T0 straight from `prev` + `ds`
+/// and replays only events at or after it. Work is proportional to the
+/// affected suffix instead of the whole graph.
+///
+/// Falls back to a full recording simulation (same output, DeltaSimResult::
+/// kFellBack) whenever the replay could diverge or is not worth it: invalid /
+/// mismatched `ds`, noise > 0 (the draw order spans the whole run), a moved
+/// entry task (dirty from t = 0), a trace breakpoint at or after T0, a trace
+/// combined with NIC serialization or shared links (reservations are not
+/// reconstructible once rescales detach finish times from them), or an
+/// unaffected prefix below ds.min_prefix_fraction. Either way `out` and `ds`
+/// end bitwise identical to what simulate_into(..., &ds) would produce, so
+/// single-move steps chain indefinitely.
+DeltaSimResult simulate_delta(const TaskGraph& g, const DeviceNetwork& n,
+                              const Placement& p, int moved_task,
+                              const LatencyModel& lat, SimWorkspace& ws,
+                              const Schedule& prev, DeltaSimState& ds, Schedule& out,
+                              const SimOptions& opt = {});
+
+/// Process-wide count of simulator invocations (simulate, simulate_into,
+/// simulate_with_faults, and simulate_delta all count). Monotonic,
+/// thread-safe; used by tests as a regression tripwire for the
+/// one-simulation-per-search-step invariant. Equal to full_simulation_count()
+/// + delta_simulation_count().
 std::uint64_t simulation_count() noexcept;
 
+/// Full event-loop runs (everything except delta replays; a simulate_delta
+/// call that falls back counts here, via its inner full simulation).
+std::uint64_t full_simulation_count() noexcept;
+
+/// simulate_delta() calls that actually replayed incrementally.
+std::uint64_t delta_simulation_count() noexcept;
+
+/// simulate_delta() calls that fell back to a full simulation.
+std::uint64_t delta_fallback_count() noexcept;
+
 namespace detail {
-/// Increments simulation_count(); for simulator implementations only.
+/// Increments full_simulation_count(); for simulator implementations only.
 void bump_simulation_count() noexcept;
+/// Increments delta_simulation_count(); for simulate_delta only.
+void bump_delta_simulation_count() noexcept;
+/// Increments delta_fallback_count(); for simulate_delta only.
+void bump_delta_fallback_count() noexcept;
 }  // namespace detail
 
 /// Expected makespan (noise-free simulation). Convenience wrapper.

@@ -144,6 +144,72 @@ TEST(Autograd, SumMeanRowsGradient) {
       {random_matrix(3, 3, rng)});
 }
 
+TEST(Autograd, SegmentMeanRowsMatchesPerGroupMeanRows) {
+  std::mt19937_64 rng(23);
+  const Matrix m = random_matrix(6, 3, rng);
+  const Var a = constant(m);
+  // Groups of size 2, 0, 1, 3 — covers the empty-group zero row.
+  const Var seg = segment_mean_rows(a, {0, 2, 2, 3, 6});
+  ASSERT_EQ(seg->value.rows(), 4);
+  const Var g0 = mean_rows(slice_rows(a, 0, 2));
+  const Var g2 = mean_rows(slice_rows(a, 2, 3));
+  const Var g3 = mean_rows(slice_rows(a, 3, 6));
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(seg->value(0, j), g0->value(0, j));
+    EXPECT_EQ(seg->value(1, j), 0.0);
+    EXPECT_EQ(seg->value(2, j), g2->value(0, j));
+    EXPECT_EQ(seg->value(3, j), g3->value(0, j));
+  }
+}
+
+TEST(Autograd, SegmentMeanRowsIdentitySinglePreservesSignedZero) {
+  Matrix m(2, 2);
+  m(0, 0) = -0.0;
+  m(0, 1) = 1.5;
+  m(1, 0) = -0.0;
+  m(1, 1) = 2.5;
+  const Var a = constant(m);
+  // identity_single copies lone rows raw: -0.0 survives, where the
+  // accumulate-and-scale path would produce +0.0.
+  const Var ident = segment_mean_rows(a, {0, 1, 2}, /*identity_single=*/true);
+  const Var meaned = segment_mean_rows(a, {0, 1, 2}, /*identity_single=*/false);
+  EXPECT_TRUE(std::signbit(ident->value(0, 0)));
+  EXPECT_TRUE(std::signbit(ident->value(1, 0)));
+  EXPECT_FALSE(std::signbit(meaned->value(0, 0)));
+  EXPECT_EQ(ident->value(0, 1), 1.5);
+  EXPECT_EQ(meaned->value(1, 1), 2.5);
+}
+
+TEST(Autograd, SegmentMeanRowsGradient) {
+  std::mt19937_64 rng(24);
+  grad_check(
+      [](const std::vector<Var>& p) {
+        // Mixed group sizes (2, 1, 3) exercise the per-group 1/k scaling.
+        const Var seg = segment_mean_rows(p[0], {0, 2, 3, 6});
+        return sum_all(mul(seg, p[1]));
+      },
+      {random_matrix(6, 2, rng), random_matrix(3, 2, rng)});
+}
+
+TEST(Autograd, SegmentMeanRowsIdentitySingleGradient) {
+  std::mt19937_64 rng(25);
+  grad_check(
+      [](const std::vector<Var>& p) {
+        // Size-1 groups pass gradients through unscaled under identity_single.
+        const Var seg = segment_mean_rows(p[0], {0, 1, 3, 4}, true);
+        return sum_all(mul(seg, p[1]));
+      },
+      {random_matrix(4, 2, rng), random_matrix(3, 2, rng)});
+}
+
+TEST(Autograd, SegmentMeanRowsRejectsBadOffsets) {
+  const Var a = constant(Matrix(4, 2));
+  EXPECT_THROW(segment_mean_rows(a, {0, 2}), std::invalid_argument);       // back != rows
+  EXPECT_THROW(segment_mean_rows(a, {1, 4}), std::invalid_argument);      // front != 0
+  EXPECT_THROW(segment_mean_rows(a, {0, 3, 2, 4}), std::invalid_argument);  // descending
+  EXPECT_THROW(segment_mean_rows(a, {0}), std::invalid_argument);         // too short
+}
+
 TEST(Autograd, SoftmaxColGradient) {
   std::mt19937_64 rng(11);
   grad_check(

@@ -132,17 +132,29 @@ TEST(SearchEnvSimCount, ExactlyOneSimulationPerStep) {
   const Placement init = random_placement(g, n, rng);
 
   const std::uint64_t before = simulation_count();
+  const std::uint64_t full_before = full_simulation_count();
+  const std::uint64_t delta_before = delta_simulation_count();
   PlacementSearchEnv env(g, n, kLat, makespan_objective(kLat), init,
                          slr_denominator(g, n, kLat));
-  EXPECT_EQ(env.simulations_run(), 1u);  // construction simulates once
+  EXPECT_EQ(env.simulations_run(), 1u);  // construction simulates once (fully)
+  EXPECT_EQ(env.delta_simulations_run(), 0u);
+  EXPECT_EQ(env.delta_fallbacks(), 0u);
 
   RandomWalkPolicy policy;
   const int steps = 2 * g.num_tasks();
   run_search(policy, env, steps, rng);
   EXPECT_EQ(env.simulations_run(), 1u + static_cast<std::uint64_t>(steps));
-  // The process-wide counter agrees: nothing else simulated behind our back
-  // (the makespan objective reads the env's schedule instead of re-running).
+  // Every apply() is exactly one simulation: an incremental delta replay or a
+  // full-recompute fallback, never both.
+  EXPECT_EQ(env.delta_simulations_run() + env.delta_fallbacks(),
+            static_cast<std::uint64_t>(steps));
+  // The process-wide counters agree with the env's split: nothing else
+  // simulated behind our back (the makespan objective reads the env's
+  // schedule instead of re-running), and fallbacks are the only steps that
+  // re-ran the full simulator.
   EXPECT_EQ(simulation_count() - before, 1u + static_cast<std::uint64_t>(steps));
+  EXPECT_EQ(full_simulation_count() - full_before, 1u + env.delta_fallbacks());
+  EXPECT_EQ(delta_simulation_count() - delta_before, env.delta_simulations_run());
 }
 
 TEST(EvalParallel, PolicyFinalsBitwiseIdenticalForAnyThreadCount) {

@@ -204,6 +204,166 @@ TEST(ScorePolicy, SamplingFrequenciesMatchProbabilities) {
   EXPECT_NEAR(static_cast<double>(counts[0]) / trials, p_first, 0.03);
 }
 
+// ---- batched vs per-node bitwise equivalence ------------------------------
+// The encoder batches each level/step/layer through one matrix-matrix matmul;
+// the references below re-implement the per-node matrix-vector passes that the
+// batching replaced, straight from the registry parameters, and the test
+// demands bitwise-equal embeddings for every GNN kind.
+
+nn::Var ref_param(const nn::ParamRegistry& reg, const std::string& name) {
+  const auto& names = reg.names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return reg.params()[i];
+  }
+  throw std::invalid_argument("ref_param: unknown " + name);
+}
+
+nn::Var ref_linear(const nn::ParamRegistry& reg, const std::string& base,
+                   const nn::Var& x) {
+  return nn::add_rowvec(nn::matmul(x, ref_param(reg, base + ".W")),
+                        ref_param(reg, base + ".b"));
+}
+
+nn::Var ref_pre(const nn::ParamRegistry& reg, const nn::Var& nodes) {
+  return ref_linear(reg, "gnn.pre.l1", nn::relu(ref_linear(reg, "gnn.pre.l0", nodes)));
+}
+
+std::vector<nn::Var> ref_sequential(const nn::ParamRegistry& reg, const GraphView& view,
+                                    const nn::Var& pre, const nn::Var& edges,
+                                    bool use_edges, const std::string& base,
+                                    bool forward) {
+  std::vector<nn::Var> emb(view.num_nodes);
+  auto process = [&](int u) {
+    const auto& incoming = forward ? view.in_edges[u] : view.out_edges[u];
+    const nn::Var self = nn::row(pre, u);
+    if (incoming.empty()) {
+      emb[u] = self;
+      return;
+    }
+    std::vector<nn::Var> msgs;
+    for (int e : incoming) {
+      const int v = forward ? view.edges[e].first : view.edges[e].second;
+      msgs.push_back(use_edges ? nn::concat_cols({emb[v], nn::row(edges, e)}) : emb[v]);
+    }
+    const nn::Var stacked = msgs.size() == 1 ? msgs[0] : nn::concat_rows(msgs);
+    const nn::Var agg = nn::mean_rows(nn::relu(ref_linear(reg, base + ".msg", stacked)));
+    emb[u] = nn::add(nn::relu(ref_linear(reg, base + ".agg", agg)), self);
+  };
+  if (forward) {
+    for (int u : view.topo) process(u);
+  } else {
+    for (auto it = view.topo.rbegin(); it != view.topo.rend(); ++it) process(*it);
+  }
+  return emb;
+}
+
+std::vector<nn::Var> ref_k_steps(const nn::ParamRegistry& reg, const GraphView& view,
+                                 const nn::Var& pre, const nn::Var& edges,
+                                 bool use_edges, const std::string& base, bool forward,
+                                 int k_steps) {
+  std::vector<nn::Var> emb(view.num_nodes);
+  for (int u = 0; u < view.num_nodes; ++u) emb[u] = nn::row(pre, u);
+  for (int step = 0; step < k_steps; ++step) {
+    std::vector<nn::Var> next(view.num_nodes);
+    for (int u = 0; u < view.num_nodes; ++u) {
+      const auto& incoming = forward ? view.in_edges[u] : view.out_edges[u];
+      const nn::Var self = nn::row(pre, u);
+      if (incoming.empty()) {
+        next[u] = self;
+        continue;
+      }
+      std::vector<nn::Var> msgs;
+      for (int e : incoming) {
+        const int v = forward ? view.edges[e].first : view.edges[e].second;
+        msgs.push_back(use_edges ? nn::concat_cols({emb[v], nn::row(edges, e)}) : emb[v]);
+      }
+      const nn::Var stacked = msgs.size() == 1 ? msgs[0] : nn::concat_rows(msgs);
+      const nn::Var agg =
+          nn::mean_rows(nn::relu(ref_linear(reg, base + ".msg", stacked)));
+      next[u] = nn::add(nn::relu(ref_linear(reg, base + ".agg", agg)), self);
+    }
+    emb = std::move(next);
+  }
+  return emb;
+}
+
+nn::Var ref_sage(const nn::ParamRegistry& reg, const GraphView& view,
+                 const nn::Var& nodes, int k_steps) {
+  std::vector<nn::Var> emb(view.num_nodes);
+  {
+    const nn::Var h0 = nn::relu(ref_linear(reg, "gnn.sage.t", nodes));
+    for (int u = 0; u < view.num_nodes; ++u) emb[u] = nn::row(h0, u);
+  }
+  for (int l = 0; l < k_steps; ++l) {
+    std::vector<nn::Var> next(view.num_nodes);
+    for (int u = 0; u < view.num_nodes; ++u) {
+      nn::Var neigh;
+      if (view.in_edges[u].empty()) {
+        neigh = nn::constant(nn::Matrix::zeros(1, emb[u]->value.cols()));
+      } else {
+        std::vector<nn::Var> ms;
+        for (int e : view.in_edges[u]) ms.push_back(emb[view.edges[e].first]);
+        neigh = ms.size() == 1 ? ms[0] : nn::mean_rows(nn::concat_rows(ms));
+      }
+      next[u] = nn::relu(ref_linear(reg, "gnn.sage.l" + std::to_string(l),
+                                    nn::concat_cols({emb[u], neigh})));
+    }
+    emb = std::move(next);
+  }
+  return nn::concat_rows(emb);
+}
+
+class EncoderBitwise : public ::testing::TestWithParam<GnnKind> {};
+
+TEST_P(EncoderBitwise, BatchedEncodeMatchesPerNodeReference) {
+  Instance inst;
+  const GnnKind kind = GetParam();
+  GnnConfig cfg;
+  cfg.kind = kind;
+  const bool merged = kind == GnnKind::kGiPHNE || kind == GnnKind::kGraphSAGE;
+  cfg.node_dim = merged ? 8 : 4;
+  cfg.edge_dim = merged ? 0 : 4;
+
+  std::mt19937_64 rng(5);
+  nn::ParamRegistry reg;
+  const GraphEncoder enc(reg, cfg, rng);
+
+  const nn::Matrix node_feats =
+      merged ? append_mean_out_edge_features(inst.net, inst.feats) : inst.feats.node;
+  const nn::Matrix edge_feats = merged ? nn::Matrix() : inst.feats.edge;
+  const nn::Var emb = enc.encode(inst.net.view, node_feats, edge_feats);
+
+  const nn::Var nodes = nn::constant(node_feats);
+  const nn::Var edges = nn::constant(edge_feats);
+  const bool use_edges = !merged;
+  nn::Var ref;
+  if (kind == GnnKind::kGraphSAGE) {
+    ref = ref_sage(reg, inst.net.view, nodes, cfg.k_steps);
+  } else {
+    const nn::Var pre = ref_pre(reg, nodes);
+    std::vector<nn::Var> fwd, bwd;
+    if (kind == GnnKind::kGiPHK) {
+      fwd = ref_k_steps(reg, inst.net.view, pre, edges, use_edges, "gnn.fwd", true,
+                        cfg.k_steps);
+      bwd = ref_k_steps(reg, inst.net.view, pre, edges, use_edges, "gnn.bwd", false,
+                        cfg.k_steps);
+    } else {
+      fwd = ref_sequential(reg, inst.net.view, pre, edges, use_edges, "gnn.fwd", true);
+      bwd = ref_sequential(reg, inst.net.view, pre, edges, use_edges, "gnn.bwd", false);
+    }
+    ref = nn::concat_cols({nn::concat_rows(fwd), nn::concat_rows(bwd)});
+  }
+
+  ASSERT_EQ(emb->value.rows(), ref->value.rows());
+  ASSERT_EQ(emb->value.cols(), ref->value.cols());
+  EXPECT_EQ(nn::max_abs_diff(emb->value, ref->value), 0.0)
+      << "batched encode must be bitwise-identical to the per-node pass";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, EncoderBitwise,
+                         ::testing::Values(GnnKind::kGiPH, GnnKind::kGiPHK,
+                                           GnnKind::kGiPHNE, GnnKind::kGraphSAGE));
+
 TEST(ScorePolicy, LogProbGradientReachesScoreParams) {
   std::mt19937_64 rng(9);
   nn::ParamRegistry reg;

@@ -43,6 +43,21 @@ struct GoldenCase {
   SharedLinkMap shared;
   bool has_shared = false;
   std::vector<std::tuple<int, int, double>> drops;
+  // Optional "delta-move v1" block: `placement` is the base placement whose
+  // full simulation seeds the DeltaSimState, and the expected block holds the
+  // schedule AFTER moving delta_task to delta_device. simulate_delta must
+  // take the incremental path and reproduce it bitwise.
+  bool has_delta_move = false;
+  int delta_task = -1;
+  int delta_device = -1;
+
+  /// The placement the expected schedule corresponds to (post-move when a
+  /// delta-move block is present).
+  Placement final_placement() const {
+    Placement p = placement;
+    if (has_delta_move) p.set(delta_task, delta_device);
+    return p;
+  }
 
   SimOptions sim_options() const {
     SimOptions opt;
@@ -68,7 +83,9 @@ struct GoldenCase {
 //                    (the loader runs apply_topology + build_shared_link_map,
 //                    so the network matrices in the file are overwritten by
 //                    the projection);
-//   loss v1          <num entries>, per entry "src dst drop_prob".
+//   loss v1          <num entries>, per entry "src dst drop_prob";
+//   delta-move v1    "task device": the expected block is the post-move
+//                    schedule, reached from the base placement incrementally.
 GoldenCase load_golden(const std::filesystem::path& path) {
   std::ifstream file(path);
   if (!file) throw std::runtime_error("cannot open golden case: " + path.string());
@@ -90,6 +107,13 @@ GoldenCase load_golden(const std::filesystem::path& path) {
   while (kind != "expected") {
     if (version != "v1") {
       throw std::runtime_error(c.name + ": unknown block '" + kind + " " + version + "'");
+    }
+    if (kind == "delta-move") {
+      c.has_delta_move = true;
+      clean >> c.delta_task >> c.delta_device;
+      if (!clean) throw std::runtime_error(c.name + ": truncated 'delta-move' block");
+      clean >> kind >> version;
+      continue;
     }
     int count = 0;
     clean >> count;
@@ -178,15 +202,16 @@ void expect_matches(const GoldenCase& c, const Schedule& got, const char* which)
 }
 
 TEST(GoldenSchedules, CorpusIsNonTrivial) {
-  EXPECT_GE(golden_files().size(), 13u);
+  EXPECT_GE(golden_files().size(), 15u);
 }
 
 TEST(GoldenSchedules, SimulatorReproducesEveryCase) {
   for (const auto& path : golden_files()) {
     const GoldenCase c = load_golden(path);
     const auto lat = c.latency();
-    expect_matches(c, simulate(c.graph, c.network, c.placement, *lat, c.sim_options()),
-                   "simulate");
+    expect_matches(
+        c, simulate(c.graph, c.network, c.final_placement(), *lat, c.sim_options()),
+        "simulate");
   }
 }
 
@@ -195,7 +220,8 @@ TEST(GoldenSchedules, OracleReproducesEveryCase) {
     const GoldenCase c = load_golden(path);
     const auto lat = c.latency();
     expect_matches(
-        c, oracle_simulate(c.graph, c.network, c.placement, *lat, c.sim_options()),
+        c,
+        oracle_simulate(c.graph, c.network, c.final_placement(), *lat, c.sim_options()),
         "oracle");
   }
 }
@@ -205,14 +231,36 @@ TEST(GoldenSchedules, InvariantCheckerAcceptsEveryCase) {
     const GoldenCase c = load_golden(path);
     const auto lat = c.latency();
     const SimOptions opt = c.sim_options();
-    const Schedule s = simulate(c.graph, c.network, c.placement, *lat, opt);
+    const Placement p = c.final_placement();
+    const Schedule s = simulate(c.graph, c.network, p, *lat, opt);
     CheckOptions check;
     check.trace = opt.trace;
     check.shared_links = opt.shared_links;
-    const InvariantReport r =
-        check_schedule(c.graph, c.network, c.placement, *lat, s, check);
+    const InvariantReport r = check_schedule(c.graph, c.network, p, *lat, s, check);
     EXPECT_TRUE(r.ok()) << c.name << ":\n" << r.summary();
   }
+}
+
+TEST(GoldenSchedules, DeltaMoveCasesReplayIncrementallyAndBitwise) {
+  int seen = 0;
+  for (const auto& path : golden_files()) {
+    const GoldenCase c = load_golden(path);
+    if (!c.has_delta_move) continue;
+    ++seen;
+    const auto lat = c.latency();
+    const SimOptions opt = c.sim_options();
+    SimWorkspace ws;
+    Schedule prev, out;
+    DeltaSimState ds;
+    simulate_into(c.graph, c.network, c.placement, *lat, ws, prev, opt, &ds);
+    const Placement moved = c.final_placement();
+    const DeltaSimResult dr = simulate_delta(c.graph, c.network, moved, c.delta_task,
+                                             *lat, ws, prev, ds, out, opt);
+    EXPECT_TRUE(dr == DeltaSimResult::kReplayed)
+        << c.name << ": move was hand-picked to replay, not fall back";
+    expect_matches(c, out, "delta");
+  }
+  EXPECT_GE(seen, 2) << "corpus must keep its hand-derived delta-move cases";
 }
 
 }  // namespace

@@ -4,11 +4,13 @@
 Usage: check_bench.py BASELINE.json CURRENT.json [--tolerance 0.30]
 
 Compares every throughput metric (keys ending in ``_per_sec``, recursively)
-and fails when the current value has regressed more than ``tolerance``
-below the baseline. Also fails when any ``bitwise_identical`` flag that is
-true in the baseline turned false. Only stdlib is used, and absolute wall
-times are deliberately ignored: runner machines differ, so the gate is a
-relative one against numbers measured on comparable hardware.
+and every ratio metric (keys ending in ``_rate``, in [0, 1] by convention,
+e.g. the delta-simulation hit rate) and fails when the current value has
+regressed more than ``tolerance`` below the baseline. Also fails when any
+``bitwise_identical`` flag that is true in the baseline turned false. Only
+stdlib is used, and absolute wall times are deliberately ignored: runner
+machines differ, so the gate is a relative one against numbers measured on
+comparable hardware.
 """
 
 import argparse
@@ -41,7 +43,7 @@ def main():
     failures = []
     checked = 0
     for path, base_value in baseline.items():
-        gated = path.endswith("_per_sec") or (
+        gated = path.endswith("_per_sec") or path.endswith("_rate") or (
             path.endswith("bitwise_identical") and base_value is True)
         if path not in current:
             # Only gated metrics are required in the current run; descriptive
@@ -51,16 +53,17 @@ def main():
                     f"{path}: gated in baseline but missing from current run")
             continue
         cur_value = current[path]
-        if path.endswith("_per_sec"):
+        if path.endswith("_per_sec") or path.endswith("_rate"):
             checked += 1
             floor = (1.0 - args.tolerance) * base_value
             status = "ok" if cur_value >= floor else "REGRESSED"
-            print(f"{path}: {base_value:.1f} -> {cur_value:.1f} "
-                  f"(floor {floor:.1f}) {status}")
+            precision = 3 if path.endswith("_rate") else 1
+            print(f"{path}: {base_value:.{precision}f} -> {cur_value:.{precision}f} "
+                  f"(floor {floor:.{precision}f}) {status}")
             if cur_value < floor:
                 failures.append(
-                    f"{path}: {cur_value:.1f} is more than "
-                    f"{args.tolerance:.0%} below baseline {base_value:.1f}")
+                    f"{path}: {cur_value:.{precision}f} is more than "
+                    f"{args.tolerance:.0%} below baseline {base_value:.{precision}f}")
         elif path.endswith("bitwise_identical") and base_value is True:
             checked += 1
             print(f"{path}: {cur_value}")

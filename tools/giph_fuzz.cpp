@@ -20,10 +20,15 @@
 // Fault cases never carry a trace or shared links (simulate_with_faults
 // rejects the combination by design); lossy links compose with everything.
 //
+// With --delta, every non-fault case additionally runs a chain of random
+// one-task moves, asserting that simulate_delta() stays bitwise identical to
+// a from-scratch simulation at each step (whether it replayed incrementally
+// or fell back).
+//
 // Any failure prints the exact flags reproducing that single case. The CI
 // smoke job runs >= 12k cases; `ctest -L property` runs a quick subset.
 //
-// Usage: giph_fuzz [--cases N] [--seed S] [--start K] [--verbose]
+// Usage: giph_fuzz [--cases N] [--seed S] [--start K] [--delta] [--verbose]
 
 #include <algorithm>
 #include <cstdint>
@@ -35,6 +40,7 @@
 
 #include "gen/device_network_gen.hpp"
 #include "gen/task_graph_gen.hpp"
+#include "graph/placement.hpp"
 #include "graph/topology.hpp"
 #include "sim/faults.hpp"
 #include "sim/network_trace.hpp"
@@ -285,6 +291,50 @@ std::string check_reductions(const FuzzCase& c) {
   return "";
 }
 
+/// --delta: a chain of random one-task moves re-simulated incrementally must
+/// stay bitwise identical to a from-scratch simulation at every step, and the
+/// refreshed DeltaSimState must keep chaining. Runs with the case's options
+/// minus noise (noise always falls back and its draw order depends on rng
+/// history, so a from-scratch reference would need bespoke reseeding); traces,
+/// shared links, NIC serialization, and lossy models are all covered.
+std::string check_delta(const FuzzCase& c, std::uint64_t case_index,
+                        std::uint64_t* replayed, std::uint64_t* fell_back) {
+  LossAwareLatencyModel loss(kLat, c.network.num_devices());
+  for (const auto& [link, prob] : c.drops) loss.set_drop(link.first, link.second, prob);
+  const LatencyModel& lat = c.with_loss ? static_cast<const LatencyModel&>(loss) : kLat;
+  SimOptions opt;
+  opt.serialize_transfers = c.serialize_transfers;
+  if (c.with_trace) opt.trace = &c.trace;
+  if (c.with_shared) opt.shared_links = &c.shared;
+
+  SimWorkspace ws, ws_ref;
+  Schedule prev, cur, ref;
+  DeltaSimState ds;
+  Placement p = c.placement;
+  simulate_into(c.graph, c.network, p, lat, ws, prev, opt, &ds);
+
+  const auto feasible = feasible_sets(c.graph, c.network);
+  std::mt19937_64 move_rng(mix(c.sim_seed ^ mix(case_index)));
+  const int moves = uniform_int(move_rng, 1, 6);
+  for (int s = 0; s < moves; ++s) {
+    const int v = uniform_int(move_rng, 0, c.graph.num_tasks() - 1);
+    const auto& devs = feasible[v];
+    const int d = devs[uniform_int(move_rng, 0, static_cast<int>(devs.size()) - 1)];
+    p.set(v, d);
+
+    const DeltaSimResult dr =
+        simulate_delta(c.graph, c.network, p, v, lat, ws, prev, ds, cur, opt);
+    ++(dr == DeltaSimResult::kReplayed ? *replayed : *fell_back);
+    simulate_into(c.graph, c.network, p, lat, ws_ref, ref, opt);
+    char what[64];
+    std::snprintf(what, sizeof(what), "delta move %d (task %d -> dev %d, %s)", s, v, d,
+                  dr == DeltaSimResult::kReplayed ? "replayed" : "fell back");
+    if (auto diff = diff_schedules(cur, ref, what); !diff.empty()) return diff;
+    std::swap(prev, cur);
+  }
+  return "";
+}
+
 /// Runs all checks for one case; returns "" on success.
 std::string run_case(const FuzzCase& c, SimWorkspace& ws, Schedule& reused) {
   LossAwareLatencyModel loss(kLat, c.network.num_devices());
@@ -369,6 +419,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 20260806;
   std::uint64_t start = 0;
   bool verbose = false;
+  bool delta = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::uint64_t {
@@ -386,9 +437,12 @@ int main(int argc, char** argv) {
       start = next();
     } else if (arg == "--verbose") {
       verbose = true;
+    } else if (arg == "--delta") {
+      delta = true;
     } else {
       std::fprintf(stderr,
-                   "usage: giph_fuzz [--cases N] [--seed S] [--start K] [--verbose]\n");
+                   "usage: giph_fuzz [--cases N] [--seed S] [--start K] [--delta] "
+                   "[--verbose]\n");
       return 2;
     }
   }
@@ -396,7 +450,7 @@ int main(int argc, char** argv) {
   SimWorkspace ws;
   Schedule reused;
   std::uint64_t fault_cases = 0, noisy_cases = 0, trace_cases = 0, shared_cases = 0,
-                loss_cases = 0;
+                loss_cases = 0, delta_replayed = 0, delta_fell_back = 0;
   for (std::uint64_t i = start; i < start + cases; ++i) {
     FuzzCase c;
     std::string failure;
@@ -408,6 +462,11 @@ int main(int argc, char** argv) {
       shared_cases += c.with_shared ? 1 : 0;
       loss_cases += c.with_loss ? 1 : 0;
       failure = run_case(c, ws, reused);
+      // Fault plans are outside simulate_delta's contract; every other case
+      // (including traced / shared / lossy ones) gets the one-move chain.
+      if (failure.empty() && delta && !c.with_faults) {
+        failure = check_delta(c, i, &delta_replayed, &delta_fell_back);
+      }
     } catch (const std::exception& e) {
       failure = std::string("exception: ") + e.what();
     }
@@ -437,5 +496,12 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(trace_cases),
       static_cast<unsigned long long>(shared_cases),
       static_cast<unsigned long long>(loss_cases));
+  if (delta) {
+    std::printf(
+        "giph_fuzz: delta moves ok (%llu replayed incrementally, %llu fell back), "
+        "all bitwise equal to from-scratch simulation\n",
+        static_cast<unsigned long long>(delta_replayed),
+        static_cast<unsigned long long>(delta_fell_back));
+  }
   return 0;
 }
