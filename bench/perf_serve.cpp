@@ -1,0 +1,250 @@
+// Microbenchmark of the placement-serving daemon (not a paper figure):
+// placements/sec and request latency through the full PlacementServer path
+// (admission -> per-worker arena -> anytime policy search -> response) at 1,
+// 4, and 8 workers, plus two robustness scenarios with exact, machine-
+// independent expectations:
+//
+//   - determinism: the same request served twice must return bitwise-equal
+//     placements and makespans (greedy decode, seeded search);
+//   - overload: with a worker parked on an injected stall and the admission
+//     queue at capacity Q, submitting 2Q further requests must shed exactly
+//     2Q - (Q - 1) of them — the shed rate is a deterministic function of the
+//     queue bound, not of machine speed.
+//
+// Results go to BENCH_serve.json. CI gates the single-worker throughput, the
+// overload shed rate, and the determinism flag via tools/ci/check_bench.py;
+// multi-worker throughput and latency percentiles are reported for
+// information only (runner thread counts differ).
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/giph_agent.hpp"
+#include "serve/serve_faults.hpp"
+#include "serve/server.hpp"
+
+using namespace giph;
+using namespace giph::bench;
+using namespace giph::serve;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<PlacementRequest> make_requests(int count, int tasks, int devices,
+                                            int steps) {
+  std::mt19937_64 rng(20260808);
+  TaskGraphParams gp;
+  gp.num_tasks = tasks;
+  NetworkParams np;
+  np.num_devices = devices;
+  np.num_hw_kinds = gp.num_hw_kinds;
+  // A small pool of distinct instances, cycled across requests: realistic
+  // variety without regenerating per request.
+  const int kPool = 8;
+  std::vector<PlacementRequest> pool;
+  for (int i = 0; i < kPool; ++i) {
+    PlacementRequest req;
+    req.graph = generate_task_graph(gp, rng);
+    req.network = generate_device_network(np, rng);
+    ensure_feasible(req.graph, req.network, rng);
+    req.steps = steps;
+    req.seed = 77 + static_cast<std::uint64_t>(i);
+    pool.push_back(std::move(req));
+  }
+  std::vector<PlacementRequest> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    PlacementRequest req = pool[i % kPool];
+    req.id = "req-" + std::to_string(i);
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+std::shared_ptr<PolicySnapshot> make_snapshot() {
+  GiPHOptions o;
+  o.seed = 33;
+  auto snap = std::make_shared<PolicySnapshot>();
+  snap->options = o;
+  snap->agent = std::make_shared<GiPHAgent>(o);
+  snap->source = "(in-memory)";
+  return snap;
+}
+
+struct ThroughputResult {
+  double placements_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+ThroughputResult run_throughput(SnapshotStore& store,
+                                const std::vector<PlacementRequest>& requests,
+                                int workers) {
+  ServerOptions opt;
+  opt.workers = workers;
+  opt.queue_capacity = static_cast<int>(requests.size()) + 1;  // never shed here
+  PlacementServer server(opt, store);
+
+  std::mutex mu;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(requests.size());
+  int failures = 0;
+
+  const auto t0 = Clock::now();
+  for (const PlacementRequest& req : requests) {
+    const auto submitted = Clock::now();
+    server.submit(req, [&, submitted](const PlacementResponse& resp) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - submitted).count();
+      std::lock_guard<std::mutex> lock(mu);
+      latencies_ms.push_back(ms);
+      if (resp.status != ResponseStatus::kOk) ++failures;
+    });
+  }
+  server.stop_and_drain();
+  const double seconds = seconds_since(t0);
+
+  if (failures != 0) {
+    std::printf("unexpected non-ok responses in throughput run: %d\n", failures);
+  }
+  ThroughputResult r;
+  r.placements_per_sec = static_cast<double>(requests.size()) / seconds;
+  r.p50_ms = percentile(latencies_ms, 0.50);
+  r.p99_ms = percentile(latencies_ms, 0.99);
+  return r;
+}
+
+bool check_determinism(SnapshotStore& store, const PlacementRequest& req) {
+  PlacementServer server(ServerOptions{}, store);
+  const PlacementResponse a = server.handle(req);
+  const PlacementResponse b = server.handle(req);
+  return a.status == ResponseStatus::kOk && b.status == ResponseStatus::kOk &&
+         a.placement.has_value() && b.placement.has_value() &&
+         *a.placement == *b.placement && a.makespan == b.makespan &&
+         a.steps == b.steps;
+}
+
+struct OverloadResult {
+  int submitted = 0;
+  int shed = 0;
+  double shed_rate = 0.0;
+  bool exact = false;  ///< shed count matched the closed-form expectation
+};
+
+OverloadResult run_overload(SnapshotStore& store,
+                            const std::vector<PlacementRequest>& requests) {
+  const int kCapacity = 8;
+  FaultInjector faults;
+  faults.hold_request("stall");
+  ServerOptions opt;
+  opt.workers = 2;  // one background worker to park on the stall
+  opt.queue_capacity = kCapacity;
+  PlacementServer server(opt, store, faults.hooks());
+
+  std::mutex mu;
+  int delivered = 0;
+  const auto sink = [&](const PlacementResponse&) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++delivered;
+  };
+
+  PlacementRequest stall = requests.front();
+  stall.id = "stall";
+  server.submit(std::move(stall), sink);
+  faults.wait_for_awaiting(1);  // the worker is parked; the queue is empty
+
+  // 2x overload: twice the queue capacity arrives while nothing drains.
+  OverloadResult r;
+  r.submitted = 2 * kCapacity;
+  for (int i = 0; i < r.submitted; ++i) {
+    PlacementRequest req = requests[static_cast<std::size_t>(i) % requests.size()];
+    req.id = "ov-" + std::to_string(i);
+    if (!server.submit(std::move(req), sink)) ++r.shed;
+  }
+  faults.release_all();
+  server.stop_and_drain();
+
+  r.shed_rate = static_cast<double>(r.shed) / r.submitted;
+  // Closed form: one request in flight, so capacity admits kCapacity - 1 and
+  // sheds the rest. Every submit (admitted or shed) delivers one response.
+  r.exact = r.shed == r.submitted - (kCapacity - 1) &&
+            delivered == r.submitted + 1 &&
+            server.stats().shed == static_cast<std::uint64_t>(r.shed);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = Scale::from_env();
+  std::printf("Placement-serving benchmark (scale: %s)\n", scale.full ? "full" : "quick");
+
+  const int kRequests = scale.full ? 2000 : 400;
+  const int kTasks = 16;
+  const int kDevices = 6;
+  const int kSteps = 16;
+  const std::vector<PlacementRequest> requests =
+      make_requests(kRequests, kTasks, kDevices, kSteps);
+
+  SnapshotStore store;
+  store.install(make_snapshot());
+
+  // Warmup: pay first-touch allocations and lazy caches before the clock.
+  run_throughput(store, make_requests(32, kTasks, kDevices, kSteps), 1);
+
+  print_header("serving throughput (policy mode)");
+  std::printf("%-28s %d requests, %d tasks, %d devices, %d steps each\n", "config",
+              kRequests, kTasks, kDevices, kSteps);
+  ThroughputResult results[3];
+  const int worker_counts[3] = {1, 4, 8};
+  for (int i = 0; i < 3; ++i) {
+    results[i] = run_throughput(store, requests, worker_counts[i]);
+    std::printf("%d worker(s): %10.1f placements/sec   p50 %7.3f ms   p99 %7.3f ms\n",
+                worker_counts[i], results[i].placements_per_sec, results[i].p50_ms,
+                results[i].p99_ms);
+  }
+
+  const bool bitwise = check_determinism(store, requests.front());
+  std::printf("%-28s %s\n", "bitwise identical", bitwise ? "yes" : "NO");
+
+  print_header("overload shedding (2x capacity behind a stalled worker)");
+  const OverloadResult overload = run_overload(store, requests);
+  std::printf("submitted %d, shed %d (rate %.4f), %s\n", overload.submitted,
+              overload.shed, overload.shed_rate,
+              overload.exact ? "exactly as predicted" : "UNEXPECTED COUNT");
+
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"case\": {\"requests\": %d, \"tasks\": %d, \"devices\": %d,"
+        " \"steps\": %d},\n"
+        "  \"hardware_threads\": %d,\n"
+        "  \"serve_placements_per_sec\": %.1f,\n"
+        "  \"workers4_throughput\": %.1f,\n"
+        "  \"workers8_throughput\": %.1f,\n"
+        "  \"p50_ms\": %.3f,\n"
+        "  \"p99_ms\": %.3f,\n"
+        "  \"overload_shed_rate\": %.4f,\n"
+        "  \"bitwise_identical\": %s\n"
+        "}\n",
+        kRequests, kTasks, kDevices, kSteps,
+        static_cast<int>(std::thread::hardware_concurrency()),
+        results[0].placements_per_sec, results[1].placements_per_sec,
+        results[2].placements_per_sec, results[0].p50_ms, results[0].p99_ms,
+        overload.shed_rate, bitwise ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_serve.json\n");
+  }
+  return bitwise && overload.exact ? 0 : 1;
+}

@@ -44,6 +44,7 @@ class GiPHAgent final : public SearchPolicy {
   std::string name() const override;
 
   nn::ParamRegistry& registry() noexcept { return reg_; }
+  const nn::ParamRegistry& registry() const noexcept { return reg_; }
   const GiPHOptions& options() const noexcept { return options_; }
 
   void save(const std::string& path) const { reg_.save(path); }

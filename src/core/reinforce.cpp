@@ -12,6 +12,7 @@
 #include <string>
 #include <utility>
 
+#include "util/checked_file.hpp"
 #include "util/parallel_for.hpp"
 
 namespace giph {
@@ -57,34 +58,33 @@ void write_matrix(std::ostream& out, const nn::Matrix& m) {
 void save_checkpoint(const std::string& path, int next_episode, const TrainStats& stats,
                      const std::vector<nn::Var>& params,
                      const std::vector<nn::Matrix>& grad_accum, const nn::Adam* adam) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);
-    out.precision(std::numeric_limits<double>::max_digits10);
-    out << "reinforce-checkpoint v2\n" << next_episode << "\n";
-    write_doubles(out, stats.episode_initial);
-    write_doubles(out, stats.episode_final);
-    write_doubles(out, stats.episode_best);
-    out << params.size() << "\n";
-    for (const nn::Var& p : params) write_matrix(out, p->value);
-    // The gradient accumulated so far within the current batch (empty slots
-    // are parameters untouched since the last optimizer step); a checkpoint
-    // mid-batch must carry it or the resumed run would lose those episodes'
-    // contribution to the next update.
-    for (std::size_t k = 0; k < params.size(); ++k) {
-      if (k < grad_accum.size() && grad_accum[k].size() > 0) {
-        out << 1 << "\n";
-        write_matrix(out, grad_accum[k]);
-      } else {
-        out << 0 << "\n";
-      }
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "reinforce-checkpoint v2\n" << next_episode << "\n";
+  write_doubles(out, stats.episode_initial);
+  write_doubles(out, stats.episode_final);
+  write_doubles(out, stats.episode_best);
+  out << params.size() << "\n";
+  for (const nn::Var& p : params) write_matrix(out, p->value);
+  // The gradient accumulated so far within the current batch (empty slots
+  // are parameters untouched since the last optimizer step); a checkpoint
+  // mid-batch must carry it or the resumed run would lose those episodes'
+  // contribution to the next update.
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    if (k < grad_accum.size() && grad_accum[k].size() > 0) {
+      out << 1 << "\n";
+      write_matrix(out, grad_accum[k]);
+    } else {
+      out << 0 << "\n";
     }
-    out << (adam != nullptr ? 1 : 0) << "\n";
-    if (adam != nullptr) adam->save(out);
-    if (!out) throw std::runtime_error("checkpoint: write failed: " + tmp);
   }
-  std::filesystem::rename(tmp, path);  // atomic on POSIX: old file stays valid
+  out << (adam != nullptr ? 1 : 0) << "\n";
+  if (adam != nullptr) adam->save(out);
+  // Checksum + length frame, committed via write-to-temp + atomic rename:
+  // a crash mid-write keeps the previous checkpoint valid, and a torn copy
+  // (power loss between write and rename of a non-atomic filesystem, manual
+  // truncation) fails loudly at resume instead of resuming from garbage.
+  util::write_checked_file(path, "reinforce-checkpoint", out.str());
 }
 
 void read_matrix_into(std::istream& in, nn::Matrix& m, const std::string& path) {
@@ -104,8 +104,9 @@ void read_matrix_into(std::istream& in, nn::Matrix& m, const std::string& path) 
 int load_checkpoint(const std::string& path, TrainStats& stats,
                     const std::vector<nn::Var>& params,
                     std::vector<nn::Matrix>& grad_accum, nn::Adam* adam) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  // Validates the checksum + length frame when present (torn-write
+  // detection); pre-framing checkpoints pass through unwrapped.
+  std::istringstream in(util::read_checked_file(path, "reinforce-checkpoint"));
   std::string magic, version;
   in >> magic >> version;
   if (!in || magic != "reinforce-checkpoint") {
@@ -414,7 +415,14 @@ TrainStats train_reinforce(SearchPolicy& policy, const LatencyModel& lat,
 
 SearchTrace run_search(SearchPolicy& policy, PlacementSearchEnv& env, int steps,
                        std::mt19937_64& rng, bool greedy) {
+  return run_search_anytime(policy, env, steps, rng, greedy, nullptr);
+}
+
+SearchTrace run_search_anytime(SearchPolicy& policy, PlacementSearchEnv& env, int steps,
+                               std::mt19937_64& rng, bool greedy, const SearchStop& stop,
+                               bool* stopped_early) {
   SearchTrace trace;
+  if (stopped_early != nullptr) *stopped_early = false;
   trace.initial = env.objective();
   trace.move_counts.assign(env.graph().num_tasks(), 0);
   const int limit = policy.episode_limit(env.graph());
@@ -422,6 +430,13 @@ SearchTrace run_search(SearchPolicy& policy, PlacementSearchEnv& env, int steps,
   policy.begin_episode();
   int since_reset = 0;
   for (int t = 0; t < steps; ++t) {
+    // The anytime check sits between steps, before any RNG draw of step t:
+    // stopping truncates the trajectory without perturbing the steps already
+    // taken, so a fixed-step stop is bitwise-equal to a shorter budget.
+    if (stop && stop()) {
+      if (stopped_early != nullptr) *stopped_early = true;
+      break;
+    }
     if (limit > 0 && since_reset >= limit) {
       env.reset_to_initial();
       policy.begin_episode();

@@ -126,4 +126,21 @@ struct SearchTrace {
 SearchTrace run_search(SearchPolicy& policy, PlacementSearchEnv& env, int steps,
                        std::mt19937_64& rng, bool greedy = false);
 
+/// Predicate consulted between search steps by the anytime variant below;
+/// returning true ends the search immediately with best-so-far results.
+using SearchStop = std::function<bool()>;
+
+/// Anytime variant of run_search — the serving deadline seam. `stop` is
+/// evaluated before every step; when it fires the search returns its
+/// best-so-far trace immediately (never blocking longer than one policy step
+/// past the stop signal) and `*stopped_early` (optional) is set. Determinism
+/// contract, enforced by tests: with a stop that never fires the trace is
+/// bitwise identical to run_search(policy, env, steps, ...), and a stop that
+/// fires after exactly k evaluations is bitwise identical to
+/// run_search(policy, env, k, ...) — stopping only truncates, it never
+/// perturbs the steps already taken.
+SearchTrace run_search_anytime(SearchPolicy& policy, PlacementSearchEnv& env, int steps,
+                               std::mt19937_64& rng, bool greedy, const SearchStop& stop,
+                               bool* stopped_early = nullptr);
+
 }  // namespace giph

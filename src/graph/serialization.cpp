@@ -1,6 +1,7 @@
 #include "graph/serialization.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -9,13 +10,88 @@
 #include <stdexcept>
 
 namespace giph {
+
+ParseError::ParseError(const std::string& kind, int line, const std::string& detail)
+    : std::runtime_error("deserialize " + kind + ": line " + std::to_string(line) +
+                         ": " + detail),
+      kind_(kind),
+      detail_(detail),
+      line_(line) {}
+
+LineReader::LineReader(std::istream& in, int start_line) : in_(&in), line_(start_line) {}
+
+bool LineReader::at_end() {
+  for (;;) {
+    const int c = in_->peek();
+    if (c == std::char_traits<char>::eof()) return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+    if (c == '\n') ++line_;
+    in_->get();
+  }
+}
+
+std::string LineReader::token(const std::string& kind, const std::string& field) {
+  if (at_end()) {
+    throw ParseError(kind, line_, "unexpected end of input, expected " + field);
+  }
+  std::string tok;
+  for (;;) {
+    const int c = in_->peek();
+    if (c == std::char_traits<char>::eof() ||
+        std::isspace(static_cast<unsigned char>(c))) {
+      break;
+    }
+    tok.push_back(static_cast<char>(in_->get()));
+  }
+  return tok;
+}
+
+long LineReader::read_int(const std::string& kind, const std::string& field) {
+  const int at = line_;
+  const std::string tok = token(kind, field);
+  errno = 0;
+  char* end = nullptr;
+  const long x = std::strtol(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0' || errno == ERANGE) {
+    throw ParseError(kind, at, field + " is not an integer: '" + tok + "'");
+  }
+  return x;
+}
+
+double LineReader::read_double(const std::string& kind, const std::string& field) {
+  const int at = line_;
+  const std::string tok = token(kind, field);
+  // strtod (not stream extraction) so "nan"/"inf" tokens parse and the
+  // finite-value checks below can name the field instead of reporting a
+  // confusing truncation.
+  char* end = nullptr;
+  const double x = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') {
+    throw ParseError(kind, at, field + " is not a number: '" + tok + "'");
+  }
+  return x;
+}
+
+std::string LineReader::rest_of_line() {
+  std::string out;
+  std::getline(*in_, out);
+  ++line_;
+  std::size_t b = 0;
+  while (b < out.size() && std::isspace(static_cast<unsigned char>(out[b]))) ++b;
+  std::size_t e = out.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(out[e - 1]))) --e;
+  return out.substr(b, e - b);
+}
+
 namespace {
 
-void expect_header(std::istream& in, const std::string& kind) {
-  std::string k, v;
-  in >> k >> v;
-  if (!in || k != kind || v != "v1") {
-    throw std::runtime_error("deserialize: expected '" + kind + " v1' header");
+void expect_header(LineReader& r, const std::string& kind) {
+  const int at = r.line();
+  const std::string k = r.token(kind, "header");
+  const std::string v = r.token(kind, "header version");
+  if (k != kind || v != "v1") {
+    throw ParseError(kind, at,
+                     "expected '" + kind + " v1' header, got '" + k + " " + v + "'");
   }
 }
 
@@ -32,42 +108,44 @@ std::string decode_name(const std::string& token) {
   return token == "-" ? std::string{} : token;
 }
 
-void check(std::istream& in, const char* what) {
-  if (!in) throw std::runtime_error(std::string("deserialize: truncated ") + what);
-}
-
-/// Reads one double via strtod. Stream extraction refuses "nan"/"inf"
-/// tokens outright (a confusing "truncated" error for a hand-edited file);
-/// strtod parses them, so the finite-value checks below can name the field.
-double read_double(std::istream& in, const char* what) {
-  std::string token;
-  in >> token;
-  check(in, what);
-  char* end = nullptr;
-  const double x = std::strtod(token.c_str(), &end);
-  if (end == token.c_str() || *end != '\0') {
-    throw std::runtime_error(std::string("deserialize: ") + what +
-                             " is not a number: '" + token + "'");
+int read_count(LineReader& r, const std::string& kind, const std::string& field,
+               long max_value) {
+  const int at = r.line();
+  const long x = r.read_int(kind, field);
+  if (x < 0) throw ParseError(kind, at, "negative counts: " + field);
+  if (x > max_value) {
+    throw ParseError(kind, at,
+                     field + " " + std::to_string(x) + " exceeds the sanity limit " +
+                         std::to_string(max_value));
   }
-  return x;
+  return static_cast<int>(x);
 }
 
 // Input files may be hand-edited or hostile; reject values that would poison
 // every downstream computation (NaN/Inf propagate silently through the
 // simulator) or crash it (bad indices), each with a message naming the field.
-void check_finite_nonneg(double x, const char* what) {
+void check_finite_nonneg(const std::string& kind, int line, double x,
+                         const std::string& what) {
   if (!std::isfinite(x) || x < 0.0) {
-    throw std::runtime_error(std::string("deserialize: ") + what +
-                             " must be finite and >= 0, got " + std::to_string(x));
+    throw ParseError(kind, line,
+                     what + " must be finite and >= 0, got " + std::to_string(x));
   }
 }
 
-void check_finite_positive(double x, const char* what) {
+void check_finite_positive(const std::string& kind, int line, double x,
+                           const std::string& what) {
   if (!std::isfinite(x) || x <= 0.0) {
-    throw std::runtime_error(std::string("deserialize: ") + what +
-                             " must be finite and > 0, got " + std::to_string(x));
+    throw ParseError(kind, line,
+                     what + " must be finite and > 0, got " + std::to_string(x));
   }
 }
+
+// Caps on the declared element counts: large enough for any real problem
+// instance, small enough that a hostile header cannot make the reader
+// allocate unbounded memory before the (truncated) body fails to parse.
+constexpr long kMaxTasks = 10'000'000;
+constexpr long kMaxEdges = 100'000'000;
+constexpr long kMaxDevices = 1'000'000;
 
 }  // namespace
 
@@ -84,47 +162,59 @@ void write_task_graph(std::ostream& out, const TaskGraph& g) {
   }
 }
 
-TaskGraph read_task_graph(std::istream& in) {
-  expect_header(in, "task-graph");
-  int nv = 0, ne = 0;
-  in >> nv >> ne;
-  check(in, "task graph counts");
-  if (nv < 0 || ne < 0) throw std::runtime_error("deserialize: negative counts");
+TaskGraph read_task_graph(LineReader& r) {
+  const std::string kind = "task-graph";
+  expect_header(r, kind);
+  const int nv = read_count(r, kind, "task count", kMaxTasks);
+  const int ne = read_count(r, kind, "edge count", kMaxEdges);
   TaskGraph g;
   for (int v = 0; v < nv; ++v) {
+    const int at = r.line();
     Task t;
-    std::string name;
-    t.compute = read_double(in, "task compute");
-    in >> t.requires_hw >> t.pinned >> name;
-    check(in, "task row");
-    check_finite_nonneg(t.compute, "task compute");
-    if (t.pinned < -1) {
-      throw std::runtime_error("deserialize: task pinned device must be >= -1");
+    t.compute = r.read_double(kind, "task compute");
+    const long hw = r.read_int(kind, "task requires_hw");
+    const long pinned = r.read_int(kind, "task pinned");
+    const std::string name = r.token(kind, "task name");
+    check_finite_nonneg(kind, at, t.compute, "task compute");
+    if (hw < 0 || hw > static_cast<long>(std::numeric_limits<HwMask>::max())) {
+      throw ParseError(kind, at,
+                       "task requires_hw out of range: " + std::to_string(hw));
     }
+    if (pinned < -1 || pinned > kMaxDevices) {
+      throw ParseError(kind, at, "task pinned device must be >= -1, got " +
+                                     std::to_string(pinned));
+    }
+    t.requires_hw = static_cast<HwMask>(hw);
+    t.pinned = static_cast<int>(pinned);
     t.name = decode_name(name);
     g.add_task(std::move(t));
   }
   for (int e = 0; e < ne; ++e) {
-    int src = 0, dst = 0;
-    in >> src >> dst;
-    check(in, "edge row");
-    const double bytes = read_double(in, "edge bytes");
+    const int at = r.line();
+    const long src = r.read_int(kind, "edge src");
+    const long dst = r.read_int(kind, "edge dst");
+    const double bytes = r.read_double(kind, "edge bytes");
     if (src < 0 || src >= nv || dst < 0 || dst >= nv) {
-      throw std::runtime_error("deserialize: edge endpoint out of range: " +
-                               std::to_string(src) + " -> " + std::to_string(dst));
+      throw ParseError(kind, at,
+                       "edge endpoint out of range: " + std::to_string(src) + " -> " +
+                           std::to_string(dst));
     }
     if (src == dst) {
-      throw std::runtime_error("deserialize: self-loop edge at task " +
-                               std::to_string(src));
+      throw ParseError(kind, at, "self-loop edge at task " + std::to_string(src));
     }
-    if (g.has_edge(src, dst)) {
-      throw std::runtime_error("deserialize: duplicate edge " + std::to_string(src) +
-                               " -> " + std::to_string(dst));
+    if (g.has_edge(static_cast<int>(src), static_cast<int>(dst))) {
+      throw ParseError(kind, at, "duplicate edge " + std::to_string(src) + " -> " +
+                                     std::to_string(dst));
     }
-    check_finite_nonneg(bytes, "edge bytes");
-    g.add_edge(src, dst, bytes);
+    check_finite_nonneg(kind, at, bytes, "edge bytes");
+    g.add_edge(static_cast<int>(src), static_cast<int>(dst), bytes);
   }
   return g;
+}
+
+TaskGraph read_task_graph(std::istream& in) {
+  LineReader r(in);
+  return read_task_graph(r);
 }
 
 void write_device_network(std::ostream& out, const DeviceNetwork& n) {
@@ -147,43 +237,65 @@ void write_device_network(std::ostream& out, const DeviceNetwork& n) {
   }
 }
 
-DeviceNetwork read_device_network(std::istream& in) {
-  expect_header(in, "device-network");
-  int m = 0;
-  in >> m;
-  check(in, "device count");
-  if (m < 0) throw std::runtime_error("deserialize: negative device count");
+DeviceNetwork read_device_network(LineReader& r) {
+  const std::string kind = "device-network";
+  expect_header(r, kind);
+  const int m = read_count(r, kind, "device count", kMaxDevices);
   DeviceNetwork n;
   for (int k = 0; k < m; ++k) {
+    const int at = r.line();
     Device d;
-    std::string name;
-    d.speed = read_double(in, "device speed");
-    in >> d.supports_hw >> d.type;
-    d.startup = read_double(in, "device startup");
-    in >> d.cores >> name;
-    check(in, "device row");
-    check_finite_positive(d.speed, "device speed");
-    check_finite_nonneg(d.startup, "device startup");
-    if (d.cores < 1) {
-      throw std::runtime_error("deserialize: device cores must be >= 1, got " +
-                               std::to_string(d.cores));
+    d.speed = r.read_double(kind, "device speed");
+    const long hw = r.read_int(kind, "device supports_hw");
+    const long type = r.read_int(kind, "device type");
+    d.startup = r.read_double(kind, "device startup");
+    const long cores = r.read_int(kind, "device cores");
+    const std::string name = r.token(kind, "device name");
+    check_finite_positive(kind, at, d.speed, "device speed");
+    check_finite_nonneg(kind, at, d.startup, "device startup");
+    if (hw < 0 || hw > static_cast<long>(std::numeric_limits<HwMask>::max())) {
+      throw ParseError(kind, at,
+                       "device supports_hw out of range: " + std::to_string(hw));
     }
+    if (type < std::numeric_limits<int>::min() ||
+        type > std::numeric_limits<int>::max()) {
+      throw ParseError(kind, at, "device type out of range: " + std::to_string(type));
+    }
+    if (cores < 1 || cores > kMaxDevices) {
+      throw ParseError(kind, at,
+                       "device cores must be >= 1, got " + std::to_string(cores));
+    }
+    d.supports_hw = static_cast<HwMask>(hw);
+    d.type = static_cast<int>(type);
+    d.cores = static_cast<int>(cores);
     d.name = decode_name(name);
     n.add_device(std::move(d));
   }
   std::vector<double> bw(static_cast<std::size_t>(m) * m), dl(bw.size());
-  for (double& x : bw) x = read_double(in, "link bandwidth");
-  for (double& x : dl) x = read_double(in, "link delay");
+  std::vector<int> bw_line(bw.size()), dl_line(bw.size());
+  for (std::size_t i = 0; i < bw.size(); ++i) {
+    bw_line[i] = r.line();
+    bw[i] = r.read_double(kind, "link bandwidth");
+  }
+  for (std::size_t i = 0; i < dl.size(); ++i) {
+    dl_line[i] = r.line();
+    dl[i] = r.read_double(kind, "link delay");
+  }
   for (int k = 0; k < m; ++k) {
     for (int l = 0; l < m; ++l) {
       if (k == l) continue;
-      check_finite_positive(bw[static_cast<std::size_t>(k) * m + l], "link bandwidth");
-      check_finite_nonneg(dl[static_cast<std::size_t>(k) * m + l], "link delay");
-      n.set_link(k, l, bw[static_cast<std::size_t>(k) * m + l],
-                 dl[static_cast<std::size_t>(k) * m + l]);
+      const std::size_t i = static_cast<std::size_t>(k) * m + l;
+      check_finite_positive(kind, bw_line[i], bw[i], "link bandwidth");
+      check_finite_nonneg(kind, dl_line[i], dl[i], "link delay");
+      n.set_link(k, l, bw[i], dl[i]);
     }
   }
   return n;
+}
+
+DeviceNetwork read_device_network(std::istream& in) {
+  LineReader r(in);
+  return read_device_network(r);
 }
 
 void write_placement(std::ostream& out, const Placement& p) {
@@ -193,19 +305,26 @@ void write_placement(std::ostream& out, const Placement& p) {
   }
 }
 
-Placement read_placement(std::istream& in) {
-  expect_header(in, "placement");
-  int nv = 0;
-  in >> nv;
-  check(in, "placement count");
+Placement read_placement(LineReader& r) {
+  const std::string kind = "placement";
+  expect_header(r, kind);
+  const int nv = read_count(r, kind, "placement count", kMaxTasks);
   Placement p(nv);
   for (int v = 0; v < nv; ++v) {
-    int d = 0;
-    in >> d;
-    p.set(v, d);
+    const int at = r.line();
+    const long d = r.read_int(kind, "placement device");
+    if (d < -1 || d > kMaxDevices) {
+      throw ParseError(kind, at,
+                       "placement device must be >= -1, got " + std::to_string(d));
+    }
+    p.set(v, static_cast<int>(d));
   }
-  check(in, "placement row");
   return p;
+}
+
+Placement read_placement(std::istream& in) {
+  LineReader r(in);
+  return read_placement(r);
 }
 
 namespace {

@@ -1,15 +1,70 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "graph/placement.hpp"
 
 namespace giph {
 
+/// Structured deserialization failure. what() reads
+/// "deserialize <kind>: line <L>: <detail>", where <detail> names the
+/// offending field ("task compute must be finite and >= 0, got -2") and <L>
+/// is the 1-based line of the stream the reader was on. Every malformed-input
+/// path of the readers below throws this (never abort(), never an uncaught
+/// std::stoi/stod exception), so a serving daemon can turn hostile input into
+/// an actionable error response.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& kind, int line, const std::string& detail);
+
+  int line() const noexcept { return line_; }
+  const std::string& kind() const noexcept { return kind_; }
+  const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  std::string kind_;
+  std::string detail_;
+  int line_;
+};
+
+/// Whitespace-token reader over an istream that tracks 1-based line numbers,
+/// giving every parse error a location. One reader may be shared across
+/// consecutive read_* calls (e.g. the serve protocol embedding a task graph
+/// and a device network in one request) so reported line numbers stay global
+/// to the enclosing stream.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in, int start_line = 1);
+
+  /// Next whitespace-delimited token. Throws ParseError(kind, line,
+  /// "unexpected end of input ...") when the stream is exhausted.
+  std::string token(const std::string& kind, const std::string& field);
+
+  /// Typed variants: parse the next token fully (trailing garbage rejected)
+  /// or throw a ParseError naming `field`.
+  long read_int(const std::string& kind, const std::string& field);
+  double read_double(const std::string& kind, const std::string& field);
+
+  /// Rest of the current line with leading spaces trimmed (may be empty);
+  /// positions the reader at the start of the next line.
+  std::string rest_of_line();
+
+  /// Skips whitespace; true when the stream is exhausted.
+  bool at_end();
+
+  int line() const noexcept { return line_; }
+
+ private:
+  std::istream* in_;
+  int line_;
+};
+
 /// Plain-text serialization of the problem-domain types. The format is
 /// line-oriented and versioned; it round-trips exactly (doubles are written
-/// with max_digits10 precision). Used by the CLI for dataset persistence.
+/// with max_digits10 precision). Used by the CLI for dataset persistence and
+/// by the serve protocol (serve/protocol.hpp) for request payloads.
 ///
 /// task-graph v1
 /// <num_tasks> <num_edges>
@@ -17,6 +72,7 @@ namespace giph {
 /// <src> <dst> <bytes>                               (per edge)
 void write_task_graph(std::ostream& out, const TaskGraph& g);
 TaskGraph read_task_graph(std::istream& in);
+TaskGraph read_task_graph(LineReader& r);
 
 /// device-network v1
 /// <num_devices>
@@ -24,12 +80,14 @@ TaskGraph read_task_graph(std::istream& in);
 /// <bandwidth> ... / <delay> ...    (two m x m row-major matrices, diag = 0)
 void write_device_network(std::ostream& out, const DeviceNetwork& n);
 DeviceNetwork read_device_network(std::istream& in);
+DeviceNetwork read_device_network(LineReader& r);
 
 /// placement v1
 /// <num_tasks>
-/// <device ids...>
+/// <device ids...>                 (each >= -1; -1 = unplaced)
 void write_placement(std::ostream& out, const Placement& p);
 Placement read_placement(std::istream& in);
+Placement read_placement(LineReader& r);
 
 // File-path conveniences (throw std::runtime_error on I/O failure).
 void save_task_graph(const std::string& path, const TaskGraph& g);

@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#include "util/checked_file.hpp"
 
 namespace giph::nn {
 
@@ -35,9 +38,7 @@ void ParamRegistry::zero_grad() {
   for (const Var& p : params_) p->grad = Matrix();
 }
 
-void ParamRegistry::save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("ParamRegistry::save: cannot open " + path);
+void ParamRegistry::save(std::ostream& out) const {
   out.precision(17);
   out << "giph-params v1\n" << params_.size() << "\n";
   for (std::size_t i = 0; i < params_.size(); ++i) {
@@ -52,9 +53,16 @@ void ParamRegistry::save(const std::string& path) const {
   if (!out) throw std::runtime_error("ParamRegistry::save: write failed");
 }
 
-void ParamRegistry::load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("ParamRegistry::load: cannot open " + path);
+void ParamRegistry::save(const std::string& path) const {
+  // Checksum + length framing with a write-to-temp + atomic-rename commit:
+  // a crash mid-save never tears the previous file, and a torn or corrupted
+  // copy fails loudly at load instead of silently feeding garbage weights.
+  std::ostringstream payload;
+  save(payload);
+  util::write_checked_file(path, "giph-params", payload.str());
+}
+
+void ParamRegistry::load(std::istream& in) {
   std::string magic, version;
   in >> magic >> version;
   if (magic != "giph-params" || version != "v1") {
@@ -79,6 +87,13 @@ void ParamRegistry::load(const std::string& path) {
     }
   }
   if (!in) throw std::runtime_error("ParamRegistry::load: truncated file");
+}
+
+void ParamRegistry::load(const std::string& path) {
+  // read_checked_file validates length + checksum when the frame is present
+  // and passes legacy unframed files through untouched.
+  std::istringstream in(util::read_checked_file(path, "giph-params"));
+  load(in);
 }
 
 Var apply_activation(const Var& x, Activation act) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <iosfwd>
 #include <random>
 #include <string>
 #include <vector>
@@ -27,9 +28,17 @@ class ParamRegistry {
   void zero_grad();
 
   /// Plain-text serialization (name, shape, row-major values per parameter).
+  /// The file form wraps the payload in util::write_checked_file's checksum +
+  /// length frame and commits via write-to-temp + atomic rename, so torn or
+  /// corrupted parameter files are detected at load (legacy unframed files
+  /// remain loadable). The stream form writes/reads the raw payload — used by
+  /// callers that embed parameters in a larger framed file (checkpoints,
+  /// policy snapshots).
   void save(const std::string& path) const;
+  void save(std::ostream& out) const;
   /// Loads values into already-registered parameters; shapes must match.
   void load(const std::string& path);
+  void load(std::istream& in);
 
  private:
   std::vector<std::string> names_;

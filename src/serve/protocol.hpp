@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/serialization.hpp"
+
+namespace giph::serve {
+
+/// One placement request: a problem instance plus serving controls. Wire
+/// format (plain text, strict field order, versioned):
+///
+///   giph-request v1
+///   id <token>
+///   deadline_ms <double>      0 = no deadline
+///   steps <int>               0 = server default (2|V|, capped)
+///   seed <uint64>             action-sampling seed (determinism handle)
+///   task-graph v1 ...
+///   device-network v1 ...
+///   initial 0|1
+///   [placement v1 ...]        warm-start placement when initial = 1
+///   end
+struct PlacementRequest {
+  std::string id = "-";
+  double deadline_ms = 0.0;
+  int steps = 0;
+  std::uint64_t seed = 0;
+  TaskGraph graph;
+  DeviceNetwork network;
+  std::optional<Placement> initial;
+};
+
+/// Response disposition. kOk covers deadline-expired requests too — they
+/// still carry a best-so-far schedule, flagged via deadline_exceeded; kShed
+/// is the admission queue's explicit backpressure signal (no schedule); and
+/// kError reports a rejected request (parse failure, infeasible instance)
+/// with an actionable message.
+enum class ResponseStatus { kOk, kShed, kError };
+
+/// Which engine produced the schedule: the resident learned policy, or the
+/// HEFT baseline (degraded mode: no loadable snapshot, or a pre-expired
+/// deadline that left no search budget).
+enum class ServeMode { kPolicy, kHeft, kNone };
+
+/// One placement response. Wire format mirrors the request:
+///
+///   giph-response v1
+///   id <token>
+///   status ok|shed|error
+///   mode policy|heft|none
+///   deadline_exceeded 0|1
+///   makespan <double>
+///   steps <int>
+///   queue_ms <double>
+///   search_ms <double>
+///   error <single line or ->
+///   placement 0|1
+///   [placement v1 ...]
+///   end
+struct PlacementResponse {
+  std::string id = "-";
+  ResponseStatus status = ResponseStatus::kOk;
+  ServeMode mode = ServeMode::kNone;
+  bool deadline_exceeded = false;
+  double makespan = 0.0;
+  int steps = 0;        ///< search steps actually taken
+  double queue_ms = 0.0;
+  double search_ms = 0.0;
+  std::string error;
+  std::optional<Placement> placement;
+};
+
+const char* to_string(ResponseStatus s) noexcept;
+const char* to_string(ServeMode m) noexcept;
+
+void write_request(std::ostream& out, const PlacementRequest& req);
+
+/// Reads one request. Returns false on clean end-of-stream (no bytes of a
+/// request consumed); throws ParseError with line/field context on malformed
+/// input. With `header_consumed` the caller already matched the
+/// "giph-request v1" header (stream resynchronization after a poison
+/// request). Structural cross-checks (initial-placement size vs task count,
+/// device ids in range) are enforced here; hardware feasibility is the
+/// server's job, reported as an error *response* rather than a parse error.
+bool read_request(LineReader& r, PlacementRequest& req, bool header_consumed = false);
+bool read_request(std::istream& in, PlacementRequest& req);
+
+void write_response(std::ostream& out, const PlacementResponse& resp);
+
+/// Reads one response (clients, tests). Same conventions as read_request.
+bool read_response(LineReader& r, PlacementResponse& resp);
+bool read_response(std::istream& in, PlacementResponse& resp);
+
+}  // namespace giph::serve

@@ -1,0 +1,86 @@
+#include "serve/serve_faults.hpp"
+
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+namespace giph::serve {
+
+ServeHooks FaultInjector::hooks() {
+  ServeHooks h;
+  h.on_request_start = [this](int worker, const PlacementRequest& req) {
+    on_start(worker, req);
+  };
+  return h;
+}
+
+void FaultInjector::hold_request(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  holds_.insert(id);
+}
+
+void FaultInjector::poison_request(const std::string& id, std::string what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  poisons_[id] = std::move(what);
+}
+
+void FaultInjector::release_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  holds_.clear();
+  cv_.notify_all();
+}
+
+int FaultInjector::awaiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return awaiting_;
+}
+
+void FaultInjector::wait_for_awaiting(int n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return awaiting_ >= n; });
+}
+
+void FaultInjector::on_start(int worker, const PlacementRequest& req) {
+  (void)worker;
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto poison = poisons_.find(req.id);
+  if (poison != poisons_.end()) {
+    const std::string what = poison->second;
+    lock.unlock();
+    throw std::runtime_error(what);
+  }
+  if (holds_.count(req.id) != 0) {
+    ++awaiting_;
+    cv_.notify_all();  // wake wait_for_awaiting observers
+    cv_.wait(lock, [&] { return holds_.count(req.id) == 0; });
+    --awaiting_;
+  }
+}
+
+void inject_file_fault(const std::string& path, FileFault fault, std::size_t at) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("inject_file_fault: cannot read " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  if (at >= data.size()) {
+    throw std::runtime_error("inject_file_fault: offset " + std::to_string(at) +
+                             " out of range for " + path + " (" +
+                             std::to_string(data.size()) + " bytes)");
+  }
+  switch (fault) {
+    case FileFault::kTruncate:
+      data.resize(at);
+      break;
+    case FileFault::kFlipByte:
+      data[at] = static_cast<char>(data[at] ^ 0x01);
+      break;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("inject_file_fault: cannot write " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) throw std::runtime_error("inject_file_fault: write failed for " + path);
+}
+
+}  // namespace giph::serve

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace giph::serve {
+
+/// Server-side fault-injection harness for tests and benchmarks: binds into
+/// PlacementServer's ServeHooks seam and injects faults keyed on request id,
+/// deterministically (no timers, no sleeps — stalls are explicit barriers).
+///
+/// Supported faults:
+///   - stalled worker: hold_request(id) blocks the worker serving `id` inside
+///     the serving path until release_all(); awaiting() reports how many
+///     workers are parked, so a test can fill the queue behind a known stall
+///     and observe shedding with an exact, machine-independent shed count.
+///   - poison request: poison_request(id, what) throws std::runtime_error at
+///     request entry; the server must convert it into a status=error response
+///     and keep serving.
+///
+/// Snapshot-corruption faults need no hook: corrupt the file with
+/// inject_file_fault and drive SnapshotStore::load directly (a failed load
+/// keeps the last-good snapshot resident).
+class FaultInjector {
+ public:
+  /// ServeHooks bound to this injector; install into the PlacementServer
+  /// constructor. The injector must outlive the server.
+  ServeHooks hooks();
+
+  /// Future requests with this id block inside the serving path.
+  void hold_request(const std::string& id);
+
+  /// Future requests with this id fail at entry with `what`.
+  void poison_request(const std::string& id, std::string what);
+
+  /// Unblocks every held request and clears the hold set.
+  void release_all();
+
+  /// Workers currently parked on a hold.
+  int awaiting() const;
+
+  /// Blocks until at least `n` workers are parked on holds (barrier for
+  /// tests that must fill the queue behind a known stall).
+  void wait_for_awaiting(int n);
+
+ private:
+  void on_start(int worker, const PlacementRequest& req);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<std::string> holds_;
+  std::map<std::string, std::string> poisons_;
+  int awaiting_ = 0;
+};
+
+/// File-corruption primitives for torn-write and checksum tests:
+///   kTruncate  — drop everything from byte `at` on (a torn write)
+///   kFlipByte  — XOR the byte at `at` with 0x01 (silent corruption)
+/// Throws std::runtime_error when the file cannot be read/written or `at` is
+/// out of range.
+enum class FileFault { kTruncate, kFlipByte };
+void inject_file_fault(const std::string& path, FileFault fault, std::size_t at);
+
+}  // namespace giph::serve

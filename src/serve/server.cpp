@@ -1,0 +1,287 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/reinforce.hpp"
+#include "heft/heft.hpp"
+#include "sim/metrics.hpp"
+
+namespace giph::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+PlacementServer::PlacementServer(const ServerOptions& opt, SnapshotStore& store,
+                                 ServeHooks hooks)
+    : opt_(opt),
+      store_(store),
+      hooks_(std::move(hooks)),
+      pool_(opt.workers < 1 ? 1 : opt.workers),
+      arenas_(static_cast<std::size_t>(pool_.threads())) {
+  if (opt_.workers < 1) opt_.workers = 1;
+  if (opt_.queue_capacity < 1) opt_.queue_capacity = 1;
+  if (opt_.default_steps_factor < 0) opt_.default_steps_factor = 0;
+  if (opt_.max_steps < 0) opt_.max_steps = 0;
+}
+
+PlacementServer::~PlacementServer() {
+  try {
+    stop_and_drain();
+  } catch (...) {
+    // A queued request's exception already became an error response; nothing
+    // escapes the serving path, but stay defensive in the destructor.
+  }
+}
+
+PlacementResponse PlacementServer::handle(const PlacementRequest& req, int worker) {
+  return handle_at(req, worker, Clock::now());
+}
+
+PlacementResponse PlacementServer::handle_at(const PlacementRequest& req, int worker,
+                                             Clock::time_point admitted) {
+  received_.fetch_add(1, std::memory_order_relaxed);
+  PlacementResponse resp;
+  try {
+    resp = serve_request(req, worker, admitted);
+  } catch (const std::exception& e) {
+    // The daemon never dies on a request: any exception escaping the serving
+    // path (infeasible instance, fault-injection poison, internal error)
+    // becomes an actionable error response.
+    resp = PlacementResponse{};
+    resp.id = req.id;
+    resp.status = ResponseStatus::kError;
+    resp.mode = ServeMode::kNone;
+    resp.error = e.what();
+    resp.queue_ms = ms_since(admitted, Clock::now());
+  }
+  count_response(resp);
+  return resp;
+}
+
+PlacementResponse PlacementServer::serve_request(const PlacementRequest& req,
+                                                 int worker,
+                                                 Clock::time_point admitted) {
+  PlacementResponse resp;
+  resp.id = req.id;
+  const Clock::time_point start = Clock::now();
+  resp.queue_ms = ms_since(admitted, start);
+
+  if (hooks_.on_request_start) hooks_.on_request_start(worker, req);
+
+  if (req.graph.num_tasks() == 0) {
+    resp.status = ResponseStatus::kOk;
+    resp.mode = ServeMode::kNone;
+    resp.placement = Placement(0);
+    return resp;
+  }
+
+  // Feasibility gate: a task with no feasible device is a client error, not a
+  // crash (feasible_sets throws with the offending task in the message).
+  (void)feasible_sets(req.graph, req.network);
+
+  // Warm start: the client's placement when present and feasible, else HEFT.
+  // An infeasible warm start is an error — silently substituting would hide a
+  // client bug behind a plausible answer.
+  Placement initial;
+  ServeMode initial_mode = ServeMode::kHeft;
+  if (req.initial.has_value()) {
+    if (!is_feasible(req.graph, req.network, *req.initial)) {
+      throw std::runtime_error(
+          "initial placement violates the network's hardware constraints");
+    }
+    initial = *req.initial;
+    initial_mode = ServeMode::kNone;
+  } else {
+    initial = heft_schedule(req.graph, req.network, lat_).placement;
+  }
+
+  // Snapshot resolution: per request, so a hot-swap lands on the very next
+  // request; the worker's policy clone is rebuilt only on a version change.
+  const std::shared_ptr<const PolicySnapshot> snap = store_.current();
+  WorkerArena& arena = arenas_.at(static_cast<std::size_t>(worker));
+  if (snap != nullptr && arena.policy_version != snap->version) {
+    arena.policy = snap->agent->clone_for_rollout();
+    arena.policy_version = snap->version;
+  }
+  const bool have_policy = snap != nullptr && arena.policy != nullptr;
+
+  int steps = req.steps > 0 ? req.steps
+                            : opt_.default_steps_factor * req.graph.num_tasks();
+  if (steps > opt_.max_steps) steps = opt_.max_steps;
+  if (!have_policy) steps = 0;  // degraded mode: HEFT answer, no search
+
+  if (arena.env == nullptr) {
+    arena.env = std::make_unique<PlacementSearchEnv>(
+        req.graph, req.network, lat_, makespan_objective(lat_), initial);
+  } else {
+    arena.env->reinit(req.graph, req.network, makespan_objective(lat_), initial);
+  }
+  PlacementSearchEnv& env = *arena.env;
+
+  const bool has_deadline = req.deadline_ms > 0.0;
+  const Clock::time_point deadline =
+      admitted + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double, std::milli>(req.deadline_ms));
+
+  if (has_deadline && Clock::now() >= deadline) {
+    // Pre-expired before any search budget was left: answer with the warm
+    // start rather than nothing (degraded, explicit, still a valid schedule).
+    resp.status = ResponseStatus::kOk;
+    resp.mode = initial_mode;
+    resp.deadline_exceeded = true;
+    resp.makespan = env.objective();
+    resp.placement = env.placement();
+    return resp;
+  }
+
+  resp.mode = have_policy ? ServeMode::kPolicy : ServeMode::kHeft;
+  if (steps > 0) {
+    std::mt19937_64 rng(req.seed);
+    bool stopped = false;
+    const SearchStop stop =
+        has_deadline ? SearchStop([&] { return Clock::now() >= deadline; })
+                     : SearchStop();
+    const Clock::time_point t0 = Clock::now();
+    const SearchTrace trace =
+        run_search_anytime(*arena.policy, env, steps, rng, opt_.greedy, stop, &stopped);
+    resp.search_ms = ms_since(t0, Clock::now());
+    resp.deadline_exceeded = stopped;
+    resp.steps = static_cast<int>(trace.best_so_far.size());
+  }
+  resp.status = ResponseStatus::kOk;
+  resp.makespan = env.best_objective();
+  resp.placement = env.best_placement();
+  return resp;
+}
+
+void PlacementServer::count_response(const PlacementResponse& resp) {
+  switch (resp.status) {
+    case ResponseStatus::kOk:
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      if (resp.mode == ServeMode::kPolicy) {
+        served_policy_.fetch_add(1, std::memory_order_relaxed);
+      } else if (resp.mode == ServeMode::kHeft) {
+        served_heft_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case ResponseStatus::kShed:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseStatus::kError:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (resp.deadline_exceeded) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool PlacementServer::submit(PlacementRequest req, ResponseSink sink) {
+  const Clock::time_point admitted = Clock::now();
+  if (pool_.pending_tasks() >= opt_.queue_capacity) {
+    PlacementResponse resp;
+    resp.id = req.id;
+    resp.status = ResponseStatus::kShed;
+    resp.mode = ServeMode::kNone;
+    resp.error = "queue at capacity (" + std::to_string(opt_.queue_capacity) +
+                 " pending); retry with backoff";
+    count_response(resp);
+    if (sink) sink(resp);
+    return false;
+  }
+  // The request and sink live in shared context until the response is
+  // delivered (the environment's graph/network references point into the
+  // request), and remain reachable here for the rejection path.
+  struct Ctx {
+    PlacementRequest req;
+    ResponseSink sink;
+  };
+  auto ctx = std::make_shared<Ctx>(Ctx{std::move(req), std::move(sink)});
+  const bool accepted = pool_.try_submit([this, admitted, ctx](int worker) {
+    const PlacementResponse resp = handle_at(ctx->req, worker, admitted);
+    if (ctx->sink) ctx->sink(resp);
+  });
+  if (!accepted) {
+    PlacementResponse resp;
+    resp.id = ctx->req.id;
+    resp.status = ResponseStatus::kError;
+    resp.mode = ServeMode::kNone;
+    resp.error = "server is draining; not accepting requests";
+    count_response(resp);
+    if (ctx->sink) ctx->sink(resp);
+    return false;
+  }
+  return true;
+}
+
+void PlacementServer::stop_and_drain() { pool_.stop_and_drain(); }
+
+ServerStats PlacementServer::stats() const {
+  ServerStats s;
+  s.received = received_.load(std::memory_order_relaxed);
+  s.ok = ok_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.served_policy = served_policy_.load(std::memory_order_relaxed);
+  s.served_heft = served_heft_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::uint64_t serve_stream(std::istream& in, std::ostream& out,
+                           PlacementServer& server) {
+  std::mutex out_mu;
+  const auto sink = [&out, &out_mu](const PlacementResponse& resp) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    write_response(out, resp);
+    out.flush();
+  };
+
+  std::uint64_t served = 0;
+  LineReader r(in);
+  bool header_consumed = false;
+  for (;;) {
+    PlacementRequest req;
+    try {
+      if (!read_request(r, req, header_consumed)) break;
+    } catch (const ParseError& e) {
+      PlacementResponse resp;
+      resp.id = "-";
+      resp.status = ResponseStatus::kError;
+      resp.mode = ServeMode::kNone;
+      resp.error = e.what();
+      sink(resp);
+      // Resynchronize: skip to the next "giph-request v1" header so one
+      // poison request cannot take down the stream.
+      header_consumed = false;
+      while (!r.at_end()) {
+        if (r.token("giph-request", "resync") != "giph-request") continue;
+        if (r.at_end()) break;
+        if (r.token("giph-request", "resync version") == "v1") {
+          header_consumed = true;
+          break;
+        }
+      }
+      if (!header_consumed) break;
+      continue;
+    }
+    header_consumed = false;
+    ++served;
+    server.submit(std::move(req), sink);
+  }
+  server.stop_and_drain();
+  return served;
+}
+
+}  // namespace giph::serve

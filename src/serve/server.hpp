@@ -1,0 +1,154 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "core/search_env.hpp"
+#include "core/search_policy.hpp"
+#include "serve/protocol.hpp"
+#include "serve/snapshot.hpp"
+#include "sim/latency_model.hpp"
+#include "util/parallel_for.hpp"
+
+namespace giph::serve {
+
+/// Serving configuration. The defaults favor predictable latency: greedy
+/// action selection (no sampling variance across identical requests) and a
+/// bounded admission queue that sheds instead of building unbounded backlog.
+struct ServerOptions {
+  int workers = 1;         ///< worker threads (>= 1)
+  int queue_capacity = 64; ///< admission bound; at capacity, submits shed
+  /// Default search budget when a request leaves steps = 0: factor * |V|
+  /// (the paper's episode length), capped by max_steps.
+  int default_steps_factor = 2;
+  int max_steps = 4096;  ///< hard per-request cap, client-requested or not
+  bool greedy = true;    ///< greedy decode (deterministic given a snapshot)
+};
+
+/// Server-side fault-injection seam. Every hook defaults to null (no-op);
+/// tests and the fault harness install callbacks to stall a worker inside the
+/// serving path, poison a request mid-flight (throw), or trigger a snapshot
+/// swap at the worst possible moment. Hooks run on the worker thread, after
+/// admission and before validation.
+struct ServeHooks {
+  std::function<void(int worker, const PlacementRequest& req)> on_request_start;
+};
+
+/// Monotonic serving counters (atomics; readable while serving).
+struct ServerStats {
+  std::uint64_t received = 0;   ///< requests entering handle()
+  std::uint64_t ok = 0;         ///< status ok responses
+  std::uint64_t shed = 0;       ///< admission rejections
+  std::uint64_t errors = 0;     ///< status error responses
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t served_policy = 0;  ///< ok responses in policy mode
+  std::uint64_t served_heft = 0;    ///< ok responses in degraded heft mode
+};
+
+/// Delivery callback for asynchronous submits; invoked exactly once per
+/// accepted or shed request, on the worker thread (shed: on the submitting
+/// thread, before submit() returns).
+using ResponseSink = std::function<void(const PlacementResponse&)>;
+
+/// The placement-as-a-service engine: a sharded pool of workers, each owning
+/// a private search arena (PlacementSearchEnv with its SimWorkspace, a policy
+/// clone, an RNG), serving placement requests against the resident policy
+/// snapshot with per-request deadlines, bounded admission, and degraded-mode
+/// fallbacks.
+///
+/// Robustness contract:
+///   - handle() never throws: malformed or infeasible instances produce a
+///     status=error response with an actionable message, and any unexpected
+///     exception from the serving path is converted to one too.
+///   - A request races its deadline, not the queue: the deadline clock
+///     starts at admission, so queue wait counts against it, and the search
+///     is anytime — when the deadline fires mid-search the best-so-far
+///     placement is returned with deadline_exceeded = 1 (status stays ok).
+///   - No resident snapshot => degraded mode: requests are answered with the
+///     HEFT baseline, mode=heft, rather than refused. Snapshot hot-swaps
+///     are picked up per request; a worker's cached policy clone is rebuilt
+///     only when the snapshot version changed.
+///   - At queue capacity, submit() sheds synchronously (status=shed) instead
+///     of queueing: explicit backpressure, bounded memory.
+///
+/// Steady-state allocation: each worker's environment is reinit()ed per
+/// request, reusing its simulation workspace, schedule, and index buffers;
+/// the policy clone persists across requests of the same snapshot version.
+class PlacementServer {
+ public:
+  /// `store` is the snapshot slot the server serves from (hot-swappable by
+  /// another thread); it must outlive the server.
+  PlacementServer(const ServerOptions& opt, SnapshotStore& store,
+                  ServeHooks hooks = {});
+  ~PlacementServer();
+
+  PlacementServer(const PlacementServer&) = delete;
+  PlacementServer& operator=(const PlacementServer&) = delete;
+
+  /// Serves one request synchronously on the calling thread using worker
+  /// slot `worker`'s arena (tests and single-threaded callers). The deadline
+  /// clock starts now. Never throws.
+  PlacementResponse handle(const PlacementRequest& req, int worker = 0);
+
+  /// Enqueues a request for asynchronous serving; `sink` receives the
+  /// response exactly once. Returns false when the request was not admitted —
+  /// the queue is at capacity (status=shed) or the server is draining
+  /// (status=error) — in which case the rejection response has already been
+  /// delivered through `sink` on this thread.
+  bool submit(PlacementRequest req, ResponseSink sink);
+
+  /// Stops admission and blocks until every accepted request has been
+  /// answered. Idempotent; also run by the destructor.
+  void stop_and_drain();
+
+  ServerStats stats() const;
+  const ServerOptions& options() const noexcept { return opt_; }
+  int workers() const noexcept { return pool_.threads(); }
+
+ private:
+  struct WorkerArena {
+    std::unique_ptr<PlacementSearchEnv> env;  ///< created on first request
+    std::unique_ptr<SearchPolicy> policy;     ///< clone of the snapshot agent
+    std::uint64_t policy_version = 0;         ///< snapshot version of `policy`
+  };
+
+  PlacementResponse handle_at(const PlacementRequest& req, int worker,
+                              std::chrono::steady_clock::time_point admitted);
+  PlacementResponse serve_request(const PlacementRequest& req, int worker,
+                                  std::chrono::steady_clock::time_point admitted);
+  void count_response(const PlacementResponse& resp);
+
+  ServerOptions opt_;
+  SnapshotStore& store_;
+  ServeHooks hooks_;
+  DefaultLatencyModel lat_;
+  util::WorkerPool pool_;
+  std::vector<WorkerArena> arenas_;  ///< indexed by worker slot
+
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> served_policy_{0};
+  std::atomic<std::uint64_t> served_heft_{0};
+};
+
+/// Runs the daemon loop over a request stream: reads giph-request frames from
+/// `in`, serves them through `server`, and writes giph-response frames to
+/// `out` (responses are serialized under a lock and flushed per response, so
+/// they may interleave across requests but never within one). A malformed
+/// request produces a status=error response (id "-") carrying the parse
+/// error's line/field context, after which the reader resynchronizes on the
+/// next "giph-request v1" header — one poison request never takes down the
+/// stream. Returns the number of well-formed requests served; drains the
+/// server before returning.
+std::uint64_t serve_stream(std::istream& in, std::ostream& out,
+                           PlacementServer& server);
+
+}  // namespace giph::serve

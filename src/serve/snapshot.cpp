@@ -1,0 +1,134 @@
+#include "serve/snapshot.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/checked_file.hpp"
+
+namespace giph::serve {
+namespace {
+
+constexpr const char* kKind = "giph-policy-snapshot";
+
+void expect_field(std::istream& in, const std::string& path, const char* key) {
+  std::string tok;
+  in >> tok;
+  if (!in || tok != key) {
+    throw std::runtime_error("snapshot: " + path + ": expected field '" + key +
+                             "', got '" + tok + "'");
+  }
+}
+
+long read_long(std::istream& in, const std::string& path, const char* key) {
+  expect_field(in, path, key);
+  long x = 0;
+  in >> x;
+  if (!in) {
+    throw std::runtime_error("snapshot: " + path + ": malformed " + std::string(key));
+  }
+  return x;
+}
+
+bool read_bool(std::istream& in, const std::string& path, const char* key) {
+  const long x = read_long(in, path, key);
+  if (x != 0 && x != 1) {
+    throw std::runtime_error("snapshot: " + path + ": " + key + " must be 0 or 1");
+  }
+  return x == 1;
+}
+
+}  // namespace
+
+void save_policy_snapshot(const std::string& path, const GiPHAgent& agent) {
+  const GiPHOptions& o = agent.options();
+  std::ostringstream out;
+  out << kKind << " v1\n";
+  out << "gnn " << static_cast<int>(o.gnn) << " embed_dim " << o.embed_dim
+      << " k_steps " << o.k_steps << " use_gpnet " << (o.use_gpnet ? 1 : 0)
+      << "\ninclude_potential " << (o.include_potential ? 1 : 0) << " mask_noop "
+      << (o.mask_noop ? 1 : 0) << " mask_repeat " << (o.mask_repeat ? 1 : 0)
+      << "\nuse_critic " << (o.use_critic ? 1 : 0) << " seed " << o.seed << "\n";
+  agent.registry().save(out);
+  util::write_checked_file(path, kKind, out.str());
+}
+
+std::shared_ptr<PolicySnapshot> load_policy_snapshot(const std::string& path) {
+  std::istringstream in(util::read_checked_file(path, kKind));
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != kKind || version != "v1") {
+    throw std::runtime_error("snapshot: " + path + ": expected '" +
+                             std::string(kKind) + " v1' header");
+  }
+  GiPHOptions o;
+  const long gnn = read_long(in, path, "gnn");
+  if (gnn < 0 || gnn > static_cast<long>(GnnKind::kNone)) {
+    throw std::runtime_error("snapshot: " + path + ": unknown gnn kind " +
+                             std::to_string(gnn));
+  }
+  o.gnn = static_cast<GnnKind>(gnn);
+  const long embed = read_long(in, path, "embed_dim");
+  const long k = read_long(in, path, "k_steps");
+  if (embed < 1 || embed > 4096 || k < 1 || k > 64) {
+    throw std::runtime_error("snapshot: " + path + ": architecture out of range");
+  }
+  o.embed_dim = static_cast<int>(embed);
+  o.k_steps = static_cast<int>(k);
+  o.use_gpnet = read_bool(in, path, "use_gpnet");
+  o.include_potential = read_bool(in, path, "include_potential");
+  o.mask_noop = read_bool(in, path, "mask_noop");
+  o.mask_repeat = read_bool(in, path, "mask_repeat");
+  o.use_critic = read_bool(in, path, "use_critic");
+  expect_field(in, path, "seed");
+  in >> o.seed;
+  if (!in) throw std::runtime_error("snapshot: " + path + ": malformed seed");
+
+  // Rebuild the architecture, then overwrite its parameters from the
+  // payload; a count/shape mismatch (snapshot from a different variant)
+  // throws from ParamRegistry::load before the snapshot becomes visible.
+  auto agent = std::make_shared<GiPHAgent>(o);
+  agent->registry().load(in);
+
+  auto snap = std::make_shared<PolicySnapshot>();
+  snap->options = o;
+  snap->agent = std::move(agent);
+  snap->source = path;
+  return snap;
+}
+
+bool SnapshotStore::load(const std::string& path, std::string* error) {
+  std::shared_ptr<PolicySnapshot> snap;
+  try {
+    snap = load_policy_snapshot(path);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failed_;
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+  install(std::move(snap));
+  return true;
+}
+
+void SnapshotStore::install(std::shared_ptr<PolicySnapshot> snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snap->version = ++versions_;
+  cur_ = std::move(snap);
+}
+
+std::shared_ptr<const PolicySnapshot> SnapshotStore::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cur_;
+}
+
+std::uint64_t SnapshotStore::swaps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_;
+}
+
+std::uint64_t SnapshotStore::failed_loads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+}  // namespace giph::serve

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/giph_agent.hpp"
+
+namespace giph::serve {
+
+/// An immutable trained-policy snapshot held resident by the serving daemon:
+/// the agent architecture (GiPHOptions) plus its parameter values. Workers
+/// never touch the master agent's mutable per-episode state — each clones a
+/// private policy (GiPHAgent::clone_for_rollout) keyed on `version`.
+struct PolicySnapshot {
+  GiPHOptions options;
+  std::shared_ptr<const GiPHAgent> agent;
+  std::uint64_t version = 0;  ///< assigned by SnapshotStore::install
+  std::string source;         ///< path the snapshot was loaded from ("" = in-memory)
+};
+
+/// Writes architecture + parameters as one checksummed file
+/// (util::write_checked_file: length + FNV-1a frame, write-to-temp + atomic
+/// rename). Payload:
+///
+///   giph-policy-snapshot v1
+///   gnn <int> embed_dim <int> k_steps <int> use_gpnet <0|1>
+///   include_potential <0|1> mask_noop <0|1> mask_repeat <0|1>
+///   use_critic <0|1> seed <uint64>
+///   giph-params v1 ...
+void save_policy_snapshot(const std::string& path, const GiPHAgent& agent);
+
+/// Loads a snapshot file; throws std::runtime_error on any corruption — a
+/// missing file, a torn/truncated frame, a checksum mismatch, an unknown
+/// architecture field, or a parameter-shape mismatch. Never returns a
+/// half-initialized policy.
+std::shared_ptr<PolicySnapshot> load_policy_snapshot(const std::string& path);
+
+/// The daemon's resident snapshot slot with atomic hot-swap semantics:
+/// install/current are mutex-guarded shared_ptr swaps, so workers either see
+/// the complete old snapshot or the complete new one — never a torn state.
+/// A failed load (corrupt or missing file) leaves the last-good snapshot
+/// resident and is reported to the caller instead of thrown into the serving
+/// path.
+class SnapshotStore {
+ public:
+  /// Attempts to load `path` and install it. On failure returns false, writes
+  /// the reason into *error (when non-null), and keeps the current snapshot.
+  bool load(const std::string& path, std::string* error = nullptr);
+
+  /// Installs an in-memory snapshot (takes ownership; assigns the version).
+  void install(std::shared_ptr<PolicySnapshot> snap);
+
+  /// The resident snapshot, or null when none was ever loaded (degraded
+  /// HEFT-only serving).
+  std::shared_ptr<const PolicySnapshot> current() const;
+
+  std::uint64_t swaps() const;         ///< successful installs
+  std::uint64_t failed_loads() const;  ///< rejected loads (kept last-good)
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const PolicySnapshot> cur_;
+  std::uint64_t versions_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace giph::serve

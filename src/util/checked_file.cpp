@@ -1,0 +1,103 @@
+#include "util/checked_file.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace giph::util {
+
+std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+constexpr const char* kMagic = "giph-checked";
+
+std::string hex64(std::uint64_t x) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(x));
+  return buf;
+}
+
+}  // namespace
+
+std::string wrap_checked(const std::string& kind, const std::string& payload) {
+  std::ostringstream out;
+  out << kMagic << " v1\n"
+      << kind << " " << payload.size() << " "
+      << hex64(fnv1a64(payload.data(), payload.size())) << "\n"
+      << payload;
+  return out.str();
+}
+
+void write_checked_file(const std::string& path, const std::string& kind,
+                        const std::string& payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) throw std::runtime_error("checked-file: cannot open for write: " + tmp);
+    out << wrap_checked(kind, payload);
+    if (!out) throw std::runtime_error("checked-file: write failed: " + tmp);
+  }
+  std::filesystem::rename(tmp, path);  // atomic on POSIX: old file stays valid
+}
+
+std::string unwrap_checked(const std::string& contents, const std::string& kind,
+                           const std::string& where) {
+  std::istringstream in(contents);
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != kMagic) return contents;  // legacy unframed file
+  if (version != "v1") {
+    throw std::runtime_error("checked-file: " + where + ": unknown frame version '" +
+                             version + "'");
+  }
+  std::string file_kind, checksum_hex;
+  std::uint64_t length = 0;
+  in >> file_kind >> length >> checksum_hex;
+  if (!in) {
+    throw std::runtime_error("checked-file: " + where + ": malformed frame header");
+  }
+  if (file_kind != kind) {
+    throw std::runtime_error("checked-file: " + where + ": kind mismatch (file holds '" +
+                             file_kind + "', expected '" + kind + "')");
+  }
+  // The payload starts right after the header's newline.
+  in.get();  // consume '\n'
+  const auto offset = static_cast<std::size_t>(in.tellg());
+  if (contents.size() < offset ||
+      contents.size() - offset != static_cast<std::size_t>(length)) {
+    throw std::runtime_error(
+        "checked-file: " + where + ": truncated or padded payload (frame declares " +
+        std::to_string(length) + " bytes, file holds " +
+        std::to_string(contents.size() < offset ? 0 : contents.size() - offset) +
+        ") — likely a torn write; restore from the last good copy");
+  }
+  const std::string payload = contents.substr(offset);
+  const std::string actual = hex64(fnv1a64(payload.data(), payload.size()));
+  if (actual != checksum_hex) {
+    throw std::runtime_error("checked-file: " + where +
+                             ": checksum mismatch (payload is corrupt)");
+  }
+  return payload;
+}
+
+std::string read_checked_file(const std::string& path, const std::string& kind) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checked-file: cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("checked-file: read failed: " + path);
+  return unwrap_checked(buf.str(), kind, path);
+}
+
+}  // namespace giph::util

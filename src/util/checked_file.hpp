@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace giph::util {
+
+/// FNV-1a 64-bit checksum; stable across platforms, used by the checked-file
+/// framing below to detect torn or corrupted writes.
+std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept;
+
+/// Wraps `payload` in a length + checksum frame and writes it to `path`
+/// crash-safely: the frame goes to `path.tmp` first and is renamed into place
+/// (atomic on POSIX), so a crash mid-write never leaves a torn file under the
+/// final name. The frame is plain text:
+///
+///   giph-checked v1
+///   <kind> <payload-bytes> <fnv1a64-hex>
+///   <payload>
+///
+/// Throws std::runtime_error on I/O failure.
+void write_checked_file(const std::string& path, const std::string& kind,
+                        const std::string& payload);
+
+/// The frame write_checked_file would put on disk, as a string (tests and
+/// fuzzers that mutate frames in memory).
+std::string wrap_checked(const std::string& kind, const std::string& payload);
+
+/// Reads a file written by write_checked_file and returns the payload after
+/// validating kind, length, and checksum; a truncated, padded, or corrupted
+/// frame throws std::runtime_error naming the failure (never returns garbage).
+/// A file without the "giph-checked" header is returned as-is: pre-framing
+/// files stay loadable.
+std::string read_checked_file(const std::string& path, const std::string& kind);
+
+/// Frame validation on an in-memory buffer (the core of read_checked_file,
+/// exposed for loaders that already hold the bytes). Returns the payload or
+/// throws; `where` names the source in error messages.
+std::string unwrap_checked(const std::string& contents, const std::string& kind,
+                           const std::string& where);
+
+}  // namespace giph::util

@@ -63,6 +63,11 @@ WorkerPool::WorkerPool(int threads) : threads_(resolve_threads(threads)) {
 }
 
 WorkerPool::~WorkerPool() {
+  try {
+    stop_and_drain();
+  } catch (...) {
+    // A queued task threw and nobody collected it; destruction must not.
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
@@ -94,15 +99,83 @@ void WorkerPool::drain(int worker) {
   if (--active_ == 0) done_cv_.notify_all();
 }
 
+/// Pops and executes one queued task. Called with mu_ held; releases it
+/// around the task body. Exceptions are captured into task_error_ (first
+/// wins) so one throwing task never wedges the pool or skips later tasks.
+void WorkerPool::run_one_queued(int worker, std::unique_lock<std::mutex>& lock) {
+  std::function<void(int)> task = std::move(queue_.front());
+  queue_.pop_front();
+  ++tasks_in_flight_;
+  lock.unlock();
+  std::exception_ptr err;
+  try {
+    task(worker);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  lock.lock();
+  if (err && !task_error_) task_error_ = err;
+  --tasks_in_flight_;
+  if (queue_.empty() && tasks_in_flight_ == 0) idle_cv_.notify_all();
+}
+
 void WorkerPool::worker_loop(int worker) {
   std::unique_lock<std::mutex> lock(mu_);
   std::uint64_t seen = 0;
   for (;;) {
-    start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    start_cv_.wait(lock,
+                   [&] { return shutdown_ || generation_ != seen || !queue_.empty(); });
+    if (generation_ != seen) {
+      seen = generation_;
+      drain(worker);
+      continue;
+    }
+    if (!queue_.empty()) {
+      run_one_queued(worker, lock);
+      continue;
+    }
     if (shutdown_) return;
-    seen = generation_;
-    drain(worker);
   }
+}
+
+bool WorkerPool::try_submit(std::function<void(int worker)> task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!accepting_ || shutdown_) return false;
+  if (threads_ == 1) {
+    // No background workers: run inline as worker 0 (same capture semantics
+    // as the background path, so callers observe one behavior).
+    queue_.push_back(std::move(task));
+    run_one_queued(0, lock);
+    return true;
+  }
+  queue_.push_back(std::move(task));
+  start_cv_.notify_one();
+  return true;
+}
+
+void WorkerPool::submit(std::function<void(int worker)> task) {
+  if (!try_submit(std::move(task))) {
+    throw std::runtime_error("WorkerPool::submit: pool is stopped");
+  }
+}
+
+void WorkerPool::stop_and_drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  accepting_ = false;
+  // Wake the workers: with admission closed they must finish what is queued,
+  // not wait for more.
+  start_cv_.notify_all();
+  idle_cv_.wait(lock, [&] { return queue_.empty() && tasks_in_flight_ == 0; });
+  if (task_error_) {
+    std::exception_ptr err = task_error_;
+    task_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+int WorkerPool::pending_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size()) + tasks_in_flight_;
 }
 
 void WorkerPool::run(int count, const std::function<void(int, int)>& body) {

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -55,24 +56,57 @@ class WorkerPool {
 
   void run(int count, const std::function<void(int index, int worker)>& body);
 
+  /// Queued-task mode, for streaming workloads (e.g. a serving daemon) where
+  /// tasks arrive one at a time instead of as a counted fan-out. submit()
+  /// enqueues `task`; a background worker eventually executes task(worker)
+  /// with its worker slot id. With threads() == 1 there are no background
+  /// workers, so the task runs inline on the submitting thread (as worker 0)
+  /// before submit() returns. Throws std::runtime_error once the pool has
+  /// been stopped; try_submit() returns false instead. An accepted task is
+  /// guaranteed to execute exactly once, even when stop_and_drain() races the
+  /// submit. submit() may be called concurrently from any number of threads
+  /// and may interleave with run() fan-outs (queued tasks and fan-out indices
+  /// never run on the same worker at the same time).
+  void submit(std::function<void(int worker)> task);
+  bool try_submit(std::function<void(int worker)> task);
+
+  /// Stops admission (subsequent submits fail) and blocks until every
+  /// accepted task has finished. Exceptions escaping a queued task are
+  /// captured at execution time without wedging the pool — the remaining
+  /// tasks still run — and the first captured one is rethrown here (then
+  /// cleared). Idempotent; also invoked by the destructor, which swallows the
+  /// rethrow. run() remains usable after stop_and_drain().
+  void stop_and_drain();
+
+  /// Tasks accepted but not yet finished (queued + in flight). Admission
+  /// control for callers that shed load above a depth budget.
+  int pending_tasks() const;
+
  private:
   void worker_loop(int worker);
   void drain(int worker);
+  void run_one_queued(int worker, std::unique_lock<std::mutex>& lock);
 
   int threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
+  std::condition_variable idle_cv_;  ///< queued-task drain completion
   std::uint64_t generation_ = 0;  ///< bumped per run(); wakes the workers
   bool shutdown_ = false;
+  bool accepting_ = true;  ///< false once stop_and_drain() begins
   int count_ = 0;
   const std::function<void(int, int)>* body_ = nullptr;
   int next_ = 0;     ///< next index to hand out (under mu_)
   int active_ = 0;   ///< workers still draining the current run
   std::exception_ptr first_error_;
   int first_error_index_ = -1;
+
+  std::deque<std::function<void(int)>> queue_;  ///< submitted tasks (under mu_)
+  int tasks_in_flight_ = 0;         ///< queued tasks currently executing
+  std::exception_ptr task_error_;   ///< first exception from a queued task
 };
 
 }  // namespace giph::util

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/giph_agent.hpp"
+#include "core/reinforce.hpp"
+#include "gen/device_network_gen.hpp"
+#include "gen/task_graph_gen.hpp"
+#include "sim/metrics.hpp"
+
+namespace giph {
+namespace {
+
+struct Instance {
+  TaskGraph graph;
+  DeviceNetwork network;
+  Placement initial;
+};
+
+Instance make_instance(std::uint64_t seed, int tasks = 16, int devices = 4) {
+  std::mt19937_64 rng(seed);
+  TaskGraphParams gp;
+  gp.num_tasks = tasks;
+  NetworkParams np;
+  np.num_devices = devices;
+  np.num_hw_kinds = gp.num_hw_kinds;
+  Instance in;
+  in.graph = generate_task_graph(gp, rng);
+  in.network = generate_device_network(np, rng);
+  ensure_feasible(in.graph, in.network, rng);
+  in.initial = random_placement(in.graph, in.network, rng);
+  return in;
+}
+
+void expect_traces_equal(const SearchTrace& a, const SearchTrace& b) {
+  EXPECT_EQ(a.initial, b.initial);
+  ASSERT_EQ(a.best_so_far.size(), b.best_so_far.size());
+  for (std::size_t i = 0; i < a.best_so_far.size(); ++i) {
+    EXPECT_EQ(a.best_so_far[i], b.best_so_far[i]) << "step " << i;
+  }
+  EXPECT_EQ(a.best_placement, b.best_placement);
+  EXPECT_EQ(a.move_counts, b.move_counts);
+}
+
+// A stop that never fires must leave the anytime search bitwise identical to
+// run_search: same trace, same best placement, same RNG consumption.
+TEST(AnytimeSearch, NeverFiringStopIsBitwiseIdenticalToRunSearch) {
+  const Instance in = make_instance(11);
+  const DefaultLatencyModel lat;
+  GiPHAgent a1(GiPHOptions{}), a2(GiPHOptions{});
+
+  PlacementSearchEnv e1(in.graph, in.network, lat, makespan_objective(lat), in.initial);
+  std::mt19937_64 r1(99);
+  const SearchTrace plain = run_search(a1, e1, 24, r1);
+
+  PlacementSearchEnv e2(in.graph, in.network, lat, makespan_objective(lat), in.initial);
+  std::mt19937_64 r2(99);
+  bool stopped = true;
+  const SearchTrace anytime =
+      run_search_anytime(a2, e2, 24, r2, /*greedy=*/false, [] { return false; },
+                         &stopped);
+
+  EXPECT_FALSE(stopped);
+  expect_traces_equal(plain, anytime);
+  EXPECT_EQ(e1.best_objective(), e2.best_objective());
+  EXPECT_EQ(r1(), r2());  // identical draw counts: the streams stay in step
+}
+
+// A stop firing after exactly k evaluations must equal a plain run with
+// steps = k: stopping truncates, it never perturbs the steps already taken.
+TEST(AnytimeSearch, StopAfterKStepsEqualsShorterBudget) {
+  const Instance in = make_instance(12);
+  const DefaultLatencyModel lat;
+  for (const int k : {0, 1, 5, 13}) {
+    GiPHAgent a1(GiPHOptions{}), a2(GiPHOptions{});
+
+    PlacementSearchEnv e1(in.graph, in.network, lat, makespan_objective(lat),
+                          in.initial);
+    std::mt19937_64 r1(7);
+    const SearchTrace shorter = run_search(a1, e1, k, r1);
+
+    PlacementSearchEnv e2(in.graph, in.network, lat, makespan_objective(lat),
+                          in.initial);
+    std::mt19937_64 r2(7);
+    int calls = 0;
+    bool stopped = false;
+    const SearchTrace truncated = run_search_anytime(
+        a2, e2, 40, r2, /*greedy=*/false, [&] { return calls++ >= k; }, &stopped);
+
+    EXPECT_TRUE(stopped) << "k=" << k;
+    ASSERT_EQ(truncated.best_so_far.size(), static_cast<std::size_t>(k));
+    expect_traces_equal(shorter, truncated);
+    EXPECT_EQ(r1(), r2()) << "k=" << k;
+  }
+}
+
+// The deadline-bounded search is deterministic for a fixed step budget: two
+// runs with the same seed and the same effective budget agree bitwise even
+// though one was cut by the (counted, not timed) stop.
+TEST(AnytimeSearch, FixedBudgetRunsAreReproducible) {
+  const Instance in = make_instance(13);
+  const DefaultLatencyModel lat;
+  GiPHAgent a1(GiPHOptions{}), a2(GiPHOptions{});
+
+  PlacementSearchEnv e1(in.graph, in.network, lat, makespan_objective(lat), in.initial);
+  std::mt19937_64 r1(5);
+  int c1 = 0;
+  const SearchTrace t1 =
+      run_search_anytime(a1, e1, 64, r1, false, [&] { return c1++ >= 9; });
+
+  PlacementSearchEnv e2(in.graph, in.network, lat, makespan_objective(lat), in.initial);
+  std::mt19937_64 r2(5);
+  int c2 = 0;
+  const SearchTrace t2 =
+      run_search_anytime(a2, e2, 64, r2, false, [&] { return c2++ >= 9; });
+
+  expect_traces_equal(t1, t2);
+}
+
+// Greedy decode consumes no RNG and must truncate just as cleanly.
+TEST(AnytimeSearch, GreedyAnytimeMatchesGreedyRunSearch) {
+  const Instance in = make_instance(14);
+  const DefaultLatencyModel lat;
+  GiPHAgent a1(GiPHOptions{}), a2(GiPHOptions{});
+
+  PlacementSearchEnv e1(in.graph, in.network, lat, makespan_objective(lat), in.initial);
+  std::mt19937_64 r1(3);
+  const SearchTrace plain = run_search(a1, e1, 10, r1, /*greedy=*/true);
+
+  PlacementSearchEnv e2(in.graph, in.network, lat, makespan_objective(lat), in.initial);
+  std::mt19937_64 r2(3);
+  int calls = 0;
+  const SearchTrace truncated = run_search_anytime(
+      a2, e2, 30, r2, /*greedy=*/true, [&] { return calls++ >= 10; });
+
+  expect_traces_equal(plain, truncated);
+}
+
+}  // namespace
+}  // namespace giph

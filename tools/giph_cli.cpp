@@ -8,6 +8,7 @@
 //                     [--noise X] [--seed S] [--checkpoint FILE]
 //                     [--checkpoint-every K] [--resume]
 //                     [--batch-episodes B] [--rollout-workers W]
+//   giph_cli snapshot --out FILE [--model FILE] [--variant V] [--seed S]
 //   giph_cli evaluate --data DIR --model FILE [--variant V] [--cases N]
 //   giph_cli place    --graph FILE --network FILE [--model FILE] [--variant V]
 //                     [--steps N] [--gantt] [--csv FILE]
@@ -57,6 +58,7 @@
 #include "gen/params_io.hpp"
 #include "graph/serialization.hpp"
 #include "heft/heft.hpp"
+#include "serve/snapshot.hpp"
 #include "sim/faults.hpp"
 #include "sim/trace.hpp"
 
@@ -231,6 +233,18 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+int cmd_snapshot(const Args& args) {
+  GiPHAgent agent(variant_options(args.get("variant", "giph"), args.get_int("seed", 1)));
+  if (args.has("model")) agent.load(args.get("model"));
+  const std::string out = args.get("out");
+  if (out.empty()) throw std::runtime_error("snapshot: --out FILE is required");
+  serve::save_policy_snapshot(out, agent);
+  std::cout << "policy snapshot (" << agent.name() << ", "
+            << agent.registry().num_scalars() << " parameters) saved to " << out
+            << "\n";
+  return 0;
+}
+
 int cmd_evaluate(const Args& args) {
   const Dataset ds = load_dataset(args.get("data"));
   GiPHAgent agent(variant_options(args.get("variant", "giph"), 1));
@@ -394,11 +408,12 @@ int main(int argc, char** argv) {
     const Args args = parse(argc, argv);
     if (args.command == "generate") return cmd_generate(args);
     if (args.command == "train") return cmd_train(args);
+    if (args.command == "snapshot") return cmd_snapshot(args);
     if (args.command == "evaluate") return cmd_evaluate(args);
     if (args.command == "place") return cmd_place(args);
     if (args.command == "robustness") return cmd_robustness(args);
     if (args.command == "dynamic") return cmd_dynamic(args);
-    std::cerr << "usage: giph_cli {generate|train|evaluate|place|robustness|dynamic} [--options]\n"
+    std::cerr << "usage: giph_cli {generate|train|snapshot|evaluate|place|robustness|dynamic} [--options]\n"
                  "see the header of tools/giph_cli.cpp for details\n";
     return args.command.empty() ? 0 : 1;
   } catch (const std::exception& e) {

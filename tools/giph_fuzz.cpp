@@ -28,7 +28,17 @@
 // Any failure prints the exact flags reproducing that single case. The CI
 // smoke job runs >= 12k cases; `ctest -L property` runs a quick subset.
 //
-// Usage: giph_fuzz [--cases N] [--seed S] [--start K] [--delta] [--verbose]
+// With --parse the harness instead fuzzes the text parsers: each case builds
+// a valid serving request (task graph + device network + optional warm-start
+// placement) and a response, asserts writer -> reader -> writer is a byte
+// identity, then applies random mutations (truncation, byte flips, token
+// substitution, line deletion/duplication, garbage insertion) and asserts
+// every parser entry point (read_request, read_response, and the checked-file
+// frame unwrapper) either succeeds or throws std::exception with a message —
+// never crashes, hangs, or aborts.
+//
+// Usage: giph_fuzz [--cases N] [--seed S] [--start K] [--delta] [--parse]
+//                  [--verbose]
 
 #include <algorithm>
 #include <cstdint>
@@ -38,13 +48,17 @@
 #include <string>
 #include <vector>
 
+#include <sstream>
+
 #include "gen/device_network_gen.hpp"
 #include "gen/task_graph_gen.hpp"
 #include "graph/placement.hpp"
 #include "graph/topology.hpp"
+#include "serve/protocol.hpp"
 #include "sim/faults.hpp"
 #include "sim/network_trace.hpp"
 #include "sim/simulator.hpp"
+#include "util/checked_file.hpp"
 #include "verify/invariants.hpp"
 #include "verify/oracle.hpp"
 
@@ -412,6 +426,208 @@ std::string run_case(const FuzzCase& c, SimWorkspace& ws, Schedule& reused) {
   return "";
 }
 
+// ---------------------------------------------------------------------------
+// --parse mode: the text parsers must survive arbitrary mutation.
+
+/// One random mutation of a wire string. Mutations are cheap and local; the
+/// guarantee under test is "no crash", not coverage of every grammar branch.
+std::string mutate(const std::string& wire, std::mt19937_64& rng) {
+  std::string m = wire;
+  if (m.empty()) return m;
+  switch (uniform_int(rng, 0, 5)) {
+    case 0:  // truncate (a torn write)
+      m.resize(static_cast<std::size_t>(
+          uniform_int(rng, 0, static_cast<int>(m.size()) - 1)));
+      break;
+    case 1: {  // flip one byte
+      const auto at = static_cast<std::size_t>(
+          uniform_int(rng, 0, static_cast<int>(m.size()) - 1));
+      m[at] = static_cast<char>(m[at] ^ (1 << uniform_int(rng, 0, 7)));
+      break;
+    }
+    case 2: {  // replace a token with garbage
+      static const char* kGarbage[] = {"nan",  "inf",     "-1e999", "banana",
+                                       "1e-",  "0x7f",    "",       "9999999999999999999",
+                                       "-2",   "\x01\x02"};
+      const auto at = static_cast<std::size_t>(
+          uniform_int(rng, 0, static_cast<int>(m.size()) - 1));
+      const std::size_t sp = m.find(' ', at);
+      const std::size_t end = sp == std::string::npos ? m.size() : sp;
+      m = m.substr(0, at) + kGarbage[uniform_int(rng, 0, 9)] + m.substr(end);
+      break;
+    }
+    case 3: {  // delete one line
+      std::vector<std::string> lines;
+      std::istringstream in(m);
+      for (std::string l; std::getline(in, l);) lines.push_back(l);
+      if (lines.empty()) break;
+      lines.erase(lines.begin() +
+                  uniform_int(rng, 0, static_cast<int>(lines.size()) - 1));
+      std::string out;
+      for (const auto& l : lines) out += l + "\n";
+      m = out;
+      break;
+    }
+    case 4: {  // duplicate one line
+      std::vector<std::string> lines;
+      std::istringstream in(m);
+      for (std::string l; std::getline(in, l);) lines.push_back(l);
+      if (lines.empty()) break;
+      const int at = uniform_int(rng, 0, static_cast<int>(lines.size()) - 1);
+      lines.insert(lines.begin() + at, lines[at]);
+      std::string out;
+      for (const auto& l : lines) out += l + "\n";
+      m = out;
+      break;
+    }
+    case 5: {  // insert random bytes
+      const auto at = static_cast<std::size_t>(
+          uniform_int(rng, 0, static_cast<int>(m.size()) - 1));
+      std::string junk;
+      for (int k = uniform_int(rng, 1, 8); k > 0; --k) {
+        junk.push_back(static_cast<char>(uniform_int(rng, 1, 255)));
+      }
+      m.insert(at, junk);
+      break;
+    }
+  }
+  return m;
+}
+
+/// Builds a valid request/response pair for one parse-fuzz case.
+serve::PlacementRequest build_request(std::mt19937_64& rng) {
+  TaskGraphParams gp;
+  gp.num_tasks = uniform_int(rng, 1, 20);
+  gp.p_connect = uniform(rng, 0.0, 0.5);
+  gp.num_hw_kinds = uniform_int(rng, 1, 3);
+  gp.p_task_requires = uniform(rng, 0.0, 0.4);
+  NetworkParams np;
+  np.num_devices = uniform_int(rng, 1, 6);
+  np.num_hw_kinds = gp.num_hw_kinds;
+  np.p_hw_support = uniform(rng, 0.5, 1.0);
+
+  serve::PlacementRequest req;
+  req.graph = generate_task_graph(gp, rng);
+  req.network = generate_device_network(np, rng);
+  ensure_feasible(req.graph, req.network, rng);
+  req.id = "case-" + std::to_string(uniform_int(rng, 0, 1 << 20));
+  req.deadline_ms = uniform(rng, 0.0, 1.0) < 0.5 ? 0.0 : uniform(rng, 0.1, 500.0);
+  req.steps = uniform_int(rng, 0, 200);
+  req.seed = rng();
+  if (uniform(rng, 0.0, 1.0) < 0.5) {
+    req.initial = random_placement(req.graph, req.network, rng);
+  }
+  return req;
+}
+
+/// Round-trips the unmutated wire and hammers mutants; "" on success.
+std::string run_parse_case(std::uint64_t base_seed, std::uint64_t index) {
+  std::mt19937_64 rng(mix(base_seed ^ mix(index)));
+  const serve::PlacementRequest req = build_request(rng);
+
+  std::ostringstream os;
+  serve::write_request(os, req);
+  const std::string wire = os.str();
+
+  // Writer -> reader -> writer must be a byte identity (no drift between the
+  // two sides of the protocol).
+  {
+    std::istringstream is(wire);
+    serve::PlacementRequest back;
+    if (!serve::read_request(is, back)) return "round-trip: clean EOF on valid request";
+    std::ostringstream os2;
+    serve::write_request(os2, back);
+    if (os2.str() != wire) return "round-trip: request re-serialization differs";
+  }
+
+  serve::PlacementResponse resp;
+  resp.id = req.id;
+  resp.status = serve::ResponseStatus::kOk;
+  resp.mode = serve::ServeMode::kPolicy;
+  resp.makespan = uniform(rng, 0.0, 1e6);
+  resp.steps = uniform_int(rng, 0, 500);
+  resp.queue_ms = uniform(rng, 0.0, 10.0);
+  resp.search_ms = uniform(rng, 0.0, 100.0);
+  if (uniform(rng, 0.0, 1.0) < 0.7) {
+    resp.placement =
+        req.initial.has_value() ? *req.initial : Placement(req.graph.num_tasks());
+  }
+  std::ostringstream ros;
+  serve::write_response(ros, resp);
+  const std::string rwire = ros.str();
+  {
+    std::istringstream is(rwire);
+    serve::PlacementResponse back;
+    if (!serve::read_response(is, back)) return "round-trip: clean EOF on valid response";
+    std::ostringstream ros2;
+    serve::write_response(ros2, back);
+    if (ros2.str() != rwire) return "round-trip: response re-serialization differs";
+  }
+
+  const std::string framed = giph::util::wrap_checked("giph-params", wire);
+  {
+    const std::string payload = giph::util::unwrap_checked(framed, "giph-params", "fuzz");
+    if (payload != wire) return "checked-frame: unwrap(wrap(x)) != x";
+  }
+
+  // Mutants: every parser entry point must return or throw, never crash.
+  for (int k = 0; k < 8; ++k) {
+    const std::string mreq = mutate(wire, rng);
+    try {
+      std::istringstream is(mreq);
+      serve::PlacementRequest r2;
+      (void)serve::read_request(is, r2);
+    } catch (const std::exception&) {
+      // expected for most mutants; the guarantee is "throws, never crashes"
+    }
+    const std::string mresp = mutate(rwire, rng);
+    try {
+      std::istringstream is(mresp);
+      serve::PlacementResponse r2;
+      (void)serve::read_response(is, r2);
+    } catch (const std::exception&) {
+    }
+    const std::string mframe = mutate(framed, rng);
+    try {
+      (void)giph::util::unwrap_checked(mframe, "giph-params", "fuzz");
+    } catch (const std::exception&) {
+    }
+  }
+  return "";
+}
+
+int run_parse_mode(std::uint64_t cases, std::uint64_t seed, std::uint64_t start,
+                   bool verbose) {
+  for (std::uint64_t i = start; i < start + cases; ++i) {
+    std::string failure;
+    try {
+      failure = run_parse_case(seed, i);
+    } catch (const std::exception& e) {
+      failure = std::string("exception escaped the harness: ") + e.what();
+    }
+    if (!failure.empty()) {
+      std::fprintf(stderr,
+                   "FUZZ FAILURE (parse) at case %llu (base seed %llu)\n  %s\n"
+                   "  reproduce: giph_fuzz --parse --seed %llu --start %llu --cases 1\n",
+                   static_cast<unsigned long long>(i),
+                   static_cast<unsigned long long>(seed), failure.c_str(),
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(i));
+      return 1;
+    }
+    if (verbose && (i - start + 1) % 1000 == 0) {
+      std::printf("giph_fuzz: %llu/%llu parse cases ok\n",
+                  static_cast<unsigned long long>(i - start + 1),
+                  static_cast<unsigned long long>(cases));
+    }
+  }
+  std::printf(
+      "giph_fuzz: %llu parse cases ok (seed %llu): request/response/frame "
+      "round-trips are byte identities, no mutant crashed a parser\n",
+      static_cast<unsigned long long>(cases), static_cast<unsigned long long>(seed));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -420,6 +636,7 @@ int main(int argc, char** argv) {
   std::uint64_t start = 0;
   bool verbose = false;
   bool delta = false;
+  bool parse = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::uint64_t {
@@ -439,13 +656,16 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (arg == "--delta") {
       delta = true;
+    } else if (arg == "--parse") {
+      parse = true;
     } else {
       std::fprintf(stderr,
                    "usage: giph_fuzz [--cases N] [--seed S] [--start K] [--delta] "
-                   "[--verbose]\n");
+                   "[--parse] [--verbose]\n");
       return 2;
     }
   }
+  if (parse) return run_parse_mode(cases, seed, start, verbose);
 
   SimWorkspace ws;
   Schedule reused;
