@@ -52,14 +52,21 @@ GpNetFeatures build_gpnet_features(const GpNet& net, const TaskGraph& g,
                                    const DeviceNetwork& n, const Placement& placement,
                                    const LatencyModel& lat, const Schedule& sched,
                                    const FeatureScales& scales, bool include_potential,
-                                   const ScheduleIndex* /*index*/) {
+                                   const ScheduleIndex* /*index*/,
+                                   const EstSweepWorkspace* precomputed) {
   // The start-time-potential feature needs the EST of every (task, device)
   // candidate — exactly what one est_sweep batch computes, bitwise equal to
   // the per-node indexed queries it replaces (the ScheduleIndex parameter is
-  // kept for API compatibility but no longer consulted).
-  thread_local EstSweepWorkspace sweep;
+  // kept for API compatibility but no longer consulted). A caller that
+  // already swept this step (sparse gpNet construction) passes its workspace
+  // through `precomputed` and the sweep is not repeated.
+  thread_local EstSweepWorkspace local_sweep;
   const int nd = n.num_devices();
-  if (include_potential) est_sweep(sched, g, n, placement, lat, sweep);
+  const EstSweepWorkspace* sweep = precomputed;
+  if (include_potential && sweep == nullptr) {
+    est_sweep(sched, g, n, placement, lat, local_sweep);
+    sweep = &local_sweep;
+  }
   GpNetFeatures f;
   f.node = nn::Matrix(net.num_nodes(), kNodeFeatureDim);
   for (int u = 0; u < net.num_nodes(); ++u) {
@@ -69,7 +76,7 @@ GpNetFeatures build_gpnet_features(const GpNet& net, const TaskGraph& g,
     f.node(u, 1) = n.device(d).speed / scales.speed;
     f.node(u, 2) = lat.compute_time(g, n, v, d) / scales.w;
     if (include_potential) {
-      const double est = sweep.est[static_cast<std::size_t>(v) * nd + d];
+      const double est = sweep->est[static_cast<std::size_t>(v) * nd + d];
       f.node(u, 3) = (sched.tasks[v].start - est) / scales.w;
     }
   }

@@ -45,12 +45,19 @@ inline constexpr int kEdgeFeatureDim = 4;
 /// sweep runs on it in O(log V) per query; when null a local index is built
 /// once for the call. Either way the values are exactly those of the
 /// unindexed scan.
+///
+/// `sweep`, when non-null, must hold the result of est_sweep(sched, g, n,
+/// placement, lat, *sweep); the potential feature then reads it directly
+/// instead of re-running the O(V * D) sweep — the caller that already swept
+/// for build_gpnet_topk shares one sweep per step. Values are identical
+/// either way.
 GpNetFeatures build_gpnet_features(const GpNet& net, const TaskGraph& g,
                                    const DeviceNetwork& n, const Placement& placement,
                                    const LatencyModel& lat, const Schedule& sched,
                                    const FeatureScales& scales,
                                    bool include_potential = true,
-                                   const ScheduleIndex* index = nullptr);
+                                   const ScheduleIndex* index = nullptr,
+                                   const EstSweepWorkspace* sweep = nullptr);
 
 /// Node features with the mean of each node's outgoing edge features appended
 /// (8 dims), used by the edge-feature-free variants GiPH-NE / GraphSAGE-NE /

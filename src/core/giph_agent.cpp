@@ -67,11 +67,25 @@ const FeatureScales& GiPHAgent::scales_for(const PlacementSearchEnv& env) {
 
 ActionDecision GiPHAgent::decide_gpnet(PlacementSearchEnv& env, std::mt19937_64& rng,
                                        bool greedy) {
-  const GpNet net = build_gpnet(env.graph(), env.network(), env.placement(), env.feasible());
+  // Sparse mode runs the EST sweep once and shares it between candidate
+  // selection and the potential feature; dense mode leaves feature
+  // construction to sweep for itself.
+  thread_local EstSweepWorkspace sweep;
+  const EstSweepWorkspace* shared = nullptr;
+  GpNet net;
+  if (options_.gpnet_topk > 0) {
+    est_sweep(env.schedule(), env.graph(), env.network(), env.placement(),
+              env.latency(), sweep);
+    net = build_gpnet_topk(env.graph(), env.network(), env.placement(), env.feasible(),
+                           options_.gpnet_topk, sweep.est);
+    shared = &sweep;
+  } else {
+    net = build_gpnet(env.graph(), env.network(), env.placement(), env.feasible());
+  }
   const GpNetFeatures feats =
       build_gpnet_features(net, env.graph(), env.network(), env.placement(),
                            env.latency(), env.schedule(), scales_for(env),
-                           options_.include_potential, &env.schedule_index());
+                           options_.include_potential, &env.schedule_index(), shared);
 
   std::vector<int> candidates;
   candidates.reserve(net.num_nodes());

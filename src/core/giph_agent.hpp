@@ -18,6 +18,11 @@ struct GiPHOptions {
   bool include_potential = true;  ///< start-time-potential node feature (Fig. 15)
   bool mask_noop = true;    ///< mask actions equal to the current placement
   bool mask_repeat = true;  ///< mask relocating the task moved in the previous step
+  /// Sparse gpNet: keep only the pivot plus this many EST-ranked alternative
+  /// devices per task (build_gpnet_topk). 0 = dense (all feasible pairs);
+  /// any value >= num_devices is bitwise-identical to dense. The scale tier's
+  /// knob for 1k+-task graphs on 100+ devices.
+  int gpnet_topk = 0;
   /// Actor-critic extension: adds a value head over the mean graph embedding;
   /// the trainer then uses V(s_t) as the policy-gradient baseline.
   bool use_critic = false;

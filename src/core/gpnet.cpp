@@ -1,5 +1,6 @@
 #include "core/gpnet.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace giph {
@@ -72,6 +73,76 @@ GpNet build_gpnet(const TaskGraph& g, const DeviceNetwork& n, const Placement& p
 
   // Edge generation: (u1, u2) for each task edge (i, j) when u1 or u2 is a
   // pivot.
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const DataLink& link = g.edge(e);
+    for (int u1 : net.options[link.src]) {
+      for (int u2 : net.options[link.dst]) {
+        if (net.is_pivot[u1] || net.is_pivot[u2]) {
+          net.view.add_edge(u1, u2);
+          net.edge_task_edge.push_back(e);
+        }
+      }
+    }
+  }
+  net.view.finalize();
+  return net;
+}
+
+GpNet build_gpnet_topk(const TaskGraph& g, const DeviceNetwork& n,
+                       const Placement& placement,
+                       const std::vector<std::vector<int>>& feasible, int k,
+                       const std::vector<double>& est) {
+  if (k < 0) throw std::invalid_argument("build_gpnet_topk: k must be >= 0");
+  if (!is_feasible(g, n, placement)) {
+    throw std::invalid_argument("build_gpnet_topk: infeasible placement");
+  }
+  const int nv = g.num_tasks();
+  const int nd = n.num_devices();
+  if (est.size() != static_cast<std::size_t>(nv) * nd) {
+    throw std::invalid_argument("build_gpnet_topk: est table size mismatch");
+  }
+
+  GpNet net;
+  net.options.resize(nv);
+  net.pivot_of_task.assign(nv, -1);
+
+  // Same node layout discipline as build_gpnet: tasks in topological order,
+  // selected devices in feasible-list order. `cand` ranks the non-pivot
+  // devices of one task by (EST, feasible position); `selected` marks the
+  // surviving feasible positions.
+  std::vector<std::pair<double, int>> cand;
+  std::vector<char> selected;
+  for (int v : g.topological_order()) {
+    const std::vector<int>& fd = feasible[v];
+    const int nf = static_cast<int>(fd.size());
+    const double* row = est.data() + static_cast<std::size_t>(v) * nd;
+    selected.assign(fd.size(), 1);
+    if (nf > k + 1) {
+      cand.clear();
+      for (int i = 0; i < nf; ++i) {
+        if (fd[i] != placement.device_of(v)) cand.emplace_back(row[fd[i]], i);
+      }
+      std::nth_element(cand.begin(), cand.begin() + k, cand.end());
+      selected.assign(fd.size(), 0);
+      for (int i = 0; i < k; ++i) selected[cand[i].second] = 1;
+      // The pivot is not in `cand`, so it always survives.
+      for (int i = 0; i < nf; ++i) {
+        if (fd[i] == placement.device_of(v)) selected[i] = 1;
+      }
+    }
+    for (int i = 0; i < nf; ++i) {
+      if (!selected[i]) continue;
+      const int d = fd[i];
+      const int u = net.view.add_node();
+      net.node_task.push_back(v);
+      net.node_device.push_back(d);
+      const bool pivot = placement.device_of(v) == d;
+      net.is_pivot.push_back(pivot);
+      net.options[v].push_back(u);
+      if (pivot) net.pivot_of_task[v] = u;
+    }
+  }
+
   for (int e = 0; e < g.num_edges(); ++e) {
     const DataLink& link = g.edge(e);
     for (int u1 : net.options[link.src]) {

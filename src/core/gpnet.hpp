@@ -50,4 +50,22 @@ struct GpNet {
 GpNet build_gpnet(const TaskGraph& g, const DeviceNetwork& n, const Placement& placement,
                   const std::vector<std::vector<int>>& feasible);
 
+/// Sparse gpNet: per task, only the current pivot plus the k most promising
+/// alternative devices become option nodes — promise ranked by ascending
+/// earliest start time from `est` (a row-major num_tasks x num_devices table,
+/// e.g. EstSweepWorkspace::est after est_sweep), ties broken by position in
+/// the feasible list. Selected options are emitted in feasible-list order, so
+/// when k >= |D_i| - 1 for every task (in particular whenever k >= D) the
+/// construction is node-for-node, edge-for-edge identical to build_gpnet —
+/// the dense generator is the k = infinity special case, not a separate code
+/// path to keep in sync. With small k the node count drops from sum |D_i| to
+/// at most V * (k + 1), the edge count correspondingly, which is what makes
+/// 1k+-task graphs on 100+ devices tractable (see DESIGN.md "Hierarchical
+/// placement"). Throws std::invalid_argument on k < 0 or an est table of the
+/// wrong size.
+GpNet build_gpnet_topk(const TaskGraph& g, const DeviceNetwork& n,
+                       const Placement& placement,
+                       const std::vector<std::vector<int>>& feasible, int k,
+                       const std::vector<double>& est);
+
 }  // namespace giph

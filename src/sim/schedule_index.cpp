@@ -166,4 +166,69 @@ void est_sweep(const Schedule& sched, const TaskGraph& g, const DeviceNetwork& n
   }
 }
 
+void est_sweep_subset(const Schedule& sched, const TaskGraph& g, const DeviceNetwork& n,
+                      const Placement& p, const LatencyModel& lat,
+                      const std::vector<int>& subset, EstSweepWorkspace& ws) {
+  const int nv = g.num_tasks();
+  const int nd = n.num_devices();
+  const int ne = g.num_edges();
+  ws.est.assign(static_cast<std::size_t>(nv) * nd, 0.0);
+  ws.in_subset.assign(nv, 0);
+  for (int v : subset) ws.in_subset.at(v) = 1;
+
+  if (!revalidate_cache(g, n, lat, ws) ||
+      ws.comm_rows.size() != static_cast<std::size_t>(ne) * nd ||
+      ws.comm_src.size() != static_cast<std::size_t>(ne)) {
+    ws.comm_rows.assign(static_cast<std::size_t>(ne) * nd, 0.0);
+    ws.comm_src.assign(static_cast<std::size_t>(ne), -1);
+  }
+
+  // Parent-arrival terms, restricted to subset rows. Identical per-row code
+  // path (and comm-row cache) as the full sweep.
+  for (int v = 0; v < nv; ++v) {
+    if (!ws.in_subset[v]) continue;
+    double* row = ws.est.data() + static_cast<std::size_t>(v) * nd;
+    for (int e : g.in_edges(v)) {
+      const int parent = g.edge(e).src;
+      const double pf = sched.tasks[parent].finish;
+      const int k = p.device_of(parent);
+      double* crow = ws.comm_rows.data() + static_cast<std::size_t>(e) * nd;
+      if (ws.comm_src[e] != k) {
+        lat.comm_time_row(g, n, e, k, crow);
+        ws.comm_src[e] = k;
+      }
+      for (int d = 0; d < nd; ++d) {
+        row[d] = std::max(row[d], pf + crow[d]);
+      }
+    }
+  }
+
+  // Device-busy terms: the walk must still see EVERY task's finish (any task
+  // can block a subset task), but only subset rows are updated.
+  ws.order.resize(nv);
+  for (int v = 0; v < nv; ++v) ws.order[v] = v;
+  std::sort(ws.order.begin(), ws.order.end(), [&sched](int a, int b) {
+    return sched.tasks[a].start < sched.tasks[b].start;
+  });
+  ws.dev_max.assign(nd, -std::numeric_limits<double>::infinity());
+  int i = 0;
+  while (i < nv) {
+    int j = i;
+    const double start = sched.tasks[ws.order[i]].start;
+    while (j < nv && sched.tasks[ws.order[j]].start == start) ++j;
+    for (int k = i; k < j; ++k) {
+      const int v = ws.order[k];
+      if (!ws.in_subset[v]) continue;
+      double* row = ws.est.data() + static_cast<std::size_t>(v) * nd;
+      for (int d = 0; d < nd; ++d) row[d] = std::max(row[d], ws.dev_max[d]);
+    }
+    for (int k = i; k < j; ++k) {
+      const int v = ws.order[k];
+      const int d = p.device_of(v);
+      if (d >= 0) ws.dev_max[d] = std::max(ws.dev_max[d], sched.tasks[v].finish);
+    }
+    i = j;
+  }
+}
+
 }  // namespace giph

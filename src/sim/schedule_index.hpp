@@ -65,6 +65,7 @@ struct EstSweepWorkspace {
   std::vector<double> est;       ///< result: nv x nd, row-major per task
   std::vector<double> dev_max;   ///< per device: running max finish
   std::vector<int> order;        ///< task ids sorted by schedule start
+  std::vector<char> in_subset;   ///< est_sweep_subset scratch membership mask
 
   std::uint64_t g_stamp = 0;     ///< cache key (0 = nothing cached yet)
   std::uint64_t n_stamp = 0;
@@ -95,5 +96,17 @@ const std::vector<double>& compute_sweep(const TaskGraph& g, const DeviceNetwork
 /// and max-accumulation is exact so ordering differences cannot change it.
 void est_sweep(const Schedule& sched, const TaskGraph& g, const DeviceNetwork& n,
                const Placement& p, const LatencyModel& lat, EstSweepWorkspace& ws);
+
+/// Subset est_sweep: fills ws.est rows ONLY for the tasks in `subset`
+/// (other rows are zeroed, not valid ESTs). Each filled row is bitwise
+/// identical to the one the full est_sweep produces: parent terms use the
+/// same cached comm rows and the device-busy walk visits the full schedule in
+/// the same start order, merely skipping the row updates of non-subset tasks.
+/// Cost is O(V log V + V + |subset| * D + in_edges(subset) * D) instead of
+/// O(V * D + E * D) — the hierarchical refinement loop's per-cluster query.
+/// Duplicate ids in `subset` are allowed (rows are just filled once).
+void est_sweep_subset(const Schedule& sched, const TaskGraph& g, const DeviceNetwork& n,
+                      const Placement& p, const LatencyModel& lat,
+                      const std::vector<int>& subset, EstSweepWorkspace& ws);
 
 }  // namespace giph

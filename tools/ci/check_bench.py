@@ -2,20 +2,35 @@
 """Gate benchmark results against a committed baseline.
 
 Usage: check_bench.py BASELINE.json CURRENT.json [--tolerance 0.30]
+       check_bench.py --self-test
 
 Compares every throughput metric (keys ending in ``_per_sec``, recursively)
 and every ratio metric (keys ending in ``_rate``, in [0, 1] by convention,
 e.g. the delta-simulation hit rate) and fails when the current value has
-regressed more than ``tolerance`` below the baseline. Also fails when any
-``bitwise_identical`` flag that is true in the baseline turned false. Only
-stdlib is used, and absolute wall times are deliberately ignored: runner
-machines differ, so the gate is a relative one against numbers measured on
-comparable hardware.
+regressed more than the tolerance below the baseline. Also fails when any
+``bitwise_identical`` flag that is true in the baseline turned false, and
+when a gated baseline metric is missing from the current run entirely — a
+benchmark that silently stops emitting a metric must not pass the gate.
+
+A baseline may override the global tolerance per metric with a sibling key
+``<metric>_max_regress`` (e.g. ``"hier_tasks_per_sec": 290.0,
+"hier_tasks_per_sec_max_regress": 0.5``): that metric then tolerates the
+given fractional drop instead of ``--tolerance``. Override keys themselves
+are never gated.
+
+Only stdlib is used, and absolute wall times are deliberately ignored:
+runner machines differ, so the gate is a relative one against numbers
+measured on comparable hardware.
+
+``--self-test`` runs the script's own unit tests (used by the bench-smoke CI
+job to keep the gate itself from rotting).
 """
 
 import argparse
 import json
 import sys
+
+MAX_REGRESS_SUFFIX = "_max_regress"
 
 
 def walk(obj, prefix=""):
@@ -27,50 +42,173 @@ def walk(obj, prefix=""):
         yield prefix.rstrip("."), obj
 
 
+def is_gated(path, base_value):
+    """True when a baseline leaf participates in the gate."""
+    if path.endswith(MAX_REGRESS_SUFFIX):
+        return False  # per-metric tolerance overrides, not metrics
+    return (
+        path.endswith("_per_sec")
+        or path.endswith("_rate")
+        or (path.endswith("bitwise_identical") and base_value is True)
+    )
+
+
+def run_check(baseline, current, tolerance):
+    """Pure gating core over flattened dicts.
+
+    Returns (log_lines, failures, checked); the caller decides the exit code.
+    """
+    lines = []
+    failures = []
+    checked = 0
+    for path, base_value in baseline.items():
+        if not is_gated(path, base_value):
+            continue
+        if path not in current:
+            # Descriptive baseline keys (notes, machine shape) are free-form,
+            # but a gated metric the current run no longer emits is a failure:
+            # a silently dropped metric must not read as "no regression".
+            failures.append(f"{path}: gated in baseline but missing from current run")
+            continue
+        cur_value = current[path]
+        if path.endswith("_per_sec") or path.endswith("_rate"):
+            checked += 1
+            tol = baseline.get(path + MAX_REGRESS_SUFFIX, tolerance)
+            floor = (1.0 - tol) * base_value
+            status = "ok" if cur_value >= floor else "REGRESSED"
+            precision = 3 if path.endswith("_rate") else 1
+            lines.append(
+                f"{path}: {base_value:.{precision}f} -> {cur_value:.{precision}f} "
+                f"(floor {floor:.{precision}f}, tol {tol:.0%}) {status}")
+            if cur_value < floor:
+                failures.append(
+                    f"{path}: {cur_value:.{precision}f} is more than "
+                    f"{tol:.0%} below baseline {base_value:.{precision}f}")
+        else:  # bitwise_identical flag, true in baseline
+            checked += 1
+            lines.append(f"{path}: {cur_value}")
+            if cur_value is not True:
+                failures.append(
+                    f"{path}: determinism check failed (was true in baseline)")
+    return lines, failures, checked
+
+
+def self_test():
+    """Unit tests of the gating core; returns a process exit code."""
+    import unittest
+
+    class CheckBenchTest(unittest.TestCase):
+        def check(self, baseline, current, tolerance=0.30):
+            return run_check(dict(walk(baseline)), dict(walk(current)), tolerance)
+
+        def test_within_tolerance_passes(self):
+            _, failures, checked = self.check(
+                {"x_per_sec": 100.0}, {"x_per_sec": 80.0})
+            self.assertEqual(failures, [])
+            self.assertEqual(checked, 1)
+
+        def test_regression_fails(self):
+            _, failures, _ = self.check({"x_per_sec": 100.0}, {"x_per_sec": 60.0})
+            self.assertEqual(len(failures), 1)
+            self.assertIn("x_per_sec", failures[0])
+
+        def test_missing_gated_key_fails(self):
+            _, failures, _ = self.check(
+                {"x_per_sec": 100.0, "hit_rate": 0.9, "bitwise_identical": True},
+                {"x_per_sec": 100.0})
+            self.assertEqual(len(failures), 2)
+            self.assertTrue(any("hit_rate" in f and "missing" in f for f in failures))
+            self.assertTrue(
+                any("bitwise_identical" in f and "missing" in f for f in failures))
+
+        def test_descriptive_keys_are_free_form(self):
+            _, failures, checked = self.check(
+                {"x_per_sec": 100.0, "note": "measured on runner A", "tasks": 1000},
+                {"x_per_sec": 100.0})
+            self.assertEqual(failures, [])
+            self.assertEqual(checked, 1)
+
+        def test_max_regress_override_loosens(self):
+            # 50% drop fails the default 30% gate but passes a 60% override.
+            _, failures, _ = self.check(
+                {"x_per_sec": 100.0, "x_per_sec_max_regress": 0.6},
+                {"x_per_sec": 50.0})
+            self.assertEqual(failures, [])
+
+        def test_max_regress_override_tightens(self):
+            # 20% drop passes the default gate but fails a 10% override.
+            _, failures, _ = self.check(
+                {"x_per_sec": 100.0, "x_per_sec_max_regress": 0.1},
+                {"x_per_sec": 80.0})
+            self.assertEqual(len(failures), 1)
+
+        def test_max_regress_keys_are_not_gated(self):
+            # The override key itself is neither checked nor required in the
+            # current run, even though it ends in a gated-looking suffix.
+            _, failures, checked = self.check(
+                {"x_per_sec": 100.0, "x_per_sec_max_regress": 0.5},
+                {"x_per_sec": 100.0})
+            self.assertEqual(failures, [])
+            self.assertEqual(checked, 1)
+
+        def test_bitwise_flag_flip_fails(self):
+            _, failures, _ = self.check(
+                {"bitwise_identical": True}, {"bitwise_identical": False})
+            self.assertEqual(len(failures), 1)
+            self.assertIn("determinism", failures[0])
+
+        def test_bitwise_flag_false_in_baseline_not_gated(self):
+            _, failures, checked = self.check(
+                {"bitwise_identical": False, "x_per_sec": 1.0}, {"x_per_sec": 1.0})
+            self.assertEqual(failures, [])
+            self.assertEqual(checked, 1)
+
+        def test_rate_metrics_gated(self):
+            _, failures, _ = self.check({"hit_rate": 0.9}, {"hit_rate": 0.5})
+            self.assertEqual(len(failures), 1)
+
+        def test_nested_paths(self):
+            _, failures, checked = self.check(
+                {"case": {"a": {"x_per_sec": 100.0, "x_per_sec_max_regress": 0.5}}},
+                {"case": {"a": {"x_per_sec": 60.0}}})
+            self.assertEqual(failures, [])
+            self.assertEqual(checked, 1)
+
+        def test_no_gated_metrics_is_reported(self):
+            _, failures, checked = self.check({"note": "hi"}, {"note": "hi"})
+            self.assertEqual(checked, 0)
+            self.assertEqual(failures, [])
+
+    suite = unittest.defaultTestLoader.loadTestsFromTestCase(CheckBenchTest)
+    result = unittest.TextTestRunner(verbosity=2).run(suite)
+    return 0 if result.wasSuccessful() else 1
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional drop below baseline (default 0.30)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate's own unit tests and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("BASELINE.json and CURRENT.json are required (or --self-test)")
 
     with open(args.baseline) as f:
         baseline = dict(walk(json.load(f)))
     with open(args.current) as f:
         current = dict(walk(json.load(f)))
 
-    failures = []
-    checked = 0
-    for path, base_value in baseline.items():
-        gated = path.endswith("_per_sec") or path.endswith("_rate") or (
-            path.endswith("bitwise_identical") and base_value is True)
-        if path not in current:
-            # Only gated metrics are required in the current run; descriptive
-            # baseline keys (notes, baseline machine shape) are free-form.
-            if gated:
-                failures.append(
-                    f"{path}: gated in baseline but missing from current run")
-            continue
-        cur_value = current[path]
-        if path.endswith("_per_sec") or path.endswith("_rate"):
-            checked += 1
-            floor = (1.0 - args.tolerance) * base_value
-            status = "ok" if cur_value >= floor else "REGRESSED"
-            precision = 3 if path.endswith("_rate") else 1
-            print(f"{path}: {base_value:.{precision}f} -> {cur_value:.{precision}f} "
-                  f"(floor {floor:.{precision}f}) {status}")
-            if cur_value < floor:
-                failures.append(
-                    f"{path}: {cur_value:.{precision}f} is more than "
-                    f"{args.tolerance:.0%} below baseline {base_value:.{precision}f}")
-        elif path.endswith("bitwise_identical") and base_value is True:
-            checked += 1
-            print(f"{path}: {cur_value}")
-            if cur_value is not True:
-                failures.append(f"{path}: determinism check failed (was true in baseline)")
+    lines, failures, checked = run_check(baseline, current, args.tolerance)
+    for line in lines:
+        print(line)
 
-    if checked == 0:
+    if checked == 0 and not failures:
         print("error: no gated metrics found in baseline", file=sys.stderr)
         return 2
     if failures:
@@ -78,7 +216,7 @@ def main():
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"\nall {checked} gated metrics within {args.tolerance:.0%} of baseline")
+    print(f"\nall {checked} gated metrics within tolerance of baseline")
     return 0
 
 

@@ -20,6 +20,18 @@
 //                     [--variant V] [--epochs N] [--vehicles N] [--bases N]
 //                     [--range M] [--epoch-seconds S] [--repair-budget N]
 //                     [--drift-budget N] [--threads N]
+//   giph_cli scale    [--model FILE | --episodes E] [--variant V] [--seed S]
+//                     [--train-tasks T] [--train-devices D] [--tasks T]
+//                     [--devices D] [--clusters K] [--cases N] [--topk K]
+//                     [--refine-rounds R]
+//
+// The scale command is the generalization experiment of ROADMAP item 4: train
+// a policy at paper scale (or load one with --model), then evaluate it
+// ZERO-SHOT on 10x-100x larger instances (default 1000 tasks on a 100-device
+// sparse topology) through the hierarchical tier - partition_tasks groups the
+// graph into --clusters clusters, the policy places the coarse cluster graph
+// with sparse (top-k) gpNet candidates, and per-cluster refinement polishes
+// the expanded placement - against flat HEFT on the same instances.
 //
 // The robustness command measures fault recovery: each placer (the GiPH
 // agent, Random-task-eft, and HEFT) places a seeded synthetic instance, the
@@ -42,6 +54,7 @@
 // task-eft.
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -52,11 +65,13 @@
 #include "baselines/random_policies.hpp"
 #include "casestudy/churn.hpp"
 #include "core/giph_agent.hpp"
+#include "core/hierarchical.hpp"
 #include "core/reinforce.hpp"
 #include "eval/robustness_eval.hpp"
 #include "gen/dataset.hpp"
 #include "gen/params_io.hpp"
 #include "graph/serialization.hpp"
+#include "graph/topology.hpp"
 #include "heft/heft.hpp"
 #include "serve/snapshot.hpp"
 #include "sim/faults.hpp"
@@ -401,6 +416,106 @@ int cmd_dynamic(const Args& args) {
   return 0;
 }
 
+int cmd_scale(const Args& args) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const DefaultLatencyModel lat;
+
+  // 1. A policy trained at paper scale (zero-shot transfer is the point:
+  //    nothing below ever trains on the large instances).
+  GiPHOptions aopt = variant_options(args.get("variant", "giph"), seed);
+  aopt.gpnet_topk = args.get_int("topk", 8);
+  GiPHAgent agent(aopt);
+  if (args.has("model")) {
+    agent.load(args.get("model"));
+    std::cout << "loaded " << agent.name() << " from " << args.get("model") << "\n";
+  } else {
+    std::mt19937_64 rng(seed);
+    TaskGraphParams gp;
+    gp.num_tasks = args.get_int("train-tasks", 20);
+    NetworkParams np;
+    np.num_devices = args.get_int("train-devices", 8);
+    const Dataset ds = generate_dataset({gp}, {np}, 20, 4, rng);
+    TrainOptions topt;
+    topt.episodes = args.get_int("episodes", 100);
+    topt.lr = 0.003;
+    topt.gamma = 0.1;
+    topt.discount_state_weight = false;
+    topt.seed = seed + 1;
+    std::cout << "training " << agent.name() << " at paper scale (" << gp.num_tasks
+              << " tasks, " << np.num_devices << " devices, " << topt.episodes
+              << " episodes)...\n"
+              << std::flush;
+    train_reinforce(agent, lat,
+                    [&ds](std::mt19937_64& r) {
+                      std::uniform_int_distribution<std::size_t> gi(0, ds.graphs.size() - 1);
+                      std::uniform_int_distribution<std::size_t> ni(0, ds.networks.size() - 1);
+                      return ProblemInstance{&ds.graphs[gi(r)], &ds.networks[ni(r)]};
+                    },
+                    topt);
+  }
+
+  // 2. Zero-shot evaluation at 10x-100x scale on sparse topologies.
+  const int tasks = args.get_int("tasks", 1000);
+  const int devices = args.get_int("devices", 100);
+  const int cases = args.get_int("cases", 3);
+  HierarchicalOptions hopt;
+  hopt.partition.num_clusters = args.get_int("clusters", std::max(8, tasks / 20));
+  hopt.refine_rounds = args.get_int("refine-rounds", 3);
+  std::cout << "zero-shot evaluation: " << cases << " instances of " << tasks
+            << " tasks on " << devices << "-device sparse topologies, "
+            << hopt.partition.num_clusters << " target clusters\n\n"
+            << "  case   clusters   hier SLR   HEFT SLR   hier/HEFT   seconds\n";
+
+  double sum_hier = 0.0, sum_heft = 0.0, sum_sec = 0.0;
+  for (int i = 0; i < cases; ++i) {
+    std::mt19937_64 rng(seed + 100 + i);
+    TaskGraphParams gp;
+    gp.num_tasks = tasks;
+    gp.alpha = 0.8;
+    gp.p_connect = 2.0 / tasks;  // sparse, dataflow-like
+    const TaskGraph g = generate_task_graph(gp, rng);
+    NetworkParams np;
+    np.num_devices = devices;
+    DeviceNetwork n = generate_device_network(np, rng);
+    std::vector<PhysicalLink> links;
+    std::uniform_real_distribution<double> bw(20.0, 80.0);
+    std::uniform_real_distribution<double> dl(0.1, 2.0);
+    for (int d = 1; d < devices; ++d) {
+      links.push_back({static_cast<int>(rng() % static_cast<std::uint64_t>(d)), d,
+                       bw(rng), dl(rng), true});
+    }
+    for (int c = 0; c < 2 * devices; ++c) {
+      const int a = static_cast<int>(rng() % devices);
+      const int b = static_cast<int>(rng() % devices);
+      if (a != b) links.push_back({a, b, bw(rng), dl(rng), true});
+    }
+    apply_topology(n, links);
+    ensure_feasible(g, n, rng);
+
+    HierarchicalPlacer placer(g, n, lat, hopt);
+    HierarchicalStats stats;
+    std::mt19937_64 place_rng(seed + 200 + i);
+    const auto t0 = std::chrono::steady_clock::now();
+    const Placement hier = placer.place(agent, place_rng, &stats);
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (!is_feasible(g, n, hier)) throw std::runtime_error("scale: infeasible result");
+    const double heft_slr = placer.objective_of(heft_schedule(g, n, lat).placement);
+    sum_hier += stats.refined_objective;
+    sum_heft += heft_slr;
+    sum_sec += sec;
+    std::printf("  %4d %10d %10.3f %10.3f %11.3f %9.2f\n", i, stats.num_clusters,
+                stats.refined_objective, heft_slr, stats.refined_objective / heft_slr,
+                sec);
+  }
+  std::printf("  mean %10s %10.3f %10.3f %11.3f %9.2f\n", "", sum_hier / cases,
+              sum_heft / cases, sum_hier / sum_heft, sum_sec / cases);
+  std::cout << "\n(training scale -> evaluation scale: "
+            << args.get_int("train-tasks", 20) << " -> " << tasks << " tasks, x"
+            << tasks / std::max(1, args.get_int("train-tasks", 20)) << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -413,7 +528,9 @@ int main(int argc, char** argv) {
     if (args.command == "place") return cmd_place(args);
     if (args.command == "robustness") return cmd_robustness(args);
     if (args.command == "dynamic") return cmd_dynamic(args);
-    std::cerr << "usage: giph_cli {generate|train|snapshot|evaluate|place|robustness|dynamic} [--options]\n"
+    if (args.command == "scale") return cmd_scale(args);
+    std::cerr << "usage: giph_cli {generate|train|snapshot|evaluate|place|"
+                 "robustness|dynamic|scale} [--options]\n"
                  "see the header of tools/giph_cli.cpp for details\n";
     return args.command.empty() ? 0 : 1;
   } catch (const std::exception& e) {

@@ -37,8 +37,20 @@
 // frame unwrapper) either succeeds or throws std::exception with a message —
 // never crashes, hangs, or aborts.
 //
+// With --hier the harness fuzzes the scale tier instead: each case partitions
+// a random (graph, network) pair — including pinned tasks, which exercise the
+// partitioner's forced cuts — and asserts the partition invariants (every
+// task in exactly one cluster, coarse graph acyclic and feasible, compute and
+// bytes conserved, repeat runs identical), that expanding a random feasible
+// coarse placement yields a feasible fine placement constant on clusters,
+// that a full HierarchicalPlacer run returns a feasible placement whose
+// refined objective never exceeds the expanded one and agrees BITWISE with an
+// independent flat simulation of the returned placement, that the sparse
+// gpNet at k >= D is structurally identical to the dense one, and that the
+// subset EST sweep reproduces the full sweep's rows bitwise.
+//
 // Usage: giph_fuzz [--cases N] [--seed S] [--start K] [--delta] [--parse]
-//                  [--verbose]
+//                  [--hier] [--verbose]
 
 #include <algorithm>
 #include <cstdint>
@@ -50,11 +62,16 @@
 
 #include <sstream>
 
+#include "core/giph_agent.hpp"
+#include "core/gpnet.hpp"
+#include "core/hierarchical.hpp"
 #include "gen/device_network_gen.hpp"
+#include "gen/grouping.hpp"
 #include "gen/task_graph_gen.hpp"
 #include "graph/placement.hpp"
 #include "graph/topology.hpp"
 #include "serve/protocol.hpp"
+#include "sim/schedule_index.hpp"
 #include "sim/faults.hpp"
 #include "sim/network_trace.hpp"
 #include "sim/simulator.hpp"
@@ -628,6 +645,252 @@ int run_parse_mode(std::uint64_t cases, std::uint64_t seed, std::uint64_t start,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --hier mode: the scale tier (partition -> coarse place -> refine) must keep
+// its invariants and agree bitwise with flat simulation.
+
+/// Structural comparison of two gpNets; "" when identical.
+std::string diff_gpnets(const GpNet& a, const GpNet& b) {
+  if (a.node_task != b.node_task) return "sparse gpnet: node_task differs";
+  if (a.node_device != b.node_device) return "sparse gpnet: node_device differs";
+  if (a.is_pivot != b.is_pivot) return "sparse gpnet: is_pivot differs";
+  if (a.options != b.options) return "sparse gpnet: per-task options differ";
+  if (a.pivot_of_task != b.pivot_of_task) return "sparse gpnet: pivot_of_task differs";
+  if (a.edge_task_edge != b.edge_task_edge) return "sparse gpnet: edge_task_edge differs";
+  if (a.view.edges != b.view.edges) return "sparse gpnet: edge list differs";
+  if (a.view.topo != b.view.topo) return "sparse gpnet: topological order differs";
+  return "";
+}
+
+/// Per-case stats of the hier mode (for the summary line).
+struct HierStats {
+  std::uint64_t pinned_cases = 0;
+  std::uint64_t forced_extra_clusters = 0;  ///< cases where cuts exceeded the target
+  std::uint64_t refine_kept = 0;            ///< total moves kept across cases
+};
+
+std::string run_hier_case(std::uint64_t base_seed, std::uint64_t index, HierStats* hs) {
+  std::mt19937_64 rng(mix(base_seed ^ mix(index)));
+
+  TaskGraphParams gp;
+  gp.num_tasks = uniform_int(rng, 2, 60);
+  gp.alpha = uniform(rng, 0.5, 2.0);
+  gp.p_connect = uniform(rng, 0.0, 0.6);
+  gp.mean_compute = uniform(rng, 10.0, 200.0);
+  gp.mean_bytes = uniform(rng, 10.0, 200.0);
+  gp.het_compute = uniform(rng, 0.0, 0.9);
+  gp.het_bytes = uniform(rng, 0.0, 0.9);
+  gp.num_hw_kinds = uniform_int(rng, 1, 6);
+  gp.p_task_requires = uniform(rng, 0.0, 0.6);
+
+  NetworkParams np;
+  np.num_devices = uniform_int(rng, 1, 12);
+  np.mean_speed = uniform(rng, 1.0, 20.0);
+  np.mean_bandwidth = uniform(rng, 5.0, 100.0);
+  np.mean_delay = uniform(rng, 0.0, 3.0);
+  np.het_speed = uniform(rng, 0.0, 0.9);
+  np.het_bandwidth = uniform(rng, 0.0, 0.9);
+  np.num_hw_kinds = gp.num_hw_kinds;
+  np.p_hw_support = uniform(rng, 0.3, 1.0);
+
+  TaskGraph g = generate_task_graph(gp, rng);
+  DeviceNetwork n = generate_device_network(np, rng);
+  ensure_feasible(g, n, rng);
+
+  // Pins exercise the partitioner's forced cuts. Each pin targets a device
+  // the task can already run on, so the instance stays feasible.
+  if (uniform(rng, 0.0, 1.0) < 0.4) {
+    const auto sets = feasible_sets(g, n);
+    bool pinned = false;
+    for (int v = 0; v < g.num_tasks(); ++v) {
+      if (uniform(rng, 0.0, 1.0) < 0.15) {
+        g.task(v).pinned =
+            sets[v][uniform_int(rng, 0, static_cast<int>(sets[v].size()) - 1)];
+        pinned = true;
+      }
+    }
+    if (pinned && hs) ++hs->pinned_cases;
+  }
+
+  const int nt = g.num_tasks();
+  const int nd = n.num_devices();
+  char buf[200];
+
+  PartitionOptions popt;
+  popt.num_clusters = uniform_int(rng, 1, nt + 2);
+  popt.balance = uniform(rng, 1.0, 2.5);
+  const GraphPartition part = partition_tasks(g, n, popt);
+  const int nc = part.num_clusters();
+  if (hs && nc > std::min(popt.num_clusters, nt)) ++hs->forced_extra_clusters;
+
+  // Membership is an exact partition, member lists ascending and consistent.
+  if (static_cast<int>(part.cluster_of.size()) != nt) {
+    return "partition: cluster_of size mismatch";
+  }
+  if (static_cast<int>(part.members.size()) != nc) {
+    return "partition: members size mismatch";
+  }
+  std::vector<int> seen(nt, 0);
+  for (int c = 0; c < nc; ++c) {
+    int prev = -1;
+    for (int v : part.members[c]) {
+      if (v < 0 || v >= nt) return "partition: member id out of range";
+      if (v <= prev) return "partition: member list not ascending";
+      prev = v;
+      if (part.cluster_of[v] != c) return "partition: cluster_of disagrees with members";
+      ++seen[v];
+    }
+  }
+  for (int v = 0; v < nt; ++v) {
+    if (seen[v] != 1) {
+      std::snprintf(buf, sizeof(buf), "partition: task %d in %d clusters", v, seen[v]);
+      return buf;
+    }
+  }
+  if (!part.coarse.is_dag()) return "partition: coarse graph has a cycle";
+
+  // Conservation: coarse compute matches, coarse + internal bytes match.
+  if (std::abs(part.coarse.total_compute() - g.total_compute()) >
+      1e-6 * std::max(1.0, g.total_compute())) {
+    return "partition: compute not conserved";
+  }
+  if (std::abs(part.coarse.total_bytes() + part.internal_bytes - g.total_bytes()) >
+      1e-6 * std::max(1.0, g.total_bytes())) {
+    return "partition: bytes not conserved";
+  }
+
+  // The fine instance is feasible, so the forced cuts must have kept the
+  // coarse one feasible too (feasible_sets throws otherwise).
+  try {
+    (void)feasible_sets(part.coarse, n);
+  } catch (const std::exception& e) {
+    return std::string("partition: coarse instance infeasible: ") + e.what();
+  }
+
+  // Determinism: a repeat run is identical.
+  if (partition_tasks(g, n, popt).cluster_of != part.cluster_of) {
+    return "partition: repeat run differs";
+  }
+
+  // Expanding any feasible coarse placement gives a feasible fine placement
+  // that is constant on every cluster.
+  {
+    const Placement coarse = random_placement(part.coarse, n, rng);
+    const Placement fine = expand_placement(part, coarse);
+    if (!is_feasible(g, n, fine)) return "expand: infeasible fine placement";
+    for (int v = 0; v < nt; ++v) {
+      if (fine.device_of(v) != coarse.device_of(part.cluster_of[v])) {
+        return "expand: task not on its cluster's device";
+      }
+    }
+  }
+
+  // Full hierarchical run: feasible result, monotone refinement, and the
+  // reported objective must be BITWISE the flat simulation of the returned
+  // placement (the cross-check that the tier never reports a makespan the
+  // fine simulator would not reproduce).
+  HierarchicalOptions hopt;
+  hopt.partition = popt;
+  hopt.coarse_steps_factor = uniform_int(rng, 0, 2);
+  hopt.coarse_greedy = uniform(rng, 0.0, 1.0) < 0.5;
+  hopt.refine_rounds = uniform_int(rng, 0, 2);
+  hopt.refine_topk = uniform_int(rng, 1, 4);
+
+  GiPHOptions aopt;
+  aopt.embed_dim = 4;
+  aopt.gpnet_topk = uniform(rng, 0.0, 1.0) < 0.5 ? 0 : uniform_int(rng, 1, nd);
+  GiPHAgent agent(aopt);
+
+  HierarchicalPlacer placer(g, n, kLat, hopt);
+  HierarchicalStats st;
+  const Placement fine = placer.place(agent, rng, &st);
+  if (hs) hs->refine_kept += st.refine_moves_kept;
+  if (!is_feasible(g, n, fine)) return "hier: returned placement infeasible";
+  if (st.refined_objective > st.expanded_objective) {
+    std::snprintf(buf, sizeof(buf), "hier: refinement worsened (%.17g > %.17g)",
+                  st.refined_objective, st.expanded_objective);
+    return buf;
+  }
+  const double norm =
+      placer.fine_normalizer() > 0.0 ? placer.fine_normalizer() : 1.0;
+  const double flat = simulate(g, n, fine, kLat).makespan / norm;
+  if (flat != st.refined_objective) {
+    std::snprintf(buf, sizeof(buf),
+                  "hier: reported objective %.17g != flat simulation %.17g",
+                  st.refined_objective, flat);
+    return buf;
+  }
+  if (placer.objective_of(fine) != st.refined_objective) {
+    return "hier: objective_of differs from refine's report";
+  }
+
+  // Sparse gpNet at k >= D is node-for-node the dense gpNet, and the subset
+  // EST sweep reproduces the full sweep's rows bitwise.
+  {
+    const Schedule sched = simulate(g, n, fine, kLat);
+    EstSweepWorkspace full_ws, sub_ws;
+    est_sweep(sched, g, n, fine, kLat, full_ws);
+    const auto feas = feasible_sets(g, n);
+    const GpNet dense = build_gpnet(g, n, fine, feas);
+    const GpNet sparse =
+        build_gpnet_topk(g, n, fine, feas, nd + uniform_int(rng, 0, 3), full_ws.est);
+    if (auto d = diff_gpnets(dense, sparse); !d.empty()) return d;
+
+    const std::vector<int>& subset = part.members[uniform_int(rng, 0, nc - 1)];
+    est_sweep_subset(sched, g, n, fine, kLat, subset, sub_ws);
+    for (int v : subset) {
+      for (int d = 0; d < nd; ++d) {
+        const std::size_t at = static_cast<std::size_t>(v) * nd + d;
+        if (full_ws.est[at] != sub_ws.est[at]) {
+          std::snprintf(buf, sizeof(buf),
+                        "subset est sweep: task %d device %d differs (%.17g vs %.17g)",
+                        v, d, full_ws.est[at], sub_ws.est[at]);
+          return buf;
+        }
+      }
+    }
+  }
+  return "";
+}
+
+int run_hier_mode(std::uint64_t cases, std::uint64_t seed, std::uint64_t start,
+                  bool verbose) {
+  HierStats hs;
+  for (std::uint64_t i = start; i < start + cases; ++i) {
+    std::string failure;
+    try {
+      failure = run_hier_case(seed, i, &hs);
+    } catch (const std::exception& e) {
+      failure = std::string("exception escaped the harness: ") + e.what();
+    }
+    if (!failure.empty()) {
+      std::fprintf(stderr,
+                   "FUZZ FAILURE (hier) at case %llu (base seed %llu)\n  %s\n"
+                   "  reproduce: giph_fuzz --hier --seed %llu --start %llu --cases 1\n",
+                   static_cast<unsigned long long>(i),
+                   static_cast<unsigned long long>(seed), failure.c_str(),
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(i));
+      return 1;
+    }
+    if (verbose && (i - start + 1) % 1000 == 0) {
+      std::printf("giph_fuzz: %llu/%llu hier cases ok\n",
+                  static_cast<unsigned long long>(i - start + 1),
+                  static_cast<unsigned long long>(cases));
+    }
+  }
+  std::printf(
+      "giph_fuzz: %llu hier cases ok (seed %llu, %llu with pins, %llu with forced "
+      "extra clusters, %llu refine moves kept): partition invariants hold, "
+      "hierarchical objectives match flat simulation bitwise, sparse gpNet (k >= D) "
+      "== dense, subset EST sweep == full sweep\n",
+      static_cast<unsigned long long>(cases), static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(hs.pinned_cases),
+      static_cast<unsigned long long>(hs.forced_extra_clusters),
+      static_cast<unsigned long long>(hs.refine_kept));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -637,6 +900,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool delta = false;
   bool parse = false;
+  bool hier = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::uint64_t {
@@ -658,14 +922,17 @@ int main(int argc, char** argv) {
       delta = true;
     } else if (arg == "--parse") {
       parse = true;
+    } else if (arg == "--hier") {
+      hier = true;
     } else {
       std::fprintf(stderr,
                    "usage: giph_fuzz [--cases N] [--seed S] [--start K] [--delta] "
-                   "[--parse] [--verbose]\n");
+                   "[--parse] [--hier] [--verbose]\n");
       return 2;
     }
   }
   if (parse) return run_parse_mode(cases, seed, start, verbose);
+  if (hier) return run_hier_mode(cases, seed, start, verbose);
 
   SimWorkspace ws;
   Schedule reused;
