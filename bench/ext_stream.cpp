@@ -1,0 +1,205 @@
+// Extension experiment (no paper figure): streaming sensor fusion with a
+// tail-latency reward. A GiPH agent is trained with the default makespan
+// reward on sensor-fusion snapshots; a second agent is trained from scratch
+// with a streaming-tail reward, log(p99 * makespan) (objective_factory
+// swap, the Fig. 16 recipe applied to the streaming tier; see the comments
+// at the factory for why the log, the makespan shaping, and the
+// from-scratch start are each load-bearing). Both use the critic baseline.
+// Both are compared on held-out snapshots under both search objectives
+// (a 2x2), every cell scored by simulate_streaming of its best placement
+// (p99 frame latency, steady-state throughput); HEFT is the heuristic
+// reference.
+//
+// Expectation: the p99-trained pipeline (p99 reward + p99 search) finds
+// lower p99 frame latency than the makespan-trained pipeline on a majority
+// of cases - one-shot makespan ignores the cross-frame queueing that
+// dominates the tail once frames pipeline every 1000/pipeline_hz ms.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "casestudy/sensor_fusion.hpp"
+#include "core/giph_agent.hpp"
+#include "heft/heft.hpp"
+
+using namespace giph;
+using namespace giph::bench;
+using giph::casestudy::SensorFusionCase;
+using giph::casestudy::SensorFusionWorld;
+
+namespace {
+
+std::vector<SensorFusionCase> collect_cases(std::uint64_t seed, int wanted) {
+  casestudy::CaseStudyParams params;
+  params.seed = seed;
+  SensorFusionWorld world(params);
+  std::vector<SensorFusionCase> cases;
+  for (int snap = 0; snap < wanted * 8 && static_cast<int>(cases.size()) < wanted;
+       ++snap) {
+    if (auto c = world.next_case()) cases.push_back(std::move(*c));
+  }
+  return cases;
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = Scale::from_env();
+  const DefaultLatencyModel lat;
+  std::printf("Streaming sensor fusion: p99-trained vs makespan-trained (scale: %s)\n",
+              scale.full ? "full" : "quick");
+
+  const std::vector<SensorFusionCase> train = collect_cases(42, scale.full ? 48 : 20);
+  const std::vector<SensorFusionCase> test = collect_cases(1043, scale.full ? 32 : 12);
+  if (train.empty() || test.empty()) {
+    std::printf("no populated sensor-fusion snapshots\n");
+    return 1;
+  }
+  // The pipeline period is a scenario constant (pipeline_hz), so one
+  // StreamOptions serves every case; deterministic streaming (no jitter)
+  // keeps training and evaluation seed-reproducible.
+  const StreamOptions sopt =
+      casestudy::streaming_options(train.front(), scale.full ? 16 : 8);
+
+  const InstanceSampler sampler = [&train](std::mt19937_64& rng) {
+    const SensorFusionCase& c = train[rng() % train.size()];
+    return ProblemInstance{&c.graph, &c.network};
+  };
+
+  GiPHOptions go;
+  go.seed = 17;
+  // Critic baseline (the ext_critic_ablation variant) instead of the
+  // running average-reward baseline. Under pipelined overload nearly all of
+  // the tail improvement lands in the first few moves of an episode, so the
+  // average-reward baseline stays large and every later near-zero-reward
+  // step gets a persistent negative advantage - fine-tuning then steadily
+  // unlearns the warm-started policy (measured: the episode-best curve
+  // *worsens* and held-out p99 degrades 1.3-2.6x). A learned V(s_t) assigns
+  // converged states ~zero expected return, removing that bias.
+  go.use_critic = true;
+  GiPHAgent makespan_agent(go);
+  const TrainStats mk_stats =
+      train_reinforce(makespan_agent, lat, sampler, train_options(scale));
+
+  GiPHAgent p99_agent(go);
+  TrainOptions topt = train_options(scale);
+  // Tail reward: log(p99 * makespan), i.e. the streaming p99 shaped by the
+  // one-shot makespan the environment's schedule already carries. Three
+  // choices here are load-bearing, each pinned down by a measured failure:
+  //  - log, not raw: a random initial placement's queue-dominated tail is
+  //    ~30x the reachable optimum, so raw rewards span two orders of
+  //    magnitude within one episode, swamp the baseline, and REINFORCE
+  //    unlearns mid-episode actions (raw-p99 training lands ~2.6x worse
+  //    than the makespan agent). The log makes per-step rewards relative
+  //    tail improvements and scale-free across instances (denominator 1).
+  //  - makespan shaping: the pure p99 reward is flat under overload (only
+  //    moves touching the bottleneck queue change the tail), and a policy
+  //    trained on it alone converges ~2x worse held-out than the makespan
+  //    agent; the dense makespan term teaches general placement competence
+  //    while the tail term specializes it. log(p99) + log(mk) keeps both
+  //    terms commensurable as relative improvements.
+  //  - from scratch, not warm-started from the makespan parameters: a
+  //    warm-started policy concentrates its reward in the first few moves,
+  //    exactly the regime where the within-episode baselines misassign
+  //    credit to the remaining steps - across four fine-tune
+  //    configurations (raw/log reward, lower lr + episode batching,
+  //    critic), fine-tuning always *degraded* the warm start. Cold start
+  //    keeps rewards spread across the episode while the policy is still
+  //    learning, the same regime where makespan training succeeds.
+  topt.objective_factory = [&lat, &sopt](const TaskGraph&, const DeviceNetwork&,
+                                         std::mt19937_64&) {
+    ScheduleObjective base = streaming_p99_objective(lat, sopt);
+    return [base = std::move(base)](const TaskGraph& g, const DeviceNetwork& n,
+                                    const Placement& p, const Schedule& s) {
+      return std::log(std::max(base(g, n, p, s), 1e-300)) +
+             std::log(std::max(s.makespan, 1e-300));
+    };
+  };
+  topt.normalizer = [](const TaskGraph&, const DeviceNetwork&) { return 1.0; };
+  const TrainStats p99_stats = train_reinforce(p99_agent, lat, sampler, topt);
+
+  const auto tail_mean = [](const std::vector<double>& xs, bool head) {
+    const std::size_t k = std::max<std::size_t>(1, xs.size() / 4);
+    double s = 0.0;
+    for (std::size_t i = 0; i < k; ++i) s += xs[head ? i : xs.size() - 1 - i];
+    return s / static_cast<double>(k);
+  };
+  print_header("training (normalized episode-best, first vs last quartile)");
+  std::printf("%-22s %10.3f -> %10.3f\n", "makespan reward",
+              tail_mean(mk_stats.episode_best, true),
+              tail_mean(mk_stats.episode_best, false));
+  std::printf("%-22s %10.3f -> %10.3f\n", "p99 reward (log p99*mk)",
+              tail_mean(p99_stats.episode_best, true),
+              tail_mean(p99_stats.episode_best, false));
+
+  // Held-out 2x2: both trained agents under both search objectives, same
+  // initial placement and budget per case; every cell scored by the
+  // streaming p99 of its best placement.
+  struct Cell {
+    double sum_p99 = 0.0;
+    double sum_tp = 0.0;
+  };
+  Cell cells[2][2];  // [agent: 0=makespan,1=p99][search: 0=makespan,1=p99]
+  double sum_heft_p99 = 0.0, sum_init_p99 = 0.0;
+  int p99_wins = 0, ties = 0;
+  GiPHAgent* agents[2] = {&makespan_agent, &p99_agent};
+  for (std::size_t ci = 0; ci < test.size(); ++ci) {
+    const TaskGraph& g = test[ci].graph;
+    const DeviceNetwork& n = test[ci].network;
+    const double denom = slr_denominator(g, n, lat);
+    std::mt19937_64 case_rng(999 + ci);
+    const Placement init = random_placement(g, n, case_rng);
+    const int steps = 2 * g.num_tasks();
+
+    double case_p99[2][2];
+    for (int a = 0; a < 2; ++a) {
+      for (int s = 0; s < 2; ++s) {
+        std::mt19937_64 rng(5000 + ci);
+        PlacementSearchEnv env(g, n, lat,
+                               s == 0 ? makespan_objective(lat)
+                                      : streaming_p99_objective(lat, sopt),
+                               init, denom);
+        run_search(*agents[a], env, steps, rng);
+        const StreamResult r =
+            simulate_streaming(g, n, env.best_placement(), lat, sopt);
+        cells[a][s].sum_p99 += r.p99_latency;
+        cells[a][s].sum_tp += r.throughput;
+        case_p99[a][s] = r.p99_latency;
+      }
+    }
+    sum_heft_p99 +=
+        simulate_streaming(g, n, heft_schedule(g, n, lat).placement, lat, sopt)
+            .p99_latency;
+    sum_init_p99 += simulate_streaming(g, n, init, lat, sopt).p99_latency;
+    if (case_p99[1][1] < case_p99[0][0]) {
+      ++p99_wins;
+    } else if (case_p99[1][1] == case_p99[0][0]) {
+      ++ties;
+    }
+  }
+
+  const double nt = static_cast<double>(test.size());
+  print_header("held-out streaming snapshots (mean p99 / mean throughput)");
+  std::printf("cases: %zu, frames: %d every %.1f ms\n\n", test.size(), sopt.frames,
+              sopt.interval);
+  std::printf("%-22s %20s %20s\n", "", "makespan search", "p99 search");
+  for (int a = 0; a < 2; ++a) {
+    std::printf("%-22s %12.3f %7.5f %12.3f %7.5f\n",
+                a == 0 ? "makespan-trained" : "p99-trained",
+                cells[a][0].sum_p99 / nt, cells[a][0].sum_tp / nt,
+                cells[a][1].sum_p99 / nt, cells[a][1].sum_tp / nt);
+  }
+  std::printf("%-22s %12.3f\n", "initial placement", sum_init_p99 / nt);
+  std::printf("%-22s %12.3f\n", "HEFT", sum_heft_p99 / nt);
+  std::printf("\np99 pipeline wins %d / %zu (ties %d), p99 improvement %.1f%%\n",
+              p99_wins, test.size(), ties,
+              100.0 * (1.0 - cells[1][1].sum_p99 / cells[0][0].sum_p99));
+
+  const bool beats = cells[1][1].sum_p99 < cells[0][0].sum_p99 &&
+                     2 * p99_wins > static_cast<int>(test.size());
+  std::printf("acceptance (p99-trained beats makespan-trained): %s\n",
+              beats ? "yes" : "NO");
+  return beats ? 0 : 1;
+}

@@ -251,6 +251,15 @@ ScheduleObjective energy_objective(const SensorFusionCase& c, const LatencyModel
   };
 }
 
+StreamOptions streaming_options(const SensorFusionCase& c, int frames,
+                                double arrival_jitter) {
+  StreamOptions opt;
+  opt.frames = frames;
+  opt.interval = 1000.0 / c.pipeline_hz;  // pipeline period in ms
+  opt.arrival_jitter = arrival_jitter;
+  return opt;
+}
+
 ScheduleObjective relocation_aware_objective(const SensorFusionCase& c,
                                              const LatencyModel& lat, Placement reference,
                                              double amortization_window_s) {

@@ -97,6 +97,16 @@ double total_relocation_cost_ms(const SensorFusionCase& c, const Placement& from
 /// joules. Closed-form — the provided schedule is unused.
 ScheduleObjective energy_objective(const SensorFusionCase& c, const LatencyModel& lat);
 
+/// Streaming configuration of the sensor pipeline: one frame enters every
+/// 1000 / pipeline_hz ms (the paper's pipeline run frequency) for `frames`
+/// iterations, with optional arrival jitter (fraction of the interval; needs
+/// StreamOptions::sim.rng when > 0, supplied by the caller). This is the
+/// flagship streaming scenario: devices pipeline successive sensor frames, so
+/// sustained throughput and tail latency - not one-shot makespan - are what a
+/// deployment experiences.
+StreamOptions streaming_options(const SensorFusionCase& c, int frames,
+                                double arrival_jitter = 0.0);
+
 /// Makespan objective augmented with the amortized relocation cost relative
 /// to `reference` (the placement currently deployed): relocation cost is
 /// divided by the number of pipeline runs it benefits,

@@ -18,14 +18,19 @@ std::vector<double> curve_fractions(int points) {
 namespace {
 
 SearchTrace run_case(SearchPolicy& policy, const Case& c, const LatencyModel& lat,
-                     double noise, std::uint64_t case_seed) {
+                     double noise, std::uint64_t case_seed,
+                     const ObjectiveFactory& objective) {
   const TaskGraph& g = *c.graph;
   const DeviceNetwork& n = *c.network;
   std::mt19937_64 rng(case_seed);
   const Placement init = random_placement(g, n, rng);
-  const double denom = slr_denominator(g, n, lat);
-  ScheduleObjective obj = noise > 0.0 ? noisy_makespan_objective(lat, noise, rng)
-                                      : makespan_objective(lat);
+  // A custom objective reports raw values (denominator 1): SLR is a makespan
+  // concept and a lower-bound schedule does not normalize e.g. a p99 latency.
+  const double denom = objective ? 1.0 : slr_denominator(g, n, lat);
+  ScheduleObjective obj =
+      objective ? objective(g, n, rng)
+                : (noise > 0.0 ? noisy_makespan_objective(lat, noise, rng)
+                               : makespan_objective(lat));
   PlacementSearchEnv env(g, n, lat, std::move(obj), init, denom);
   SearchTrace trace = run_search(policy, env, 2 * g.num_tasks(), rng);
   // A 0-step search (empty graph) leaves best_so_far empty; report the
@@ -50,14 +55,15 @@ void add_curve_contribution(std::vector<double>& values, const SearchTrace& trac
 
 Curve policy_curve(SearchPolicy& policy, const std::vector<Case>& cases,
                    const LatencyModel& lat, double noise, std::uint64_t seed,
-                   int points) {
+                   int points, const ObjectiveFactory& objective) {
   Curve curve;
   curve.name = policy.name();
   curve.values.assign(points, 0.0);
   const auto fractions = curve_fractions(points);
   for (std::size_t ci = 0; ci < cases.size(); ++ci) {
-    add_curve_contribution(curve.values,
-                           run_case(policy, cases[ci], lat, noise, seed + ci), fractions);
+    add_curve_contribution(
+        curve.values, run_case(policy, cases[ci], lat, noise, seed + ci, objective),
+        fractions);
   }
   for (double& v : curve.values) v /= static_cast<double>(std::max<std::size_t>(1, cases.size()));
   return curve;
@@ -65,7 +71,7 @@ Curve policy_curve(SearchPolicy& policy, const std::vector<Case>& cases,
 
 Curve policy_curve(const PolicyFactory& make_policy, const std::vector<Case>& cases,
                    const LatencyModel& lat, double noise, std::uint64_t seed,
-                   int points, int threads) {
+                   int points, int threads, const ObjectiveFactory& objective) {
   Curve curve;
   curve.values.assign(points, 0.0);
   const auto fractions = curve_fractions(points);
@@ -79,7 +85,8 @@ Curve policy_curve(const PolicyFactory& make_policy, const std::vector<Case>& ca
     slots[ci].assign(points, 0.0);
     add_curve_contribution(
         slots[ci],
-        run_case(*policy, cases[ci], lat, noise, seed + static_cast<std::uint64_t>(ci)),
+        run_case(*policy, cases[ci], lat, noise, seed + static_cast<std::uint64_t>(ci),
+                 objective),
         fractions);
   });
   for (const auto& slot : slots) {
@@ -92,11 +99,12 @@ Curve policy_curve(const PolicyFactory& make_policy, const std::vector<Case>& ca
 
 std::vector<double> policy_finals(SearchPolicy& policy, const std::vector<Case>& cases,
                                   const LatencyModel& lat, double noise,
-                                  std::uint64_t seed) {
+                                  std::uint64_t seed, const ObjectiveFactory& objective) {
   std::vector<double> finals;
   finals.reserve(cases.size());
   for (std::size_t ci = 0; ci < cases.size(); ++ci) {
-    finals.push_back(run_case(policy, cases[ci], lat, noise, seed + ci).best_so_far.back());
+    finals.push_back(
+        run_case(policy, cases[ci], lat, noise, seed + ci, objective).best_so_far.back());
   }
   return finals;
 }
@@ -104,13 +112,14 @@ std::vector<double> policy_finals(SearchPolicy& policy, const std::vector<Case>&
 std::vector<double> policy_finals(const PolicyFactory& make_policy,
                                   const std::vector<Case>& cases,
                                   const LatencyModel& lat, double noise,
-                                  std::uint64_t seed, int threads) {
+                                  std::uint64_t seed, int threads,
+                                  const ObjectiveFactory& objective) {
   std::vector<double> finals(cases.size(), 0.0);
   util::parallel_for(static_cast<int>(cases.size()), threads, [&](int ci) {
     auto policy = make_policy();
-    finals[ci] =
-        run_case(*policy, cases[ci], lat, noise, seed + static_cast<std::uint64_t>(ci))
-            .best_so_far.back();
+    finals[ci] = run_case(*policy, cases[ci], lat, noise,
+                          seed + static_cast<std::uint64_t>(ci), objective)
+                     .best_so_far.back();
   });
   return finals;
 }

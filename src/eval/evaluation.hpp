@@ -29,9 +29,16 @@ struct Curve {
   std::vector<double> values;
 };
 
+/// Optional custom search objective (streaming p99, throughput, energy...):
+/// called once per case with the case's instance and per-case rng, like
+/// TrainOptions::objective_factory. Null keeps the default protocol -
+/// makespan SLR, noisy when `noise` > 0. With a custom objective the SLR
+/// denominator is dropped (denominator 1): curves and finals report raw
+/// objective values, which stay comparable across policies because every
+/// policy sees the same per-case objective.
 Curve policy_curve(SearchPolicy& policy, const std::vector<Case>& cases,
                    const LatencyModel& lat, double noise, std::uint64_t seed,
-                   int points = 9);
+                   int points = 9, const ObjectiveFactory& objective = {});
 
 /// Creates a fresh, identically-configured policy instance. Parallel
 /// evaluation needs one policy object per case: most policies carry mutable
@@ -46,20 +53,22 @@ using PolicyFactory = std::function<std::unique_ptr<SearchPolicy>()>;
 /// so the curve is bitwise identical for every thread count.
 Curve policy_curve(const PolicyFactory& make_policy, const std::vector<Case>& cases,
                    const LatencyModel& lat, double noise, std::uint64_t seed,
-                   int points = 9, int threads = 0);
+                   int points = 9, int threads = 0, const ObjectiveFactory& objective = {});
 
 /// Final best SLR per case (same protocol as policy_curve). A 0-step search
 /// (empty graph) reports the initial objective.
 std::vector<double> policy_finals(SearchPolicy& policy, const std::vector<Case>& cases,
                                   const LatencyModel& lat, double noise,
-                                  std::uint64_t seed);
+                                  std::uint64_t seed,
+                                  const ObjectiveFactory& objective = {});
 
 /// Parallel variant; bitwise identical for every thread count (see
 /// policy_curve).
 std::vector<double> policy_finals(const PolicyFactory& make_policy,
                                   const std::vector<Case>& cases,
                                   const LatencyModel& lat, double noise,
-                                  std::uint64_t seed, int threads = 0);
+                                  std::uint64_t seed, int threads = 0,
+                                  const ObjectiveFactory& objective = {});
 
 /// SLR of the HEFT placement per case, evaluated by the same simulator.
 /// Cases fan out over `threads` worker threads (1 = serial, <= 0 = one per

@@ -82,6 +82,35 @@ ScheduleObjective noisy_makespan_objective(const LatencyModel& lat, double sigma
   };
 }
 
+ScheduleObjective streaming_p99_objective(const LatencyModel& lat,
+                                          StreamOptions stream) {
+  // Streaming metrics need their own iterated-graph simulation: the one-shot
+  // schedule the environment hands over says nothing about cross-frame
+  // pipelining. The workspace caches the replicated graph across calls.
+  auto ws = std::make_shared<StreamWorkspace>();
+  auto res = std::make_shared<StreamResult>();
+  return [&lat, stream = std::move(stream), ws, res](
+             const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+             const Schedule&) {
+    simulate_streaming_into(g, n, p, lat, *ws, *res, stream);
+    return res->p99_latency;
+  };
+}
+
+ScheduleObjective streaming_throughput_objective(const LatencyModel& lat,
+                                                 StreamOptions stream) {
+  auto ws = std::make_shared<StreamWorkspace>();
+  auto res = std::make_shared<StreamResult>();
+  return [&lat, stream = std::move(stream), ws, res](
+             const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+             const Schedule&) {
+    simulate_streaming_into(g, n, p, lat, *ws, *res, stream);
+    // Minimized: the mean inter-frame completion period. 1 / inf == 0.0 for
+    // the degenerate zero-span case, which is indeed unbeatable.
+    return 1.0 / res->throughput;
+  };
+}
+
 ScheduleObjective total_cost_objective(const LatencyModel& lat) {
   return [&lat](const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
                 const Schedule&) { return total_cost(g, n, p, lat); };

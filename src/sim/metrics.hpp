@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "sim/simulator.hpp"
+#include "sim/stream.hpp"
 
 namespace giph {
 
@@ -61,5 +62,22 @@ ScheduleObjective noisy_makespan_objective(const LatencyModel& lat, double sigma
 
 /// Total-cost objective of Appendix B.8 (closed form; no simulation).
 ScheduleObjective total_cost_objective(const LatencyModel& lat);
+
+/// Streaming p99 tail-latency objective: each evaluation runs its own
+/// simulate_streaming (the provided one-shot schedule cannot answer
+/// cross-frame questions) and returns StreamResult::p99_latency. `stream` is
+/// captured by value; its sim.rng, if set, must outlive the objective and is
+/// consumed per evaluation (jitter/noise re-sampled, like noisy makespan).
+/// Copyable with shared internal buffers: single-threaded use, one objective
+/// per worker.
+ScheduleObjective streaming_p99_objective(const LatencyModel& lat,
+                                          StreamOptions stream);
+
+/// Streaming throughput objective, as a minimized quantity: returns
+/// 1 / StreamResult::throughput (the mean inter-frame completion period;
+/// 0 when throughput is infinite). Same evaluation contract as
+/// streaming_p99_objective.
+ScheduleObjective streaming_throughput_objective(const LatencyModel& lat,
+                                                 StreamOptions stream);
 
 }  // namespace giph

@@ -17,6 +17,24 @@ namespace giph::detail {
 constexpr int kTaskDone = 0;
 constexpr int kTransferDone = 1;
 constexpr int kBreakpoint = 2;
+constexpr int kFrameArrival = 3;
+
+/// Streaming context for simulate_core(): the graph being simulated is F
+/// frame-copies of a base graph (virtual task id = f * base_tasks + v, no
+/// cross-frame edges), and frame f's entry tasks become runnable at
+/// arrivals[f] instead of t = 0. Frame 0 always arrives at t = 0 and is
+/// released exactly like simulate()'s entry tasks, so a 1-frame plan adds no
+/// events and reproduces the one-shot run bitwise.
+struct StreamPlan {
+  int base_tasks = 0;  ///< V of the base (one-frame) graph
+  /// Entry task ids of the base graph, ascending; frame f releases the copies
+  /// f * base_tasks + v in this order.
+  const std::vector<int>* entries = nullptr;
+  /// Per-frame arrival times, non-decreasing, arrivals[0] == 0. One
+  /// kFrameArrival event per frame >= 1 is pushed at init (after trace
+  /// breakpoints), so an arrival coinciding with a sim event pops first.
+  const std::vector<double>* arrivals = nullptr;
+};
 
 // Later events sort before earlier ones so heap operations keep the earliest
 // event at the front; ties break by creation order, making pop order fully
@@ -57,6 +75,9 @@ struct SimEngine {
   /// and edge versions recorded as the run unfolds. May be null.
   DeltaSimState* rec;
   int nd = 0;
+  /// Streaming runs only (simulate_core with a plan); null otherwise, which
+  /// keeps the 12-value aggregate initializers of the one-shot paths valid.
+  const StreamPlan* stream = nullptr;
 
   long seq = 0;
   int completed = 0;
@@ -168,6 +189,11 @@ struct SimEngine {
         out.edge_finish[e] = ev.time;
         const int child = g.edge(e).dst;
         if (--ws.remaining_inputs[child] == 0) make_runnable(child, ev.time);
+      } else if (ev.kind == kFrameArrival) {
+        // Frame ev.id enters the stream: its entry-task copies join their
+        // device queues (or start) in base entry order, like frame 0 at t = 0.
+        const int base = ev.id * stream->base_tasks;
+        for (const int v : *stream->entries) make_runnable(base + v, ev.time);
       } else {  // kBreakpoint
         const auto [li, si] = (*breakpoints)[ev.id];
         const TraceSegment& seg = trace->links[li].segments[si];
@@ -229,5 +255,16 @@ struct SimEngine {
     }
   }
 };
+
+/// The full init-run-finalize pipeline behind simulate_into() and
+/// simulate_streaming(): validates options, resets workspace buffers, seeds
+/// trace breakpoints / frame arrivals / entry tasks, and drives SimEngine.
+/// `plan == nullptr` is exactly simulate_into(); with a plan, `g` and `p`
+/// must be the frame-replicated instance the plan describes. `caller`
+/// prefixes every diagnostic.
+void simulate_core(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                   const LatencyModel& lat, SimWorkspace& ws, Schedule& out,
+                   const SimOptions& opt, DeltaSimState* record,
+                   const StreamPlan* plan, const char* caller);
 
 }  // namespace giph::detail

@@ -60,14 +60,16 @@ void validate_sim_options(const SimOptions& opt, const char* caller) {
   }
 }
 
-void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
-                   const LatencyModel& lat, SimWorkspace& ws, Schedule& out,
-                   const SimOptions& opt, DeltaSimState* record) {
+void detail::simulate_core(const TaskGraph& g, const DeviceNetwork& n,
+                           const Placement& p, const LatencyModel& lat,
+                           SimWorkspace& ws, Schedule& out, const SimOptions& opt,
+                           DeltaSimState* record, const StreamPlan* plan,
+                           const char* caller) {
   // Validate options first: noise without an engine would dereference null
   // inside the event loop, far from the caller's mistake.
-  validate_sim_options(opt, "simulate");
+  validate_sim_options(opt, caller);
   if (!is_feasible(g, n, p)) {
-    throw std::invalid_argument("simulate: infeasible placement");
+    throw std::invalid_argument(std::string(caller) + ": infeasible placement");
   }
   detail::bump_simulation_count();
   if (record != nullptr) record->valid = false;
@@ -80,11 +82,11 @@ void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& 
   // code path (bitwise-identical output, no extra buffers touched).
   const NetworkTrace* trace =
       (opt.trace != nullptr && !opt.trace->empty()) ? opt.trace : nullptr;
-  if (trace != nullptr) validate_network_trace(*trace, n, "simulate");
+  if (trace != nullptr) validate_network_trace(*trace, n, caller);
   const SharedLinkMap* shared = opt.shared_links;
   if (shared != nullptr && shared->num_devices != nd) {
     throw std::invalid_argument(
-        "simulate: shared_links was built for " +
+        std::string(caller) + ": shared_links was built for " +
         std::to_string(shared->num_devices) + " devices but the network has " +
         std::to_string(nd));
   }
@@ -118,8 +120,8 @@ void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& 
   std::vector<std::pair<int, int>> breakpoints;  // (trace link, segment)
   if (shared != nullptr) ws.link_free.assign(shared->num_links, 0.0);
 
-  detail::SimEngine eng{g,      n,      p,            lat, ws, out, opt,
-                        trace,  shared, &breakpoints, record, nd};
+  detail::SimEngine eng{g,      n,      p,            lat,    ws, out, opt,
+                        trace,  shared, &breakpoints, record, nd, plan};
 
   if (trace != nullptr) {
     const int nl = static_cast<int>(trace->links.size());
@@ -149,16 +151,37 @@ void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& 
     }
   }
 
-  // Entry tasks become runnable at t = 0 in task-id order.
-  for (int v = 0; v < nv; ++v) {
-    if (ws.remaining_inputs[v] == 0) eng.make_runnable(v, 0.0);
+  if (plan != nullptr) {
+    // Streaming: frame arrivals are pushed after the trace breakpoints and
+    // before any sim event, so an arrival at the instant a task finishes pops
+    // first (lower seq). Frame 0 arrives at t = 0 and is released below like
+    // a one-shot run's entry tasks; a 1-frame plan therefore pushes nothing
+    // here and the run is bitwise identical to simulate_into().
+    const std::vector<double>& arrivals = *plan->arrivals;
+    for (int f = 1; f < static_cast<int>(arrivals.size()); ++f) {
+      eng.push_event(arrivals[f], detail::kFrameArrival, f);
+    }
+    // Frame 0's entry copies are exactly the base entries (ids < base_tasks);
+    // later frames' copies wait for their kFrameArrival event.
+    for (const int v : *plan->entries) eng.make_runnable(v, 0.0);
+  } else {
+    // Entry tasks become runnable at t = 0 in task-id order.
+    for (int v = 0; v < nv; ++v) {
+      if (ws.remaining_inputs[v] == 0) eng.make_runnable(v, 0.0);
+    }
   }
   // topological_order() throws on cyclic input; check up-front so a cyclic
   // graph cannot hang the event loop.
   (void)g.topological_order();
 
   eng.run();
-  eng.finalize("simulate");
+  eng.finalize(caller);
+}
+
+void simulate_into(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
+                   const LatencyModel& lat, SimWorkspace& ws, Schedule& out,
+                   const SimOptions& opt, DeltaSimState* record) {
+  detail::simulate_core(g, n, p, lat, ws, out, opt, record, nullptr, "simulate");
 }
 
 Schedule simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,

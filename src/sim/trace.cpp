@@ -30,6 +30,21 @@ void write_schedule_csv(std::ostream& out, const TaskGraph& g, const DeviceNetwo
   (void)n;
 }
 
+void write_stream_csv(std::ostream& out, const StreamResult& result) {
+  // Same exact-fixture contract as write_schedule_csv: max_digits10 so every
+  // latency round-trips to the exact double, precision restored on return.
+  const auto saved_precision = out.precision(std::numeric_limits<double>::max_digits10);
+  out << "frame,arrival,finish,latency\n";
+  for (int f = 0; f < result.frames; ++f) {
+    out << f << "," << result.frame_arrival[f] << "," << result.frame_finish[f]
+        << "," << result.frame_latency[f] << "\n";
+  }
+  out << "summary," << result.frames << "," << result.steady_frame << ","
+      << result.throughput << "," << result.p50_latency << ","
+      << result.p99_latency << "," << result.makespan << "\n";
+  out.precision(saved_precision);
+}
+
 std::string ascii_gantt(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
                         const Schedule& sched, int width) {
   std::ostringstream out;

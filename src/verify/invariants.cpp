@@ -31,6 +31,50 @@ class Collector {
 
 bool completed(const Schedule& s, int v) { return s.tasks[v].finish >= 0.0; }
 
+/// First-principles id tiling for the checker's replicated streaming
+/// instance: virtual ids map back to the base graph as v % V / e % E before
+/// the real model is consulted (independent of the simulator's adapter).
+class ReplicatedLatencyModel final : public LatencyModel {
+ public:
+  ReplicatedLatencyModel(const LatencyModel& base, const TaskGraph& base_graph)
+      : base_(base),
+        g_(base_graph),
+        nv_(base_graph.num_tasks()),
+        ne_(base_graph.num_edges()) {}
+
+  double compute_time(const TaskGraph&, const DeviceNetwork& n, int v,
+                      int k) const override {
+    return base_.compute_time(g_, n, v % nv_, k);
+  }
+
+  double comm_time(const TaskGraph&, const DeviceNetwork& n, int e, int k,
+                   int l) const override {
+    return base_.comm_time(g_, n, e % ne_, k, l);
+  }
+
+  double comm_startup(const TaskGraph&, const DeviceNetwork& n, int e, int k,
+                      int l) const override {
+    return base_.comm_startup(g_, n, e % ne_, k, l);
+  }
+
+ private:
+  const LatencyModel& base_;
+  const TaskGraph& g_;
+  int nv_;
+  int ne_;
+};
+
+/// The checker's own nearest-rank percentile (no interpolation), mirrored
+/// from the documented StreamResult convention, not from the implementation.
+double checker_nearest_rank(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = std::ceil(q * static_cast<double>(xs.size()));
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (idx >= xs.size()) idx = xs.size() - 1;
+  return xs[idx];
+}
+
 }  // namespace
 
 std::string InvariantReport::summary() const {
@@ -70,8 +114,10 @@ InvariantReport check_schedule(const TaskGraph& g, const DeviceNetwork& n,
 
   if (static_cast<int>(sched.tasks.size()) != nv ||
       static_cast<int>(sched.edge_start.size()) != ne ||
-      static_cast<int>(sched.edge_finish.size()) != ne || p.num_tasks() != nv) {
-    c.fail("shape: schedule/placement arrays do not match the graph (",
+      static_cast<int>(sched.edge_finish.size()) != ne || p.num_tasks() != nv ||
+      (opt.release_times != nullptr &&
+       static_cast<int>(opt.release_times->size()) != nv)) {
+    c.fail("shape: schedule/placement/release arrays do not match the graph (",
            sched.tasks.size(), " tasks, ", sched.edge_start.size(), " edges for a ", nv,
            "-task ", ne, "-edge graph)");
     return report;  // everything below indexes by task/edge id
@@ -185,13 +231,14 @@ InvariantReport check_schedule(const TaskGraph& g, const DeviceNetwork& n,
     }
   }
 
-  // Ready time of each completed task: the arrival of its last input (entry
-  // tasks are ready at 0). Unset when an input never arrived, which is itself
-  // a violation for a completed task.
+  // Ready time of each completed task: the arrival of its last input, but no
+  // earlier than its release time (entry tasks are ready at release, 0 by
+  // default). Unset when an input never arrived, which is itself a violation
+  // for a completed task.
   std::vector<double> ready(nv, kUnset);
   for (int v = 0; v < nv; ++v) {
     if (!completed(sched, v)) continue;
-    double r = 0.0;
+    double r = opt.release_times != nullptr ? (*opt.release_times)[v] : 0.0;
     bool known = true;
     for (int e : g.in_edges(v)) {
       if (sched.edge_finish[e] < 0.0) {
@@ -367,6 +414,178 @@ InvariantReport check_fault_result(const TaskGraph& g, const DeviceNetwork& n,
         result.schedule.tasks[link.src].finish < 0.0) {
       c.fail("task ", link.dst, " completed though parent ", link.src, " is stranded");
     }
+  }
+
+  return report;
+}
+
+InvariantReport check_stream_result(const TaskGraph& g, const DeviceNetwork& n,
+                                    const Placement& p, const LatencyModel& lat,
+                                    const StreamResult& result,
+                                    const StreamOptions& opt) {
+  InvariantReport report;
+  Collector c(report);
+  const int nv = g.num_tasks();
+  const int ne = g.num_edges();
+  const int frames = result.frames;
+
+  if (frames < 1 || frames > opt.frames) {
+    c.fail("stream: simulated ", frames, " frames, outside [1, ", opt.frames, "]");
+    return report;
+  }
+  if (static_cast<int>(result.frame_arrival.size()) != frames ||
+      static_cast<int>(result.frame_finish.size()) != frames ||
+      static_cast<int>(result.frame_latency.size()) != frames ||
+      static_cast<int>(result.schedule.tasks.size()) != frames * nv ||
+      static_cast<int>(result.schedule.edge_start.size()) != frames * ne ||
+      static_cast<int>(result.schedule.edge_finish.size()) != frames * ne) {
+    c.fail("stream: result arrays do not match ", frames, " frames of a ", nv,
+           "-task ", ne, "-edge graph");
+    return report;  // everything below indexes per frame
+  }
+
+  // Arrivals: frame 0 at t = 0, then one interval (or jittered gap) apart.
+  if (result.frame_arrival[0] != 0.0) {
+    c.fail("stream: frame 0 arrives at ", result.frame_arrival[0], ", not 0");
+  }
+  if (opt.arrival_jitter <= 0.0) {
+    double expected = 0.0;
+    for (int f = 1; f < frames; ++f) {
+      expected += opt.interval;
+      if (result.frame_arrival[f] != expected) {
+        c.fail("stream: frame ", f, " arrives at ", result.frame_arrival[f],
+               " but frames enter every ", opt.interval, " (expected ", expected, ")");
+      }
+    }
+  } else {
+    const double lo = opt.interval * (1.0 - opt.arrival_jitter);
+    const double hi = opt.interval * (1.0 + opt.arrival_jitter);
+    // The recovered gap carries one subtraction of rounding; allow for it.
+    const double slack = 1e-9 * std::max(1.0, hi);
+    for (int f = 1; f < frames; ++f) {
+      const double gap = result.frame_arrival[f] - result.frame_arrival[f - 1];
+      if (gap < lo - slack || gap > hi + slack) {
+        c.fail("stream: frame ", f, " gap ", gap, " outside jitter bounds [", lo,
+               ", ", hi, "]");
+      }
+    }
+  }
+
+  // Rebuild the frame-replicated instance from first principles and hold the
+  // schedule to every one-shot invariant over it, with per-task release =
+  // frame arrival feeding the ready-time computation.
+  TaskGraph rep;
+  for (int f = 0; f < frames; ++f) {
+    for (int v = 0; v < nv; ++v) rep.add_task(g.task(v));
+  }
+  for (int f = 0; f < frames; ++f) {
+    for (int e = 0; e < ne; ++e) {
+      const DataLink& link = g.edge(e);
+      rep.add_edge(f * nv + link.src, f * nv + link.dst, link.bytes);
+    }
+  }
+  Placement rp(frames * nv);
+  std::vector<double> release(static_cast<std::size_t>(frames) * nv, 0.0);
+  for (int f = 0; f < frames; ++f) {
+    for (int v = 0; v < nv; ++v) {
+      rp.set(f * nv + v, p.num_tasks() == nv ? p.device_of(v) : -1);
+      release[static_cast<std::size_t>(f) * nv + v] = result.frame_arrival[f];
+    }
+  }
+  const ReplicatedLatencyModel rep_lat(lat, g);
+  CheckOptions co;
+  co.noise = opt.sim.noise;
+  co.serialize_transfers = opt.sim.serialize_transfers;
+  co.trace = opt.sim.trace;
+  co.shared_links = opt.sim.shared_links;
+  co.release_times = &release;
+  const InvariantReport inner = check_schedule(rep, n, rp, rep_lat, result.schedule, co);
+  report.violations.insert(report.violations.end(), inner.violations.begin(),
+                           inner.violations.end());
+
+  // Per-frame finish/latency bookkeeping, bitwise.
+  const bool traced = opt.sim.trace != nullptr && !opt.sim.trace->empty();
+  for (int f = 0; f < frames; ++f) {
+    double fin = result.frame_arrival[f];
+    for (int v = 0; v < nv; ++v) {
+      fin = std::max(fin, result.schedule.tasks[f * nv + v].finish);
+    }
+    if (result.frame_finish[f] != fin) {
+      c.fail("stream: frame ", f, " finish ", result.frame_finish[f],
+             " != max task finish ", fin);
+    }
+    if (result.frame_latency[f] != result.frame_finish[f] - result.frame_arrival[f]) {
+      c.fail("stream: frame ", f, " latency ", result.frame_latency[f],
+             " != finish - arrival = ",
+             result.frame_finish[f] - result.frame_arrival[f]);
+    }
+    // Monotone frame completion: identical frames entering later cannot
+    // finish earlier — unless noise re-draws durations per frame or a trace
+    // changes link conditions between dispatches.
+    if (f > 0 && opt.sim.noise <= 0.0 && !traced &&
+        result.frame_finish[f] < result.frame_finish[f - 1]) {
+      c.fail("stream: frame ", f, " finishes at ", result.frame_finish[f],
+             " before frame ", f - 1, " at ", result.frame_finish[f - 1]);
+    }
+  }
+
+  // Throughput identity and percentile conventions, bitwise.
+  double expected_throughput;
+  if (frames > 1) {
+    const double span = result.frame_finish[frames - 1] - result.frame_finish[0];
+    expected_throughput = span > 0.0 ? frames / span
+                                     : std::numeric_limits<double>::infinity();
+  } else {
+    expected_throughput = result.frame_latency[0] > 0.0
+                              ? 1.0 / result.frame_latency[0]
+                              : std::numeric_limits<double>::infinity();
+  }
+  if (result.throughput != expected_throughput) {
+    c.fail("stream: throughput ", result.throughput,
+           " != frames / (last finish - first finish) = ", expected_throughput);
+  }
+  if (result.p50_latency != checker_nearest_rank(result.frame_latency, 0.50)) {
+    c.fail("stream: p50 ", result.p50_latency, " is not the nearest-rank median");
+  }
+  if (result.p99_latency != checker_nearest_rank(result.frame_latency, 0.99)) {
+    c.fail("stream: p99 ", result.p99_latency,
+           " is not the nearest-rank 99th percentile");
+  }
+  if (result.makespan != result.schedule.makespan) {
+    c.fail("stream: makespan ", result.makespan, " != schedule makespan ",
+           result.schedule.makespan);
+  }
+
+  // Early termination is only legitimate via steady-state detection, and a
+  // claimed steady frame must name a tail window that actually converged.
+  const bool detectable = opt.detect_steady_state && opt.sim.noise <= 0.0 &&
+                          opt.arrival_jitter <= 0.0;
+  if (!detectable && (frames != opt.frames || result.steady_frame != -1)) {
+    c.fail("stream: run truncated to ", frames, " frames (steady_frame ",
+           result.steady_frame, ") without steady-state detection");
+  }
+  if (result.steady_frame >= 0) {
+    if (result.steady_frame != frames - opt.steady_window || frames < opt.steady_window + 1) {
+      c.fail("stream: steady_frame ", result.steady_frame,
+             " does not name the last ", opt.steady_window, "-frame window of ",
+             frames, " frames");
+    } else {
+      const double gap_ref =
+          result.frame_finish[frames - 1] - result.frame_finish[frames - 2];
+      const double lat_ref = result.frame_latency[frames - 1];
+      const double gap_tol = opt.steady_tol * std::max(1.0, std::abs(gap_ref));
+      const double lat_tol = opt.steady_tol * std::max(1.0, std::abs(lat_ref));
+      for (int f = frames - opt.steady_window; f < frames; ++f) {
+        const double gap = result.frame_finish[f] - result.frame_finish[f - 1];
+        if (std::abs(gap - gap_ref) > gap_tol ||
+            std::abs(result.frame_latency[f] - lat_ref) > lat_tol) {
+          c.fail("stream: steady_frame ", result.steady_frame,
+                 " claimed but frame ", f, " had not converged");
+        }
+      }
+    }
+  } else if (detectable && frames < opt.frames) {
+    c.fail("stream: run truncated to ", frames, " frames without a steady window");
   }
 
   return report;

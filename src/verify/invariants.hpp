@@ -5,6 +5,7 @@
 
 #include "sim/faults.hpp"
 #include "sim/simulator.hpp"
+#include "sim/stream.hpp"
 
 namespace giph {
 
@@ -45,6 +46,12 @@ struct CheckOptions {
   /// common physical link must not overlap (checked unless a trace or
   /// allow_incomplete forbids it).
   const SharedLinkMap* shared_links = nullptr;
+  /// Optional per-task release times (streaming: the frame arrival of each
+  /// replicated task). A task's ready time starts from its release instead of
+  /// 0 — entry tasks must not start before it, and FIFO / work-conservation
+  /// provenance is judged against it. Size must equal the graph's task count;
+  /// nullptr means every task is releasable at t = 0 (the one-shot model).
+  const std::vector<double>* release_times = nullptr;
 };
 
 /// Validates `sched` for (g, n, p, lat) against first principles, sharing no
@@ -83,5 +90,28 @@ InvariantReport check_fault_result(const TaskGraph& g, const DeviceNetwork& n,
                                    const Placement& p, const LatencyModel& lat,
                                    const FaultSimResult& result,
                                    const CheckOptions& opt = {});
+
+/// Validates a streaming run from first principles: rebuilds the
+/// frame-replicated instance itself (F copies of g, same device per frame,
+/// latency model consulted with base ids, per-task release = frame arrival),
+/// runs check_schedule over it with the release-aware ready times, and then
+/// checks the streaming contract proper:
+///   - bookkeeping: frames within [1, opt.frames], per-frame arrays sized to
+///     it, schedule arrays sized frames * V / frames * E;
+///   - arrivals: start at 0, non-decreasing, each gap equal to the interval
+///     (jitter-free) or inside [interval(1-j), interval(1+j)];
+///   - per-frame finish = max(arrival, task finishes of the frame) and
+///     latency = finish - arrival, bitwise;
+///   - monotone frame completion (noise-free runs only: noise can let a later
+///     frame overtake an earlier one);
+///   - throughput = frames / (last finish - first finish) bitwise (frames > 1;
+///     1 / latency for a single frame), p50/p99 = nearest-rank percentiles of
+///     the frame latencies, makespan = the replicated schedule's makespan;
+///   - steady_frame, when set, names a tail window that converged within
+///     steady_tol.
+InvariantReport check_stream_result(const TaskGraph& g, const DeviceNetwork& n,
+                                    const Placement& p, const LatencyModel& lat,
+                                    const StreamResult& result,
+                                    const StreamOptions& opt);
 
 }  // namespace giph

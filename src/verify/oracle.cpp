@@ -1,6 +1,8 @@
 #include "verify/oracle.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -328,6 +330,355 @@ Schedule oracle_simulate(const TaskGraph& g, const DeviceNetwork& n, const Place
   }
   out.makespan = last_finish - first_start;
   return out;
+}
+
+namespace {
+
+constexpr int kArrivalEvent = 3;
+
+// The oracle's own nearest-rank percentile, written from the documented
+// convention (the ceil(q * n)-th smallest observation, no interpolation).
+double oracle_percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = std::ceil(q * static_cast<double>(xs.size()));
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (idx >= xs.size()) idx = xs.size() - 1;
+  return xs[idx];
+}
+
+// One naive streaming replay of exactly `frames` frames: oracle_simulate's
+// flat event list generalized to virtual ids (task f * V + v, edge f * E + e)
+// with the base latency model consulted through id mapping, plus arrival
+// entries releasing each later frame's entry copies.
+StreamResult oracle_stream_frames(const TaskGraph& g, const DeviceNetwork& n,
+                                  const Placement& p, const LatencyModel& lat,
+                                  const StreamOptions& opt, int frames) {
+  const int bv = g.num_tasks();
+  const int be = g.num_edges();
+  const int nd = n.num_devices();
+  const int nv = frames * bv;
+  const int ne = frames * be;
+  const SimOptions& sopt = opt.sim;
+
+  StreamResult r;
+  // Inter-arrival gaps are drawn before any simulation draw, in frame order.
+  r.frame_arrival.assign(frames, 0.0);
+  for (int f = 1; f < frames; ++f) {
+    double gap = opt.interval;
+    if (opt.arrival_jitter > 0.0) {
+      std::uniform_real_distribution<double> u(
+          opt.interval * (1.0 - opt.arrival_jitter),
+          opt.interval * (1.0 + opt.arrival_jitter));
+      gap = u(*sopt.rng);
+    }
+    r.frame_arrival[f] = r.frame_arrival[f - 1] + gap;
+  }
+
+  const NetworkTrace* trace =
+      (sopt.trace != nullptr && !sopt.trace->empty()) ? sopt.trace : nullptr;
+  if (trace != nullptr) validate_network_trace(*trace, n, "oracle_simulate_streaming");
+  const SharedLinkMap* shared = sopt.shared_links;
+  if (shared != nullptr && shared->num_devices != nd) {
+    throw std::invalid_argument(
+        "oracle_simulate_streaming: shared_links was built for " +
+        std::to_string(shared->num_devices) + " devices but the network has " +
+        std::to_string(nd));
+  }
+
+  Schedule& out = r.schedule;
+  out.tasks.assign(nv, TaskTiming{-1.0, -1.0});
+  out.edge_start.assign(ne, -1.0);
+  out.edge_finish.assign(ne, -1.0);
+  out.makespan = 0.0;
+
+  if (bv > 0) {
+    const auto dev_of = [&](int t) { return p.device_of(t % bv); };
+
+    std::vector<OracleEvent> pending;
+    long next_order = 0;
+    std::vector<std::vector<int>> waiting(nd);
+    std::vector<double> nic_busy_until(nd, 0.0);
+    std::vector<double> link_busy_until(shared != nullptr ? shared->num_links : 0, 0.0);
+
+    const int ntl = trace != nullptr ? static_cast<int>(trace->links.size()) : 0;
+    std::vector<TraceSegment> link_state(ntl);
+    std::vector<double> link_factor(ntl, 1.0);
+    std::vector<std::pair<int, int>> breakpoints;
+    if (trace != nullptr) {
+      for (int li = 0; li < ntl; ++li) {
+        const LinkSchedule& ls = trace->links[li];
+        for (int si = 0; si < static_cast<int>(ls.segments.size()); ++si) {
+          if (ls.segments[si].time <= 0.0) {
+            link_state[li] = ls.segments[si];
+            link_factor[li] = (1.0 / ls.segments[si].bandwidth_factor) /
+                              (1.0 - ls.segments[si].drop_prob);
+          } else {
+            pending.push_back(OracleEvent{ls.segments[si].time, next_order++,
+                                          kBreakpointEvent,
+                                          static_cast<int>(breakpoints.size())});
+            breakpoints.emplace_back(li, si);
+          }
+        }
+      }
+    }
+
+    auto traced_link_of = [&](int src, int dst) {
+      if (trace == nullptr) return -1;
+      for (int li = 0; li < ntl; ++li) {
+        if (trace->links[li].src == src && trace->links[li].dst == dst &&
+            !trace->links[li].segments.empty()) {
+          return li;
+        }
+      }
+      return -1;
+    };
+
+    std::vector<double> wire_begin(ne, 0.0);
+    std::vector<double> wire_factor_of(ne, 1.0);
+
+    auto tasks_running_on = [&](int d) {
+      int count = 0;
+      for (int t = 0; t < nv; ++t) {
+        if (dev_of(t) == d && out.tasks[t].start >= 0.0 && out.tasks[t].finish < 0.0) {
+          ++count;
+        }
+      }
+      return count;
+    };
+
+    auto begin_execution = [&](int t, double time) {
+      const int d = dev_of(t);
+      out.tasks[t].start = time;
+      const double w = draw(lat.compute_time(g, n, t % bv, d), sopt);
+      pending.push_back(OracleEvent{time + w, next_order++, kTaskEvent, t});
+    };
+
+    auto on_runnable = [&](int t, double time) {
+      const int d = dev_of(t);
+      if (waiting[d].empty() && tasks_running_on(d) < n.device(d).cores) {
+        begin_execution(t, time);
+      } else {
+        waiting[d].push_back(t);
+      }
+    };
+
+    // Arrival entries for frames >= 1 are created right after the breakpoint
+    // entries — before any simulation event — so an arrival at the instant a
+    // task finishes takes effect first, exactly like the production core.
+    for (int f = 1; f < frames; ++f) {
+      pending.push_back(OracleEvent{r.frame_arrival[f], next_order++, kArrivalEvent, f});
+    }
+
+    // Frame 0's entry copies are runnable at t = 0 in task-id order.
+    for (int v = 0; v < bv; ++v) {
+      if (g.in_degree(v) == 0) on_runnable(v, 0.0);
+    }
+
+    while (!pending.empty()) {
+      std::size_t at = 0;
+      for (std::size_t i = 1; i < pending.size(); ++i) {
+        if (pending[i].time < pending[at].time ||
+            (pending[i].time == pending[at].time && pending[i].order < pending[at].order)) {
+          at = i;
+        }
+      }
+      const OracleEvent ev = pending[at];
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(at));
+
+      if (ev.kind == kTaskEvent) {
+        const int t = ev.id;
+        out.tasks[t].finish = ev.time;
+        const int d = dev_of(t);
+        const int f = t / bv;
+        for (int e : g.out_edges(t % bv)) {
+          const int ve = f * be + e;  // frame f's copy of base edge e
+          const int dst_dev = p.device_of(g.edge(e).dst);
+          const double c = draw(lat.comm_time(g, n, e, d, dst_dev), sopt);
+          double start = ev.time;
+          if (dst_dev != d) {
+            if (sopt.serialize_transfers) start = std::max(start, nic_busy_until[d]);
+            if (shared != nullptr) {
+              for (const int li : shared->links_on(d, dst_dev)) {
+                start = std::max(start, link_busy_until[li]);
+              }
+            }
+          }
+          double dur = c;
+          const int tl = traced_link_of(d, dst_dev);
+          if (tl >= 0) {
+            const double ce = lat.comm_time(g, n, e, d, dst_dev);
+            const double de = lat.comm_startup(g, n, e, d, dst_dev);
+            const double dr = ce > 0.0 ? de * (c / ce) : 0.0;
+            const double startup = dr + link_state[tl].delay_add;
+            dur = startup + (c - dr) * link_factor[tl];
+            wire_begin[ve] = start + startup;
+            wire_factor_of[ve] = link_factor[tl];
+          } else if (trace != nullptr) {
+            wire_begin[ve] = start;
+            wire_factor_of[ve] = 1.0;
+          }
+          if (dst_dev != d) {
+            if (sopt.serialize_transfers) nic_busy_until[d] = start + dur;
+            if (shared != nullptr) {
+              for (const int li : shared->links_on(d, dst_dev)) {
+                link_busy_until[li] = start + dur;
+              }
+            }
+          }
+          out.edge_start[ve] = start;
+          pending.push_back(OracleEvent{start + dur, next_order++, kTransferEvent, ve});
+        }
+        if (!waiting[d].empty() && tasks_running_on(d) < n.device(d).cores) {
+          const int next = waiting[d].front();
+          waiting[d].erase(waiting[d].begin());
+          begin_execution(next, ev.time);
+        }
+      } else if (ev.kind == kTransferEvent) {
+        const int ve = ev.id;
+        out.edge_finish[ve] = ev.time;
+        const int f = ve / be;
+        const int child = f * bv + g.edge(ve % be).dst;
+        bool all_arrived = true;
+        for (int in_e : g.in_edges(child % bv)) {
+          if (out.edge_finish[f * be + in_e] < 0.0) {
+            all_arrived = false;
+            break;
+          }
+        }
+        if (all_arrived) on_runnable(child, ev.time);
+      } else if (ev.kind == kArrivalEvent) {
+        // Frame ev.id enters: its entry copies become runnable in base order.
+        for (int v = 0; v < bv; ++v) {
+          if (g.in_degree(v) == 0) on_runnable(ev.id * bv + v, ev.time);
+        }
+      } else {  // kBreakpointEvent
+        const int li = breakpoints[ev.id].first;
+        const TraceSegment& seg = trace->links[li].segments[breakpoints[ev.id].second];
+        link_state[li] = seg;
+        const double f_new = (1.0 / seg.bandwidth_factor) / (1.0 - seg.drop_prob);
+        link_factor[li] = f_new;
+        const int src = trace->links[li].src;
+        const int dst = trace->links[li].dst;
+        // Ascending virtual-edge-id order matches the production rescale.
+        for (int ve = 0; ve < ne; ++ve) {
+          if (out.edge_start[ve] < 0.0 || out.edge_finish[ve] >= 0.0) continue;
+          const DataLink& bl = g.edge(ve % be);
+          if (p.device_of(bl.src) != src || p.device_of(bl.dst) != dst) continue;
+          if (wire_factor_of[ve] == f_new) continue;
+          std::size_t slot = pending.size();
+          for (std::size_t i = 0; i < pending.size(); ++i) {
+            if (pending[i].kind == kTransferEvent && pending[i].id == ve) {
+              slot = i;
+              break;
+            }
+          }
+          if (slot == pending.size()) {
+            throw std::logic_error(
+                "oracle_simulate_streaming: in-flight edge has no pending event");
+          }
+          const double anchor = std::max(ev.time, wire_begin[ve]);
+          const double remaining = pending[slot].time - anchor;
+          if (remaining <= 0.0) {
+            wire_factor_of[ve] = f_new;
+            continue;
+          }
+          const double finish = anchor + remaining * (f_new / wire_factor_of[ve]);
+          wire_factor_of[ve] = f_new;
+          pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(slot));
+          pending.push_back(OracleEvent{finish, next_order++, kTransferEvent, ve});
+        }
+      }
+    }
+
+    for (int t = 0; t < nv; ++t) {
+      if (out.tasks[t].finish < 0.0) {
+        throw std::logic_error("oracle_simulate_streaming: not all tasks completed");
+      }
+    }
+    double first_start = out.tasks[0].start, last_finish = out.tasks[0].finish;
+    for (const TaskTiming& tt : out.tasks) {
+      first_start = std::min(first_start, tt.start);
+      last_finish = std::max(last_finish, tt.finish);
+    }
+    out.makespan = last_finish - first_start;
+  }
+
+  // Per-frame metrics, re-derived with the oracle's own arithmetic.
+  r.frames = frames;
+  r.steady_frame = -1;
+  r.frame_finish.assign(frames, 0.0);
+  r.frame_latency.assign(frames, 0.0);
+  for (int f = 0; f < frames; ++f) {
+    double fin = r.frame_arrival[f];
+    for (int v = 0; v < bv; ++v) {
+      fin = std::max(fin, out.tasks[f * bv + v].finish);
+    }
+    r.frame_finish[f] = fin;
+    r.frame_latency[f] = fin - r.frame_arrival[f];
+  }
+  r.makespan = out.makespan;
+  if (frames > 1) {
+    const double span = r.frame_finish[frames - 1] - r.frame_finish[0];
+    r.throughput = span > 0.0 ? frames / span
+                              : std::numeric_limits<double>::infinity();
+  } else {
+    r.throughput = r.frame_latency[0] > 0.0
+                       ? 1.0 / r.frame_latency[0]
+                       : std::numeric_limits<double>::infinity();
+  }
+  r.p50_latency = oracle_percentile(r.frame_latency, 0.50);
+  r.p99_latency = oracle_percentile(r.frame_latency, 0.99);
+  return r;
+}
+
+// The oracle's reading of "converged": the last steady_window inter-finish
+// gaps and steady_window + 1 latencies agree with the final ones within
+// steady_tol relative.
+int oracle_steady_frame(const StreamResult& r, const StreamOptions& opt) {
+  const int m = r.frames;
+  const int w = opt.steady_window;
+  if (m < w + 1) return -1;
+  const double gap_ref = r.frame_finish[m - 1] - r.frame_finish[m - 2];
+  const double lat_ref = r.frame_latency[m - 1];
+  const double gap_tol = opt.steady_tol * std::max(1.0, std::abs(gap_ref));
+  const double lat_tol = opt.steady_tol * std::max(1.0, std::abs(lat_ref));
+  for (int f = m - w; f < m; ++f) {
+    const double gap = r.frame_finish[f] - r.frame_finish[f - 1];
+    if (std::abs(gap - gap_ref) > gap_tol) return -1;
+    if (std::abs(r.frame_latency[f] - lat_ref) > lat_tol) return -1;
+  }
+  if (std::abs(r.frame_latency[m - w - 1] - lat_ref) > lat_tol) return -1;
+  return m - w;
+}
+
+}  // namespace
+
+StreamResult oracle_simulate_streaming(const TaskGraph& g, const DeviceNetwork& n,
+                                       const Placement& p, const LatencyModel& lat,
+                                       const StreamOptions& opt) {
+  validate_stream_options(opt, "oracle_simulate_streaming");
+  if (!placement_feasible(g, n, p)) {
+    throw std::invalid_argument("oracle_simulate_streaming: infeasible placement");
+  }
+  if (!acyclic(g)) {
+    throw std::logic_error("oracle_simulate_streaming: cyclic task graph");
+  }
+  const bool deterministic = opt.sim.noise <= 0.0 && opt.arrival_jitter <= 0.0;
+  if (!opt.detect_steady_state || !deterministic) {
+    return oracle_stream_frames(g, n, p, lat, opt, opt.frames);
+  }
+  int prefix = std::min(opt.frames, std::max(2 * opt.steady_window, 8));
+  for (;;) {
+    StreamResult r = oracle_stream_frames(g, n, p, lat, opt, prefix);
+    const int sf = oracle_steady_frame(r, opt);
+    if (sf >= 0) {
+      r.steady_frame = sf;
+      return r;
+    }
+    if (prefix >= opt.frames) return r;
+    prefix = std::min(opt.frames, 2 * prefix);
+  }
 }
 
 }  // namespace giph

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "sim/simulator.hpp"
+#include "sim/stream.hpp"
 
 namespace giph {
 
@@ -38,5 +39,29 @@ namespace giph {
 /// simulation_count(): the oracle is a verifier, not a production code path.
 Schedule oracle_simulate(const TaskGraph& g, const DeviceNetwork& n, const Placement& p,
                          const LatencyModel& lat, const SimOptions& opt = {});
+
+/// Reference streaming simulator: the oracle's flat event replay generalized
+/// to iterated-graph execution, independent of simulate_streaming(). Frame f
+/// of task v is the virtual task f * V + v (virtual edge f * E + e); the
+/// oracle keeps flat per-virtual-id arrays, maps ids back to the base
+/// instance when consulting the latency model, and interprets the streaming
+/// semantics from first principles:
+///   - all F - 1 inter-arrival gaps are drawn up front in frame order
+///     (uniform [interval(1-j), interval(1+j)] when jittered), before any
+///     simulation draw;
+///   - frame 0's entries are runnable at t = 0 in task-id order; frame f's
+///     copies become runnable at its arrival time, via arrival entries
+///     created at init (so an arrival beats same-time sim events, exactly
+///     like the production event core);
+///   - devices serve one FIFO across frames; NIC serialization, shared-link
+///     reservations, traces, and noise span frame boundaries;
+///   - per-frame finish/latency, throughput, nearest-rank p50/p99, and the
+///     steady-state doubling detection are re-derived with the oracle's own
+///     arithmetic.
+/// Output is bitwise identical to simulate_streaming() for every input,
+/// including the draw sequence; throws like it.
+StreamResult oracle_simulate_streaming(const TaskGraph& g, const DeviceNetwork& n,
+                                       const Placement& p, const LatencyModel& lat,
+                                       const StreamOptions& opt = {});
 
 }  // namespace giph

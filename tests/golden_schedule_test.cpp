@@ -20,6 +20,7 @@
 #include "sim/latency_model.hpp"
 #include "sim/network_trace.hpp"
 #include "sim/simulator.hpp"
+#include "sim/stream.hpp"
 #include "verify/invariants.hpp"
 #include "verify/oracle.hpp"
 
@@ -50,6 +51,14 @@ struct GoldenCase {
   bool has_delta_move = false;
   int delta_task = -1;
   int delta_device = -1;
+  // Optional "stream v1" block ("frames interval serialize"): the case is a
+  // streaming run of `frames` copies of the graph entering every `interval`
+  // time units, and the expected block holds the frame-replicated schedule
+  // (frames * V tasks, frames * E edges; task f * V + v is frame f's copy).
+  bool has_stream = false;
+  int stream_frames = 1;
+  double stream_interval = 0.0;
+  bool stream_serialize = false;
 
   /// The placement the expected schedule corresponds to (post-move when a
   /// delta-move block is present).
@@ -63,6 +72,15 @@ struct GoldenCase {
     SimOptions opt;
     if (has_trace) opt.trace = &trace;
     if (has_shared) opt.shared_links = &shared;
+    opt.serialize_transfers = stream_serialize;
+    return opt;
+  }
+
+  StreamOptions stream_options() const {
+    StreamOptions opt;
+    opt.frames = stream_frames;
+    opt.interval = stream_interval;
+    opt.sim = sim_options();
     return opt;
   }
   /// The latency model of this case: lossy when a "loss v1" block is present.
@@ -115,6 +133,15 @@ GoldenCase load_golden(const std::filesystem::path& path) {
       clean >> kind >> version;
       continue;
     }
+    if (kind == "stream") {
+      c.has_stream = true;
+      int serialize = 0;
+      clean >> c.stream_frames >> c.stream_interval >> serialize;
+      c.stream_serialize = serialize != 0;
+      if (!clean) throw std::runtime_error(c.name + ": truncated 'stream' block");
+      clean >> kind >> version;
+      continue;
+    }
     int count = 0;
     clean >> count;
     if (kind == "trace") {
@@ -157,7 +184,9 @@ GoldenCase load_golden(const std::filesystem::path& path) {
   }
   int nv = 0, ne = 0;
   clean >> nv >> ne;
-  if (!clean || nv != c.graph.num_tasks() || ne != c.graph.num_edges()) {
+  // Streaming cases carry the frame-replicated schedule.
+  if (!clean || nv != c.stream_frames * c.graph.num_tasks() ||
+      ne != c.stream_frames * c.graph.num_edges()) {
     throw std::runtime_error(c.name + ": expected-block counts disagree with the graph");
   }
   c.expected.tasks.resize(nv);
@@ -186,13 +215,16 @@ std::vector<std::filesystem::path> golden_files() {
 }
 
 void expect_matches(const GoldenCase& c, const Schedule& got, const char* which) {
-  for (int v = 0; v < c.graph.num_tasks(); ++v) {
+  ASSERT_EQ(got.tasks.size(), c.expected.tasks.size()) << c.name << " " << which;
+  ASSERT_EQ(got.edge_start.size(), c.expected.edge_start.size())
+      << c.name << " " << which;
+  for (int v = 0; v < static_cast<int>(c.expected.tasks.size()); ++v) {
     EXPECT_EQ(got.tasks[v].start, c.expected.tasks[v].start)
         << c.name << " " << which << " task " << v;
     EXPECT_EQ(got.tasks[v].finish, c.expected.tasks[v].finish)
         << c.name << " " << which << " task " << v;
   }
-  for (int e = 0; e < c.graph.num_edges(); ++e) {
+  for (int e = 0; e < static_cast<int>(c.expected.edge_start.size()); ++e) {
     EXPECT_EQ(got.edge_start[e], c.expected.edge_start[e])
         << c.name << " " << which << " edge " << e;
     EXPECT_EQ(got.edge_finish[e], c.expected.edge_finish[e])
@@ -202,16 +234,22 @@ void expect_matches(const GoldenCase& c, const Schedule& got, const char* which)
 }
 
 TEST(GoldenSchedules, CorpusIsNonTrivial) {
-  EXPECT_GE(golden_files().size(), 15u);
+  EXPECT_GE(golden_files().size(), 18u);
 }
 
 TEST(GoldenSchedules, SimulatorReproducesEveryCase) {
   for (const auto& path : golden_files()) {
     const GoldenCase c = load_golden(path);
     const auto lat = c.latency();
-    expect_matches(
-        c, simulate(c.graph, c.network, c.final_placement(), *lat, c.sim_options()),
-        "simulate");
+    if (c.has_stream) {
+      const StreamResult r = simulate_streaming(c.graph, c.network, c.final_placement(),
+                                                *lat, c.stream_options());
+      expect_matches(c, r.schedule, "simulate_streaming");
+    } else {
+      expect_matches(
+          c, simulate(c.graph, c.network, c.final_placement(), *lat, c.sim_options()),
+          "simulate");
+    }
   }
 }
 
@@ -219,10 +257,16 @@ TEST(GoldenSchedules, OracleReproducesEveryCase) {
   for (const auto& path : golden_files()) {
     const GoldenCase c = load_golden(path);
     const auto lat = c.latency();
-    expect_matches(
-        c,
-        oracle_simulate(c.graph, c.network, c.final_placement(), *lat, c.sim_options()),
-        "oracle");
+    if (c.has_stream) {
+      const StreamResult r = oracle_simulate_streaming(
+          c.graph, c.network, c.final_placement(), *lat, c.stream_options());
+      expect_matches(c, r.schedule, "streaming oracle");
+    } else {
+      expect_matches(
+          c,
+          oracle_simulate(c.graph, c.network, c.final_placement(), *lat, c.sim_options()),
+          "oracle");
+    }
   }
 }
 
@@ -230,8 +274,16 @@ TEST(GoldenSchedules, InvariantCheckerAcceptsEveryCase) {
   for (const auto& path : golden_files()) {
     const GoldenCase c = load_golden(path);
     const auto lat = c.latency();
-    const SimOptions opt = c.sim_options();
     const Placement p = c.final_placement();
+    if (c.has_stream) {
+      const StreamOptions sopt = c.stream_options();
+      const StreamResult r = simulate_streaming(c.graph, c.network, p, *lat, sopt);
+      const InvariantReport rep =
+          check_stream_result(c.graph, c.network, p, *lat, r, sopt);
+      EXPECT_TRUE(rep.ok()) << c.name << ":\n" << rep.summary();
+      continue;
+    }
+    const SimOptions opt = c.sim_options();
     const Schedule s = simulate(c.graph, c.network, p, *lat, opt);
     CheckOptions check;
     check.trace = opt.trace;
@@ -239,6 +291,41 @@ TEST(GoldenSchedules, InvariantCheckerAcceptsEveryCase) {
     const InvariantReport r = check_schedule(c.graph, c.network, p, *lat, s, check);
     EXPECT_TRUE(r.ok()) << c.name << ":\n" << r.summary();
   }
+}
+
+TEST(GoldenSchedules, StreamingCasesCoverCrossFrameContention) {
+  // The corpus must keep its hand-derived streaming cases: a pipeline with
+  // cross-frame overlap, a NIC-serialized cross-frame transfer, and
+  // shared-link contention spanning a frame boundary.
+  int seen = 0, serialized = 0, shared = 0;
+  for (const auto& path : golden_files()) {
+    const GoldenCase c = load_golden(path);
+    if (!c.has_stream) continue;
+    ++seen;
+    serialized += c.stream_serialize ? 1 : 0;
+    shared += c.has_shared ? 1 : 0;
+    ASSERT_GE(c.stream_frames, 2) << c.name << ": streaming case must pipeline";
+    const auto lat = c.latency();
+    const StreamOptions sopt = c.stream_options();
+    const StreamResult r =
+        simulate_streaming(c.graph, c.network, c.final_placement(), *lat, sopt);
+    // Pipelining means some frame overlaps its predecessor's work: frame f
+    // must start (some task) before frame f-1 completely finished.
+    const int nv = c.graph.num_tasks();
+    bool overlapped = false;
+    for (int f = 1; f < r.frames && !overlapped; ++f) {
+      for (int v = 0; v < nv; ++v) {
+        if (r.schedule.tasks[f * nv + v].start < r.frame_finish[f - 1]) {
+          overlapped = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(overlapped) << c.name << ": frames never overlapped";
+  }
+  EXPECT_GE(seen, 3);
+  EXPECT_GE(serialized, 1) << "need a NIC-serialized streaming case";
+  EXPECT_GE(shared, 1) << "need a shared-link streaming case";
 }
 
 TEST(GoldenSchedules, DeltaMoveCasesReplayIncrementallyAndBitwise) {

@@ -24,6 +24,18 @@
 //                     [--train-tasks T] [--train-devices D] [--tasks T]
 //                     [--devices D] [--clusters K] [--cases N] [--topk K]
 //                     [--refine-rounds R]
+//   giph_cli stream   [--seed S] [--graph FILE --network FILE] [--model FILE]
+//                     [--variant V] [--frames F] [--hz H | --interval MS]
+//                     [--jitter J] [--objective p99|throughput|makespan]
+//                     [--steps N] [--csv FILE]
+//
+// The stream command runs the streaming (iterated-graph) scenario: F frames
+// of the sensor-fusion pipeline (or an explicit --graph/--network instance)
+// enter every 1000/--hz ms and pipeline through the devices. The selected
+// --objective drives the placement search; the report compares the initial,
+// makespan-optimized, and objective-optimized placements on one-shot makespan,
+// steady-state throughput, and p50/p99 frame latency, and --csv exports the
+// winning placement's per-frame latencies (write_stream_csv).
 //
 // The scale command is the generalization experiment of ROADMAP item 4: train
 // a policy at paper scale (or load one with --model), then evaluate it
@@ -64,6 +76,7 @@
 
 #include "baselines/random_policies.hpp"
 #include "casestudy/churn.hpp"
+#include "casestudy/sensor_fusion.hpp"
 #include "core/giph_agent.hpp"
 #include "core/hierarchical.hpp"
 #include "core/reinforce.hpp"
@@ -516,6 +529,91 @@ int cmd_scale(const Args& args) {
   return 0;
 }
 
+int cmd_stream(const Args& args) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const DefaultLatencyModel lat;
+
+  // Instance: an explicit graph/network pair, or the first populated
+  // sensor-fusion snapshot (the flagship streaming scenario).
+  TaskGraph g;
+  DeviceNetwork n;
+  StreamOptions sopt;
+  sopt.frames = args.get_int("frames", 32);
+  if (args.has("graph") && args.has("network")) {
+    g = load_task_graph(args.get("graph"));
+    n = load_device_network(args.get("network"));
+    sopt.interval = args.get_double("interval", 1000.0 / args.get_double("hz", 10.0));
+  } else {
+    casestudy::CaseStudyParams params;
+    params.seed = seed;
+    casestudy::SensorFusionWorld world(params);
+    std::optional<casestudy::SensorFusionCase> c;
+    for (int snap = 0; snap < 64 && !c; ++snap) c = world.next_case();
+    if (!c) throw std::runtime_error("stream: no populated sensor-fusion snapshot");
+    g = std::move(c->graph);
+    n = std::move(c->network);
+    sopt = casestudy::streaming_options(*c, sopt.frames);
+    if (args.has("interval")) sopt.interval = args.get_double("interval", sopt.interval);
+    if (args.has("hz")) sopt.interval = 1000.0 / args.get_double("hz", 10.0);
+  }
+  std::mt19937_64 jitter_rng(seed + 77);
+  sopt.arrival_jitter = args.get_double("jitter", 0.0);
+  if (sopt.arrival_jitter > 0.0) sopt.sim.rng = &jitter_rng;
+
+  const std::string objective = args.get("objective", "p99");
+  const auto make_objective = [&](const std::string& kind) -> ScheduleObjective {
+    if (kind == "p99") return streaming_p99_objective(lat, sopt);
+    if (kind == "throughput") return streaming_throughput_objective(lat, sopt);
+    if (kind == "makespan") return makespan_objective(lat);
+    throw std::runtime_error("stream: unknown --objective " + kind +
+                             " (p99|throughput|makespan)");
+  };
+
+  GiPHAgent agent(variant_options(args.get("variant", "giph"), seed));
+  if (args.has("model")) agent.load(args.get("model"));
+  const int steps = args.get_int("steps", 2 * g.num_tasks());
+
+  // Same initial placement for both searches, so the comparison isolates the
+  // objective (raw values, denominator 1: SLR does not normalize a p99).
+  std::mt19937_64 rng(seed + 9);
+  const Placement init = random_placement(g, n, rng);
+  const auto optimize = [&](const std::string& kind) {
+    std::mt19937_64 search_rng(seed + 10);
+    PlacementSearchEnv env(g, n, lat, make_objective(kind), init, 1.0);
+    run_search(agent, env, steps, search_rng);
+    return env.best_placement();
+  };
+  const Placement makespan_best = optimize("makespan");
+  const Placement objective_best =
+      objective == "makespan" ? makespan_best : optimize(objective);
+
+  std::cout << "instance: " << g.num_tasks() << " tasks, " << n.num_devices()
+            << " devices; " << sopt.frames << " frames every " << sopt.interval
+            << " ms (jitter " << sopt.arrival_jitter << "), search objective "
+            << objective << "\n\n"
+            << "  placement            makespan  throughput     p50       p99\n";
+  const auto report = [&](const char* name, const Placement& p) {
+    StreamOptions eval_opt = sopt;  // fresh jitter stream per report row
+    std::mt19937_64 eval_rng(seed + 78);
+    if (eval_opt.arrival_jitter > 0.0) eval_opt.sim.rng = &eval_rng;
+    const StreamResult r = simulate_streaming(g, n, p, lat, eval_opt);
+    std::printf("  %-18s %10.3f %11.5f %8.3f %9.3f\n", name,
+                simulate(g, n, p, lat).makespan, r.throughput, r.p50_latency,
+                r.p99_latency);
+    return r;
+  };
+  report("initial", init);
+  report("makespan-search", makespan_best);
+  const StreamResult best = report((objective + "-search").c_str(), objective_best);
+
+  if (args.has("csv")) {
+    std::ofstream out(args.get("csv"));
+    write_stream_csv(out, best);
+    std::cout << "\nper-frame latencies written to " << args.get("csv") << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -529,8 +627,9 @@ int main(int argc, char** argv) {
     if (args.command == "robustness") return cmd_robustness(args);
     if (args.command == "dynamic") return cmd_dynamic(args);
     if (args.command == "scale") return cmd_scale(args);
+    if (args.command == "stream") return cmd_stream(args);
     std::cerr << "usage: giph_cli {generate|train|snapshot|evaluate|place|"
-                 "robustness|dynamic|scale} [--options]\n"
+                 "robustness|dynamic|scale|stream} [--options]\n"
                  "see the header of tools/giph_cli.cpp for details\n";
     return args.command.empty() ? 0 : 1;
   } catch (const std::exception& e) {

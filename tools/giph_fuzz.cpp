@@ -37,6 +37,17 @@
 // frame unwrapper) either succeeds or throws std::exception with a message —
 // never crashes, hangs, or aborts.
 //
+// With --stream the harness fuzzes iterated-graph execution: each case draws
+// a (graph, network, placement) triple plus streaming options (frame count,
+// inter-arrival interval scaled to the one-shot makespan, jitter, noise, NIC
+// serialization, traces, shared links, lossy models, steady-state detection)
+// and asserts that simulate_streaming(), simulate_streaming_into() (reused
+// workspace), and the independent oracle_simulate_streaming() agree bitwise
+// on every time and metric, that check_stream_result() finds no violation,
+// that F = 1 reduces bitwise to simulate(), and that steady-state truncation
+// is legitimate (re-simulating the truncated frame count without detection
+// reproduces the run bitwise).
+//
 // With --hier the harness fuzzes the scale tier instead: each case partitions
 // a random (graph, network) pair — including pinned tasks, which exercise the
 // partitioner's forced cuts — and asserts the partition invariants (every
@@ -50,7 +61,7 @@
 // subset EST sweep reproduces the full sweep's rows bitwise.
 //
 // Usage: giph_fuzz [--cases N] [--seed S] [--start K] [--delta] [--parse]
-//                  [--hier] [--verbose]
+//                  [--hier] [--stream] [--verbose]
 
 #include <algorithm>
 #include <cstdint>
@@ -891,6 +902,270 @@ int run_hier_mode(std::uint64_t cases, std::uint64_t seed, std::uint64_t start,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --stream mode: iterated-graph execution vs the independent streaming oracle.
+
+struct StreamFuzzCase {
+  TaskGraph graph;
+  DeviceNetwork network;
+  Placement placement;
+  StreamOptions opt;  ///< sim.rng left null; each replay installs its own
+  bool with_trace = false;
+  NetworkTrace trace;
+  bool with_shared = false;
+  SharedLinkMap shared;
+  bool with_loss = false;
+  std::vector<std::pair<std::pair<int, int>, double>> drops;
+  std::uint64_t sim_seed = 0;
+  std::string shape;
+};
+
+StreamFuzzCase build_stream_case(std::uint64_t base_seed, std::uint64_t index) {
+  std::mt19937_64 rng(mix(base_seed ^ mix(index)));
+  StreamFuzzCase c;
+
+  TaskGraphParams gp;
+  gp.num_tasks = uniform_int(rng, 2, 40);
+  gp.alpha = uniform(rng, 0.5, 2.0);
+  gp.p_connect = uniform(rng, 0.0, 0.6);
+  gp.mean_compute = uniform(rng, 10.0, 200.0);
+  gp.mean_bytes = uniform(rng, 10.0, 200.0);
+  gp.het_compute = uniform(rng, 0.0, 0.9);
+  gp.het_bytes = uniform(rng, 0.0, 0.9);
+  gp.num_hw_kinds = uniform_int(rng, 1, 6);
+  gp.p_task_requires = uniform(rng, 0.0, 0.6);
+
+  NetworkParams np;
+  np.num_devices = uniform_int(rng, 1, 10);
+  np.mean_speed = uniform(rng, 1.0, 20.0);
+  np.mean_bandwidth = uniform(rng, 5.0, 100.0);
+  np.mean_delay = uniform(rng, 0.0, 3.0);
+  np.het_speed = uniform(rng, 0.0, 0.9);
+  np.het_bandwidth = uniform(rng, 0.0, 0.9);
+  np.num_hw_kinds = gp.num_hw_kinds;
+  np.p_hw_support = uniform(rng, 0.3, 1.0);
+
+  c.graph = generate_task_graph(gp, rng);
+  c.network = generate_device_network(np, rng);
+  ensure_feasible(c.graph, c.network, rng);
+  if (uniform(rng, 0.0, 1.0) < 0.33) {
+    for (int d = 0; d < c.network.num_devices(); ++d) {
+      c.network.device(d).cores = uniform_int(rng, 1, 4);
+    }
+  }
+  c.placement = random_placement(c.graph, c.network, rng);
+  c.sim_seed = rng();
+
+  // The interval is scaled to the one-shot makespan: below 1x the frames
+  // pipeline (queueing across frame boundaries), above it they barely touch.
+  const double span =
+      std::max(1e-6, simulate(c.graph, c.network, c.placement, kLat).makespan);
+  c.opt.frames = uniform_int(rng, 1, 12);
+  c.opt.interval = span * uniform(rng, 0.05, 1.5);
+  if (uniform(rng, 0.0, 1.0) < 0.3) c.opt.arrival_jitter = uniform(rng, 0.05, 0.8);
+  if (uniform(rng, 0.0, 1.0) < 0.4) c.opt.sim.noise = uniform(rng, 0.05, 0.5);
+  c.opt.sim.serialize_transfers = uniform(rng, 0.0, 1.0) < 0.3;
+  if (uniform(rng, 0.0, 1.0) < 0.3) {
+    c.opt.detect_steady_state = true;
+    c.opt.steady_window = uniform_int(rng, 1, 6);
+  }
+
+  const int m = c.network.num_devices();
+  if (m >= 2 && uniform(rng, 0.0, 1.0) < 0.3) {
+    c.with_shared = true;
+    std::vector<PhysicalLink> phys;
+    std::vector<int> order(m);
+    for (int k = 0; k < m; ++k) order[k] = k;
+    std::shuffle(order.begin(), order.end(), rng);
+    for (int k = 1; k < m; ++k) {
+      phys.push_back({order[uniform_int(rng, 0, k - 1)], order[k],
+                      uniform(rng, 5.0, 100.0), uniform(rng, 0.0, 2.0),
+                      uniform(rng, 0.0, 1.0) < 0.8});
+    }
+    apply_topology(c.network, phys);
+    c.shared = build_shared_link_map(m, phys);
+  }
+  if (m >= 2 && uniform(rng, 0.0, 1.0) < 0.3) {
+    c.with_trace = true;
+    // Breakpoints spread over the whole stream so some land mid-pipeline in
+    // later frames, not just inside frame 0.
+    const double stream_span = span + c.opt.interval * (c.opt.frames - 1);
+    const int nlinks = uniform_int(rng, 1, 2);
+    for (int x = 0; x < nlinks; ++x) {
+      const int src = uniform_int(rng, 0, m - 1);
+      int dst = uniform_int(rng, 0, m - 2);
+      if (dst >= src) ++dst;
+      LinkSchedule& ls = c.trace.link(src, dst);
+      if (!ls.segments.empty()) continue;
+      double t = uniform(rng, 0.0, stream_span * 0.5);
+      for (int s = uniform_int(rng, 1, 3); s > 0; --s) {
+        TraceSegment seg;
+        seg.time = t;
+        seg.bandwidth_factor = uniform(rng, 0.3, 2.5);
+        if (uniform(rng, 0.0, 1.0) < 0.5) seg.delay_add = uniform(rng, 0.0, 2.0);
+        if (uniform(rng, 0.0, 1.0) < 0.5) seg.drop_prob = uniform(rng, 0.0, 0.6);
+        ls.segments.push_back(seg);
+        t += uniform(rng, stream_span * 0.05, stream_span * 0.5);
+      }
+    }
+  }
+  if (m >= 2 && uniform(rng, 0.0, 1.0) < 0.25) {
+    c.with_loss = true;
+    for (int x = uniform_int(rng, 1, 3); x > 0; --x) {
+      const int src = uniform_int(rng, 0, m - 1);
+      int dst = uniform_int(rng, 0, m - 2);
+      if (dst >= src) ++dst;
+      c.drops.push_back({{src, dst}, uniform(rng, 0.05, 0.7)});
+    }
+  }
+
+  char shape[220];
+  std::snprintf(shape, sizeof(shape),
+                "tasks=%d devices=%d frames=%d interval=%.3f jitter=%.3f noise=%.3f "
+                "serialize=%d steady=%d trace=%d shared=%d loss=%zu",
+                c.graph.num_tasks(), c.network.num_devices(), c.opt.frames,
+                c.opt.interval, c.opt.arrival_jitter, c.opt.sim.noise,
+                c.opt.sim.serialize_transfers ? 1 : 0, c.opt.detect_steady_state ? 1 : 0,
+                c.with_trace ? 1 : 0, c.with_shared ? 1 : 0, c.drops.size());
+  c.shape = shape;
+  return c;
+}
+
+/// Exact comparison of two StreamResults; "" when bitwise identical.
+std::string diff_stream_results(const StreamResult& a, const StreamResult& b,
+                                const char* what) {
+  char buf[160];
+  if (auto d = diff_schedules(a.schedule, b.schedule, what); !d.empty()) return d;
+  if (a.frames != b.frames || a.steady_frame != b.steady_frame) {
+    std::snprintf(buf, sizeof(buf), "%s: frames %d/%d vs %d/%d", what, a.frames,
+                  a.steady_frame, b.frames, b.steady_frame);
+    return buf;
+  }
+  if (a.frame_arrival != b.frame_arrival) return std::string(what) + ": arrivals differ";
+  if (a.frame_finish != b.frame_finish) return std::string(what) + ": finishes differ";
+  if (a.frame_latency != b.frame_latency) return std::string(what) + ": latencies differ";
+  if (a.throughput != b.throughput || a.p50_latency != b.p50_latency ||
+      a.p99_latency != b.p99_latency || a.makespan != b.makespan) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s: metrics differ (tp %.17g vs %.17g, p99 %.17g vs %.17g)", what,
+                  a.throughput, b.throughput, a.p99_latency, b.p99_latency);
+    return buf;
+  }
+  return "";
+}
+
+/// Runs all checks for one streaming case; returns "" on success.
+std::string run_stream_case(const StreamFuzzCase& c, StreamWorkspace& ws,
+                            StreamResult& reused) {
+  LossAwareLatencyModel loss(kLat, c.network.num_devices());
+  for (const auto& [link, p] : c.drops) loss.set_drop(link.first, link.second, p);
+  const LatencyModel& lat = c.with_loss ? static_cast<const LatencyModel&>(loss) : kLat;
+
+  StreamOptions opt = c.opt;
+  if (c.with_trace) opt.sim.trace = &c.trace;
+  if (c.with_shared) opt.sim.shared_links = &c.shared;
+  std::mt19937_64 rng_a(c.sim_seed), rng_b(c.sim_seed), rng_c(c.sim_seed),
+      rng_d(c.sim_seed), rng_e(c.sim_seed);
+
+  opt.sim.rng = &rng_a;
+  const StreamResult fast = simulate_streaming(c.graph, c.network, c.placement, lat, opt);
+  opt.sim.rng = &rng_b;
+  simulate_streaming_into(c.graph, c.network, c.placement, lat, ws, reused, opt);
+  opt.sim.rng = &rng_c;
+  const StreamResult ref =
+      oracle_simulate_streaming(c.graph, c.network, c.placement, lat, opt);
+
+  if (auto d = diff_stream_results(fast, reused, "streaming vs reused workspace");
+      !d.empty()) {
+    return d;
+  }
+  if (auto d = diff_stream_results(fast, ref, "streaming vs oracle"); !d.empty()) {
+    return d;
+  }
+
+  const InvariantReport report =
+      check_stream_result(c.graph, c.network, c.placement, lat, fast, opt);
+  if (!report.ok()) return "stream invariant violation:\n" + report.summary();
+
+  // F = 1 must be the one-shot simulator, bitwise (same draw sequence).
+  if (c.opt.frames == 1) {
+    SimOptions one = opt.sim;
+    one.rng = &rng_d;
+    const Schedule flat = simulate(c.graph, c.network, c.placement, lat, one);
+    if (auto d = diff_schedules(fast.schedule, flat, "F=1 reduction"); !d.empty()) {
+      return d;
+    }
+  }
+
+  // Steady-state truncation must be legitimate: the truncated run IS the
+  // stream with that many frames (not a prefix of the longer one), so
+  // re-simulating result.frames without detection reproduces it bitwise.
+  if (fast.frames < c.opt.frames) {
+    StreamOptions trunc = opt;
+    trunc.frames = fast.frames;
+    trunc.detect_steady_state = false;
+    trunc.sim.rng = &rng_e;
+    const StreamResult again =
+        simulate_streaming(c.graph, c.network, c.placement, lat, trunc);
+    StreamResult expected = fast;
+    expected.steady_frame = -1;  // the re-run does not detect
+    if (auto d = diff_stream_results(expected, again, "steady-state truncation");
+        !d.empty()) {
+      return d;
+    }
+  }
+  return "";
+}
+
+int run_stream_mode(std::uint64_t cases, std::uint64_t seed, std::uint64_t start,
+                    bool verbose) {
+  StreamWorkspace ws;
+  StreamResult reused;
+  std::uint64_t pipelined = 0, jittered = 0, noisy = 0, truncated = 0, single = 0;
+  for (std::uint64_t i = start; i < start + cases; ++i) {
+    StreamFuzzCase c;
+    std::string failure;
+    try {
+      c = build_stream_case(seed, i);
+      jittered += c.opt.arrival_jitter > 0.0 ? 1 : 0;
+      noisy += c.opt.sim.noise > 0.0 ? 1 : 0;
+      single += c.opt.frames == 1 ? 1 : 0;
+      failure = run_stream_case(c, ws, reused);
+      if (failure.empty()) {
+        pipelined += c.opt.frames > 1 ? 1 : 0;
+        truncated += reused.frames < c.opt.frames ? 1 : 0;
+      }
+    } catch (const std::exception& e) {
+      failure = std::string("exception: ") + e.what();
+    }
+    if (!failure.empty()) {
+      std::fprintf(stderr,
+                   "FUZZ FAILURE (stream) at case %llu (base seed %llu)\n  %s\n  %s\n"
+                   "  reproduce: giph_fuzz --stream --seed %llu --start %llu --cases 1\n",
+                   static_cast<unsigned long long>(i),
+                   static_cast<unsigned long long>(seed), c.shape.c_str(),
+                   failure.c_str(), static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(i));
+      return 1;
+    }
+    if (verbose && (i - start + 1) % 1000 == 0) {
+      std::printf("giph_fuzz: %llu/%llu stream cases ok\n",
+                  static_cast<unsigned long long>(i - start + 1),
+                  static_cast<unsigned long long>(cases));
+    }
+  }
+  std::printf(
+      "giph_fuzz: %llu stream cases ok (seed %llu, %llu pipelined, %llu jittered, "
+      "%llu noisy, %llu single-frame, %llu steady-state truncated): "
+      "simulate_streaming == reused workspace == streaming oracle, invariants hold, "
+      "F=1 == simulate bitwise, truncation legitimate\n",
+      static_cast<unsigned long long>(cases), static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(pipelined),
+      static_cast<unsigned long long>(jittered), static_cast<unsigned long long>(noisy),
+      static_cast<unsigned long long>(single), static_cast<unsigned long long>(truncated));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -901,6 +1176,7 @@ int main(int argc, char** argv) {
   bool delta = false;
   bool parse = false;
   bool hier = false;
+  bool stream = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::uint64_t {
@@ -924,15 +1200,18 @@ int main(int argc, char** argv) {
       parse = true;
     } else if (arg == "--hier") {
       hier = true;
+    } else if (arg == "--stream") {
+      stream = true;
     } else {
       std::fprintf(stderr,
                    "usage: giph_fuzz [--cases N] [--seed S] [--start K] [--delta] "
-                   "[--parse] [--hier] [--verbose]\n");
+                   "[--parse] [--hier] [--stream] [--verbose]\n");
       return 2;
     }
   }
   if (parse) return run_parse_mode(cases, seed, start, verbose);
   if (hier) return run_hier_mode(cases, seed, start, verbose);
+  if (stream) return run_stream_mode(cases, seed, start, verbose);
 
   SimWorkspace ws;
   Schedule reused;
